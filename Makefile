@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test test-race bench tables cover fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Every table/figure of the paper plus the ablations; one full run each.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Regenerate the paper's Tables I-III end to end.
+tables:
+	$(GO) run ./cmd/benchtables
+
+cover:
+	$(GO) test -cover ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,408 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus the ablations called out in DESIGN.md. Each benchmark iteration runs
+// a full solve so `go test -bench . -benchtime 1x` reproduces one complete
+// experiment; final wire lengths are reported as custom metrics so quality
+// accompanies the timing.
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/paperex"
+	"repro/internal/qbp"
+	"repro/internal/qmatrix"
+)
+
+// instanceCache avoids regenerating circuits inside the timed loops.
+var instanceCache = map[string]*Instance{}
+
+func instance(b *testing.B, name string) *Instance {
+	b.Helper()
+	if in, ok := instanceCache[name]; ok {
+		return in
+	}
+	in, err := NamedCircuit(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	instanceCache[name] = in
+	return in
+}
+
+var startCache = map[string]Assignment{}
+
+func sharedStart(b *testing.B, name string) Assignment {
+	b.Helper()
+	if a, ok := startCache[name]; ok {
+		return a
+	}
+	in := instance(b, name)
+	a, err := FeasibleStart(in.Problem, 0, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	startCache[name] = a
+	return a
+}
+
+// BenchmarkTableI regenerates the circuit-description table: it measures
+// generation of each named instance and reports its published statistics.
+func BenchmarkTableI(b *testing.B) {
+	for _, spec := range PaperCircuits() {
+		b.Run(spec.Name, func(b *testing.B) {
+			var in *Instance
+			for k := 0; k < b.N; k++ {
+				var err error
+				in, err = NamedCircuit(spec.Name)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(in.Problem.N()), "components")
+			b.ReportMetric(float64(in.Problem.Circuit.TotalWireWeight()), "wires")
+			b.ReportMetric(float64(len(in.Problem.Circuit.Timing)), "timing-constraints")
+		})
+	}
+}
+
+// tableBench runs one (circuit, method) cell of Table II (timing=false) or
+// Table III (timing=true).
+func tableBench(b *testing.B, name, method string, timing bool) {
+	in := instance(b, name)
+	start := sharedStart(b, name)
+	p := in.Problem
+	var wl int64
+	for k := 0; k < b.N; k++ {
+		switch method {
+		case "qbp":
+			res, err := SolveQBP(p, QBPOptions{Initial: start, RelaxTiming: !timing})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Feasible {
+				b.Fatalf("qbp result infeasible on %s", name)
+			}
+			wl = res.WireLength
+		case "gfm":
+			res, err := SolveGFM(p, start, GFMOptions{RelaxTiming: !timing})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl = res.WireLength
+		case "gkl":
+			res, err := SolveGKL(p, start, GKLOptions{RelaxTiming: !timing})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl = res.WireLength
+		}
+	}
+	b.ReportMetric(float64(p.WireLength(start)), "startWL")
+	b.ReportMetric(float64(wl), "finalWL")
+	b.ReportMetric(100*(1-float64(wl)/float64(p.WireLength(start))), "improve%")
+}
+
+// BenchmarkTableII reproduces Table II (no timing constraints): one
+// sub-benchmark per circuit × method cell.
+func BenchmarkTableII(b *testing.B) {
+	for _, spec := range PaperCircuits() {
+		for _, method := range []string{"qbp", "gfm", "gkl"} {
+			b.Run(fmt.Sprintf("%s/%s", spec.Name, method), func(b *testing.B) {
+				tableBench(b, spec.Name, method, false)
+			})
+		}
+	}
+}
+
+// BenchmarkTableIII reproduces Table III (with timing constraints).
+func BenchmarkTableIII(b *testing.B) {
+	for _, spec := range PaperCircuits() {
+		for _, method := range []string{"qbp", "gfm", "gkl"} {
+			b.Run(fmt.Sprintf("%s/%s", spec.Name, method), func(b *testing.B) {
+				tableBench(b, spec.Name, method, true)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure1Example solves the §3.3 worked example (the paper's only
+// figure-level workload) end to end.
+func BenchmarkFigure1Example(b *testing.B) {
+	p := paperex.New()
+	for k := 0; k < b.N; k++ {
+		res, err := SolveQBP(p, QBPOptions{Iterations: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Objective != 14 {
+			b.Fatalf("objective = %d, want the optimum 14", res.Objective)
+		}
+	}
+}
+
+// BenchmarkInitialSolution measures the paper's initial-feasible-solution
+// protocol (QBP with B = 0) on every circuit.
+func BenchmarkInitialSolution(b *testing.B) {
+	for _, spec := range PaperCircuits() {
+		b.Run(spec.Name, func(b *testing.B) {
+			in := instance(b, spec.Name)
+			for k := 0; k < b.N; k++ {
+				if _, err := FeasibleStart(in.Problem, int64(k), 40); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkIterationSweep: "the solution quality is dependent on the number
+// of iterations, the more CPU time spent, the better the results".
+func BenchmarkIterationSweep(b *testing.B) {
+	for _, iters := range []int{10, 25, 50, 100, 200} {
+		b.Run(fmt.Sprintf("iters=%d", iters), func(b *testing.B) {
+			in := instance(b, "cktb")
+			start := sharedStart(b, "cktb")
+			var wl int64
+			for k := 0; k < b.N; k++ {
+				res, err := SolveQBP(in.Problem, QBPOptions{Iterations: iters, Initial: start})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wl = res.WireLength
+			}
+			b.ReportMetric(float64(wl), "finalWL")
+		})
+	}
+}
+
+// BenchmarkPenaltySweep: sensitivity to the embedded penalty value (the
+// paper uses 50 and warns that Theorem 1's huge U hurts numerically; here
+// large penalties instead distort the search).
+func BenchmarkPenaltySweep(b *testing.B) {
+	for _, pen := range []int64{10, 50, 200, 1000} {
+		b.Run(fmt.Sprintf("penalty=%d", pen), func(b *testing.B) {
+			in := instance(b, "cktg")
+			start := sharedStart(b, "cktg")
+			var wl int64
+			feasible := true
+			for k := 0; k < b.N; k++ {
+				res, err := SolveQBP(in.Problem, QBPOptions{Penalty: pen, Initial: start})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wl = res.WireLength
+				feasible = res.Feasible
+			}
+			b.ReportMetric(float64(wl), "finalWL")
+			if !feasible {
+				b.ReportMetric(1, "infeasible")
+			}
+		})
+	}
+}
+
+// BenchmarkOmegaAblation compares the paper's STEP 3 (no ω term in η,
+// default) against equation (3)'s η with the ω·u term.
+func BenchmarkOmegaAblation(b *testing.B) {
+	for _, withOmega := range []bool{false, true} {
+		b.Run(fmt.Sprintf("omegaInEta=%v", withOmega), func(b *testing.B) {
+			in := instance(b, "cktb")
+			start := sharedStart(b, "cktb")
+			var wl int64
+			for k := 0; k < b.N; k++ {
+				res, err := SolveQBP(in.Problem, QBPOptions{Initial: start, OmegaInEta: withOmega})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wl = res.WireLength
+			}
+			b.ReportMetric(float64(wl), "finalWL")
+		})
+	}
+}
+
+// BenchmarkEnhancementAblation isolates the two robustness enhancements
+// (stall restarts, final polish) against the literal §4.2 listing.
+func BenchmarkEnhancementAblation(b *testing.B) {
+	cases := []struct {
+		name             string
+		restarts, polish bool
+	}{
+		{"literal", false, false},
+		{"restarts", true, false},
+		{"polish", false, true},
+		{"both", true, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			in := instance(b, "cktg")
+			start := sharedStart(b, "cktg")
+			var wl int64
+			for k := 0; k < b.N; k++ {
+				res, err := SolveQBP(in.Problem, QBPOptions{
+					Initial:         start,
+					DisableRestarts: !c.restarts,
+					DisablePolish:   !c.polish,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wl = res.WireLength
+			}
+			b.ReportMetric(float64(wl), "finalWL")
+		})
+	}
+}
+
+// BenchmarkEtaSparseVsDense demonstrates the §4.3 enhancement: the sparse
+// arc-list η accumulation versus the literal dense column sums over the
+// materialized Q̂ (M²N² work). A reduced instance keeps the dense side
+// tractable.
+func BenchmarkEtaSparseVsDense(b *testing.B) {
+	in, err := GenerateCircuit(GenerateParams{
+		Spec: CircuitSpec{Name: "eta-ablation", Components: 96, Wires: 800, TimingConstraints: 400, Seed: 7},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := in.Problem
+	u := in.Golden
+	m := p.M()
+	b.Run("sparse", func(b *testing.B) {
+		ec := qbp.NewEtaComputer(p, qbp.DefaultPenalty)
+		b.ResetTimer()
+		for k := 0; k < b.N; k++ {
+			if eta := ec.Compute(u); eta == nil {
+				b.Fatal("nil eta")
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		qhat := qmatrix.DenseQhat(p, qbp.DefaultPenalty)
+		mn := len(qhat)
+		eta := make([]float64, mn)
+		b.ResetTimer()
+		for k := 0; k < b.N; k++ {
+			for s := 0; s < mn; s++ {
+				var sum int64
+				for j, i := range u {
+					sum += qhat[qmatrix.Pack(i, j, m)][s]
+				}
+				eta[s] = float64(sum)
+			}
+		}
+	})
+}
+
+// BenchmarkSimulatedAnnealing places the extra baseline next to the
+// paper's three methods on one circuit (Table III configuration).
+func BenchmarkSimulatedAnnealing(b *testing.B) {
+	in := instance(b, "cktb")
+	start := sharedStart(b, "cktb")
+	var wl int64
+	for k := 0; k < b.N; k++ {
+		res, err := SolveSA(in.Problem, SAOptions{Initial: start, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wl = res.WireLength
+	}
+	b.ReportMetric(float64(wl), "finalWL")
+}
+
+// BenchmarkMCM runs the §2.2.1 application experiment: minimum-deviation
+// legalization of a perturbed designer assignment (PP(1,0)).
+func BenchmarkMCM(b *testing.B) {
+	var dev int64
+	for k := 0; k < b.N; k++ {
+		rows, err := bench.RunMCM(bench.MCMConfig{PerturbRates: []float64{0.3}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev = rows[0].QBP.Deviation
+	}
+	b.ReportMetric(float64(dev), "qbp-deviation")
+}
+
+// BenchmarkMultiStart measures the concurrent multi-start extension: four
+// independent solves on spare cores against one sequential solve.
+func BenchmarkMultiStart(b *testing.B) {
+	in := instance(b, "cktb")
+	start := sharedStart(b, "cktb")
+	b.Run("single", func(b *testing.B) {
+		var wl int64
+		for k := 0; k < b.N; k++ {
+			res, err := SolveQBP(in.Problem, QBPOptions{Initial: start})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl = res.WireLength
+		}
+		b.ReportMetric(float64(wl), "finalWL")
+	})
+	b.Run("starts=4", func(b *testing.B) {
+		var wl int64
+		for k := 0; k < b.N; k++ {
+			res, err := SolveQBPMultiStart(in.Problem, MultiStartOptions{
+				Base: QBPOptions{Initial: start}, Starts: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl = res.WireLength
+		}
+		b.ReportMetric(float64(wl), "finalWL")
+	})
+}
+
+// BenchmarkStartGenerators compares the two initial-solution paths: the
+// paper's QBP(B=0) protocol and the ratio-cut cluster seed.
+func BenchmarkStartGenerators(b *testing.B) {
+	in := instance(b, "cktg")
+	b.Run("feasible-start", func(b *testing.B) {
+		var wl int64
+		for k := 0; k < b.N; k++ {
+			a, err := FeasibleStart(in.Problem, int64(k), 40)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl = in.Problem.WireLength(a)
+		}
+		b.ReportMetric(float64(wl), "startWL")
+	})
+	b.Run("cluster-seed", func(b *testing.B) {
+		var wl int64
+		for k := 0; k < b.N; k++ {
+			clusters, err := NaturalClusters(in.Problem.Circuit, in.Problem.M(), ClusterOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := ClusterSeed(in.Problem, clusters)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl = in.Problem.WireLength(a)
+		}
+		b.ReportMetric(float64(wl), "startWL")
+	})
+}
+
+var benchGKLPassSink int64
+
+// BenchmarkGKLPassCost isolates why GKL is the CPU hog the paper cuts off
+// after 6 passes: a single pass on the largest circuit.
+func BenchmarkGKLPassCost(b *testing.B) {
+	in := instance(b, "cktf")
+	start := sharedStart(b, "cktf")
+	for k := 0; k < b.N; k++ {
+		res, err := SolveGKL(in.Problem, start, GKLOptions{MaxPasses: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchGKLPassSink = res.Objective
+	}
+}

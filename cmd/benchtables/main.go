@@ -1,0 +1,88 @@
+// Command benchtables regenerates the paper's evaluation tables end to end:
+// Table I (circuit descriptions), Table II (partitioning without timing
+// constraints) and Table III (with timing constraints), on the synthetic
+// reconstructions of the seven industrial circuits.
+//
+// Usage:
+//
+//	benchtables               # all three tables
+//	benchtables -table 3      # Table III only
+//	benchtables -table 2 -format csv > table2.csv
+//	benchtables -circuits ckta,cktb -iterations 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table      = flag.Int("table", 0, "table to regenerate: 1, 2 or 3 (default all)")
+		circuits   = flag.String("circuits", "", "comma-separated circuit subset (default all seven)")
+		iterations = flag.Int("iterations", 0, "QBP iterations (default: the paper's 100)")
+		seed       = flag.Int64("seed", 0, "seed for the shared initial solution")
+		format     = flag.String("format", "text", "output format for tables 2/3: text, csv or markdown")
+		mcm        = flag.Bool("mcm", false, "run the MCM/TCM minimum-deviation experiment (§2.2.1) instead")
+	)
+	flag.Parse()
+
+	if *mcm {
+		if err := bench.WriteMCM(os.Stdout, bench.MCMConfig{Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var names []string
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	}
+	cfg := bench.Config{Circuits: names, QBPIterations: *iterations, Seed: *seed}
+
+	run := func(n int) error {
+		switch n {
+		case 1:
+			return bench.WriteTableI(os.Stdout)
+		case 2, 3:
+			c := cfg
+			c.Timing = n == 3
+			switch *format {
+			case "text":
+				return bench.WriteTable(os.Stdout, c)
+			case "csv", "markdown":
+				rows, err := bench.Run(c)
+				if err != nil {
+					return err
+				}
+				if *format == "csv" {
+					return report.WriteCSV(os.Stdout, rows)
+				}
+				return report.WriteMarkdown(os.Stdout, rows, c.Timing)
+			default:
+				return fmt.Errorf("unknown format %q", *format)
+			}
+		}
+		return fmt.Errorf("unknown table %d", n)
+	}
+
+	tables := []int{1, 2, 3}
+	if *table != 0 {
+		tables = []int{*table}
+	}
+	for i, n := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+	}
+}

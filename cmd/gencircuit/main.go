@@ -1,0 +1,73 @@
+// Command gencircuit emits a synthetic partitioning instance in the
+// plain-text problem format: either one of the paper's seven named circuits
+// (ckta…cktg, matching Table I exactly) or a parameterized instance.
+//
+// Usage:
+//
+//	gencircuit -name ckta > ckta.prob
+//	gencircuit -components 200 -wires 1500 -timing 700 -seed 3 > custom.prob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	partition "repro"
+)
+
+func main() {
+	var (
+		name       = flag.String("name", "", "paper circuit name (ckta..cktg); overrides the other knobs")
+		components = flag.Int("components", 200, "number of components")
+		wires      = flag.Int64("wires", 1500, "total wire count")
+		timing     = flag.Int("timing", 700, "number of timing constraints")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		rows       = flag.Int("rows", 4, "partition grid rows")
+		cols       = flag.Int("cols", 4, "partition grid columns")
+		out        = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var inst *partition.Instance
+	var err error
+	if *name != "" {
+		inst, err = partition.NamedCircuit(*name)
+	} else {
+		inst, err = partition.GenerateCircuit(partition.GenerateParams{
+			Spec: partition.CircuitSpec{
+				Name:              fmt.Sprintf("custom-%d", *seed),
+				Components:        *components,
+				Wires:             *wires,
+				TimingConstraints: *timing,
+				Seed:              *seed,
+			},
+			GridRows: *rows,
+			GridCols: *cols,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := partition.WriteProblem(w, inst.Problem); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: %d components, %d wires, %d timing constraints, %d partitions\n",
+		inst.Problem.Circuit.Name, inst.Problem.N(), inst.Problem.Circuit.TotalWireWeight(),
+		len(inst.Problem.Circuit.Timing), inst.Problem.M())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gencircuit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,194 @@
+// Command qbpart partitions a circuit under timing and capacity
+// constraints. It reads a problem in the plain-text format (see
+// cmd/gencircuit), solves it with the chosen method, validates the solution
+// independently and prints a report.
+//
+// Usage:
+//
+//	qbpart -in ckta.prob -method qbp -iterations 100 -o ckta.assign
+//	qbpart -in ckta.prob -method qbp -multistart 4
+//	qbpart -in ckta.prob -method gkl -relax-timing
+//	qbpart -in ckta.prob -initial ckta.assign -method gfm
+//	qbpart -in ckta.prob -check ckta.assign            # validate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	partition "repro"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "problem file (required)")
+		method     = flag.String("method", "qbp", "solver: qbp, gfm, gkl or sa")
+		iterations = flag.Int("iterations", 100, "QBP iterations")
+		relax      = flag.Bool("relax-timing", false, "ignore timing constraints (Table II mode)")
+		seed       = flag.Int64("seed", 0, "random seed")
+		initial    = flag.String("initial", "", "initial assignment file (default: generated feasible start)")
+		out        = flag.String("o", "", "write the final assignment to this file")
+		multistart = flag.Int("multistart", 1, "independent QBP starts run concurrently (qbp only)")
+		check      = flag.String("check", "", "validate this assignment file against the problem and exit")
+		show       = flag.Bool("show", false, "render the placement grid and wire-length histogram (square grids)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := partition.ReadProblem(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *check != "" {
+		cf, err := os.Open(*check)
+		if err != nil {
+			fatal(err)
+		}
+		a, err := partition.ReadAssignment(cf)
+		cf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		report, err := partition.Validate(p, a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+		if !report.Feasible {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var start partition.Assignment
+	if *initial != "" {
+		af, err := os.Open(*initial)
+		if err != nil {
+			fatal(err)
+		}
+		start, err = partition.ReadAssignment(af)
+		af.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		t0 := time.Now()
+		start, err = partition.FeasibleStart(p, *seed, 40)
+		if err != nil {
+			fatal(fmt.Errorf("generating feasible start: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "feasible start: wire length %d (%.2fs)\n",
+			p.WireLength(start), time.Since(t0).Seconds())
+	}
+
+	t0 := time.Now()
+	var final partition.Assignment
+	switch *method {
+	case "qbp":
+		o := partition.QBPOptions{
+			Iterations:  *iterations,
+			Initial:     start,
+			RelaxTiming: *relax,
+			Seed:        *seed,
+		}
+		var res *partition.QBPResult
+		var err error
+		if *multistart > 1 {
+			res, err = partition.SolveQBPMultiStart(p, partition.MultiStartOptions{
+				Base: o, Starts: *multistart,
+			})
+		} else {
+			res, err = partition.SolveQBP(p, o)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		final = res.Assignment
+	case "gfm":
+		res, err := partition.SolveGFM(p, start, partition.GFMOptions{RelaxTiming: *relax})
+		if err != nil {
+			fatal(err)
+		}
+		final = res.Assignment
+	case "gkl":
+		res, err := partition.SolveGKL(p, start, partition.GKLOptions{RelaxTiming: *relax})
+		if err != nil {
+			fatal(err)
+		}
+		final = res.Assignment
+	case "sa":
+		res, err := partition.SolveSA(p, partition.SAOptions{
+			Initial: start, RelaxTiming: *relax, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		final = res.Assignment
+	default:
+		fatal(fmt.Errorf("unknown method %q (want qbp, gfm, gkl or sa)", *method))
+	}
+	elapsed := time.Since(t0)
+
+	report, err := partition.Validate(p, final)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("method           %s\n", *method)
+	fmt.Printf("cpu              %.2fs\n", elapsed.Seconds())
+	fmt.Printf("start WL         %d\n", p.WireLength(start))
+	fmt.Print(report)
+	if !report.Feasible && !*relax {
+		fmt.Fprintln(os.Stderr, "warning: solution violates constraints")
+	}
+
+	if *show {
+		if err := renderPlacement(p, final); err != nil {
+			fmt.Fprintln(os.Stderr, "qbpart: cannot render:", err)
+		}
+	}
+
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		if err := partition.WriteAssignment(of, final); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// renderPlacement draws the placement assuming the partitions form the
+// most-square grid with M slots (exact for the built-in generators).
+func renderPlacement(p *partition.Problem, a partition.Assignment) error {
+	m := p.M()
+	rows := 1
+	for r := 2; r*r <= m; r++ {
+		if m%r == 0 {
+			rows = r
+		}
+	}
+	grid := partition.Grid{Rows: rows, Cols: m / rows}
+	fmt.Println()
+	if err := partition.RenderGrid(os.Stdout, p, grid, a); err != nil {
+		return err
+	}
+	fmt.Println()
+	return partition.RenderWireHistogram(os.Stdout, p, a)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qbpart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,185 @@
+package partition
+
+import (
+	"testing"
+)
+
+func TestFacadeTimingDerivation(t *testing.T) {
+	g := &TimingGraph{
+		Intrinsic: []int64{1, 2, 3, 1},
+		Endpoint:  []bool{true, false, false, true},
+		Arcs:      []TimingArc{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}},
+	}
+	cp, err := CriticalPathDelay(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 7 {
+		t.Fatalf("critical path %d, want 7", cp)
+	}
+	budgets, err := DeriveTimingBudgets(g, TimingOptions{CycleTime: 13, HopEstimate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := TimingConstraintsFromBudgets(budgets)
+	if len(cs) != 3 {
+		t.Fatalf("%d constraints, want 3", len(cs))
+	}
+	for _, c := range cs {
+		if c.MaxDelay != 4 {
+			t.Fatalf("bound %d, want 4", c.MaxDelay)
+		}
+	}
+}
+
+func TestFacadeClustering(t *testing.T) {
+	inst, err := NamedCircuit("cktg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	side, err := RatioCutSplit(inst.Problem.Circuit, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, s := range side {
+		if s == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 || zeros == len(side) {
+		t.Fatal("degenerate bipartition")
+	}
+	clusters, err := NaturalClusters(inst.Problem.Circuit, 8, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := ClusterSeed(inst.Problem, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Problem.CapacityFeasible(seed) {
+		t.Fatal("cluster seed violates capacity")
+	}
+}
+
+func TestFacadeGAPAndLAP(t *testing.T) {
+	in := &GAPInstance{
+		Costs:      [][]float64{{1, 10, 10}, {10, 1, 1}},
+		Sizes:      []int64{5, 5, 5},
+		Capacities: []int64{10, 10},
+	}
+	assign, cost, ok := SolveGAP(in, GAPOptions{Refine: GAPRefineSwap})
+	if !ok || cost != 3 || !in.Feasible(assign) {
+		t.Fatalf("GAP: cost=%v ok=%v", cost, ok)
+	}
+	_, exCost, exOK := SolveGAPExact(in)
+	if !exOK || exCost != 3 {
+		t.Fatalf("exact GAP: cost=%v ok=%v", exCost, exOK)
+	}
+	_, total, err := SolveLAP([][]float64{{4, 1}, {2, 0}})
+	if err != nil || total != 3 {
+		t.Fatalf("LAP: total=%v err=%v", total, err)
+	}
+}
+
+func TestFacadeExactAndMultiStart(t *testing.T) {
+	inst, err := GenerateCircuit(GenerateParams{
+		Spec:     CircuitSpec{Name: "tiny", Components: 10, Wires: 30, TimingConstraints: 12, Seed: 6},
+		GridRows: 2, GridCols: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inst.Problem
+	exact, err := SolveExact(p, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Found {
+		t.Fatal("feasible instance reported infeasible")
+	}
+	multi, err := SolveQBPMultiStart(p, MultiStartOptions{
+		Base:   QBPOptions{Iterations: 60},
+		Starts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Feasible && multi.Objective < exact.Value {
+		t.Fatalf("heuristic %d beat the certified optimum %d", multi.Objective, exact.Value)
+	}
+}
+
+func TestFacadeMetricsAndConstants(t *testing.T) {
+	g := Grid{Rows: 2, Cols: 2}
+	for _, m := range []Metric{Manhattan, SquaredEuclidean, UnitCrossing, Chebyshev} {
+		mat := g.DistanceMatrix(m)
+		if len(mat) != 4 || mat[0][0] != 0 {
+			t.Fatalf("metric %v produced bad matrix", m)
+		}
+	}
+	if Unconstrained <= 0 {
+		t.Fatal("Unconstrained must be a large positive sentinel")
+	}
+}
+
+func TestFacadeSimulatedAnnealing(t *testing.T) {
+	inst, err := NamedCircuit("cktg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, err := FeasibleStart(inst.Problem, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveSA(inst.Problem, SAOptions{Initial: start, Seed: 2, Stages: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Validate(inst.Problem, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OverloadedCount != 0 {
+		t.Fatal("SA violated capacity")
+	}
+	if res.WireLength != rep.WireLength {
+		t.Fatalf("reported WL %d != validated %d", res.WireLength, rep.WireLength)
+	}
+}
+
+func TestFacadeHypergraph(t *testing.T) {
+	nl := &HyperNetlist{
+		Components: 4,
+		Nets: []Net{
+			{Pins: []int{0, 1, 2}, Weight: 2},
+			{Pins: []int{2, 3}, Weight: 1},
+		},
+	}
+	c, denom, err := HypergraphCircuit("hyper", []int64{1, 1, 1, 1}, nl, NetClique, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if denom <= 0 || len(c.Wires) != 4 {
+		t.Fatalf("denom=%d wires=%d", denom, len(c.Wires))
+	}
+	grid := Grid{Rows: 2, Cols: 2}
+	dist := grid.DistanceMatrix(Manhattan)
+	topo := &Topology{Capacities: []int64{2, 2, 2, 2}, Cost: dist, Delay: dist}
+	p, err := NewProblem(c, topo, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveQBP(p, QBPOptions{Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := CutNets(nl, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut < 0 || cut > 2 {
+		t.Fatalf("cut nets = %d", cut)
+	}
+}

@@ -1,0 +1,131 @@
+// Package adjacency builds compressed per-component neighbor lists from a
+// circuit's wire and timing-constraint sets. This is the sparse
+// representation the paper's §4.3 enhancement relies on: the Q̂ cost matrix
+// is never materialized; its nonzero couplings are enumerated on demand from
+// these lists, so each heuristic iteration costs O(M·(nnz(A)+nnz(D_C)))
+// instead of M²N².
+package adjacency
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Arc is one sparse coupling seen from a component: the wire weight
+// a[j][Other] and/or the timing bound D_C[j][Other]. A pair connected by a
+// wire and constrained in timing is represented by a single Arc carrying
+// both; Weight is 0 for timing-only arcs and MaxDelay is
+// model.Unconstrained for wire-only arcs.
+type Arc struct {
+	Other    int
+	Weight   int64
+	MaxDelay int64
+}
+
+// Lists holds, for every component, its combined wire/timing arcs in both
+// directions (the symmetric interpretation of A and D_C).
+type Lists struct {
+	N    int
+	Arcs [][]Arc // Arcs[j], sorted by Other
+}
+
+// Build constructs the neighbor lists of a circuit. Duplicate wires between
+// the same pair accumulate weight; duplicate timing constraints keep the
+// tightest bound.
+func Build(c *model.Circuit) *Lists {
+	n := c.N()
+	type key struct{ a, b int }
+	merged := make(map[key]*Arc, len(c.Wires)+len(c.Timing))
+	norm := func(x, y int) key {
+		if x > y {
+			x, y = y, x
+		}
+		return key{x, y}
+	}
+	for _, w := range c.Wires {
+		k := norm(w.From, w.To)
+		a := merged[k]
+		if a == nil {
+			a = &Arc{MaxDelay: model.Unconstrained}
+			merged[k] = a
+		}
+		a.Weight += w.Weight
+	}
+	for _, t := range c.Timing {
+		k := norm(t.From, t.To)
+		a := merged[k]
+		if a == nil {
+			a = &Arc{MaxDelay: model.Unconstrained}
+			merged[k] = a
+		}
+		if t.MaxDelay < a.MaxDelay {
+			a.MaxDelay = t.MaxDelay
+		}
+	}
+	counts := make([]int, n)
+	for k := range merged {
+		counts[k.a]++
+		counts[k.b]++
+	}
+	l := &Lists{N: n, Arcs: make([][]Arc, n)}
+	for j := range l.Arcs {
+		l.Arcs[j] = make([]Arc, 0, counts[j])
+	}
+	for k, a := range merged {
+		l.Arcs[k.a] = append(l.Arcs[k.a], Arc{Other: k.b, Weight: a.Weight, MaxDelay: a.MaxDelay})
+		l.Arcs[k.b] = append(l.Arcs[k.b], Arc{Other: k.a, Weight: a.Weight, MaxDelay: a.MaxDelay})
+	}
+	for j := range l.Arcs {
+		arcs := l.Arcs[j]
+		sort.Slice(arcs, func(x, y int) bool { return arcs[x].Other < arcs[y].Other })
+	}
+	return l
+}
+
+// Degree returns the number of distinct neighbors of component j.
+func (l *Lists) Degree(j int) int { return len(l.Arcs[j]) }
+
+// WireWeight returns the aggregated wire weight between j1 and j2
+// (0 if they are not connected).
+func (l *Lists) WireWeight(j1, j2 int) int64 {
+	arcs := l.Arcs[j1]
+	lo, hi := 0, len(arcs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if arcs[mid].Other < j2 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(arcs) && arcs[lo].Other == j2 {
+		return arcs[lo].Weight
+	}
+	return 0
+}
+
+// MaxDelay returns the tightest timing bound between j1 and j2
+// (model.Unconstrained if the pair is unconstrained).
+func (l *Lists) MaxDelay(j1, j2 int) int64 {
+	arcs := l.Arcs[j1]
+	for _, a := range arcs {
+		if a.Other == j2 {
+			return a.MaxDelay
+		}
+		if a.Other > j2 {
+			break
+		}
+	}
+	return model.Unconstrained
+}
+
+// NNZ returns the total number of stored arcs (twice the number of distinct
+// coupled pairs).
+func (l *Lists) NNZ() int {
+	t := 0
+	for _, a := range l.Arcs {
+		t += len(a)
+	}
+	return t
+}

@@ -1,0 +1,137 @@
+package adjacency
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func circuit() *model.Circuit {
+	return &model.Circuit{
+		Sizes: []int64{1, 1, 1, 1},
+		Wires: []model.Wire{
+			{From: 0, To: 1, Weight: 5},
+			{From: 1, To: 0, Weight: 3}, // duplicate pair, reversed: weights accumulate
+			{From: 1, To: 2, Weight: 2},
+		},
+		Timing: []model.TimingConstraint{
+			{From: 0, To: 1, MaxDelay: 4},
+			{From: 1, To: 0, MaxDelay: 2}, // duplicate: tightest bound kept
+			{From: 2, To: 3, MaxDelay: 7}, // timing-only pair
+		},
+	}
+}
+
+func TestBuildMergesPairs(t *testing.T) {
+	l := Build(circuit())
+	if l.N != 4 {
+		t.Fatalf("N = %d, want 4", l.N)
+	}
+	if got := l.WireWeight(0, 1); got != 8 {
+		t.Fatalf("WireWeight(0,1) = %d, want 8", got)
+	}
+	if got := l.WireWeight(1, 0); got != 8 {
+		t.Fatalf("WireWeight(1,0) = %d, want 8 (symmetric)", got)
+	}
+	if got := l.MaxDelay(0, 1); got != 2 {
+		t.Fatalf("MaxDelay(0,1) = %d, want tightest 2", got)
+	}
+	if got := l.MaxDelay(2, 3); got != 7 {
+		t.Fatalf("MaxDelay(2,3) = %d, want 7", got)
+	}
+	if got := l.WireWeight(2, 3); got != 0 {
+		t.Fatalf("WireWeight(2,3) = %d, want 0 (timing-only arc)", got)
+	}
+	if got := l.MaxDelay(1, 2); got != model.Unconstrained {
+		t.Fatalf("MaxDelay(1,2) = %d, want Unconstrained (wire-only arc)", got)
+	}
+	if got := l.MaxDelay(0, 3); got != model.Unconstrained {
+		t.Fatalf("MaxDelay(0,3) = %d, want Unconstrained (no arc)", got)
+	}
+	if got := l.WireWeight(0, 3); got != 0 {
+		t.Fatalf("WireWeight(0,3) = %d, want 0 (no arc)", got)
+	}
+}
+
+func TestDegreesAndNNZ(t *testing.T) {
+	l := Build(circuit())
+	wantDeg := []int{1, 2, 2, 1} // pairs: (0,1), (1,2), (2,3)
+	for j, want := range wantDeg {
+		if got := l.Degree(j); got != want {
+			t.Fatalf("Degree(%d) = %d, want %d", j, got, want)
+		}
+	}
+	if got := l.NNZ(); got != 6 {
+		t.Fatalf("NNZ = %d, want 6", got)
+	}
+}
+
+func TestArcsSorted(t *testing.T) {
+	l := Build(circuit())
+	for j, arcs := range l.Arcs {
+		for k := 1; k < len(arcs); k++ {
+			if arcs[k-1].Other >= arcs[k].Other {
+				t.Fatalf("Arcs[%d] not strictly sorted: %v", j, arcs)
+			}
+		}
+	}
+}
+
+// Property: for random circuits, the lists agree with a dense reference
+// built directly from the wire and timing sets.
+func TestBuildAgainstDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		c := &model.Circuit{Sizes: make([]int64, n)}
+		for j := range c.Sizes {
+			c.Sizes[j] = 1
+		}
+		wantW := make([][]int64, n)
+		wantD := make([][]int64, n)
+		for j := range wantW {
+			wantW[j] = make([]int64, n)
+			wantD[j] = make([]int64, n)
+			for k := range wantD[j] {
+				wantD[j][k] = model.Unconstrained
+			}
+		}
+		for e := rng.Intn(3 * n); e > 0; e-- {
+			j1, j2 := rng.Intn(n), rng.Intn(n)
+			if j1 == j2 {
+				continue
+			}
+			w := int64(1 + rng.Intn(5))
+			c.Wires = append(c.Wires, model.Wire{From: j1, To: j2, Weight: w})
+			wantW[j1][j2] += w
+			wantW[j2][j1] += w
+		}
+		for e := rng.Intn(2 * n); e > 0; e-- {
+			j1, j2 := rng.Intn(n), rng.Intn(n)
+			if j1 == j2 {
+				continue
+			}
+			d := int64(rng.Intn(6))
+			c.Timing = append(c.Timing, model.TimingConstraint{From: j1, To: j2, MaxDelay: d})
+			if d < wantD[j1][j2] {
+				wantD[j1][j2] = d
+				wantD[j2][j1] = d
+			}
+		}
+		l := Build(c)
+		for j1 := 0; j1 < n; j1++ {
+			for j2 := 0; j2 < n; j2++ {
+				if j1 == j2 {
+					continue
+				}
+				if got := l.WireWeight(j1, j2); got != wantW[j1][j2] {
+					t.Fatalf("trial %d: WireWeight(%d,%d) = %d, want %d", trial, j1, j2, got, wantW[j1][j2])
+				}
+				if got := l.MaxDelay(j1, j2); got != wantD[j1][j2] {
+					t.Fatalf("trial %d: MaxDelay(%d,%d) = %d, want %d", trial, j1, j2, got, wantD[j1][j2])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/gen"
+	"repro/internal/qbp"
+	"repro/internal/testgen"
+)
+
+func TestValidatesInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, golden := testgen.Random(rng, testgen.Config{N: 8})
+	if _, err := Solve(p, Options{Cooling: 2}); err == nil {
+		t.Fatal("cooling ≥ 1 accepted")
+	}
+	if _, err := Solve(p, Options{Initial: golden[:2]}); err == nil {
+		t.Fatal("short initial accepted")
+	}
+	bad := p
+	bad.Circuit.Sizes[0] = -1
+	if _, err := Solve(bad, Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestNearOptimalOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	count := 0
+	for trial := 0; trial < 12; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{N: 6, TimingProb: 0.4})
+		exact, err := bruteforce.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact.Found {
+			continue
+		}
+		res, err := Solve(p, Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			continue // SA has no feasibility guarantee; quality measured on feasible runs
+		}
+		if res.Objective < exact.Value {
+			t.Fatalf("trial %d: SA %d beat the exact optimum %d", trial, res.Objective, exact.Value)
+		}
+		sum += float64(res.Objective) / float64(max64(exact.Value, 1))
+		count++
+	}
+	if count < 6 {
+		t.Fatalf("only %d feasible runs", count)
+	}
+	if mean := sum / float64(count); mean > 1.25 {
+		t.Fatalf("mean ratio %.2f; annealer too weak", mean)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestCapacityAlwaysRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{N: 20, CapSlack: 1.15, TimingProb: 0.3})
+		res, err := Solve(p, Options{Seed: int64(trial), Stages: 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Normalized().CapacityFeasible(res.Assignment) {
+			t.Fatalf("trial %d: capacity violated", trial)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, _ := testgen.Random(rng, testgen.Config{N: 15, TimingProb: 0.3})
+	a, err := Solve(p, Options{Seed: 9, Stages: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(p, Options{Seed: 9, Stages: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective || a.Moves != b.Moves {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// On a real circuit the annealer must be competitive: it improves on the
+// shared start and lands within 2× of QBP's wire length.
+func TestCompetitiveOnPaperCircuit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("annealer run takes seconds; skipped with -short")
+	}
+	in := gen.MustNamed("cktb")
+	p := in.Problem
+	start, err := qbp.FeasibleStart(p, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(p, Options{Initial: start, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("annealer lost timing feasibility from a feasible start and never recovered")
+	}
+	if res.WireLength >= p.WireLength(start) {
+		t.Fatalf("no improvement: %d vs start %d", res.WireLength, p.WireLength(start))
+	}
+	q, err := qbp.Solve(p, qbp.Options{Initial: start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.WireLength) > 2*float64(q.WireLength) {
+		t.Fatalf("annealer WL %d more than 2× QBP's %d", res.WireLength, q.WireLength)
+	}
+	t.Logf("cktb: start %d, SA %d, QBP %d", p.WireLength(start), res.WireLength, q.WireLength)
+}

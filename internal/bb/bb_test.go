@@ -1,0 +1,128 @@
+package bb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/qbp"
+	"repro/internal/testgen"
+)
+
+// TestMatchesBruteForce: the branch and bound must agree exactly with
+// exhaustive enumeration on every small instance, feasible or not.
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{
+			N:          4 + rng.Intn(4),
+			TimingProb: 0.4,
+			WithLinear: trial%2 == 0,
+			CapSlack:   1.1 + rng.Float64(),
+		})
+		exact, err := bruteforce.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found != exact.Found {
+			t.Fatalf("trial %d: found=%v, brute force %v", trial, res.Found, exact.Found)
+		}
+		if !res.Found {
+			continue
+		}
+		checked++
+		if res.Value != exact.Value {
+			t.Fatalf("trial %d: value %d, brute force %d", trial, res.Value, exact.Value)
+		}
+		if got := p.Normalized().Objective(res.Assignment); got != res.Value {
+			t.Fatalf("trial %d: reported %d != recomputed %d", trial, res.Value, got)
+		}
+		if err := p.Normalized().CheckFeasible(res.Assignment); err != nil {
+			t.Fatalf("trial %d: returned infeasible assignment: %v", trial, err)
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d feasible trials", checked)
+	}
+}
+
+// TestMidSizeCertifiesHeuristic: on instances beyond brute-force reach, the
+// exact optimum certifies QBP's quality.
+func TestMidSizeCertifiesHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		p, golden := testgen.Random(rng, testgen.Config{
+			N: 18, TimingProb: 0.3, WireProb: 0.25, CapSlack: 1.4,
+		})
+		// Small sparse instances have tiny objectives where a single basin
+		// miss doubles the ratio; use a short multi-start as a user would.
+		var heur *qbp.Result
+		for seed := int64(0); seed < 3; seed++ {
+			r, err := qbp.Solve(p, qbp.Options{Iterations: 80, Seed: 100*int64(trial) + seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if heur == nil || (r.Feasible && (!heur.Feasible || r.Objective < heur.Objective)) {
+				heur = r
+			}
+		}
+		incumbent := heur.Assignment
+		if !heur.Feasible {
+			incumbent = golden
+		}
+		res, err := Solve(p, Options{Incumbent: incumbent, MaxNodes: 20_000_000})
+		if err != nil {
+			t.Skipf("trial %d: %v", trial, err) // bound too weak for this instance
+		}
+		if !res.Found {
+			t.Fatalf("trial %d: instance with golden witness reported infeasible", trial)
+		}
+		if heur.Feasible && heur.Objective < res.Value {
+			t.Fatalf("trial %d: heuristic %d beat the certified optimum %d", trial, heur.Objective, res.Value)
+		}
+		if heur.Feasible && float64(heur.Objective) > 1.35*float64(res.Value)+8 {
+			t.Fatalf("trial %d: heuristic %d too far from optimum %d", trial, heur.Objective, res.Value)
+		}
+	}
+}
+
+func TestIncumbentSpeedsSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, golden := testgen.Random(rng, testgen.Config{N: 12, TimingProb: 0.3})
+	cold, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(p, Options{Incumbent: golden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Value != cold.Value {
+		t.Fatalf("incumbent changed the optimum: %d vs %d", warm.Value, cold.Value)
+	}
+	if warm.Nodes > cold.Nodes {
+		t.Fatalf("incumbent did not help pruning: %d vs %d nodes", warm.Nodes, cold.Nodes)
+	}
+}
+
+func TestNodeBudgetAborts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p, _ := testgen.Random(rng, testgen.Config{N: 14, WireProb: 0.6})
+	if _, err := Solve(p, Options{MaxNodes: 10}); err == nil {
+		t.Fatal("tiny node budget did not abort")
+	}
+}
+
+func TestInvalidProblemRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p, _ := testgen.Random(rng, testgen.Config{N: 4})
+	p.Circuit.Sizes[0] = -1
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/fm"
+	"repro/internal/gen"
+	"repro/internal/geometry"
+	"repro/internal/kl"
+	"repro/internal/model"
+	"repro/internal/qbp"
+	"repro/internal/validate"
+)
+
+// MCMConfig drives the §2.2.1 application experiment: an engineer's manual
+// TCM assignment with constraint violations must be legalized with minimum
+// size-weighted Manhattan deviation — the PP(1,0) special case.
+type MCMConfig struct {
+	// Circuit names the instance (default cktb).
+	Circuit string
+	// PerturbRates are the fractions of components the "designer"
+	// misplaces; one experiment row per rate. Default {0.1, 0.3, 0.5}.
+	PerturbRates []float64
+	// Seed drives the perturbation and the solvers.
+	Seed int64
+	// QBPIterations defaults to 150 (deviation objectives converge more
+	// slowly than wire length).
+	QBPIterations int
+}
+
+// MCMRow is one experiment row.
+type MCMRow struct {
+	PerturbRate     float64
+	ViolationsStart int // violated timing constraints in the designer's layout
+	OverloadedStart int // overloaded slots in the designer's layout
+	QBP, GFM, GKL   MCMResult
+}
+
+// MCMResult is one method's legalization outcome.
+type MCMResult struct {
+	Deviation int64 // Σ size·Manhattan(final, initial) — the objective
+	Moved     int   // components relocated from the designer's slots
+	Feasible  bool
+	CPU       time.Duration
+}
+
+func (c *MCMConfig) defaults() {
+	if c.Circuit == "" {
+		c.Circuit = "cktb"
+	}
+	if len(c.PerturbRates) == 0 {
+		c.PerturbRates = []float64{0.1, 0.3, 0.5}
+	}
+	if c.QBPIterations == 0 {
+		c.QBPIterations = 150
+	}
+}
+
+// RunMCM executes the experiment and returns one row per perturbation rate.
+func RunMCM(cfg MCMConfig) ([]MCMRow, error) {
+	cfg.defaults()
+	in, err := gen.Named(cfg.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	base := in.Problem
+	grid := in.Grid
+	dist := grid.DistanceMatrix(geometry.Manhattan)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	rows := make([]MCMRow, 0, len(cfg.PerturbRates))
+	for _, rate := range cfg.PerturbRates {
+		// The designer's assignment: the golden layout with a fraction of
+		// the blocks misplaced by intuition.
+		initial := in.Golden.Clone()
+		for j := range initial {
+			if rng.Float64() < rate {
+				initial[j] = rng.Intn(base.M())
+			}
+		}
+		row := MCMRow{
+			PerturbRate:     rate,
+			ViolationsStart: base.CountTimingViolations(initial),
+			OverloadedStart: len(base.CapacityViolations(initial)),
+		}
+
+		// PP(1,0): p[i][j] = size_j · Manhattan(i, initial(j)).
+		linear := make([][]int64, base.M())
+		for i := range linear {
+			linear[i] = make([]int64, base.N())
+			for j := range linear[i] {
+				linear[i][j] = base.Circuit.Sizes[j] * dist[i][initial[j]]
+			}
+		}
+		p, err := model.NewProblem(base.Circuit, base.Topology, 1, 0, linear)
+		if err != nil {
+			return nil, err
+		}
+
+		eval := func(a model.Assignment, cpu time.Duration) MCMResult {
+			rep, err := validate.Check(p, a)
+			if err != nil {
+				panic("bench: unusable MCM assignment: " + err.Error())
+			}
+			moved := 0
+			for j := range a {
+				if a[j] != initial[j] {
+					moved++
+				}
+			}
+			return MCMResult{
+				Deviation: rep.LinearCost,
+				Moved:     moved,
+				Feasible:  rep.Feasible,
+				CPU:       cpu,
+			}
+		}
+
+		// All three methods share one feasible start, as in the paper's
+		// protocol (for PP(1,0) the B matrix is unused, so the B=0 run is
+		// just "find any legal low-deviation layout").
+		start, err := qbp.FeasibleStart(p, cfg.Seed, 40)
+		if err != nil {
+			return nil, fmt.Errorf("initial solution: %w", err)
+		}
+
+		t0 := time.Now()
+		qres, err := qbp.Solve(p, qbp.Options{Iterations: cfg.QBPIterations, Seed: cfg.Seed, Initial: start})
+		if err != nil {
+			return nil, fmt.Errorf("qbp: %w", err)
+		}
+		row.QBP = eval(qres.Assignment, time.Since(t0))
+		t0 = time.Now()
+		fres, err := fm.Solve(p, start, fm.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("gfm: %w", err)
+		}
+		row.GFM = eval(fres.Assignment, time.Since(t0))
+
+		t0 = time.Now()
+		kres, err := kl.Solve(p, start, kl.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("gkl: %w", err)
+		}
+		row.GKL = eval(kres.Assignment, time.Since(t0))
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteMCM runs the experiment and renders it.
+func WriteMCM(w io.Writer, cfg MCMConfig) error {
+	rows, err := RunMCM(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "MCM/TCM re-partitioning (PP(1,0), §2.2.1): minimum deviation legalization")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%8s %10s %9s | %9s %6s %8s | %9s %6s %8s | %9s %6s %8s\n",
+		"perturb", "violations", "overload",
+		"QBP dev", "moved", "cpu",
+		"GFM dev", "moved", "cpu",
+		"GKL dev", "moved", "cpu")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7.0f%% %10d %9d | %9d %6d %7.1fs | %9d %6d %7.1fs | %9d %6d %7.1fs\n",
+			100*r.PerturbRate, r.ViolationsStart, r.OverloadedStart,
+			r.QBP.Deviation, r.QBP.Moved, r.QBP.CPU.Seconds(),
+			r.GFM.Deviation, r.GFM.Moved, r.GFM.CPU.Seconds(),
+			r.GKL.Deviation, r.GKL.Moved, r.GKL.CPU.Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMCMExperimentShape: the §2.2.1 application — QBP legalizes the
+// designer's layout with less size-weighted deviation than either
+// interchange baseline, and every method ends feasible.
+func TestMCMExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MCM experiment takes seconds; skipped with -short")
+	}
+	rows, err := RunMCM(MCMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 perturbation rates", len(rows))
+	}
+	for _, r := range rows {
+		if r.ViolationsStart == 0 && r.OverloadedStart == 0 {
+			t.Errorf("rate %.0f%%: designer layout has nothing to legalize", 100*r.PerturbRate)
+		}
+		for name, m := range map[string]MCMResult{"QBP": r.QBP, "GFM": r.GFM, "GKL": r.GKL} {
+			if !m.Feasible {
+				t.Errorf("rate %.0f%%: %s result infeasible", 100*r.PerturbRate, name)
+			}
+		}
+		if r.QBP.Deviation > r.GFM.Deviation || r.QBP.Deviation > r.GKL.Deviation {
+			t.Errorf("rate %.0f%%: QBP deviation %d not best (GFM %d, GKL %d)",
+				100*r.PerturbRate, r.QBP.Deviation, r.GFM.Deviation, r.GKL.Deviation)
+		}
+	}
+}
+
+func TestWriteMCMRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MCM experiment takes seconds; skipped with -short")
+	}
+	var buf bytes.Buffer
+	if err := WriteMCM(&buf, MCMConfig{PerturbRates: []float64{0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "minimum deviation legalization") {
+		t.Fatalf("rendering missing header:\n%s", buf.String())
+	}
+}
+
+func TestRunMCMUnknownCircuit(t *testing.T) {
+	if _, err := RunMCM(MCMConfig{Circuit: "nope"}); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}

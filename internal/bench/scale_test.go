@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/geometry"
+	"repro/internal/model"
+	"repro/internal/qbp"
+)
+
+// TestScalesBeyondPaperSizes: the paper's motivation for the sparse
+// enhancement is handling "hundreds or thousands of components". A
+// 2000-component instance (3× the largest Table I circuit) must solve
+// well within interactive time.
+func TestScalesBeyondPaperSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test takes seconds; skipped with -short")
+	}
+	in, err := gen.Generate(gen.Params{
+		Spec: gen.Spec{
+			Name:              "big",
+			Components:        2000,
+			Wires:             16000,
+			TimingConstraints: 9000,
+			Seed:              77,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := in.Problem
+	start, err := qbp.FeasibleStart(p, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	res, err := qbp.Solve(p, qbp.Options{Iterations: 100, Initial: start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	if !res.Feasible {
+		t.Fatalf("infeasible on the scale instance (%d violations)", res.TimingViolations)
+	}
+	if res.WireLength >= p.WireLength(start) {
+		t.Fatalf("no improvement at scale: %d vs start %d", res.WireLength, p.WireLength(start))
+	}
+	if elapsed > 2*time.Minute {
+		t.Fatalf("100 iterations took %v on N=2000; the sparse enhancement is not working", elapsed)
+	}
+	t.Logf("N=2000: start %d → final %d (%.1f%%) in %v",
+		p.WireLength(start), res.WireLength,
+		100*(1-float64(res.WireLength)/float64(p.WireLength(start))), elapsed)
+}
+
+// TestAlternativeCostMetrics exercises the formulation's claimed
+// generality (§2.1): "this term can be used to model any type of
+// interconnection cost metrics" — total crossings (B all-ones off
+// diagonal) and quadratic wire length (squared Euclidean B), with the
+// Manhattan delay model unchanged.
+func TestAlternativeCostMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metric sweep takes seconds; skipped with -short")
+	}
+	base := gen.MustNamed("cktb")
+	grid := base.Grid
+	for _, metric := range []geometry.Metric{geometry.UnitCrossing, geometry.SquaredEuclidean} {
+		topo := &model.Topology{
+			Capacities: base.Problem.Topology.Capacities,
+			Cost:       grid.DistanceMatrix(metric),
+			Delay:      base.Problem.Topology.Delay, // delays stay Manhattan
+		}
+		p, err := model.NewProblem(base.Problem.Circuit, topo, 0, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start, err := qbp.FeasibleStart(p, 0, 40)
+		if err != nil {
+			t.Fatalf("%v: %v", metric, err)
+		}
+		res, err := qbp.Solve(p, qbp.Options{Iterations: 60, Initial: start})
+		if err != nil {
+			t.Fatalf("%v: %v", metric, err)
+		}
+		if !res.Feasible {
+			t.Fatalf("%v: infeasible result", metric)
+		}
+		if res.WireLength >= p.WireLength(start) {
+			t.Fatalf("%v: no improvement (%d vs %d)", metric, res.WireLength, p.WireLength(start))
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package bruteforce provides exact reference solvers by exhaustive
+// enumeration (Mᴺ assignments). They exist to validate the QBP embedding
+// theorems and the heuristics on small instances; they are deliberately
+// simple and obviously correct rather than fast.
+package bruteforce
+
+import (
+	"errors"
+
+	"repro/internal/model"
+)
+
+// MaxStates caps the number of assignments a call may enumerate, guarding
+// against accidental use on real instances.
+const MaxStates = 20_000_000
+
+// Result is the outcome of an exact search.
+type Result struct {
+	Assignment model.Assignment
+	Value      int64
+	Found      bool // false when no assignment satisfies the constraints
+}
+
+// states returns M^N, or an error if it exceeds MaxStates.
+func states(m, n int) (int64, error) {
+	total := int64(1)
+	for k := 0; k < n; k++ {
+		total *= int64(m)
+		if total > MaxStates {
+			return 0, errors.New("bruteforce: instance too large for exhaustive enumeration")
+		}
+	}
+	return total, nil
+}
+
+// enumerate calls visit with every complete assignment of n components to m
+// partitions, reusing a single scratch slice.
+func enumerate(m, n int, visit func(model.Assignment)) error {
+	if _, err := states(m, n); err != nil {
+		return err
+	}
+	a := make(model.Assignment, n)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			visit(a)
+			return
+		}
+		for i := 0; i < m; i++ {
+			a[j] = i
+			rec(j + 1)
+		}
+	}
+	rec(0)
+	return nil
+}
+
+// Solve finds the exact minimum of the PP(α,β) objective over all
+// assignments satisfying C1 (capacity), C2 (timing) and C3.
+func Solve(p *model.Problem) (Result, error) {
+	var res Result
+	err := enumerate(p.M(), p.N(), func(a model.Assignment) {
+		if !p.CapacityFeasible(a) || !p.TimingFeasible(a) {
+			return
+		}
+		v := p.Objective(a)
+		if !res.Found || v < res.Value {
+			res = Result{Assignment: a.Clone(), Value: v, Found: true}
+		}
+	})
+	return res, err
+}
+
+// SolveQBP finds the exact minimum of yᵀQy over the solution space
+// S = {y satisfying C1 and C3} for a dense cost matrix q (timing constraints
+// are *not* enforced — they are expected to be embedded in q). This is the
+// reference for the embedding theorems: QBP(Q') of Theorem 1 and QBP(Q̂) of
+// Theorem 2.
+func SolveQBP(p *model.Problem, q [][]int64) (Result, error) {
+	m := p.M()
+	var res Result
+	err := enumerate(m, p.N(), func(a model.Assignment) {
+		if !p.CapacityFeasible(a) {
+			return
+		}
+		v := quadValue(q, a, m)
+		if !res.Found || v < res.Value {
+			res = Result{Assignment: a.Clone(), Value: v, Found: true}
+		}
+	})
+	return res, err
+}
+
+func quadValue(q [][]int64, a model.Assignment, m int) int64 {
+	var v int64
+	for j1, i1 := range a {
+		row := q[i1+j1*m]
+		for j2, i2 := range a {
+			v += row[i2+j2*m]
+		}
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paperex"
+)
+
+func TestPaperExampleOptimum(t *testing.T) {
+	p := paperex.New()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("paper example reported infeasible")
+	}
+	// Best: a and b adjacent (5 wires × dist 1), b and c adjacent
+	// (2 wires × dist 1); quadratic term counts both directions.
+	if res.Value != 2*(5+2) {
+		t.Fatalf("optimum = %d, want 14", res.Value)
+	}
+	if err := p.CheckFeasible(res.Assignment); err != nil {
+		t.Fatalf("optimal assignment infeasible: %v", err)
+	}
+}
+
+func TestInfeasibleInstance(t *testing.T) {
+	p := paperex.New()
+	// Shrink one capacity so only 2 slots remain for 3 unit components... the
+	// other three partitions still fit them; instead make every capacity 0.
+	for i := range p.Topology.Capacities {
+		p.Topology.Capacities[i] = 0
+	}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("infeasible instance reported solvable")
+	}
+}
+
+func TestTimingMakesInfeasible(t *testing.T) {
+	p := paperex.New()
+	// Demand zero delay between a and b while capacities forbid sharing a
+	// partition: no assignment can satisfy both.
+	p.Circuit.Timing[0].MaxDelay = 0
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("contradictory constraints reported solvable")
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	c := &model.Circuit{Sizes: make([]int64, 30)}
+	for j := range c.Sizes {
+		c.Sizes[j] = 1
+	}
+	topo := &model.Topology{
+		Capacities: make([]int64, 16),
+		Cost:       make([][]int64, 16),
+		Delay:      make([][]int64, 16),
+	}
+	for i := range topo.Capacities {
+		topo.Capacities[i] = 100
+		topo.Cost[i] = make([]int64, 16)
+		topo.Delay[i] = make([]int64, 16)
+	}
+	p, err := model.NewProblem(c, topo, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+	if _, err := SolveQBP(p, nil); err == nil {
+		t.Fatal("oversized QBP instance accepted")
+	}
+}
+
+func TestSolveQBPIgnoresTiming(t *testing.T) {
+	p := paperex.New()
+	// On the raw (un-embedded) matrix the QBP search may place a and b two
+	// apart if that were cheaper; with these weights the minimum is still the
+	// timing-feasible one, so instead verify it explores capacity-only space:
+	// the base optimum must be ≤ the constrained optimum.
+	base, err := SolveQBP(p, baseMatrix(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Found || !cons.Found {
+		t.Fatal("expected both searches to find solutions")
+	}
+	if base.Value > cons.Value {
+		t.Fatalf("unconstrained optimum %d exceeds constrained optimum %d", base.Value, cons.Value)
+	}
+}
+
+// baseMatrix builds the un-embedded dense Q locally to avoid an import cycle
+// with qmatrix (which uses this package in its tests).
+func baseMatrix(p *model.Problem) [][]int64 {
+	m, n := p.M(), p.N()
+	q := make([][]int64, m*n)
+	for r := range q {
+		q[r] = make([]int64, m*n)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			q[i+j*m][i+j*m] = p.Alpha * p.LinearAt(i, j)
+		}
+	}
+	b := p.Topology.Cost
+	for _, w := range p.Circuit.Wires {
+		for i1 := 0; i1 < m; i1++ {
+			for i2 := 0; i2 < m; i2++ {
+				q[i1+w.From*m][i2+w.To*m] += p.Beta * w.Weight * b[i1][i2]
+				q[i1+w.To*m][i2+w.From*m] += p.Beta * w.Weight * b[i1][i2]
+			}
+		}
+	}
+	return q
+}

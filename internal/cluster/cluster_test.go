@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/qbp"
+	"repro/internal/testgen"
+)
+
+// twoBlobs builds a circuit with two dense blocks joined by one weak wire.
+func twoBlobs(perSide int, weight int64) *model.Circuit {
+	n := 2 * perSide
+	c := &model.Circuit{Sizes: make([]int64, n)}
+	for j := range c.Sizes {
+		c.Sizes[j] = 1
+	}
+	add := func(a, b int, w int64) {
+		c.Wires = append(c.Wires, model.Wire{From: a, To: b, Weight: w})
+	}
+	for j1 := 0; j1 < perSide; j1++ {
+		for j2 := j1 + 1; j2 < perSide; j2++ {
+			add(j1, j2, weight)
+			add(perSide+j1, perSide+j2, weight)
+		}
+	}
+	add(0, perSide, 1) // the weak bridge
+	return c
+}
+
+func TestSplitFindsTheObviousCut(t *testing.T) {
+	c := twoBlobs(6, 5)
+	side, err := Split(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of blob 1 on one side, all of blob 2 on the other.
+	for j := 1; j < 6; j++ {
+		if side[j] != side[0] {
+			t.Fatalf("blob 1 split apart: side[%d]=%d side[0]=%d", j, side[j], side[0])
+		}
+		if side[6+j] != side[6] {
+			t.Fatalf("blob 2 split apart")
+		}
+	}
+	if side[0] == side[6] {
+		t.Fatal("the weak bridge was not cut")
+	}
+}
+
+func TestSplitRespectsMinPart(t *testing.T) {
+	c := twoBlobs(4, 3)
+	side, err := Split(c, Options{MinPart: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := [2]int{}
+	for _, s := range side {
+		if s < 0 {
+			t.Fatal("component left unassigned")
+		}
+		count[s]++
+	}
+	if count[0] < 3 || count[1] < 3 {
+		t.Fatalf("min part violated: %v", count)
+	}
+}
+
+func TestClustersPartitionTheCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, _ := testgen.Random(rng, testgen.Config{N: 40, GridRows: 2, GridCols: 3})
+	for _, k := range []int{1, 2, 5, 8} {
+		clusters, err := Clusters(p.Circuit, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, p.N())
+		for _, cl := range clusters {
+			for _, j := range cl {
+				if seen[j] {
+					t.Fatalf("k=%d: component %d in two clusters", k, j)
+				}
+				seen[j] = true
+			}
+		}
+		for j, s := range seen {
+			if !s {
+				t.Fatalf("k=%d: component %d in no cluster", k, j)
+			}
+		}
+		if len(clusters) > k {
+			t.Fatalf("k=%d: got %d clusters", k, len(clusters))
+		}
+	}
+	if _, err := Clusters(p.Circuit, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// On generated circuits the recovered clusters must correlate with the
+// hidden golden placement that induced the wiring: mean cluster purity
+// (fraction of a cluster's weight in its majority golden partition) well
+// above the 1/M baseline.
+func TestClustersRecoverGoldenStructure(t *testing.T) {
+	in := gen.MustNamed("cktb")
+	p := in.Problem
+	clusters, err := Clusters(p.Circuit, p.M(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var purity float64
+	counted := 0
+	for _, cl := range clusters {
+		if len(cl) < 4 {
+			continue
+		}
+		byPart := map[int]int{}
+		for _, j := range cl {
+			byPart[in.Golden[j]]++
+		}
+		best := 0
+		for _, c := range byPart {
+			if c > best {
+				best = c
+			}
+		}
+		purity += float64(best) / float64(len(cl))
+		counted++
+	}
+	purity /= float64(counted)
+	if purity < 0.30 { // baseline is 1/16 ≈ 0.06
+		t.Fatalf("mean cluster purity %.2f barely above chance", purity)
+	}
+}
+
+func TestSeedAssignmentFeasibleAndUseful(t *testing.T) {
+	in := gen.MustNamed("cktb")
+	p := in.Problem
+	clusters, err := Clusters(p.Circuit, p.M(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := SeedAssignment(p, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CapacityFeasible(seed) {
+		t.Fatal("cluster seed violates capacity")
+	}
+	if !seed.Complete() {
+		t.Fatal("cluster seed incomplete")
+	}
+	// The cluster seed must beat a random capacity-feasible placement on
+	// wire length (that is its purpose).
+	rng := rand.New(rand.NewSource(1))
+	var randomWL int64
+	for trial := 0; trial < 5; trial++ {
+		r := make(model.Assignment, p.N())
+		for j := range r {
+			r[j] = rng.Intn(p.M())
+		}
+		randomWL += p.WireLength(r)
+	}
+	randomWL /= 5
+	if got := p.WireLength(seed); got >= randomWL {
+		t.Fatalf("cluster seed WL %d not better than random %d", got, randomWL)
+	}
+}
+
+// The cluster seed is a working initial solution for the QBP iteration.
+func TestSeedFeedsQBP(t *testing.T) {
+	in := gen.MustNamed("cktg")
+	p := in.Problem
+	clusters, err := Clusters(p.Circuit, p.M(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := SeedAssignment(p, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := qbp.Solve(p, qbp.Options{Iterations: 40, Initial: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("QBP from cluster seed did not reach feasibility")
+	}
+}
+
+func TestSplitValidates(t *testing.T) {
+	bad := twoBlobs(3, 2)
+	bad.Sizes[0] = -1
+	if _, err := Split(bad, Options{}); err == nil {
+		t.Fatal("invalid circuit accepted")
+	}
+	if _, err := SeedAssignment(&model.Problem{}, nil); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestSingletonAndTinySubsets(t *testing.T) {
+	c := &model.Circuit{Sizes: []int64{1}}
+	side, err := Split(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if side[0] != 0 {
+		t.Fatalf("singleton side = %d", side[0])
+	}
+}

@@ -1,0 +1,153 @@
+// Package fm implements GFM, the first comparison baseline of the paper's
+// §5: a generalization of the Fiduccia–Mattheyses interchange heuristic to
+// M-way partitioning with arbitrary interconnection costs, variable
+// component sizes and timing constraints. Each component carries M−1 gain
+// entries (one per alternative partition); passes move one component at a
+// time, locking it, allowing downhill moves, and roll back to the best
+// prefix. A move is admissible only when it introduces no capacity or
+// timing violation, so a feasible start stays feasible throughout — exactly
+// the paper's protocol. Passes repeat until no pass improves ("runs till no
+// more improvement is possible").
+package fm
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/adjacency"
+	"repro/internal/gains"
+	"repro/internal/model"
+)
+
+// Options tunes Solve.
+type Options struct {
+	// MaxPasses bounds the number of passes; ≤ 0 means run to
+	// convergence (the paper's GFM configuration).
+	MaxPasses int
+	// RelaxTiming ignores the timing constraints (Table II mode).
+	RelaxTiming bool
+	// MaxMovesPerPass bounds the moves attempted in one pass;
+	// ≤ 0 means up to N (every component once).
+	MaxMovesPerPass int
+	// OnPass, when set, observes the objective after every pass.
+	OnPass func(pass int, objective int64)
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Assignment model.Assignment
+	Objective  int64 // α·linear + β·quadratic
+	WireLength int64
+	Passes     int
+	Moves      int // accepted (kept) moves across all passes
+}
+
+type move struct {
+	j        int
+	from, to int
+}
+
+// Solve improves a feasible initial assignment by FM-style passes. The
+// initial assignment must satisfy C1 and (unless relaxed) C2; the result is
+// guaranteed to satisfy them too.
+func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	norm := p.Normalized()
+	if !norm.CapacityFeasible(initial) || len(initial) != norm.N() || !initial.Valid(norm.M()) {
+		return nil, errors.New("fm: initial assignment must be complete and capacity-feasible")
+	}
+	if !opts.RelaxTiming && !norm.TimingFeasible(initial) {
+		return nil, errors.New("fm: initial assignment must be timing-feasible")
+	}
+	adj := adjacency.Build(norm.Circuit)
+	t, err := gains.New(norm, adj, initial)
+	if err != nil {
+		return nil, err
+	}
+	n, m := norm.N(), norm.M()
+	maxMoves := opts.MaxMovesPerPass
+	if maxMoves <= 0 {
+		maxMoves = n
+	}
+
+	admissible := func(j, to int) bool {
+		if !t.CapacityOK(j, to) {
+			return false
+		}
+		return opts.RelaxTiming || t.TimingOK(j, to)
+	}
+
+	locked := make([]bool, n)
+	trail := make([]move, 0, n)
+	passes, kept := 0, 0
+	for {
+		passes++
+		for j := range locked {
+			locked[j] = false
+		}
+		trail = trail[:0]
+		startObj := t.Objective()
+		bestObj := startObj
+		bestPrefix := 0
+
+		for len(trail) < maxMoves {
+			// Select the best admissible move over all unlocked
+			// components and their M−1 alternative partitions.
+			bestDelta := int64(math.MaxInt64)
+			bestJ, bestTo := -1, -1
+			for j := 0; j < n; j++ {
+				if locked[j] {
+					continue
+				}
+				cur := t.Partition(j)
+				for to := 0; to < m; to++ {
+					if to == cur {
+						continue
+					}
+					d := t.Delta(j, to)
+					if d >= bestDelta {
+						continue
+					}
+					if admissible(j, to) {
+						bestDelta, bestJ, bestTo = d, j, to
+					}
+				}
+			}
+			if bestJ < 0 {
+				break // no admissible move left
+			}
+			from := t.Partition(bestJ)
+			t.Apply(bestJ, bestTo)
+			locked[bestJ] = true
+			trail = append(trail, move{j: bestJ, from: from, to: bestTo})
+			if obj := t.Objective(); obj < bestObj {
+				bestObj = obj
+				bestPrefix = len(trail)
+			}
+		}
+
+		// Roll back to the best prefix.
+		for k := len(trail) - 1; k >= bestPrefix; k-- {
+			t.Apply(trail[k].j, trail[k].from)
+		}
+		kept += bestPrefix
+		if opts.OnPass != nil {
+			opts.OnPass(passes, t.Objective())
+		}
+		improved := bestObj < startObj
+		if !improved || (opts.MaxPasses > 0 && passes >= opts.MaxPasses) {
+			break
+		}
+	}
+
+	a := t.Assignment()
+	return &Result{
+		Assignment: a,
+		Objective:  norm.Objective(a),
+		WireLength: norm.WireLength(a),
+		Passes:     passes,
+		Moves:      kept,
+	}, nil
+}

@@ -1,0 +1,79 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/testgen"
+)
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	p, golden := testgen.Random(rng, testgen.Config{N: 22, TimingProb: 0.3})
+	a, err := Solve(p, golden, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(p, golden, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective || a.Passes != b.Passes || a.Moves != b.Moves {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	for j := range a.Assignment {
+		if a.Assignment[j] != b.Assignment[j] {
+			t.Fatalf("assignments differ at %d", j)
+		}
+	}
+}
+
+// Pass objective trace must be non-increasing: each pass keeps its best
+// prefix, so the post-pass objective never exceeds the pre-pass one.
+func TestPassObjectiveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	p, golden := testgen.Random(rng, testgen.Config{N: 30, GridRows: 2, GridCols: 3, WireProb: 0.4})
+	var trace []int64
+	_, err := Solve(p, golden, Options{OnPass: func(pass int, obj int64) {
+		trace = append(trace, obj)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := p.Normalized().Objective(golden)
+	prev := start
+	for k, obj := range trace {
+		if obj > prev {
+			t.Fatalf("pass %d worsened the objective: %d → %d", k+1, prev, obj)
+		}
+		prev = obj
+	}
+}
+
+// MaxMovesPerPass caps the tentative sequence length.
+func TestMaxMovesPerPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	p, golden := testgen.Random(rng, testgen.Config{N: 30})
+	res, err := Solve(p, golden, Options{MaxMovesPerPass: 2, MaxPasses: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves > 6 {
+		t.Fatalf("kept %d moves with a 2-move × 3-pass cap", res.Moves)
+	}
+}
+
+// With M = 1 there is nowhere to move: FM must terminate immediately with
+// the initial assignment.
+func TestSinglePartitionNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	p, golden := testgen.Random(rng, testgen.Config{N: 8, GridRows: 1, GridCols: 1, TimingProb: 0.0001})
+	p.Circuit.Timing = nil
+	res, err := Solve(p, golden, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 0 {
+		t.Fatalf("moved %d components with one partition", res.Moves)
+	}
+}

@@ -1,0 +1,131 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paperex"
+	"repro/internal/testgen"
+)
+
+func TestRejectsInfeasibleInitial(t *testing.T) {
+	p := paperex.New()
+	if _, err := Solve(p, model.Assignment{0, 0, 1}, Options{}); err == nil {
+		t.Fatal("capacity-violating initial accepted")
+	}
+	// a at slot 1, b at slot 4: distance 2 violates the a–b bound.
+	if _, err := Solve(p, model.Assignment{0, 3, 1}, Options{}); err == nil {
+		t.Fatal("timing-violating initial accepted")
+	}
+	// With timing relaxed the same start is fine.
+	if _, err := Solve(p, model.Assignment{0, 3, 1}, Options{RelaxTiming: true}); err != nil {
+		t.Fatalf("relaxed solve rejected feasible-capacity start: %v", err)
+	}
+	if _, err := Solve(p, model.Assignment{0, 1}, Options{}); err == nil {
+		t.Fatal("short initial accepted")
+	}
+}
+
+func TestImprovesPaperExample(t *testing.T) {
+	p := paperex.New()
+	// Feasible but suboptimal start: a=slot1, b=slot2, c=slot4 → WL 5+2=7?
+	// d(0,1)=1 (5 wires), d(1,3)=1 (2 wires) → WL 7 — already optimal.
+	// Use a=slot1, b=slot3, c=slot4: d(0,2)=1 → 5, d(2,3)=1 → 2: also 7.
+	// Every feasible layout of this tiny instance costs 7; check FM keeps it.
+	initial := model.Assignment{0, 2, 3}
+	res, err := Solve(p, initial, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WireLength != 7 {
+		t.Fatalf("wire length = %d, want 7", res.WireLength)
+	}
+	if !p.Feasible(res.Assignment) {
+		t.Fatal("result infeasible")
+	}
+}
+
+func TestNeverWorsensAndStaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		p, golden := testgen.Random(rng, testgen.Config{
+			N: 20, GridRows: 2, GridCols: 3, TimingProb: 0.3, WithLinear: trial%2 == 0,
+		})
+		norm := p.Normalized()
+		res, err := Solve(p, golden, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Objective > norm.Objective(golden) {
+			t.Fatalf("trial %d: objective worsened %d → %d", trial, norm.Objective(golden), res.Objective)
+		}
+		if err := norm.CheckFeasible(res.Assignment); err != nil {
+			t.Fatalf("trial %d: result infeasible: %v", trial, err)
+		}
+		if got := norm.Objective(res.Assignment); got != res.Objective {
+			t.Fatalf("trial %d: reported objective %d != recomputed %d", trial, res.Objective, got)
+		}
+	}
+}
+
+func TestRelaxedSearchReachesLowerCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	better, worse := 0, 0
+	for trial := 0; trial < 15; trial++ {
+		p, golden := testgen.Random(rng, testgen.Config{
+			N: 18, TimingProb: 0.5, TimingSlack: 0,
+		})
+		strict, err := Solve(p, golden, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relaxed, err := Solve(p, golden, Options{RelaxTiming: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case relaxed.Objective < strict.Objective:
+			better++
+		case relaxed.Objective > strict.Objective:
+			worse++
+		}
+	}
+	// Greedy passes give no strict dominance guarantee, but removing
+	// constraints must not systematically hurt.
+	if worse > better {
+		t.Fatalf("relaxed FM worse than constrained in %d/%d decisive trials", worse, better+worse)
+	}
+}
+
+func TestMaxPassesBoundsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p, golden := testgen.Random(rng, testgen.Config{N: 25, TimingProb: 0.2})
+	var passes []int64
+	res, err := Solve(p, golden, Options{MaxPasses: 2, OnPass: func(pass int, obj int64) {
+		passes = append(passes, obj)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes > 2 || len(passes) != res.Passes {
+		t.Fatalf("passes = %d (callbacks %d), want ≤ 2", res.Passes, len(passes))
+	}
+}
+
+func TestConvergenceTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p, golden := testgen.Random(rng, testgen.Config{N: 30, GridRows: 2, GridCols: 3})
+	res, err := Solve(p, golden, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convergence: re-running from the result must change nothing.
+	again, err := Solve(p, res.Assignment, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Objective != res.Objective {
+		t.Fatalf("second run improved %d → %d; first run did not converge", res.Objective, again.Objective)
+	}
+}

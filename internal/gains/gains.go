@@ -1,0 +1,229 @@
+// Package gains maintains an incremental move-delta table over a working
+// assignment: for every component j and target partition t it tracks the
+// exact objective change of moving j to t, updating only the affected rows
+// after each move or swap. It also answers capacity (C1) and timing (C2)
+// admissibility queries. Both interchange baselines of the paper's §5 — GFM
+// (single moves, M−1 gain entries per component) and GKL (pair swaps) — are
+// built on this table.
+//
+// All deltas are in objective units of the normalized PP(1,1) problem:
+// the quadratic term counts each wire in both directions
+// (w·(b[i1][i2]+b[i2][i1])), plus the linear term.
+package gains
+
+import (
+	"fmt"
+
+	"repro/internal/adjacency"
+	"repro/internal/model"
+)
+
+// Table is the incremental state. Create with New; mutate only through
+// Apply and ApplySwap.
+type Table struct {
+	p     *model.Problem // normalized PP(1,1)
+	adj   *adjacency.Lists
+	u     []int     // current assignment
+	loads []int64   // per-partition load
+	delta [][]int64 // delta[j][t] = objective change of moving j to t
+	obj   int64     // current objective, maintained incrementally
+}
+
+// New builds a table over a copy of the initial assignment. The problem is
+// normalized internally; initial must be a complete in-range assignment.
+func New(p *model.Problem, adj *adjacency.Lists, initial model.Assignment) (*Table, error) {
+	p = p.Normalized()
+	if len(initial) != p.N() || !initial.Valid(p.M()) {
+		return nil, fmt.Errorf("gains: initial assignment invalid (len %d, want %d complete in-range entries)", len(initial), p.N())
+	}
+	t := &Table{
+		p:     p,
+		adj:   adj,
+		u:     append([]int(nil), initial...),
+		loads: p.Loads(initial),
+		delta: make([][]int64, p.N()),
+		obj:   p.Objective(initial),
+	}
+	for j := range t.delta {
+		t.delta[j] = make([]int64, p.M())
+		t.recompute(j)
+	}
+	return t, nil
+}
+
+// Assignment returns a copy of the current assignment.
+func (t *Table) Assignment() model.Assignment {
+	return append(model.Assignment(nil), t.u...)
+}
+
+// Partition returns the current partition of component j.
+func (t *Table) Partition(j int) int { return t.u[j] }
+
+// Objective returns the current objective value.
+func (t *Table) Objective() int64 { return t.obj }
+
+// Load returns the current load of partition i.
+func (t *Table) Load(i int) int64 { return t.loads[i] }
+
+// Delta returns the objective change of moving component j to partition to
+// (0 when to is j's current partition).
+func (t *Table) Delta(j, to int) int64 { return t.delta[j][to] }
+
+// bp returns b[x][y] + b[y][x], the both-direction cost coupling.
+func (t *Table) bp(x, y int) int64 {
+	b := t.p.Topology.Cost
+	return b[x][y] + b[y][x]
+}
+
+// recompute rebuilds row j of the delta table from scratch:
+// delta[j][to] = lin(to,j) − lin(s,j) + Σ_arcs w·(bp(to,i2) − bp(s,i2)).
+func (t *Table) recompute(j int) {
+	s := t.u[j]
+	row := t.delta[j]
+	m := t.p.M()
+	for to := 0; to < m; to++ {
+		row[to] = t.p.LinearAt(to, j) - t.p.LinearAt(s, j)
+	}
+	for _, arc := range t.adj.Arcs[j] {
+		if arc.Weight == 0 {
+			continue // timing-only arc: no cost coupling
+		}
+		i2 := t.u[arc.Other]
+		base := arc.Weight * t.bp(s, i2)
+		for to := 0; to < m; to++ {
+			row[to] += arc.Weight*t.bp(to, i2) - base
+		}
+	}
+	row[s] = 0
+}
+
+// refreshAround recomputes row j and the rows of all wire neighbors of j
+// (timing-only neighbors have no cost coupling, so their rows are
+// unaffected).
+func (t *Table) refreshAround(j int) {
+	t.recompute(j)
+	for _, arc := range t.adj.Arcs[j] {
+		if arc.Weight != 0 {
+			t.recompute(arc.Other)
+		}
+	}
+}
+
+// CapacityOK reports whether moving j to partition to keeps C1.
+func (t *Table) CapacityOK(j, to int) bool {
+	if to == t.u[j] {
+		return true
+	}
+	return t.loads[to]+t.p.Circuit.Sizes[j] <= t.p.Topology.Capacities[to]
+}
+
+// TimingOK reports whether component j placed on partition to satisfies
+// every timing constraint against the current positions of its partners
+// (both delay directions, matching the symmetric constraint reading).
+func (t *Table) TimingOK(j, to int) bool {
+	d := t.p.Topology.Delay
+	for _, arc := range t.adj.Arcs[j] {
+		if arc.MaxDelay == model.Unconstrained {
+			continue
+		}
+		o := t.u[arc.Other]
+		if d[to][o] > arc.MaxDelay || d[o][to] > arc.MaxDelay {
+			return false
+		}
+	}
+	return true
+}
+
+// MoveOK reports whether moving j to partition to keeps both C1 and C2.
+func (t *Table) MoveOK(j, to int) bool {
+	return t.CapacityOK(j, to) && t.TimingOK(j, to)
+}
+
+// Apply moves component j to partition to, updating the objective, the
+// loads and the affected delta rows. It does not check admissibility.
+func (t *Table) Apply(j, to int) {
+	s := t.u[j]
+	if s == to {
+		return
+	}
+	t.obj += t.delta[j][to]
+	t.loads[s] -= t.p.Circuit.Sizes[j]
+	t.loads[to] += t.p.Circuit.Sizes[j]
+	t.u[j] = to
+	t.refreshAround(j)
+}
+
+// SwapDelta returns the objective change of exchanging the partitions of j1
+// and j2. Per Kernighan–Lin, the direct coupling between the pair must be
+// corrected: the two single-move deltas each assume the partner stays put,
+// double-counting the shared wire, so 2·w·bp(s1,s2) is added back (the wire
+// between them keeps its length under a swap).
+func (t *Table) SwapDelta(j1, j2 int) int64 {
+	s1, s2 := t.u[j1], t.u[j2]
+	if s1 == s2 {
+		return 0
+	}
+	d := t.delta[j1][s2] + t.delta[j2][s1]
+	if w := t.adj.WireWeight(j1, j2); w != 0 {
+		d += 2 * w * t.bp(s1, s2)
+	}
+	return d
+}
+
+// SwapCapacityOK reports whether exchanging j1 and j2 keeps C1.
+func (t *Table) SwapCapacityOK(j1, j2 int) bool {
+	s1, s2 := t.u[j1], t.u[j2]
+	if s1 == s2 {
+		return true
+	}
+	sz1, sz2 := t.p.Circuit.Sizes[j1], t.p.Circuit.Sizes[j2]
+	return t.loads[s1]-sz1+sz2 <= t.p.Topology.Capacities[s1] &&
+		t.loads[s2]-sz2+sz1 <= t.p.Topology.Capacities[s2]
+}
+
+// SwapTimingOK reports whether exchanging j1 and j2 keeps C2, accounting
+// for both components moving simultaneously.
+func (t *Table) SwapTimingOK(j1, j2 int) bool {
+	s1, s2 := t.u[j1], t.u[j2]
+	if s1 == s2 {
+		return true
+	}
+	d := t.p.Topology.Delay
+	check := func(j, to, partner, partnerTo int) bool {
+		for _, arc := range t.adj.Arcs[j] {
+			if arc.MaxDelay == model.Unconstrained {
+				continue
+			}
+			o := t.u[arc.Other]
+			if arc.Other == partner {
+				o = partnerTo
+			}
+			if d[to][o] > arc.MaxDelay || d[o][to] > arc.MaxDelay {
+				return false
+			}
+		}
+		return true
+	}
+	return check(j1, s2, j2, s1) && check(j2, s1, j1, s2)
+}
+
+// SwapOK reports whether exchanging j1 and j2 keeps both C1 and C2.
+func (t *Table) SwapOK(j1, j2 int) bool {
+	return t.SwapCapacityOK(j1, j2) && t.SwapTimingOK(j1, j2)
+}
+
+// ApplySwap exchanges the partitions of j1 and j2, updating the objective,
+// loads and affected delta rows. It does not check admissibility.
+func (t *Table) ApplySwap(j1, j2 int) {
+	s1, s2 := t.u[j1], t.u[j2]
+	if s1 == s2 {
+		return
+	}
+	t.obj += t.SwapDelta(j1, j2)
+	sz1, sz2 := t.p.Circuit.Sizes[j1], t.p.Circuit.Sizes[j2]
+	t.loads[s1] += sz2 - sz1
+	t.loads[s2] += sz1 - sz2
+	t.u[j1], t.u[j2] = s2, s1
+	t.refreshAround(j1)
+	t.refreshAround(j2)
+}

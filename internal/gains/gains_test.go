@@ -1,0 +1,207 @@
+package gains
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adjacency"
+	"repro/internal/model"
+	"repro/internal/paperex"
+	"repro/internal/testgen"
+)
+
+func newTable(t *testing.T, p *model.Problem, a model.Assignment) *Table {
+	t.Helper()
+	tb, err := New(p, adjacency.Build(p.Normalized().Circuit), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestNewRejectsBadInitial(t *testing.T) {
+	p := paperex.New()
+	adj := adjacency.Build(p.Circuit)
+	if _, err := New(p, adj, model.Assignment{0, 1}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := New(p, adj, model.Assignment{0, 1, 9}); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+}
+
+func TestDeltaMatchesRecomputedObjective(t *testing.T) {
+	p := paperex.New()
+	a := model.Assignment{0, 1, 3}
+	tb := newTable(t, p, a)
+	if tb.Objective() != p.Objective(a) {
+		t.Fatalf("initial objective %d != %d", tb.Objective(), p.Objective(a))
+	}
+	for j := 0; j < p.N(); j++ {
+		for to := 0; to < p.M(); to++ {
+			b := a.Clone()
+			b[j] = to
+			want := p.Objective(b) - p.Objective(a)
+			if got := tb.Delta(j, to); got != want {
+				t.Fatalf("Delta(%d,%d) = %d, want %d", j, to, got, want)
+			}
+		}
+	}
+}
+
+func TestSwapDeltaMatchesRecomputed(t *testing.T) {
+	p := paperex.New()
+	a := model.Assignment{0, 1, 3}
+	tb := newTable(t, p, a)
+	for j1 := 0; j1 < p.N(); j1++ {
+		for j2 := j1 + 1; j2 < p.N(); j2++ {
+			b := a.Clone()
+			b[j1], b[j2] = b[j2], b[j1]
+			want := p.Objective(b) - p.Objective(a)
+			if got := tb.SwapDelta(j1, j2); got != want {
+				t.Fatalf("SwapDelta(%d,%d) = %d, want %d", j1, j2, got, want)
+			}
+		}
+	}
+}
+
+// Property test: after a long random sequence of moves and swaps, the
+// incrementally maintained objective, loads and every delta entry agree
+// with from-scratch recomputation.
+func TestIncrementalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		cfg := testgen.Config{N: 5 + rng.Intn(6), WithLinear: trial%2 == 0}
+		p, golden := testgen.Random(rng, cfg)
+		tb := newTable(t, p, golden)
+		norm := p.Normalized()
+		for step := 0; step < 60; step++ {
+			if rng.Intn(2) == 0 {
+				j := rng.Intn(p.N())
+				to := rng.Intn(p.M())
+				tb.Apply(j, to)
+			} else {
+				j1, j2 := rng.Intn(p.N()), rng.Intn(p.N())
+				if j1 != j2 {
+					tb.ApplySwap(j1, j2)
+				}
+			}
+		}
+		a := tb.Assignment()
+		if got, want := tb.Objective(), norm.Objective(a); got != want {
+			t.Fatalf("trial %d: objective %d != recomputed %d", trial, got, want)
+		}
+		loads := norm.Loads(a)
+		for i := range loads {
+			if tb.Load(i) != loads[i] {
+				t.Fatalf("trial %d: load[%d] %d != %d", trial, i, tb.Load(i), loads[i])
+			}
+		}
+		for j := 0; j < p.N(); j++ {
+			if tb.Partition(j) != a[j] {
+				t.Fatalf("trial %d: Partition(%d) inconsistent", trial, j)
+			}
+			for to := 0; to < p.M(); to++ {
+				b := a.Clone()
+				b[j] = to
+				want := norm.Objective(b) - norm.Objective(a)
+				if got := tb.Delta(j, to); got != want {
+					t.Fatalf("trial %d: Delta(%d,%d) = %d, want %d", trial, j, to, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAdmissibilityChecks(t *testing.T) {
+	p := paperex.New() // unit sizes, unit capacities, D_C(a,b)=D_C(b,c)=1
+	a := model.Assignment{0, 1, 3}
+	tb := newTable(t, p, a)
+	// Moving a onto b's partition violates capacity.
+	if tb.CapacityOK(paperex.A, 1) {
+		t.Fatal("capacity violation not detected")
+	}
+	// Moving a to partition 3 (index 2... partition index 2 is slot 3 in the
+	// paper's 1-based naming) puts it at distance 2 from b: timing violation.
+	if tb.TimingOK(paperex.A, 2) {
+		t.Fatal("timing violation not detected")
+	}
+	// The only free partition is index 2 (slot 3); b may move there
+	// (distance 1 to both a at slot 1 and c at slot 4), but c may not
+	// (distance 2 to b at slot 2).
+	if !tb.MoveOK(paperex.B, 2) {
+		t.Fatal("legal move rejected")
+	}
+	if tb.MoveOK(paperex.C, 2) {
+		t.Fatal("timing-violating move accepted")
+	}
+	// Swapping a and b keeps capacities (unit sizes) but breaks timing:
+	// b lands on slot 1, distance 2 from c at slot 4.
+	if !tb.SwapCapacityOK(paperex.A, paperex.B) {
+		t.Fatal("unit-size swap should keep capacity")
+	}
+	if tb.SwapTimingOK(paperex.A, paperex.B) {
+		t.Fatal("swap timing violation not detected")
+	}
+	if tb.SwapOK(paperex.A, paperex.B) {
+		t.Fatal("SwapOK must combine both checks")
+	}
+	// Swapping a and c is fully legal: a lands on slot 4 (distance 1 to b),
+	// c lands on slot 1 (distance 1 to b).
+	if !tb.SwapOK(paperex.A, paperex.C) {
+		t.Fatal("legal swap rejected")
+	}
+}
+
+// Swapping two components that share a wire must leave that wire's
+// contribution unchanged — the KL correction term in action.
+func TestSwapDeltaDirectCoupling(t *testing.T) {
+	p := paperex.New()
+	a := model.Assignment{0, 1, 2}
+	tb := newTable(t, p, a)
+	b := a.Clone()
+	b[paperex.A], b[paperex.B] = b[paperex.B], b[paperex.A]
+	want := p.Objective(b) - p.Objective(a)
+	if got := tb.SwapDelta(paperex.A, paperex.B); got != want {
+		t.Fatalf("SwapDelta = %d, want %d", got, want)
+	}
+	// Same-partition swap is a no-op.
+	tb2 := newTable(t, p, model.Assignment{1, 1, 2})
+	if got := tb2.SwapDelta(0, 1); got != 0 {
+		t.Fatalf("same-partition SwapDelta = %d, want 0", got)
+	}
+}
+
+// Property: starting from a feasible state, SwapOK(j1,j2) must agree
+// exactly with checking the swapped assignment from first principles, and
+// MoveOK(j,to) likewise. This pins down the partner-destination handling in
+// the swap timing check.
+func TestAdmissibilityMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		p, golden := testgen.Random(rng, testgen.Config{N: 6, TimingProb: 0.5, CapSlack: 1.2})
+		norm := p.Normalized()
+		if !norm.Feasible(golden) {
+			t.Fatalf("trial %d: golden start infeasible", trial)
+		}
+		tb := newTable(t, p, golden)
+		for j := 0; j < p.N(); j++ {
+			for to := 0; to < p.M(); to++ {
+				b := golden.Clone()
+				b[j] = to
+				if got, want := tb.MoveOK(j, to), norm.Feasible(b); got != want {
+					t.Fatalf("trial %d: MoveOK(%d,%d) = %v, model says %v", trial, j, to, got, want)
+				}
+			}
+		}
+		for j1 := 0; j1 < p.N(); j1++ {
+			for j2 := j1 + 1; j2 < p.N(); j2++ {
+				b := golden.Clone()
+				b[j1], b[j2] = b[j2], b[j1]
+				if got, want := tb.SwapOK(j1, j2), norm.Feasible(b); got != want {
+					t.Fatalf("trial %d: SwapOK(%d,%d) = %v, model says %v", trial, j1, j2, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,522 @@
+// Package gap solves the (min-cost) Generalized Assignment Problem: assign
+// each of N items, item j with size s_j, to one of M bins with capacities
+// c_i, minimizing Σ cost[i][j], subject to every bin's total assigned size
+// staying within its capacity.
+//
+// This is the subproblem the generalized Burkard heuristic solves in STEP 4
+// and STEP 6 of the paper's §4.3 (where the solution space S is the set of
+// capacity-feasible assignments rather than permutations). The constructor
+// is the Martello–Toth MTHG regret heuristic (ref [12] of the paper),
+// followed by shift and swap local refinement; an exact branch-and-bound
+// solver is provided for cross-checking on small instances.
+package gap
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Instance is a minimization GAP.
+type Instance struct {
+	Costs      [][]float64 // M×N: Costs[i][j] = cost of placing item j in bin i
+	Sizes      []int64     // N item sizes, > 0
+	Capacities []int64     // M bin capacities, ≥ 0
+}
+
+// M returns the number of bins.
+func (in *Instance) M() int { return len(in.Capacities) }
+
+// N returns the number of items.
+func (in *Instance) N() int { return len(in.Sizes) }
+
+// Validate checks matrix shapes and sign invariants.
+func (in *Instance) Validate() error {
+	m, n := in.M(), in.N()
+	if m == 0 {
+		return errors.New("gap: no bins")
+	}
+	if len(in.Costs) != m {
+		return errors.New("gap: cost matrix row count != M")
+	}
+	for _, row := range in.Costs {
+		if len(row) != n {
+			return errors.New("gap: cost matrix column count != N")
+		}
+		for _, c := range row {
+			if math.IsNaN(c) {
+				return errors.New("gap: NaN cost")
+			}
+		}
+	}
+	for _, s := range in.Sizes {
+		if s <= 0 {
+			return errors.New("gap: non-positive item size")
+		}
+	}
+	for _, c := range in.Capacities {
+		if c < 0 {
+			return errors.New("gap: negative capacity")
+		}
+	}
+	return nil
+}
+
+// Cost returns the total cost of a complete assignment.
+func (in *Instance) Cost(assign []int) float64 {
+	var t float64
+	for j, i := range assign {
+		t += in.Costs[i][j]
+	}
+	return t
+}
+
+// Feasible reports whether assign respects all bin capacities.
+func (in *Instance) Feasible(assign []int) bool {
+	loads := make([]int64, in.M())
+	for j, i := range assign {
+		if i < 0 || i >= in.M() {
+			return false
+		}
+		loads[i] += in.Sizes[j]
+	}
+	for i, l := range loads {
+		if l > in.Capacities[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RefineLevel selects how much local improvement follows the constructor.
+type RefineLevel int
+
+const (
+	// RefineNone returns the raw MTHG construction.
+	RefineNone RefineLevel = iota
+	// RefineShift repeatedly relocates single items to cheaper feasible
+	// bins until no move improves.
+	RefineShift
+	// RefineSwap additionally exchanges item pairs between bins; costlier
+	// (O(N²) per pass) but stronger.
+	RefineSwap
+)
+
+// Options tunes Solve.
+type Options struct {
+	Refine          RefineLevel
+	MaxRefinePasses int // ≤ 0 means a safe default
+}
+
+// Solve runs MTHG plus refinement. It returns the assignment (assign[j] =
+// bin), its cost, and whether it is capacity-feasible. On pathological
+// instances where the constructor dead-ends and repair fails, the returned
+// assignment may be infeasible (ok = false); callers that require
+// feasibility must check.
+func Solve(in *Instance, opt Options) (assign []int, cost float64, ok bool) {
+	assign, ok = construct(in)
+	if ok {
+		refine(in, assign, opt)
+	}
+	return assign, in.Cost(assign), ok
+}
+
+// regretItem is a heap entry: the cached best/second-best feasible bins of
+// an unassigned item.
+type regretItem struct {
+	j            int
+	best, second int     // bin indices; -1 when absent
+	bestC        float64 // cost at best
+	regret       float64 // second-best − best (+Inf when only one bin fits)
+}
+
+type regretHeap []regretItem
+
+func (h regretHeap) Len() int { return len(h) }
+func (h regretHeap) Less(a, b int) bool {
+	// Max-heap on regret; ties broken by cheaper best cost for determinism.
+	if h[a].regret != h[b].regret {
+		return h[a].regret > h[b].regret
+	}
+	if h[a].bestC != h[b].bestC {
+		return h[a].bestC < h[b].bestC
+	}
+	return h[a].j < h[b].j
+}
+func (h regretHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *regretHeap) Push(x any)   { *h = append(*h, x.(regretItem)) }
+func (h *regretHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// score computes the best/second-best feasible bins of item j given the
+// remaining capacities. ok is false when no bin fits.
+func score(in *Instance, j int, remaining []int64) (it regretItem, ok bool) {
+	it = regretItem{j: j, best: -1, second: -1}
+	sz := in.Sizes[j]
+	var bestC, secondC float64
+	for i := range in.Capacities {
+		if remaining[i] < sz {
+			continue
+		}
+		c := in.Costs[i][j]
+		switch {
+		case it.best < 0 || c < bestC:
+			it.second, secondC = it.best, bestC
+			it.best, bestC = i, c
+		case it.second < 0 || c < secondC:
+			it.second, secondC = i, c
+		}
+	}
+	if it.best < 0 {
+		return it, false
+	}
+	it.bestC = bestC
+	if it.second < 0 {
+		it.regret = math.Inf(1)
+	} else {
+		it.regret = secondC - bestC
+	}
+	return it, true
+}
+
+// construct is the MTHG regret constructor with lazy cache revalidation:
+// since capacities only shrink, a cached (best, second) stays valid as long
+// as both bins still fit the item.
+func construct(in *Instance) (assign []int, ok bool) {
+	n := in.N()
+	assign = make([]int, n)
+	for j := range assign {
+		assign[j] = -1
+	}
+	remaining := append([]int64(nil), in.Capacities...)
+
+	h := make(regretHeap, 0, n)
+	for j := 0; j < n; j++ {
+		it, fits := score(in, j, remaining)
+		if !fits {
+			return repair(in, assign, remaining, j)
+		}
+		h = append(h, it)
+	}
+	heap.Init(&h)
+
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(regretItem)
+		if assign[it.j] >= 0 {
+			continue
+		}
+		sz := in.Sizes[it.j]
+		stale := remaining[it.best] < sz ||
+			(it.second >= 0 && remaining[it.second] < sz)
+		if stale {
+			fresh, fits := score(in, it.j, remaining)
+			if !fits {
+				// Repair completes the whole assignment, so no restart
+				// of the constructor is needed.
+				return repair(in, assign, remaining, it.j)
+			}
+			heap.Push(&h, fresh)
+			continue
+		}
+		assign[it.j] = it.best
+		remaining[it.best] -= sz
+	}
+	return assign, true
+}
+
+// repair finishes a construction that dead-ended: the stuck item (and any
+// other still-unassigned items) are forced into the bin with the largest
+// remaining capacity, then overloaded bins are relieved by cheapest-penalty
+// shifts. Returns ok = false when overloads cannot be eliminated.
+func repair(in *Instance, assign []int, remaining []int64, stuck int) ([]int, bool) {
+	m := in.M()
+	force := func(j int) {
+		best := 0
+		for i := 1; i < m; i++ {
+			if remaining[i] > remaining[best] {
+				best = i
+			}
+		}
+		assign[j] = best
+		remaining[best] -= in.Sizes[j]
+	}
+	force(stuck)
+	for j := range assign {
+		if assign[j] < 0 {
+			// Prefer a feasible bin if one exists; force otherwise.
+			if it, fits := score(in, j, remaining); fits {
+				assign[j] = it.best
+				remaining[it.best] -= in.Sizes[j]
+			} else {
+				force(j)
+			}
+		}
+	}
+	// Relieve overloads: repeatedly move the item whose relocation costs
+	// least from an overloaded bin to a bin with slack.
+	for iter := 0; iter < len(assign)*m+m; iter++ {
+		over := -1
+		for i := 0; i < m; i++ {
+			if remaining[i] < 0 {
+				over = i
+				break
+			}
+		}
+		if over < 0 {
+			return assign, true
+		}
+		bestJ, bestI := -1, -1
+		bestPenalty := math.Inf(1)
+		for j, i := range assign {
+			if i != over {
+				continue
+			}
+			sz := in.Sizes[j]
+			for i2 := 0; i2 < m; i2++ {
+				if i2 == over || remaining[i2] < sz {
+					continue
+				}
+				pen := in.Costs[i2][j] - in.Costs[over][j]
+				if pen < bestPenalty {
+					bestPenalty, bestJ, bestI = pen, j, i2
+				}
+			}
+		}
+		if bestJ < 0 {
+			return assign, false
+		}
+		assign[bestJ] = bestI
+		remaining[over] += in.Sizes[bestJ]
+		remaining[bestI] -= in.Sizes[bestJ]
+	}
+	return assign, false
+}
+
+// refine applies shift (and optionally swap) local search in place.
+func refine(in *Instance, assign []int, opt Options) {
+	passes := opt.MaxRefinePasses
+	if passes <= 0 {
+		passes = 50
+	}
+	if opt.Refine == RefineNone {
+		return
+	}
+	m, n := in.M(), in.N()
+	remaining := append([]int64(nil), in.Capacities...)
+	for j, i := range assign {
+		remaining[i] -= in.Sizes[j]
+	}
+	// One sweep of single-item relocations; cheap (O(N·M)), so it always
+	// runs to convergence inside each outer pass.
+	shiftSweep := func() bool {
+		improved := false
+		for j := 0; j < n; j++ {
+			cur := assign[j]
+			sz := in.Sizes[j]
+			bestI, bestC := cur, in.Costs[cur][j]
+			for i := 0; i < m; i++ {
+				if i == cur || remaining[i] < sz {
+					continue
+				}
+				if c := in.Costs[i][j]; c < bestC {
+					bestI, bestC = i, c
+				}
+			}
+			if bestI != cur {
+				assign[j] = bestI
+				remaining[cur] += sz
+				remaining[bestI] -= sz
+				improved = true
+			}
+		}
+		return improved
+	}
+	swapSweep := func() bool {
+		improved := false
+		for j1 := 0; j1 < n; j1++ {
+			i1 := assign[j1]
+			s1 := in.Sizes[j1]
+			for j2 := j1 + 1; j2 < n; j2++ {
+				i2 := assign[j2]
+				if i1 == i2 {
+					continue
+				}
+				s2 := in.Sizes[j2]
+				if remaining[i1]+s1 < s2 || remaining[i2]+s2 < s1 {
+					continue
+				}
+				delta := in.Costs[i2][j1] + in.Costs[i1][j2] -
+					in.Costs[i1][j1] - in.Costs[i2][j2]
+				if delta < -1e-12 {
+					assign[j1], assign[j2] = i2, i1
+					remaining[i1] += s1 - s2
+					remaining[i2] += s2 - s1
+					i1 = assign[j1]
+					s1 = in.Sizes[j1]
+					improved = true
+				}
+			}
+		}
+		return improved
+	}
+	// MaxRefinePasses caps only the expensive sweeps (swap O(N²), eject as
+	// a last resort): each outer pass first drains all shift moves.
+	for pass := 0; pass < passes; pass++ {
+		for k := 0; k < 200; k++ {
+			if !shiftSweep() {
+				break
+			}
+		}
+		if opt.Refine < RefineSwap {
+			return
+		}
+		improved := swapSweep()
+		// Ejection is the expensive last resort: only scan for depth-2
+		// chains once shifts and swaps have dried up.
+		if !improved && eject(in, assign, remaining) {
+			improved = true
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// eject performs depth-2 shifts: move item j into bin i after evicting one
+// item k from i to a third bin, when the combined cost delta is negative.
+// This escapes local optima that single shifts and pairwise swaps cannot
+// (three-way rotations). Returns whether any move was applied.
+func eject(in *Instance, assign []int, remaining []int64) bool {
+	m, n := in.M(), in.N()
+	members := make([][]int, m)
+	for j, i := range assign {
+		members[i] = append(members[i], j)
+	}
+	moved := false
+	for j := 0; j < n; j++ {
+		s := assign[j]
+		sj := in.Sizes[j]
+		for i := 0; i < m; i++ {
+			if i == s {
+				continue
+			}
+			gain0 := in.Costs[i][j] - in.Costs[s][j]
+			if remaining[i] >= sj {
+				continue // plain shift handles this case
+			}
+			// Find the cheapest eviction k: i → b that makes room.
+			bestDelta := math.Inf(1)
+			bestK, bestB := -1, -1
+			for _, k := range members[i] {
+				sk := in.Sizes[k]
+				if remaining[i]+sk < sj {
+					continue
+				}
+				for b := 0; b < m; b++ {
+					room := remaining[b]
+					if b == s {
+						room += sj // j will have left s by the time k arrives
+					}
+					if b == i || room < sk {
+						continue
+					}
+					d := in.Costs[b][k] - in.Costs[i][k]
+					if d < bestDelta {
+						bestDelta, bestK, bestB = d, k, b
+					}
+				}
+			}
+			if bestK >= 0 && gain0+bestDelta < -1e-12 {
+				// Apply: k out of i, j into i.
+				remaining[i] += in.Sizes[bestK]
+				remaining[bestB] -= in.Sizes[bestK]
+				assign[bestK] = bestB
+				remaining[s] += sj
+				remaining[i] -= sj
+				assign[j] = i
+				// Rebuild membership lazily: restart scan.
+				for x := range members {
+					members[x] = members[x][:0]
+				}
+				for jj, ii := range assign {
+					members[ii] = append(members[ii], jj)
+				}
+				moved = true
+				break
+			}
+		}
+	}
+	return moved
+}
+
+// SolveExact finds the optimal assignment by depth-first branch and bound
+// with a per-item best-cost lower bound. Intended for small instances
+// (N ≲ 14) in tests. Returns ok = false when no feasible assignment exists.
+func SolveExact(in *Instance) (assign []int, cost float64, ok bool) {
+	m, n := in.M(), in.N()
+	// Lower bound suffix: lb[j] = Σ_{k ≥ j} min_i cost[i][k] (capacity
+	// ignored).
+	lb := make([]float64, n+1)
+	for j := n - 1; j >= 0; j-- {
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if in.Costs[i][j] < best {
+				best = in.Costs[i][j]
+			}
+		}
+		lb[j] = lb[j+1] + best
+	}
+	// Branch on items in decreasing size for earlier capacity pruning.
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if in.Sizes[order[b]] > in.Sizes[order[a]] {
+				order[a], order[b] = order[b], order[a]
+			}
+		}
+	}
+	// Recompute the suffix bound in branch order.
+	for j := n - 1; j >= 0; j-- {
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if in.Costs[i][order[j]] < best {
+				best = in.Costs[i][order[j]]
+			}
+		}
+		lb[j] = lb[j+1] + best
+	}
+
+	bestCost := math.Inf(1)
+	var bestAssign []int
+	cur := make([]int, n)
+	remaining := append([]int64(nil), in.Capacities...)
+	var dfs func(depth int, acc float64)
+	dfs = func(depth int, acc float64) {
+		if acc+lb[depth] >= bestCost {
+			return
+		}
+		if depth == n {
+			bestCost = acc
+			bestAssign = append([]int(nil), cur...)
+			return
+		}
+		j := order[depth]
+		sz := in.Sizes[j]
+		for i := 0; i < m; i++ {
+			if remaining[i] < sz {
+				continue
+			}
+			cur[j] = i
+			remaining[i] -= sz
+			dfs(depth+1, acc+in.Costs[i][j])
+			remaining[i] += sz
+		}
+	}
+	dfs(0, 0)
+	if bestAssign == nil {
+		return nil, 0, false
+	}
+	return bestAssign, bestCost, true
+}

@@ -1,0 +1,202 @@
+package gen
+
+import "testing"
+
+// TestTableIStatistics: every generated paper circuit must match Table I
+// exactly — this is the reproduction of Table I.
+func TestTableIStatistics(t *testing.T) {
+	for _, spec := range Paper {
+		in, err := Named(spec.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		c := in.Problem.Circuit
+		if got := c.N(); got != spec.Components {
+			t.Errorf("%s: %d components, want %d", spec.Name, got, spec.Components)
+		}
+		if got := c.TotalWireWeight(); got != spec.Wires {
+			t.Errorf("%s: %d wires, want %d", spec.Name, got, spec.Wires)
+		}
+		if got := len(c.Timing); got != spec.TimingConstraints {
+			t.Errorf("%s: %d timing constraints, want %d", spec.Name, got, spec.TimingConstraints)
+		}
+		if got := in.Problem.M(); got != 16 {
+			t.Errorf("%s: %d partitions, want 16", spec.Name, got)
+		}
+	}
+}
+
+func TestGoldenIsFeasible(t *testing.T) {
+	for _, spec := range Paper {
+		in := MustNamed(spec.Name)
+		if err := in.Problem.CheckFeasible(in.Golden); err != nil {
+			t.Errorf("%s: golden infeasible: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestSizesSpanTwoOrdersOfMagnitude(t *testing.T) {
+	in := MustNamed("ckta")
+	var lo, hi int64 = 1 << 62, 0
+	for _, s := range in.Problem.Circuit.Sizes {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if lo < 1 || hi < 50*lo {
+		t.Fatalf("size range [%d,%d] does not span ~2 orders of magnitude", lo, hi)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := MustNamed("cktb")
+	b := MustNamed("cktb")
+	if len(a.Problem.Circuit.Wires) != len(b.Problem.Circuit.Wires) {
+		t.Fatal("wire lists differ across runs")
+	}
+	for k := range a.Problem.Circuit.Wires {
+		if a.Problem.Circuit.Wires[k] != b.Problem.Circuit.Wires[k] {
+			t.Fatalf("wire %d differs across runs", k)
+		}
+	}
+	for j := range a.Golden {
+		if a.Golden[j] != b.Golden[j] {
+			t.Fatalf("golden assignment differs at %d", j)
+		}
+	}
+}
+
+func TestClusteredConnectivity(t *testing.T) {
+	// The locality bias must show: a clear majority of wire weight connects
+	// components in the same or adjacent golden partitions.
+	in := MustNamed("ckta")
+	dist := in.Problem.Topology.Delay
+	var local, far, total int64
+	for _, w := range in.Problem.Circuit.Wires {
+		d := dist[in.Golden[w.From]][in.Golden[w.To]]
+		total += w.Weight
+		if d <= 1 {
+			local += w.Weight
+		} else {
+			far += w.Weight
+		}
+	}
+	if local*100 < total*70 {
+		t.Fatalf("only %d/%d wire weight is local — clustering too weak", local, total)
+	}
+	if far == 0 {
+		t.Fatal("no long wires at all — clustering unrealistically strong")
+	}
+}
+
+func TestTightCapacities(t *testing.T) {
+	in := MustNamed("cktc")
+	total := in.Problem.Circuit.TotalSize()
+	capTotal := in.Problem.Topology.TotalCapacity()
+	// "Very tight": at most ~20% slack overall.
+	if float64(capTotal) > 1.20*float64(total) {
+		t.Fatalf("capacity %d too loose for total size %d", capTotal, total)
+	}
+	if capTotal < total {
+		t.Fatalf("capacity %d cannot hold total size %d", capTotal, total)
+	}
+}
+
+func TestTightTimingBounds(t *testing.T) {
+	// Budgets are absolute tiers (2,3,4,5 hops on the 4x4 grid, diameter 6)
+	// floored at the golden distance, so every bound lies in [2,6], every
+	// bound admits the golden layout, and a clear majority are binding
+	// (at most half the diameter).
+	in := MustNamed("cktg")
+	dist := in.Problem.Topology.Delay
+	tight := 0
+	for _, tc := range in.Problem.Circuit.Timing {
+		d := dist[in.Golden[tc.From]][in.Golden[tc.To]]
+		if tc.MaxDelay < d {
+			t.Fatalf("constraint (%d,%d) bound %d below golden distance %d", tc.From, tc.To, tc.MaxDelay, d)
+		}
+		if tc.MaxDelay < 2 || tc.MaxDelay > 6 {
+			t.Fatalf("constraint (%d,%d) bound %d outside [2,6]", tc.From, tc.To, tc.MaxDelay)
+		}
+		if tc.MaxDelay <= 3 {
+			tight++
+		}
+	}
+	if tight*2 < len(in.Problem.Circuit.Timing) {
+		t.Fatalf("only %d/%d constraints are binding (bound <= 3)", tight, len(in.Problem.Circuit.Timing))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Params{Spec: Spec{Name: "tiny", Components: 1}}); err == nil {
+		t.Fatal("1-component instance accepted")
+	}
+	if _, err := Generate(Params{Spec: Spec{Name: "over", Components: 4, Wires: 3, TimingConstraints: 100}}); err == nil {
+		t.Fatal("impossible timing-constraint count accepted")
+	}
+	if _, err := Named("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestCustomTopology(t *testing.T) {
+	in, err := Generate(Params{
+		Spec:     Spec{Name: "small", Components: 40, Wires: 120, TimingConstraints: 60, Seed: 9},
+		GridRows: 2, GridCols: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Problem.M() != 4 {
+		t.Fatalf("M = %d, want 4", in.Problem.M())
+	}
+	if err := in.Problem.CheckFeasible(in.Golden); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingConstraintsAreDistinctPairs(t *testing.T) {
+	in := MustNamed("cktc") // more constraints than distinct wire pairs?
+	seen := make(map[[2]int]bool)
+	for _, tc := range in.Problem.Circuit.Timing {
+		a, b := tc.From, tc.To
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]int{a, b}
+		if seen[k] {
+			t.Fatalf("duplicate constrained pair (%d,%d)", a, b)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGoldenUsesAllPartitions(t *testing.T) {
+	in := MustNamed("cktf")
+	used := make([]bool, in.Problem.M())
+	for _, i := range in.Golden {
+		used[i] = true
+	}
+	for i, u := range used {
+		if !u {
+			t.Fatalf("partition %d unused by golden placement", i)
+		}
+	}
+}
+
+var sink *Instance
+
+func BenchmarkGenerateCkta(b *testing.B) {
+	for k := 0; k < b.N; k++ {
+		sink = MustNamed("ckta")
+	}
+}
+
+func BenchmarkGenerateCktc(b *testing.B) {
+	for k := 0; k < b.N; k++ {
+		sink = MustNamed("cktc")
+	}
+}

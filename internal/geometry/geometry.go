@@ -1,0 +1,129 @@
+// Package geometry builds partition-array topologies: the M×M
+// interconnection cost (B) and routing delay (D) matrices of the
+// partitioning formulation, derived from the physical placement of the
+// partitions. The paper's example (§3.3) and evaluation (16 partitions) use
+// rectangular grids with Manhattan distances between adjacent slots; the
+// formulation itself allows arbitrary B and D, so several metrics are
+// provided.
+package geometry
+
+import "fmt"
+
+// Metric selects how the inter-partition distance matrix is derived from
+// grid positions.
+type Metric int
+
+const (
+	// Manhattan is |Δrow| + |Δcol|, the paper's wire-length and delay
+	// model for grid-arranged partitions (adjacent slots are distance 1).
+	Manhattan Metric = iota
+	// SquaredEuclidean is Δrow² + Δcol², the "quadratic wire length"
+	// metric the paper mentions as an alternative cost.
+	SquaredEuclidean
+	// UnitCrossing is 0 on the diagonal and 1 elsewhere: the quadratic
+	// term then counts the total number of wire crossings between
+	// partitions.
+	UnitCrossing
+	// Chebyshev is max(|Δrow|, |Δcol|), a useful delay model when diagonal
+	// routing resources exist.
+	Chebyshev
+)
+
+// String returns the metric name.
+func (m Metric) String() string {
+	switch m {
+	case Manhattan:
+		return "manhattan"
+	case SquaredEuclidean:
+		return "squared"
+	case UnitCrossing:
+		return "crossing"
+	case Chebyshev:
+		return "chebyshev"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// ParseMetric converts a metric name produced by String back to a Metric.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "manhattan":
+		return Manhattan, nil
+	case "squared":
+		return SquaredEuclidean, nil
+	case "crossing":
+		return UnitCrossing, nil
+	case "chebyshev":
+		return Chebyshev, nil
+	}
+	return 0, fmt.Errorf("geometry: unknown metric %q", s)
+}
+
+// Grid is a rows×cols array of partition slots. Slot i sits at
+// (row, col) = (i/cols, i%cols); slots are numbered row-major, matching the
+// paper's 2×2 example where partitions 1..4 occupy the array
+//
+//	1 2
+//	3 4
+type Grid struct {
+	Rows, Cols int
+}
+
+// M returns the number of slots.
+func (g Grid) M() int { return g.Rows * g.Cols }
+
+// Position returns the (row, col) of slot i.
+func (g Grid) Position(i int) (row, col int) { return i / g.Cols, i % g.Cols }
+
+// Slot returns the slot index at (row, col).
+func (g Grid) Slot(row, col int) int { return row*g.Cols + col }
+
+// Distance returns the metric distance between slots i1 and i2.
+func (g Grid) Distance(i1, i2 int, metric Metric) int64 {
+	r1, c1 := g.Position(i1)
+	r2, c2 := g.Position(i2)
+	dr, dc := abs(r1-r2), abs(c1-c2)
+	switch metric {
+	case Manhattan:
+		return int64(dr + dc)
+	case SquaredEuclidean:
+		return int64(dr*dr + dc*dc)
+	case UnitCrossing:
+		if i1 == i2 {
+			return 0
+		}
+		return 1
+	case Chebyshev:
+		if dr > dc {
+			return int64(dr)
+		}
+		return int64(dc)
+	}
+	panic(fmt.Sprintf("geometry: unknown metric %d", int(metric)))
+}
+
+// DistanceMatrix returns the full M×M distance matrix for the metric.
+func (g Grid) DistanceMatrix(metric Metric) [][]int64 {
+	m := g.M()
+	mat := make([][]int64, m)
+	for i1 := 0; i1 < m; i1++ {
+		row := make([]int64, m)
+		for i2 := 0; i2 < m; i2++ {
+			row[i2] = g.Distance(i1, i2, metric)
+		}
+		mat[i1] = row
+	}
+	return mat
+}
+
+// Diameter returns the largest entry of the metric distance matrix.
+func (g Grid) Diameter(metric Metric) int64 {
+	return g.Distance(0, g.M()-1, metric)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

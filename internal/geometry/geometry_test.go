@@ -1,0 +1,116 @@
+package geometry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTwoByTwoManhattan(t *testing.T) {
+	// §3.3: B = D for the 2×2 array, adjacent partitions distance 1.
+	g := Grid{Rows: 2, Cols: 2}
+	want := [][]int64{
+		{0, 1, 1, 2},
+		{1, 0, 2, 1},
+		{1, 2, 0, 1},
+		{2, 1, 1, 0},
+	}
+	got := g.DistanceMatrix(Manhattan)
+	for i := range want {
+		for k := range want[i] {
+			if got[i][k] != want[i][k] {
+				t.Fatalf("Manhattan[%d][%d] = %d, want %d", i, k, got[i][k], want[i][k])
+			}
+		}
+	}
+}
+
+func TestSlotPositionRoundTrip(t *testing.T) {
+	g := Grid{Rows: 4, Cols: 4}
+	for i := 0; i < g.M(); i++ {
+		r, c := g.Position(i)
+		if g.Slot(r, c) != i {
+			t.Fatalf("Slot(Position(%d)) = %d", i, g.Slot(r, c))
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	g := Grid{Rows: 3, Cols: 4}
+	// Slots 0 = (0,0) and 11 = (2,3).
+	cases := []struct {
+		m    Metric
+		want int64
+	}{
+		{Manhattan, 5},
+		{SquaredEuclidean, 13},
+		{UnitCrossing, 1},
+		{Chebyshev, 3},
+	}
+	for _, tc := range cases {
+		if got := g.Distance(0, 11, tc.m); got != tc.want {
+			t.Errorf("%v distance = %d, want %d", tc.m, got, tc.want)
+		}
+		if got := g.Distance(7, 7, tc.m); got != 0 {
+			t.Errorf("%v self-distance = %d, want 0", tc.m, got)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := Grid{Rows: 4, Cols: 4}
+	if got := g.Diameter(Manhattan); got != 6 {
+		t.Fatalf("4×4 Manhattan diameter = %d, want 6", got)
+	}
+	if got := g.Diameter(Chebyshev); got != 3 {
+		t.Fatalf("4×4 Chebyshev diameter = %d, want 3", got)
+	}
+}
+
+func TestMetricStringRoundTrip(t *testing.T) {
+	for _, m := range []Metric{Manhattan, SquaredEuclidean, UnitCrossing, Chebyshev} {
+		got, err := ParseMetric(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMetric(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMetric("bogus"); err == nil {
+		t.Fatal("ParseMetric accepted bogus metric")
+	}
+}
+
+// Property: every metric matrix is symmetric with zero diagonal, and
+// Manhattan obeys the triangle inequality.
+func TestMatrixProperties(t *testing.T) {
+	f := func(rows8, cols8 uint8) bool {
+		rows := int(rows8%5) + 1
+		cols := int(cols8%5) + 1
+		g := Grid{Rows: rows, Cols: cols}
+		for _, metric := range []Metric{Manhattan, SquaredEuclidean, UnitCrossing, Chebyshev} {
+			mat := g.DistanceMatrix(metric)
+			for i := range mat {
+				if mat[i][i] != 0 {
+					return false
+				}
+				for k := range mat {
+					if mat[i][k] != mat[k][i] || mat[i][k] < 0 {
+						return false
+					}
+				}
+			}
+		}
+		man := g.DistanceMatrix(Manhattan)
+		for i := range man {
+			for k := range man {
+				for l := range man {
+					if man[i][k] > man[i][l]+man[l][k] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

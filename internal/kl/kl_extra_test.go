@@ -1,0 +1,84 @@
+package kl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/testgen"
+)
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	p, golden := testgen.Random(rng, testgen.Config{N: 20, TimingProb: 0.3})
+	a, err := Solve(p, golden, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(p, golden, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective || a.Passes != b.Passes || a.Swaps != b.Swaps {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	for j := range a.Assignment {
+		if a.Assignment[j] != b.Assignment[j] {
+			t.Fatalf("assignments differ at %d", j)
+		}
+	}
+}
+
+// Pass objective trace must be non-increasing (best-prefix rollback).
+func TestPassObjectiveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	p, golden := testgen.Random(rng, testgen.Config{N: 26, GridRows: 2, GridCols: 3, WireProb: 0.4})
+	var trace []int64
+	_, err := Solve(p, golden, Options{OnPass: func(pass int, obj int64) {
+		trace = append(trace, obj)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := p.Normalized().Objective(golden)
+	for k, obj := range trace {
+		if obj > prev {
+			t.Fatalf("pass %d worsened the objective: %d → %d", k+1, prev, obj)
+		}
+		prev = obj
+	}
+}
+
+// Swaps of identical-size components never change loads, so any capacity
+// state remains exactly as the initial one even at full tightness.
+func TestExactCapacityPreservedUnderUnitSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	p, golden := testgen.Random(rng, testgen.Config{N: 24, MaxSize: 1, CapSlack: 1.0})
+	norm := p.Normalized()
+	before := norm.Loads(golden)
+	res, err := Solve(p, golden, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := norm.Loads(res.Assignment)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("load %d changed %d → %d", i, before[i], after[i])
+		}
+	}
+}
+
+// A circuit with no wires has a constant objective: GKL must converge in
+// one pass with zero kept swaps.
+func TestNoWiresConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	p, golden := testgen.Random(rng, testgen.Config{N: 10, WireProb: 0.0001, TimingProb: 0.0001})
+	p.Circuit.Wires = nil
+	p.Circuit.Timing = nil
+	res, err := Solve(p, golden, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps != 0 || res.Passes != 1 {
+		t.Fatalf("constant objective: swaps=%d passes=%d", res.Swaps, res.Passes)
+	}
+}

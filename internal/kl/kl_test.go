@@ -1,0 +1,101 @@
+package kl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paperex"
+	"repro/internal/testgen"
+)
+
+func TestRejectsInfeasibleInitial(t *testing.T) {
+	p := paperex.New()
+	if _, err := Solve(p, model.Assignment{0, 0, 1}, Options{}); err == nil {
+		t.Fatal("capacity-violating initial accepted")
+	}
+	if _, err := Solve(p, model.Assignment{0, 3, 1}, Options{}); err == nil {
+		t.Fatal("timing-violating initial accepted")
+	}
+	if _, err := Solve(p, model.Assignment{0, 1}, Options{}); err == nil {
+		t.Fatal("short initial accepted")
+	}
+}
+
+func TestNeverWorsensAndStaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		p, golden := testgen.Random(rng, testgen.Config{
+			N: 18, GridRows: 2, GridCols: 3, TimingProb: 0.3, WithLinear: trial%2 == 0,
+		})
+		norm := p.Normalized()
+		res, err := Solve(p, golden, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Objective > norm.Objective(golden) {
+			t.Fatalf("trial %d: objective worsened %d → %d", trial, norm.Objective(golden), res.Objective)
+		}
+		if err := norm.CheckFeasible(res.Assignment); err != nil {
+			t.Fatalf("trial %d: result infeasible: %v", trial, err)
+		}
+		if got := norm.Objective(res.Assignment); got != res.Objective {
+			t.Fatalf("trial %d: reported objective %d != recomputed %d", trial, res.Objective, got)
+		}
+	}
+}
+
+func TestOuterLoopCutoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p, golden := testgen.Random(rng, testgen.Config{N: 30, GridRows: 2, GridCols: 3, WireProb: 0.4})
+	count := 0
+	res, err := Solve(p, golden, Options{OnPass: func(pass int, obj int64) { count++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes > DefaultMaxPasses || count != res.Passes {
+		t.Fatalf("passes = %d (callbacks %d), want ≤ %d", res.Passes, count, DefaultMaxPasses)
+	}
+}
+
+func TestSwapsPreserveLoadsWithEqualSizes(t *testing.T) {
+	// With all sizes equal, swaps keep every partition load invariant.
+	rng := rand.New(rand.NewSource(8))
+	p, golden := testgen.Random(rng, testgen.Config{N: 16, MaxSize: 1})
+	norm := p.Normalized()
+	before := norm.Loads(golden)
+	res, err := Solve(p, golden, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := norm.Loads(res.Assignment)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("load of partition %d changed %d → %d under pure swaps", i, before[i], after[i])
+		}
+	}
+}
+
+func TestRelaxTiming(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p, golden := testgen.Random(rng, testgen.Config{N: 14, TimingProb: 0.6, TimingSlack: 0})
+	relaxed, err := Solve(p, golden, Options{RelaxTiming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Normalized().CapacityFeasible(relaxed.Assignment) {
+		t.Fatal("relaxed result violates capacity")
+	}
+}
+
+func TestMaxSwapsPerPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p, golden := testgen.Random(rng, testgen.Config{N: 20})
+	res, err := Solve(p, golden, Options{MaxSwapsPerPass: 1, MaxPasses: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps > 3 {
+		t.Fatalf("kept swaps = %d, want ≤ passes × 1 = 3", res.Swaps)
+	}
+}

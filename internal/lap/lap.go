@@ -1,0 +1,110 @@
+// Package lap solves the Linear Assignment Problem: given an n×m cost
+// matrix (n ≤ m), choose a distinct column for every row minimizing the
+// total cost. It is the §2.2.2 special case of the partitioning problem
+// (M = N, unit sizes and capacities) and the subproblem Burkard's original
+// heuristic solves in STEP 4 and STEP 6 when the solution space is the set
+// of permutations (§4.2); the QAP adapter uses it for exactly that.
+//
+// The implementation is the O(n²m) shortest-augmenting-path algorithm with
+// dual potentials (Jonker–Volgenant style), which is exact.
+package lap
+
+import (
+	"errors"
+	"math"
+)
+
+// Solve returns assign with assign[row] = column and the minimal total cost.
+// cost must be rectangular with len(cost) ≤ len(cost[0]). Entries may be any
+// finite float64 (negative costs are fine); +Inf marks a forbidden slot.
+func Solve(cost [][]float64) (assign []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	if m < n {
+		return nil, 0, errors.New("lap: more rows than columns")
+	}
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, errors.New("lap: ragged cost matrix")
+		}
+		for _, c := range row {
+			if math.IsNaN(c) {
+				return nil, 0, errors.New("lap: NaN cost")
+			}
+			_ = i
+		}
+	}
+
+	// 1-based arrays in the classic formulation: u,v are dual potentials,
+	// p[j] is the row matched to column j (0 = unmatched), way[j] is the
+	// previous column on the alternating path.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)
+	way := make([]int, m+1)
+	minv := make([]float64, m+1)
+	used := make([]bool, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = math.Inf(1)
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || math.IsInf(delta, 1) {
+				return nil, 0, errors.New("lap: no feasible assignment (forbidden slots block all augmenting paths)")
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][assign[i]]
+	}
+	return assign, total, nil
+}

@@ -1,0 +1,181 @@
+package lap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce finds the optimal row→column matching by enumerating all
+// column subsets/permutations (n ≤ ~7).
+func bruteForce(cost [][]float64) float64 {
+	n, m := len(cost), len(cost[0])
+	used := make([]bool, m)
+	best := math.Inf(1)
+	// No pruning: with negative costs a partial sum above the incumbent can
+	// still end up optimal.
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if i == n {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			rec(i+1, acc+cost[i][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestKnownSquare(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total = %v, want 5", total)
+	}
+	seen := make(map[int]bool)
+	for i, j := range assign {
+		if seen[j] {
+			t.Fatalf("column %d assigned twice", j)
+		}
+		seen[j] = true
+		_ = i
+	}
+}
+
+func TestRectangular(t *testing.T) {
+	cost := [][]float64{
+		{10, 2, 8, 9},
+		{7, 3, 7, 2},
+	}
+	_, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 4 { // 2 + 2
+		t.Fatalf("total = %v, want 4", total)
+	}
+}
+
+func TestForbiddenSlots(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, 1},
+		{1, inf},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("assign=%v total=%v, want cross assignment of cost 2", assign, total)
+	}
+}
+
+func TestInfeasibleForbidden(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, inf},
+		{1, 2},
+	}
+	if _, _, err := Solve(cost); err == nil {
+		t.Fatal("fully forbidden row accepted")
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, _, err := Solve([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("more rows than columns accepted")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN()}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if assign, total, err := Solve(nil); err != nil || assign != nil || total != 0 {
+		t.Fatal("empty instance should be trivially solved")
+	}
+}
+
+func TestNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 0},
+		{0, -5},
+	}
+	_, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -10 {
+		t.Fatalf("total = %v, want -10", total)
+	}
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*200-100) / 4
+			}
+		}
+		assign, total, err := Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(cost)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: total %v, brute force %v (cost=%v)", trial, total, want, cost)
+		}
+		seen := make(map[int]bool)
+		var check float64
+		for i, j := range assign {
+			if j < 0 || j >= m || seen[j] {
+				t.Fatalf("trial %d: invalid assignment %v", trial, assign)
+			}
+			seen[j] = true
+			check += cost[i][j]
+		}
+		if math.Abs(check-total) > 1e-9 {
+			t.Fatalf("trial %d: reported total %v != recomputed %v", trial, total, check)
+		}
+	}
+}
+
+func BenchmarkSolve100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64() * 1000
+		}
+	}
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		if _, _, err := Solve(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package model
+
+import "fmt"
+
+// Unassigned marks a component that has not been placed yet.
+const Unassigned = -1
+
+// Assignment maps each component to a partition: a[j] = i means component j
+// is assigned to partition i (the paper's A: J → I, equivalently the x[i][j]
+// indicator matrix restricted by the generalized upper bound constraint C3).
+type Assignment []int
+
+// NewAssignment returns an assignment of n components, all Unassigned.
+func NewAssignment(n int) Assignment {
+	a := make(Assignment, n)
+	for j := range a {
+		a[j] = Unassigned
+	}
+	return a
+}
+
+// Clone returns an independent copy.
+func (a Assignment) Clone() Assignment {
+	b := make(Assignment, len(a))
+	copy(b, a)
+	return b
+}
+
+// Complete reports whether every component is assigned.
+func (a Assignment) Complete() bool {
+	for _, i := range a {
+		if i == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether every component is assigned to a partition in
+// [0, m), i.e. the assignment satisfies C3 for the given partition count.
+func (a Assignment) Valid(m int) bool {
+	for _, i := range a {
+		if i < 0 || i >= m {
+			return false
+		}
+	}
+	return true
+}
+
+// Loads returns the per-partition total component size under a.
+// Unassigned components contribute nothing.
+func (p *Problem) Loads(a Assignment) []int64 {
+	loads := make([]int64, p.M())
+	for j, i := range a {
+		if i != Unassigned {
+			loads[i] += p.Circuit.Sizes[j]
+		}
+	}
+	return loads
+}
+
+// LinearCost returns Σ p[A(j)][j] (unscaled by α).
+func (p *Problem) LinearCost(a Assignment) int64 {
+	if p.Linear == nil {
+		return 0
+	}
+	var c int64
+	for j, i := range a {
+		c += p.Linear[i][j]
+	}
+	return c
+}
+
+// WireLength returns Σ over stored wires of weight·b[A(j1)][A(j2)], counting
+// every wire once in its stored direction. For a symmetric B this is half
+// the quadratic term of the objective; it is the "total Manhattan wire
+// length" metric of the paper's Tables II and III when B is a Manhattan
+// distance matrix.
+func (p *Problem) WireLength(a Assignment) int64 {
+	b := p.Topology.Cost
+	var c int64
+	for _, w := range p.Circuit.Wires {
+		c += w.Weight * b[a[w.From]][a[w.To]]
+	}
+	return c
+}
+
+// QuadraticCost returns the full quadratic term Σ a[j1][j2]·b[A(j1)][A(j2)]
+// over ordered pairs, with the wire list interpreted as a symmetric matrix A
+// (unscaled by β): each stored wire contributes in both directions.
+func (p *Problem) QuadraticCost(a Assignment) int64 {
+	b := p.Topology.Cost
+	var c int64
+	for _, w := range p.Circuit.Wires {
+		c += w.Weight * (b[a[w.From]][a[w.To]] + b[a[w.To]][a[w.From]])
+	}
+	return c
+}
+
+// Objective returns the PP(α,β) objective α·LinearCost + β·QuadraticCost.
+func (p *Problem) Objective(a Assignment) int64 {
+	return p.Alpha*p.LinearCost(a) + p.Beta*p.QuadraticCost(a)
+}
+
+// CapacityViolations returns the indices of partitions whose load exceeds
+// capacity under a (constraint C1).
+func (p *Problem) CapacityViolations(a Assignment) []int {
+	loads := p.Loads(a)
+	var bad []int
+	for i, l := range loads {
+		if l > p.Topology.Capacities[i] {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+// CapacityFeasible reports whether a satisfies the capacity constraints C1.
+func (p *Problem) CapacityFeasible(a Assignment) bool {
+	loads := p.Loads(a)
+	for i, l := range loads {
+		if l > p.Topology.Capacities[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TimingViolations returns the timing constraints violated by a
+// (constraint C2, checked in both directions of each stored constraint).
+func (p *Problem) TimingViolations(a Assignment) []TimingConstraint {
+	d := p.Topology.Delay
+	var bad []TimingConstraint
+	for _, t := range p.Circuit.Timing {
+		i1, i2 := a[t.From], a[t.To]
+		if d[i1][i2] > t.MaxDelay || d[i2][i1] > t.MaxDelay {
+			bad = append(bad, t)
+		}
+	}
+	return bad
+}
+
+// CountTimingViolations returns the number of violated timing constraints
+// without allocating the violation list.
+func (p *Problem) CountTimingViolations(a Assignment) int {
+	d := p.Topology.Delay
+	n := 0
+	for _, t := range p.Circuit.Timing {
+		i1, i2 := a[t.From], a[t.To]
+		if d[i1][i2] > t.MaxDelay || d[i2][i1] > t.MaxDelay {
+			n++
+		}
+	}
+	return n
+}
+
+// TimingFeasible reports whether a satisfies the timing constraints C2.
+func (p *Problem) TimingFeasible(a Assignment) bool {
+	d := p.Topology.Delay
+	for _, t := range p.Circuit.Timing {
+		i1, i2 := a[t.From], a[t.To]
+		if d[i1][i2] > t.MaxDelay || d[i2][i1] > t.MaxDelay {
+			return false
+		}
+	}
+	return true
+}
+
+// Feasible reports whether a is a complete, in-range assignment satisfying
+// both C1 and C2.
+func (p *Problem) Feasible(a Assignment) bool {
+	return len(a) == p.N() && a.Valid(p.M()) &&
+		p.CapacityFeasible(a) && p.TimingFeasible(a)
+}
+
+// CheckFeasible is like Feasible but explains the first violation found.
+func (p *Problem) CheckFeasible(a Assignment) error {
+	if len(a) != p.N() {
+		return fmt.Errorf("model: assignment has %d entries, want N=%d", len(a), p.N())
+	}
+	if !a.Valid(p.M()) {
+		for j, i := range a {
+			if i < 0 || i >= p.M() {
+				return fmt.Errorf("model: component %d assigned to invalid partition %d", j, i)
+			}
+		}
+	}
+	loads := p.Loads(a)
+	for i, l := range loads {
+		if l > p.Topology.Capacities[i] {
+			return fmt.Errorf("model: partition %d overloaded: load %d > capacity %d", i, l, p.Topology.Capacities[i])
+		}
+	}
+	d := p.Topology.Delay
+	for _, t := range p.Circuit.Timing {
+		i1, i2 := a[t.From], a[t.To]
+		if d[i1][i2] > t.MaxDelay || d[i2][i1] > t.MaxDelay {
+			return fmt.Errorf("model: timing violation between components %d (partition %d) and %d (partition %d): delay bound %d",
+				t.From, i1, t.To, i2, t.MaxDelay)
+		}
+	}
+	return nil
+}

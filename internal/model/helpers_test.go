@@ -1,0 +1,30 @@
+package model
+
+import "testing"
+
+func TestTopologyAggregates(t *testing.T) {
+	tp := lineTopo(4)
+	if got := tp.TotalCapacity(); got != 400 {
+		t.Fatalf("TotalCapacity = %d, want 400", got)
+	}
+	if got := tp.MaxCost(); got != 3 {
+		t.Fatalf("MaxCost = %d, want 3 (line of 4 partitions)", got)
+	}
+	empty := &Topology{Capacities: []int64{1}, Cost: [][]int64{{0}}, Delay: [][]int64{{0}}}
+	if got := empty.MaxCost(); got != 0 {
+		t.Fatalf("MaxCost of zero matrix = %d", got)
+	}
+}
+
+func TestLinearAtNilMatrix(t *testing.T) {
+	p, err := NewProblem(chain(3), lineTopo(2), 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LinearAt(1, 2); got != 0 {
+		t.Fatalf("LinearAt on nil P = %d, want 0", got)
+	}
+	if got := p.LinearCost(Assignment{0, 1, 0}); got != 0 {
+		t.Fatalf("LinearCost on nil P = %d, want 0", got)
+	}
+}

@@ -1,0 +1,288 @@
+// Package model defines the data model for the performance-driven system
+// partitioning problem PP(α,β) of Shih & Kuh (UCB/ERL M93/19): a circuit of
+// N variable-size components connected by weighted wires must be assigned to
+// M fixed-capacity partitions so that capacity constraints (C1) and pairwise
+// timing constraints (C2) hold, minimizing
+//
+//	α·Σ p[i][j]·x[i][j]  +  β·Σ a[j1][j2]·b[A(j1)][A(j2)]
+//
+// The package holds the circuit (components, wires, timing constraints), the
+// partition topology (capacities, interconnection cost matrix B, delay matrix
+// D), assignments, objective evaluation and constraint checking. Algorithms
+// live in sibling packages.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Unconstrained marks a component pair without a timing constraint: any
+// inter-partition delay is acceptable. It plays the role of the ∞ entries of
+// the paper's D_C matrix.
+const Unconstrained = int64(math.MaxInt64)
+
+// Wire is one entry of the interconnection matrix A: Weight parallel
+// interconnections between components From and To. Wires are stored once per
+// unordered pair (From < To); the matrix A is interpreted symmetrically, so
+// the quadratic term of the objective counts every wire in both directions.
+type Wire struct {
+	From, To int
+	Weight   int64
+}
+
+// TimingConstraint bounds the inter-partition routing delay allowed between
+// two components: D(A(From), A(To)) ≤ MaxDelay and, because the constraint
+// set is interpreted symmetrically, D(A(To), A(From)) ≤ MaxDelay as well.
+// It is one finite entry of the paper's D_C matrix.
+type TimingConstraint struct {
+	From, To int
+	MaxDelay int64
+}
+
+// Circuit is the system to partition: N components with silicon-area sizes,
+// weighted interconnections, and the finite entries of the timing-constraint
+// matrix D_C.
+type Circuit struct {
+	Name   string
+	Sizes  []int64            // Sizes[j] = s_j > 0
+	Wires  []Wire             // one per unordered pair, aggregated weights
+	Timing []TimingConstraint // one per unordered constrained pair
+}
+
+// N returns the number of components.
+func (c *Circuit) N() int { return len(c.Sizes) }
+
+// TotalSize returns Σ s_j.
+func (c *Circuit) TotalSize() int64 {
+	var t int64
+	for _, s := range c.Sizes {
+		t += s
+	}
+	return t
+}
+
+// TotalWireWeight returns Σ a[j1][j2] over unordered pairs, i.e. the number
+// of wires as reported in the paper's Table I.
+func (c *Circuit) TotalWireWeight() int64 {
+	var t int64
+	for _, w := range c.Wires {
+		t += w.Weight
+	}
+	return t
+}
+
+// Validate checks the structural invariants of the circuit: positive sizes,
+// in-range and non-self wire and timing endpoints, positive wire weights and
+// non-negative delay bounds.
+func (c *Circuit) Validate() error {
+	n := c.N()
+	if n == 0 {
+		return errors.New("model: circuit has no components")
+	}
+	for j, s := range c.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("model: component %d has non-positive size %d", j, s)
+		}
+	}
+	for k, w := range c.Wires {
+		if w.From < 0 || w.From >= n || w.To < 0 || w.To >= n {
+			return fmt.Errorf("model: wire %d endpoints (%d,%d) out of range [0,%d)", k, w.From, w.To, n)
+		}
+		if w.From == w.To {
+			return fmt.Errorf("model: wire %d is a self-loop on component %d", k, w.From)
+		}
+		if w.Weight <= 0 {
+			return fmt.Errorf("model: wire %d has non-positive weight %d", k, w.Weight)
+		}
+	}
+	for k, t := range c.Timing {
+		if t.From < 0 || t.From >= n || t.To < 0 || t.To >= n {
+			return fmt.Errorf("model: timing constraint %d endpoints (%d,%d) out of range [0,%d)", k, t.From, t.To, n)
+		}
+		if t.From == t.To {
+			return fmt.Errorf("model: timing constraint %d is a self-loop on component %d", k, t.From)
+		}
+		if t.MaxDelay < 0 {
+			return fmt.Errorf("model: timing constraint %d has negative delay bound %d", k, t.MaxDelay)
+		}
+	}
+	return nil
+}
+
+// Topology is the fixed partition structure: per-partition capacities, the
+// wire-routing cost matrix B and the routing delay matrix D. B and D need not
+// be related (the paper stresses this), nor symmetric.
+type Topology struct {
+	Capacities []int64   // Capacities[i] = c_i
+	Cost       [][]int64 // B, M×M: b[i1][i2] = routing cost partition i1→i2
+	Delay      [][]int64 // D, M×M: d[i1][i2] = routing delay partition i1→i2
+}
+
+// M returns the number of partitions.
+func (t *Topology) M() int { return len(t.Capacities) }
+
+// TotalCapacity returns Σ c_i.
+func (t *Topology) TotalCapacity() int64 {
+	var s int64
+	for _, c := range t.Capacities {
+		s += c
+	}
+	return s
+}
+
+// MaxCost returns the largest entry of B.
+func (t *Topology) MaxCost() int64 {
+	var mx int64
+	for _, row := range t.Cost {
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+	}
+	return mx
+}
+
+// Validate checks the structural invariants of the topology: at least one
+// partition, square M×M cost and delay matrices, non-negative capacities,
+// costs and delays.
+func (t *Topology) Validate() error {
+	m := t.M()
+	if m == 0 {
+		return errors.New("model: topology has no partitions")
+	}
+	for i, c := range t.Capacities {
+		if c < 0 {
+			return fmt.Errorf("model: partition %d has negative capacity %d", i, c)
+		}
+	}
+	if err := checkSquare("cost matrix B", t.Cost, m); err != nil {
+		return err
+	}
+	if err := checkSquare("delay matrix D", t.Delay, m); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkSquare(name string, mat [][]int64, m int) error {
+	if len(mat) != m {
+		return fmt.Errorf("model: %s has %d rows, want %d", name, len(mat), m)
+	}
+	for i, row := range mat {
+		if len(row) != m {
+			return fmt.Errorf("model: %s row %d has %d columns, want %d", name, i, len(row), m)
+		}
+		for k, v := range row {
+			if v < 0 {
+				return fmt.Errorf("model: %s entry (%d,%d) is negative: %d", name, i, k, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Problem is an instance of PP(α,β): a circuit, a partition topology, the
+// scaling factors of the two objective terms and the optional M×N linear
+// assignment-preference matrix P (nil means all zero).
+type Problem struct {
+	Circuit  *Circuit
+	Topology *Topology
+	Alpha    int64     // scale of the linear term
+	Beta     int64     // scale of the quadratic term
+	Linear   [][]int64 // P, M×N; nil ⇒ zero
+}
+
+// NewProblem assembles and validates a problem instance.
+func NewProblem(c *Circuit, t *Topology, alpha, beta int64, linear [][]int64) (*Problem, error) {
+	p := &Problem{Circuit: c, Topology: t, Alpha: alpha, Beta: beta, Linear: linear}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks the combined invariants of circuit, topology, scaling
+// factors and the linear matrix shape.
+func (p *Problem) Validate() error {
+	if p.Circuit == nil || p.Topology == nil {
+		return errors.New("model: problem needs both a circuit and a topology")
+	}
+	if err := p.Circuit.Validate(); err != nil {
+		return err
+	}
+	if err := p.Topology.Validate(); err != nil {
+		return err
+	}
+	if p.Alpha < 0 || p.Beta < 0 {
+		return fmt.Errorf("model: scaling factors must be non-negative (α=%d, β=%d)", p.Alpha, p.Beta)
+	}
+	if p.Linear != nil {
+		m, n := p.Topology.M(), p.Circuit.N()
+		if len(p.Linear) != m {
+			return fmt.Errorf("model: linear matrix P has %d rows, want M=%d", len(p.Linear), m)
+		}
+		for i, row := range p.Linear {
+			if len(row) != n {
+				return fmt.Errorf("model: linear matrix P row %d has %d columns, want N=%d", i, len(row), n)
+			}
+			for j, v := range row {
+				if v < 0 {
+					return fmt.Errorf("model: linear matrix P entry (%d,%d) is negative: %d", i, j, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// M returns the number of partitions.
+func (p *Problem) M() int { return p.Topology.M() }
+
+// N returns the number of components.
+func (p *Problem) N() int { return p.Circuit.N() }
+
+// LinearAt returns P[i][j], treating a nil Linear matrix as zero.
+func (p *Problem) LinearAt(i, j int) int64 {
+	if p.Linear == nil {
+		return 0
+	}
+	return p.Linear[i][j]
+}
+
+// Normalized returns the equivalent PP(1,1) instance of §3 of the paper:
+// the linear matrix is scaled by α and the wire weights by β, after which
+// both scaling factors are 1. The receiver is not modified; circuit and
+// topology data are copied as needed.
+func (p *Problem) Normalized() *Problem {
+	if p.Alpha == 1 && p.Beta == 1 {
+		return p
+	}
+	c := &Circuit{
+		Name:   p.Circuit.Name,
+		Sizes:  p.Circuit.Sizes,
+		Wires:  make([]Wire, len(p.Circuit.Wires)),
+		Timing: p.Circuit.Timing,
+	}
+	if p.Beta == 0 {
+		c.Wires = nil // β=0 removes the quadratic term entirely, e.g. PP(1,0)
+	} else {
+		for k, w := range p.Circuit.Wires {
+			w.Weight *= p.Beta
+			c.Wires[k] = w
+		}
+	}
+	var lin [][]int64
+	if p.Linear != nil && p.Alpha != 0 {
+		lin = make([][]int64, len(p.Linear))
+		for i, row := range p.Linear {
+			lin[i] = make([]int64, len(row))
+			for j, v := range row {
+				lin[i][j] = v * p.Alpha
+			}
+		}
+	}
+	return &Problem{Circuit: c, Topology: p.Topology, Alpha: 1, Beta: 1, Linear: lin}
+}

@@ -1,0 +1,272 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func chain(n int) *Circuit {
+	c := &Circuit{
+		Name:  "chain",
+		Sizes: make([]int64, n),
+	}
+	for j := 0; j < n; j++ {
+		c.Sizes[j] = int64(j + 1)
+	}
+	for j := 0; j+1 < n; j++ {
+		c.Wires = append(c.Wires, Wire{From: j, To: j + 1, Weight: 2})
+		c.Timing = append(c.Timing, TimingConstraint{From: j, To: j + 1, MaxDelay: 1})
+	}
+	return c
+}
+
+func lineTopo(m int) *Topology {
+	t := &Topology{
+		Capacities: make([]int64, m),
+		Cost:       make([][]int64, m),
+		Delay:      make([][]int64, m),
+	}
+	for i := 0; i < m; i++ {
+		t.Capacities[i] = 100
+		t.Cost[i] = make([]int64, m)
+		t.Delay[i] = make([]int64, m)
+		for k := 0; k < m; k++ {
+			d := int64(i - k)
+			if d < 0 {
+				d = -d
+			}
+			t.Cost[i][k] = d
+			t.Delay[i][k] = d
+		}
+	}
+	return t
+}
+
+func TestCircuitStats(t *testing.T) {
+	c := chain(4)
+	if got := c.N(); got != 4 {
+		t.Fatalf("N = %d, want 4", got)
+	}
+	if got := c.TotalSize(); got != 10 {
+		t.Fatalf("TotalSize = %d, want 10", got)
+	}
+	if got := c.TotalWireWeight(); got != 6 {
+		t.Fatalf("TotalWireWeight = %d, want 6", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestCircuitValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Circuit)
+		want string
+	}{
+		{"empty", func(c *Circuit) { c.Sizes = nil }, "no components"},
+		{"zero size", func(c *Circuit) { c.Sizes[1] = 0 }, "non-positive size"},
+		{"negative size", func(c *Circuit) { c.Sizes[0] = -3 }, "non-positive size"},
+		{"wire out of range", func(c *Circuit) { c.Wires[0].To = 99 }, "out of range"},
+		{"wire self-loop", func(c *Circuit) { c.Wires[0].To = c.Wires[0].From }, "self-loop"},
+		{"wire zero weight", func(c *Circuit) { c.Wires[0].Weight = 0 }, "non-positive weight"},
+		{"timing out of range", func(c *Circuit) { c.Timing[0].From = -1 }, "out of range"},
+		{"timing self-loop", func(c *Circuit) { c.Timing[0].To = c.Timing[0].From }, "self-loop"},
+		{"timing negative bound", func(c *Circuit) { c.Timing[0].MaxDelay = -1 }, "negative delay"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := chain(4)
+			tc.mut(c)
+			err := c.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTopologyValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Topology)
+		want string
+	}{
+		{"no partitions", func(tp *Topology) { tp.Capacities = nil }, "no partitions"},
+		{"negative capacity", func(tp *Topology) { tp.Capacities[0] = -1 }, "negative capacity"},
+		{"cost not square", func(tp *Topology) { tp.Cost = tp.Cost[:1] }, "cost matrix"},
+		{"delay row short", func(tp *Topology) { tp.Delay[1] = tp.Delay[1][:1] }, "delay matrix"},
+		{"negative cost", func(tp *Topology) { tp.Cost[0][1] = -2 }, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tp := lineTopo(3)
+			tc.mut(tp)
+			err := tp.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p, err := NewProblem(chain(4), lineTopo(3), 1, 1, nil)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	if p.M() != 3 || p.N() != 4 {
+		t.Fatalf("M,N = %d,%d want 3,4", p.M(), p.N())
+	}
+	if _, err := NewProblem(chain(4), lineTopo(3), -1, 1, nil); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	badLin := [][]int64{{0, 0, 0, 0}}
+	if _, err := NewProblem(chain(4), lineTopo(3), 1, 1, badLin); err == nil {
+		t.Fatal("misshapen linear matrix accepted")
+	}
+	lin := [][]int64{{0, 1, 2, 3}, {1, 0, 1, 2}, {2, 1, 0, 1}}
+	if _, err := NewProblem(chain(4), lineTopo(3), 1, 1, lin); err != nil {
+		t.Fatalf("valid linear matrix rejected: %v", err)
+	}
+}
+
+func TestObjectiveAndFeasibility(t *testing.T) {
+	lin := [][]int64{{0, 1, 2, 3}, {1, 0, 1, 2}, {2, 1, 0, 1}}
+	p, err := NewProblem(chain(4), lineTopo(3), 2, 3, lin)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	a := Assignment{0, 0, 1, 2}
+	// Wires (weight 2 each): 0-1 same partition (dist 0), 1-2 (dist 1), 2-3 (dist 1).
+	if got := p.WireLength(a); got != 4 {
+		t.Fatalf("WireLength = %d, want 4", got)
+	}
+	if got := p.QuadraticCost(a); got != 8 {
+		t.Fatalf("QuadraticCost = %d, want 8 (both directions)", got)
+	}
+	// Linear: p[0][0]+p[0][1]+p[1][2]+p[2][3] = 0+1+1+1 = 3.
+	if got := p.LinearCost(a); got != 3 {
+		t.Fatalf("LinearCost = %d, want 3", got)
+	}
+	if got := p.Objective(a); got != 2*3+3*8 {
+		t.Fatalf("Objective = %d, want %d", got, 2*3+3*8)
+	}
+	if !p.Feasible(a) {
+		t.Fatalf("expected feasible: %v", p.CheckFeasible(a))
+	}
+	loads := p.Loads(a)
+	if loads[0] != 3 || loads[1] != 3 || loads[2] != 4 {
+		t.Fatalf("Loads = %v, want [3 3 4]", loads)
+	}
+}
+
+func TestCapacityViolations(t *testing.T) {
+	p, _ := NewProblem(chain(4), lineTopo(3), 1, 1, nil)
+	p.Topology.Capacities = []int64{1, 100, 100}
+	a := Assignment{0, 0, 1, 1}
+	if p.CapacityFeasible(a) {
+		t.Fatal("overloaded partition reported feasible")
+	}
+	bad := p.CapacityViolations(a)
+	if len(bad) != 1 || bad[0] != 0 {
+		t.Fatalf("CapacityViolations = %v, want [0]", bad)
+	}
+	if err := p.CheckFeasible(a); err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("CheckFeasible = %v, want overloaded error", err)
+	}
+}
+
+func TestTimingViolations(t *testing.T) {
+	p, _ := NewProblem(chain(4), lineTopo(3), 1, 1, nil)
+	// Components 1 and 2 are bound to delay ≤ 1 but placed 2 apart.
+	a := Assignment{0, 0, 2, 2}
+	if p.TimingFeasible(a) {
+		t.Fatal("timing violation not detected")
+	}
+	if got := p.CountTimingViolations(a); got != 1 {
+		t.Fatalf("CountTimingViolations = %d, want 1", got)
+	}
+	v := p.TimingViolations(a)
+	if len(v) != 1 || v[0].From != 1 || v[0].To != 2 {
+		t.Fatalf("TimingViolations = %v, want the (1,2) constraint", v)
+	}
+	if err := p.CheckFeasible(a); err == nil || !strings.Contains(err.Error(), "timing violation") {
+		t.Fatalf("CheckFeasible = %v, want timing error", err)
+	}
+	// Relaxing the bound restores feasibility.
+	p.Circuit.Timing[1].MaxDelay = 2
+	if !p.TimingFeasible(a) {
+		t.Fatal("relaxed constraint still violated")
+	}
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	a := NewAssignment(3)
+	if a.Complete() {
+		t.Fatal("fresh assignment reported complete")
+	}
+	if a.Valid(4) {
+		t.Fatal("unassigned entries reported valid")
+	}
+	a[0], a[1], a[2] = 1, 2, 3
+	if !a.Complete() || !a.Valid(4) || a.Valid(3) {
+		t.Fatal("Complete/Valid misbehave on assigned vector")
+	}
+	b := a.Clone()
+	b[0] = 0
+	if a[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestCheckFeasibleWrongLengthAndRange(t *testing.T) {
+	p, _ := NewProblem(chain(4), lineTopo(3), 1, 1, nil)
+	if err := p.CheckFeasible(Assignment{0, 0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if err := p.CheckFeasible(Assignment{0, 0, 0, 7}); err == nil || !strings.Contains(err.Error(), "invalid partition") {
+		t.Fatalf("out-of-range assignment: %v", err)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	lin := [][]int64{{0, 1, 2, 3}, {1, 0, 1, 2}, {2, 1, 0, 1}}
+	p, _ := NewProblem(chain(4), lineTopo(3), 2, 3, lin)
+	q := p.Normalized()
+	if q.Alpha != 1 || q.Beta != 1 {
+		t.Fatalf("Normalized scaling = (%d,%d), want (1,1)", q.Alpha, q.Beta)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("normalized problem invalid: %v", err)
+	}
+	for _, a := range []Assignment{{0, 0, 1, 2}, {2, 1, 0, 0}, {1, 1, 1, 1}} {
+		if p.Objective(a) != q.Objective(a) {
+			t.Fatalf("objective mismatch under %v: %d vs %d", a, p.Objective(a), q.Objective(a))
+		}
+	}
+	// PP(1,0): quadratic term dropped entirely.
+	p0, _ := NewProblem(chain(4), lineTopo(3), 1, 0, lin)
+	q0 := p0.Normalized()
+	if err := q0.Validate(); err != nil {
+		t.Fatalf("PP(1,0) normalization invalid: %v", err)
+	}
+	a := Assignment{0, 1, 2, 0}
+	if p0.Objective(a) != q0.Objective(a) {
+		t.Fatalf("PP(1,0) objective mismatch: %d vs %d", p0.Objective(a), q0.Objective(a))
+	}
+	// Already normalized problems are returned as-is.
+	p11, _ := NewProblem(chain(4), lineTopo(3), 1, 1, nil)
+	if p11.Normalized() != p11 {
+		t.Fatal("PP(1,1) should normalize to itself")
+	}
+}
+
+func TestNormalizedDoesNotMutateOriginal(t *testing.T) {
+	p, _ := NewProblem(chain(4), lineTopo(3), 2, 3, nil)
+	w0 := p.Circuit.Wires[0].Weight
+	_ = p.Normalized()
+	if p.Circuit.Wires[0].Weight != w0 {
+		t.Fatal("Normalized mutated the original wire weights")
+	}
+}

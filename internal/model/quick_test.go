@@ -1,0 +1,191 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// instanceSeed drives the deterministic construction of a random instance
+// inside the quick properties.
+type instanceSeed struct {
+	Seed  int64
+	N     uint8
+	M     uint8
+	Alpha uint8
+	Beta  uint8
+}
+
+// Generate implements quick.Generator so properties receive well-formed
+// random instances rather than arbitrary structs.
+func (instanceSeed) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(instanceSeed{
+		Seed:  r.Int63(),
+		N:     uint8(2 + r.Intn(12)),
+		M:     uint8(2 + r.Intn(5)),
+		Alpha: uint8(r.Intn(4)),
+		Beta:  uint8(r.Intn(4)),
+	})
+}
+
+func (is instanceSeed) build() (*Problem, Assignment) {
+	rng := rand.New(rand.NewSource(is.Seed))
+	n, m := int(is.N), int(is.M)
+	c := &Circuit{Sizes: make([]int64, n)}
+	for j := range c.Sizes {
+		c.Sizes[j] = 1 + rng.Int63n(9)
+	}
+	for j1 := 0; j1 < n; j1++ {
+		for j2 := j1 + 1; j2 < n; j2++ {
+			if rng.Intn(2) == 0 {
+				c.Wires = append(c.Wires, Wire{From: j1, To: j2, Weight: 1 + rng.Int63n(4)})
+			}
+			if rng.Intn(4) == 0 {
+				c.Timing = append(c.Timing, TimingConstraint{From: j1, To: j2, MaxDelay: rng.Int63n(4)})
+			}
+		}
+	}
+	topo := &Topology{
+		Capacities: make([]int64, m),
+		Cost:       make([][]int64, m),
+		Delay:      make([][]int64, m),
+	}
+	for i := 0; i < m; i++ {
+		topo.Capacities[i] = 1 + rng.Int63n(50)
+		topo.Cost[i] = make([]int64, m)
+		topo.Delay[i] = make([]int64, m)
+		for k := 0; k < m; k++ {
+			if i != k {
+				topo.Cost[i][k] = rng.Int63n(6)
+				topo.Delay[i][k] = rng.Int63n(6)
+			}
+		}
+	}
+	lin := make([][]int64, m)
+	for i := range lin {
+		lin[i] = make([]int64, n)
+		for j := range lin[i] {
+			lin[i][j] = rng.Int63n(7)
+		}
+	}
+	p := &Problem{
+		Circuit:  c,
+		Topology: topo,
+		Alpha:    int64(is.Alpha),
+		Beta:     int64(is.Beta),
+		Linear:   lin,
+	}
+	a := make(Assignment, n)
+	for j := range a {
+		a[j] = rng.Intn(m)
+	}
+	return p, a
+}
+
+// Property: loads always sum to the total component size, regardless of
+// assignment.
+func TestQuickLoadsConserveSize(t *testing.T) {
+	f := func(is instanceSeed) bool {
+		p, a := is.build()
+		var sum int64
+		for _, l := range p.Loads(a) {
+			sum += l
+		}
+		return sum == p.Circuit.TotalSize()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the objective decomposes exactly into its scaled terms.
+func TestQuickObjectiveDecomposition(t *testing.T) {
+	f := func(is instanceSeed) bool {
+		p, a := is.build()
+		return p.Objective(a) == p.Alpha*p.LinearCost(a)+p.Beta*p.QuadraticCost(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a symmetric B, the quadratic term is exactly twice the
+// single-direction wire length.
+func TestQuickQuadraticIsTwiceWireLengthWhenSymmetric(t *testing.T) {
+	f := func(is instanceSeed) bool {
+		p, a := is.build()
+		b := p.Topology.Cost
+		for i := range b {
+			for k := i + 1; k < len(b); k++ {
+				b[i][k] = b[k][i] // symmetrize
+			}
+		}
+		return p.QuadraticCost(a) == 2*p.WireLength(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalization preserves the objective for every assignment.
+func TestQuickNormalizationPreservesObjective(t *testing.T) {
+	f := func(is instanceSeed) bool {
+		p, a := is.build()
+		return p.Normalized().Objective(a) == p.Objective(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: feasibility is monotone in capacity — raising every capacity
+// never makes a feasible assignment infeasible.
+func TestQuickCapacityMonotonicity(t *testing.T) {
+	f := func(is instanceSeed, extra uint8) bool {
+		p, a := is.build()
+		was := p.CapacityFeasible(a)
+		for i := range p.Topology.Capacities {
+			p.Topology.Capacities[i] += int64(extra)
+		}
+		if was && !p.CapacityFeasible(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: relaxing every timing bound preserves timing feasibility.
+func TestQuickTimingMonotonicity(t *testing.T) {
+	f := func(is instanceSeed, extra uint8) bool {
+		p, a := is.build()
+		was := p.TimingFeasible(a)
+		for k := range p.Circuit.Timing {
+			p.Circuit.Timing[k].MaxDelay += int64(extra)
+		}
+		if was && !p.TimingFeasible(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CountTimingViolations agrees with len(TimingViolations), and
+// zero violations coincides with TimingFeasible.
+func TestQuickViolationCountingConsistent(t *testing.T) {
+	f := func(is instanceSeed) bool {
+		p, a := is.build()
+		count := p.CountTimingViolations(a)
+		list := p.TimingViolations(a)
+		return count == len(list) && (count == 0) == p.TimingFeasible(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

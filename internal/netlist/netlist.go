@@ -1,0 +1,173 @@
+// Package netlist converts hypergraph netlists — the native form of real
+// circuits, where one net connects two or more pins — into the pairwise
+// interconnection matrix A of the partitioning formulation. The paper takes
+// A as given ("the number of interconnections from component j1 to j2");
+// this front-end provides the two standard reductions used to produce such
+// matrices from multi-pin nets:
+//
+//   - Clique: a k-pin net becomes k·(k−1)/2 pairs, each of weight
+//     W/(k−1) (scaled to integers) — the classic approximation whose total
+//     incident weight per pin stays W.
+//   - Star: a k-pin net becomes k−1 pairs from the first (driver) pin to
+//     every sink, each of weight W — cheaper and exact for two-pin nets.
+//
+// Both reductions keep two-pin nets identical (one pair of weight W).
+package netlist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Net is one hyperedge: two or more distinct pins (component indices) with
+// a weight. Pins[0] is the driver for the star model.
+type Net struct {
+	Pins   []int
+	Weight int64
+}
+
+// Netlist is a hypergraph over n components.
+type Netlist struct {
+	Components int
+	Nets       []Net
+}
+
+// Validate checks pin ranges, arities and weights.
+func (nl *Netlist) Validate() error {
+	if nl.Components <= 0 {
+		return errors.New("netlist: no components")
+	}
+	for k, net := range nl.Nets {
+		if len(net.Pins) < 2 {
+			return fmt.Errorf("netlist: net %d has %d pins, need ≥ 2", k, len(net.Pins))
+		}
+		if net.Weight <= 0 {
+			return fmt.Errorf("netlist: net %d has non-positive weight %d", k, net.Weight)
+		}
+		seen := make(map[int]bool, len(net.Pins))
+		for _, p := range net.Pins {
+			if p < 0 || p >= nl.Components {
+				return fmt.Errorf("netlist: net %d pin %d out of range [0,%d)", k, p, nl.Components)
+			}
+			if seen[p] {
+				return fmt.Errorf("netlist: net %d repeats pin %d", k, p)
+			}
+			seen[p] = true
+		}
+	}
+	return nil
+}
+
+// Model selects the hyperedge-to-pairs reduction.
+type Model int
+
+const (
+	// Clique connects every pin pair with weight ≈ W/(k−1).
+	Clique Model = iota
+	// Star connects the driver (first pin) to every sink with weight W.
+	Star
+)
+
+// scale keeps clique weights integral: every net contributes
+// weight·scale/(k−1) per pair, so pairs from small nets stay comparable.
+// 12 is divisible by k−1 for k ∈ {2,3,4,5,7,13}, covering typical fanouts
+// with no rounding at all.
+const scale = 12
+
+// Wires reduces the hypergraph to the pairwise wire list of the
+// formulation. Clique-model weights are scaled by a common factor
+// (returned as denom) to stay integral: the caller's objective is then
+// denom × the conventional clique-model wire length. Star returns denom 1.
+// Duplicate pairs across nets accumulate.
+func Wires(nl *Netlist, m Model) (wires []model.Wire, denom int64, err error) {
+	if err := nl.Validate(); err != nil {
+		return nil, 0, err
+	}
+	type key struct{ a, b int }
+	acc := make(map[key]int64)
+	add := func(a, b, w int64) {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		acc[key{x, y}] += w
+	}
+	switch m {
+	case Clique:
+		denom = scale
+		for _, net := range nl.Nets {
+			k := int64(len(net.Pins))
+			per := net.Weight * scale / (k - 1)
+			if per == 0 {
+				per = 1 // huge nets: keep a nonzero coupling
+			}
+			for i := 0; i < len(net.Pins); i++ {
+				for j := i + 1; j < len(net.Pins); j++ {
+					add(int64(net.Pins[i]), int64(net.Pins[j]), per)
+				}
+			}
+		}
+	case Star:
+		denom = 1
+		for _, net := range nl.Nets {
+			for _, sink := range net.Pins[1:] {
+				add(int64(net.Pins[0]), int64(sink), net.Weight)
+			}
+		}
+	default:
+		return nil, 0, fmt.Errorf("netlist: unknown model %d", int(m))
+	}
+	wires = make([]model.Wire, 0, len(acc))
+	for k, w := range acc {
+		wires = append(wires, model.Wire{From: k.a, To: k.b, Weight: w})
+	}
+	sort.Slice(wires, func(x, y int) bool {
+		if wires[x].From != wires[y].From {
+			return wires[x].From < wires[y].From
+		}
+		return wires[x].To < wires[y].To
+	})
+	return wires, denom, nil
+}
+
+// Circuit assembles a model.Circuit from the hypergraph: sizes are taken
+// as given, wires come from the chosen reduction, and timing constraints
+// are passed through unchanged. The returned denom scales the quadratic
+// objective (see Wires).
+func Circuit(name string, sizes []int64, nl *Netlist, m Model, timing []model.TimingConstraint) (*model.Circuit, int64, error) {
+	if len(sizes) != nl.Components {
+		return nil, 0, fmt.Errorf("netlist: %d sizes for %d components", len(sizes), nl.Components)
+	}
+	wires, denom, err := Wires(nl, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	c := &model.Circuit{Name: name, Sizes: sizes, Wires: wires, Timing: timing}
+	if err := c.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return c, denom, nil
+}
+
+// CutNets counts, for an assignment, how many nets span more than one
+// partition — the classic min-cut metric, reported alongside wire length
+// so hypergraph users can see both.
+func CutNets(nl *Netlist, a model.Assignment) (int, error) {
+	if err := nl.Validate(); err != nil {
+		return 0, err
+	}
+	cut := 0
+	for _, net := range nl.Nets {
+		first := a[net.Pins[0]]
+		for _, p := range net.Pins[1:] {
+			if a[p] != first {
+				cut++
+				break
+			}
+		}
+	}
+	return cut, nil
+}

@@ -1,0 +1,77 @@
+// Package paperex constructs the worked example of §3.3 of the paper:
+// three components a, b, c assigned to four partitions arranged as a 2×2
+// array, five wires between a and b, two wires between b and c, timing
+// bounds D_C(a,b) = D_C(b,c) = 1 and D_C(a,c) = ∞, and B = D = the
+// Manhattan distance matrix of the array. It is used as a golden instance by
+// tests and by the quickstart example.
+package paperex
+
+import (
+	"repro/internal/geometry"
+	"repro/internal/model"
+)
+
+// Component indices in the example.
+const (
+	A = 0
+	B = 1
+	C = 2
+)
+
+// Penalty is the raised cost the paper assigns to timing-violating entries
+// of Q̂ in this example (and in its experiments).
+const Penalty = 50
+
+// New returns the example as a validated PP(1,1) problem. Component sizes
+// and partition capacities are all 1, so the capacity constraint forces the
+// three components onto three distinct partitions (the paper leaves sizes
+// unspecified; unit sizes keep the instance faithful to its figure). The
+// linear matrix P is nil (the paper leaves its entries symbolic).
+func New() *model.Problem {
+	grid := geometry.Grid{Rows: 2, Cols: 2}
+	dist := grid.DistanceMatrix(geometry.Manhattan)
+	circuit := &model.Circuit{
+		Name:  "paper-example",
+		Sizes: []int64{1, 1, 1},
+		Wires: []model.Wire{
+			{From: A, To: B, Weight: 5},
+			{From: B, To: C, Weight: 2},
+		},
+		Timing: []model.TimingConstraint{
+			{From: A, To: B, MaxDelay: 1},
+			{From: B, To: C, MaxDelay: 1},
+		},
+	}
+	topo := &model.Topology{
+		Capacities: []int64{1, 1, 1, 1},
+		Cost:       dist,
+		Delay:      dist,
+	}
+	p, err := model.NewProblem(circuit, topo, 1, 1, nil)
+	if err != nil {
+		panic("paperex: invalid example instance: " + err.Error())
+	}
+	return p
+}
+
+// Qhat returns the 12×12 cost matrix exactly as printed in the paper's
+// §3.3 (with the symbolic p entries zero): wire couplings a[j1][j2]·b[i1][i2]
+// everywhere, except 50 at every timing-violating slot.
+func Qhat() [][]int64 {
+	const x = Penalty
+	return [][]int64{
+		//  a1 a2 a3 a4  b1 b2 b3 b4  c1 c2 c3 c4
+		{0, 0, 0, 0 /**/, 0, 5, 5, x /**/, 0, 0, 0, 0}, // a,1
+		{0, 0, 0, 0 /**/, 5, 0, x, 5 /**/, 0, 0, 0, 0}, // a,2
+		{0, 0, 0, 0 /**/, 5, x, 0, 5 /**/, 0, 0, 0, 0}, // a,3
+		{0, 0, 0, 0 /**/, x, 5, 5, 0 /**/, 0, 0, 0, 0}, // a,4
+		{0, 5, 5, x /**/, 0, 0, 0, 0 /**/, 0, 2, 2, x}, // b,1
+		{5, 0, x, 5 /**/, 0, 0, 0, 0 /**/, 2, 0, x, 2}, // b,2
+		{5, x, 0, 5 /**/, 0, 0, 0, 0 /**/, 2, x, 0, 2}, // b,3
+		{x, 5, 5, 0 /**/, 0, 0, 0, 0 /**/, x, 2, 2, 0}, // b,4
+		{0, 0, 0, 0 /**/, 0, 2, 2, x /**/, 0, 0, 0, 0}, // c,1
+		{0, 0, 0, 0 /**/, 2, 0, x, 2 /**/, 0, 0, 0, 0}, // c,2
+		{0, 0, 0, 0 /**/, 2, x, 0, 2 /**/, 0, 0, 0, 0}, // c,3
+		{0, 0, 0, 0 /**/, x, 2, 2, 0 /**/, 0, 0, 0, 0}, // c,4
+	}
+}

@@ -1,0 +1,69 @@
+package paperex
+
+import "testing"
+
+func TestInstanceShape(t *testing.T) {
+	p := New()
+	if p.N() != 3 || p.M() != 4 {
+		t.Fatalf("N=%d M=%d, want 3 components on 4 partitions", p.N(), p.M())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The wires and bounds of §3.3.
+	if len(p.Circuit.Wires) != 2 || p.Circuit.Wires[0].Weight != 5 || p.Circuit.Wires[1].Weight != 2 {
+		t.Fatalf("wires = %v", p.Circuit.Wires)
+	}
+	if len(p.Circuit.Timing) != 2 {
+		t.Fatalf("timing = %v", p.Circuit.Timing)
+	}
+	for _, tc := range p.Circuit.Timing {
+		if tc.MaxDelay != 1 {
+			t.Fatalf("bound %d, want 1", tc.MaxDelay)
+		}
+	}
+}
+
+func TestQhatShape(t *testing.T) {
+	q := Qhat()
+	if len(q) != 12 {
+		t.Fatalf("Q̂ has %d rows, want 12", len(q))
+	}
+	for r, row := range q {
+		if len(row) != 12 {
+			t.Fatalf("row %d has %d columns", r, len(row))
+		}
+		// The §3.3 matrix is symmetric.
+		for c := range row {
+			if q[r][c] != q[c][r] {
+				t.Fatalf("Q̂ not symmetric at (%d,%d)", r, c)
+			}
+		}
+		// Diagonal blocks (same component) are zero off the p entries,
+		// which are themselves zero in the printed matrix.
+		blockR := r / 4
+		for c := blockR * 4; c < blockR*4+4; c++ {
+			if q[r][c] != 0 {
+				t.Fatalf("same-component entry (%d,%d) = %d, want 0", r, c, q[r][c])
+			}
+		}
+	}
+	// Each a–b block row carries exactly one 50 (the violating partner
+	// slot) and two 5-couplings plus a zero.
+	count50, count5, count2 := 0, 0, 0
+	for _, row := range q {
+		for _, v := range row {
+			switch v {
+			case Penalty:
+				count50++
+			case 5:
+				count5++
+			case 2:
+				count2++
+			}
+		}
+	}
+	if count50 != 16 || count5 != 16 || count2 != 16 {
+		t.Fatalf("entry histogram 50:%d 5:%d 2:%d, want 16 each", count50, count5, count2)
+	}
+}

@@ -1,0 +1,260 @@
+// Package qap solves the Quadratic Assignment Problem, the §2.2.3 special
+// case of the partitioning formulation: M = N, unit sizes and capacities,
+// no timing constraints, so the solution space is the set of permutations
+// φ: components → locations, minimizing Σ flow[j1][j2]·dist[φ(j1)][φ(j2)].
+//
+// The solver is Burkard's original heuristic (§4.2): the same iterative
+// linearization as the generalized partitioner, except that the STEP 4 and
+// STEP 6 subproblems are Linear Assignment Problems, solved exactly by
+// the Hungarian algorithm in package lap.
+package qap
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/lap"
+)
+
+// Instance is a QAP: flow between components and distance between
+// locations, both n×n with zero diagonals and non-negative entries.
+type Instance struct {
+	Flow [][]int64
+	Dist [][]int64
+}
+
+// N returns the instance size.
+func (in *Instance) N() int { return len(in.Flow) }
+
+// Validate checks shapes and sign/diagonal invariants.
+func (in *Instance) Validate() error {
+	n := in.N()
+	if n == 0 {
+		return errors.New("qap: empty instance")
+	}
+	if len(in.Dist) != n {
+		return errors.New("qap: flow and dist sizes differ")
+	}
+	for _, mat := range [][][]int64{in.Flow, in.Dist} {
+		for i, row := range mat {
+			if len(row) != n {
+				return errors.New("qap: non-square matrix")
+			}
+			for k, v := range row {
+				if v < 0 {
+					return errors.New("qap: negative entry")
+				}
+				if i == k && v != 0 {
+					return errors.New("qap: non-zero diagonal")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Cost evaluates Σ flow[j1][j2]·dist[perm[j1]][perm[j2]].
+func (in *Instance) Cost(perm []int) int64 {
+	var c int64
+	for j1, p1 := range perm {
+		frow := in.Flow[j1]
+		drow := in.Dist[p1]
+		for j2, p2 := range perm {
+			c += frow[j2] * drow[p2]
+		}
+	}
+	return c
+}
+
+// Options tunes Solve.
+type Options struct {
+	// Iterations is the Burkard iteration count; ≤ 0 means 100.
+	Iterations int
+	// Seed drives the random initial permutation.
+	Seed int64
+	// DisableOmegaInEta drops the ω term of equation (3) (ablation).
+	DisableOmegaInEta bool
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Perm       []int // Perm[j] = location of component j
+	Cost       int64
+	Iterations int
+}
+
+// Solve runs Burkard's heuristic.
+func Solve(in *Instance, opts Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.N()
+	iterations := opts.Iterations
+	if iterations <= 0 {
+		iterations = 100
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	u := rng.Perm(n)
+	prev := append([]int(nil), u...)
+	stall := 0
+	lastBest := int64(math.MaxInt64)
+
+	// STEP 2: ω[(i,j)] = maxDist[i] · Σ_{j2} flow[j][j2] bounds the row sum
+	// of Q over any permutation.
+	maxDist := make([]int64, n)
+	for i := range in.Dist {
+		for _, v := range in.Dist[i] {
+			if v > maxDist[i] {
+				maxDist[i] = v
+			}
+		}
+	}
+	rowFlow := make([]int64, n)
+	for j := range in.Flow {
+		for _, v := range in.Flow[j] {
+			rowFlow[j] += v
+		}
+	}
+	omega := func(i, j int) float64 { return float64(rowFlow[j] * maxDist[i]) }
+
+	best := append([]int(nil), u...)
+	bestCost := in.Cost(u)
+
+	eta := make([][]float64, n) // eta[j][i]: LAP orientation (rows = components)
+	h := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		eta[j] = make([]float64, n)
+		h[j] = make([]float64, n)
+	}
+
+	performed := 0
+	for k := 1; k <= iterations; k++ {
+		// STEP 3: η[(i2,j2)] = Σ_{j1} flow[j1][j2]·dist[u[j1]][i2]
+		// (+ ω at the current slot per equation 3); ξ = Σ ω at u.
+		xi := 0.0
+		for j2 := 0; j2 < n; j2++ {
+			row := eta[j2]
+			for i2 := range row {
+				row[i2] = 0
+			}
+			for j1 := 0; j1 < n; j1++ {
+				f := in.Flow[j1][j2]
+				if f == 0 || j1 == j2 {
+					continue
+				}
+				drow := in.Dist[u[j1]]
+				ff := float64(f)
+				for i2 := 0; i2 < n; i2++ {
+					row[i2] += ff * float64(drow[i2])
+				}
+			}
+			if !opts.DisableOmegaInEta {
+				row[u[j2]] += omega(u[j2], j2)
+			}
+			xi += omega(u[j2], j2)
+		}
+
+		// STEP 4: z = min Σ η over permutations — an exact LAP.
+		_, z, err := lap.Solve(eta)
+		if err != nil {
+			return nil, err
+		}
+
+		// STEP 5.
+		denom := math.Abs(z - xi)
+		if denom < 1 {
+			denom = 1
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				h[j][i] += eta[j][i] / denom
+			}
+		}
+
+		// STEP 6.
+		next, _, err := lap.Solve(h)
+		if err != nil {
+			return nil, err
+		}
+		u = next
+		performed = k
+
+		// STEP 7.
+		if c := in.Cost(u); c < bestCost {
+			bestCost = c
+			copy(best, u)
+		}
+
+		// Stall handling (as in the generalized solver): when the iterate
+		// repeats or the incumbent stops improving, the averaged direction
+		// h is pinned — reset it and kick the permutation with random
+		// transpositions so the remaining budget keeps exploring.
+		same := true
+		for j := range u {
+			if u[j] != prev[j] {
+				same = false
+				break
+			}
+		}
+		if same || bestCost == lastBest {
+			stall++
+		} else {
+			stall = 0
+		}
+		lastBest = bestCost
+		copy(prev, u)
+		if stall >= 4 {
+			stall = 0
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					h[j][i] = 0
+				}
+			}
+			for t := 0; t < 1+n/8; t++ {
+				a, b := rng.Intn(n), rng.Intn(n)
+				u[a], u[b] = u[b], u[a]
+			}
+		}
+	}
+	// Final polish: pairwise-transposition (2-opt) descent on the best
+	// permutation found, the permutation-space analogue of the
+	// generalized solver's final polish.
+	twoOpt(in, best)
+	if c := in.Cost(best); c < bestCost {
+		bestCost = c
+	}
+	return &Result{Perm: best, Cost: bestCost, Iterations: performed}, nil
+}
+
+// twoOpt repeatedly applies cost-reducing transpositions until none exist,
+// evaluating each candidate swap in O(n) with the standard QAP delta.
+func twoOpt(in *Instance, perm []int) {
+	n := len(perm)
+	f, d := in.Flow, in.Dist
+	delta := func(a, b int) int64 {
+		p, q := perm[a], perm[b]
+		var dl int64
+		for k := 0; k < n; k++ {
+			if k == a || k == b {
+				continue
+			}
+			pk := perm[k]
+			dl += (f[a][k] - f[b][k]) * (d[q][pk] - d[p][pk])
+			dl += (f[k][a] - f[k][b]) * (d[pk][q] - d[pk][p])
+		}
+		dl += (f[a][b] - f[b][a]) * (d[q][p] - d[p][q])
+		return dl
+	}
+	for improved := true; improved; {
+		improved = false
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if delta(a, b) < 0 {
+					perm[a], perm[b] = perm[b], perm[a]
+					improved = true
+				}
+			}
+		}
+	}
+}

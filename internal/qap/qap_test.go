@@ -1,0 +1,162 @@
+package qap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForce enumerates all permutations (n ≤ 8).
+func bruteForce(in *Instance) int64 {
+	n := in.N()
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := int64(-1)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			c := in.Cost(perm)
+			if best < 0 || c < best {
+				best = c
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			perm[j] = i
+			rec(j + 1)
+			used[i] = false
+		}
+	}
+	rec(0)
+	return best
+}
+
+func randomInstance(rng *rand.Rand, n int) *Instance {
+	in := &Instance{Flow: make([][]int64, n), Dist: make([][]int64, n)}
+	for i := 0; i < n; i++ {
+		in.Flow[i] = make([]int64, n)
+		in.Dist[i] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if i == k {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				in.Flow[i][k] = rng.Int63n(9)
+			}
+			in.Dist[i][k] = 1 + rng.Int63n(5)
+		}
+	}
+	return in
+}
+
+func TestValidate(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(1)), 4)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in.Flow[1][1] = 3
+	if err := in.Validate(); err == nil {
+		t.Fatal("non-zero diagonal accepted")
+	}
+	in.Flow[1][1] = 0
+	in.Dist[0][1] = -1
+	if err := in.Validate(); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+	if err := (&Instance{}).Validate(); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+	bad := &Instance{Flow: in.Flow, Dist: in.Dist[:2]}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+}
+
+func TestCostEvaluation(t *testing.T) {
+	in := &Instance{
+		Flow: [][]int64{{0, 2}, {1, 0}},
+		Dist: [][]int64{{0, 3}, {4, 0}},
+	}
+	// perm = identity: 2·3 + 1·4 = 10; swapped: 2·4 + 1·3 = 11.
+	if got := in.Cost([]int{0, 1}); got != 10 {
+		t.Fatalf("Cost(identity) = %d, want 10", got)
+	}
+	if got := in.Cost([]int{1, 0}); got != 11 {
+		t.Fatalf("Cost(swap) = %d, want 11", got)
+	}
+}
+
+func TestSolveSmallOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hit := 0
+	var sumRatio float64
+	count := 0
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(3)
+		in := randomInstance(rng, n)
+		want := bruteForce(in)
+		res, err := Solve(in, Options{Iterations: 120, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost < want {
+			t.Fatalf("trial %d: heuristic %d beat brute force %d — cost bug", trial, res.Cost, want)
+		}
+		if got := in.Cost(res.Perm); got != res.Cost {
+			t.Fatalf("trial %d: reported cost %d != recomputed %d", trial, res.Cost, got)
+		}
+		if res.Cost == want {
+			hit++
+		}
+		if want > 0 {
+			sumRatio += float64(res.Cost) / float64(want)
+			count++
+		}
+		// Result must be a permutation.
+		seen := make([]bool, n)
+		for _, i := range res.Perm {
+			if i < 0 || i >= n || seen[i] {
+				t.Fatalf("trial %d: not a permutation: %v", trial, res.Perm)
+			}
+			seen[i] = true
+		}
+	}
+	if hit < 18 {
+		t.Fatalf("optimum hit in only %d/25 trials", hit)
+	}
+	if mean := sumRatio / float64(count); mean > 1.05 {
+		t.Fatalf("mean ratio %0.3f; want ≤ 1.05", mean)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(3)), 8)
+	r1, err := Solve(in, Options{Iterations: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(in, Options{Iterations: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cost != r2.Cost {
+		t.Fatalf("same seed, different costs %d vs %d", r1.Cost, r2.Cost)
+	}
+}
+
+func TestOmegaAblation(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(5)), 7)
+	want := bruteForce(in)
+	res, err := Solve(in, Options{Iterations: 150, Seed: 1, DisableOmegaInEta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost < want {
+		t.Fatalf("ablated heuristic %d beat brute force %d", res.Cost, want)
+	}
+}

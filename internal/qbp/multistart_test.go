@@ -1,0 +1,97 @@
+package qbp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/testgen"
+)
+
+func TestMultiStartPicksBestOfSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	p, _ := testgen.Random(rng, testgen.Config{N: 16, TimingProb: 0.3})
+	base := Options{Iterations: 30, Seed: 5}
+
+	multi, err := SolveMultiStart(p, MultiStartOptions{Base: base, Starts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the same four runs sequentially and verify the selection.
+	var want *Result
+	for k := 0; k < 4; k++ {
+		o := base
+		o.Seed += int64(k) * 7_368_787
+		r, err := Solve(p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil ||
+			(r.Feasible && !want.Feasible) ||
+			(r.Feasible == want.Feasible && r.Feasible && r.Objective < want.Objective) ||
+			(r.Feasible == want.Feasible && !r.Feasible && r.Penalized < want.Penalized) {
+			want = r
+		}
+	}
+	if multi.Objective != want.Objective || multi.Feasible != want.Feasible {
+		t.Fatalf("multi-start picked objective %d (feasible %v), sequential best is %d (%v)",
+			multi.Objective, multi.Feasible, want.Objective, want.Feasible)
+	}
+}
+
+func TestMultiStartDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	p, _ := testgen.Random(rng, testgen.Config{N: 14, TimingProb: 0.3})
+	o := MultiStartOptions{Base: Options{Iterations: 20, Seed: 1}, Starts: 6, Workers: 3}
+	a, err := SolveMultiStart(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveMultiStart(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective || a.Penalized != b.Penalized {
+		t.Fatalf("multi-start nondeterministic: %d/%d vs %d/%d", a.Objective, a.Penalized, b.Objective, b.Penalized)
+	}
+}
+
+func TestMultiStartNeverWorseThanSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 5; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{N: 15, TimingProb: 0.4})
+		base := Options{Iterations: 25, Seed: int64(trial)}
+		single, err := Solve(p, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := SolveMultiStart(p, MultiStartOptions{Base: base, Starts: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Feasible && multi.Feasible && multi.Objective > single.Objective {
+			t.Fatalf("trial %d: multi-start (%d) worse than its own first start (%d)",
+				trial, multi.Objective, single.Objective)
+		}
+	}
+}
+
+func TestMultiStartPropagatesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	p, _ := testgen.Random(rng, testgen.Config{N: 8})
+	p.Circuit.Sizes[0] = -1
+	if _, err := SolveMultiStart(p, MultiStartOptions{Starts: 3}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestMultiStartDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	p, _ := testgen.Random(rng, testgen.Config{N: 10})
+	res, err := SolveMultiStart(p, MultiStartOptions{Base: Options{Iterations: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || !p.Normalized().CapacityFeasible(res.Assignment) {
+		t.Fatal("default multi-start produced unusable result")
+	}
+}

@@ -1,0 +1,1203 @@
+// Package qbp implements the paper's primary contribution: the partitioning
+// problem under timing (C2) and capacity (C1) constraints, reformulated as
+// an unconstrained-in-C2 Quadratic Boolean Program
+//
+//	min over y ∈ S of yᵀQ̂y,   S = {y satisfying C1 and C3},
+//
+// where Q̂ is the cost matrix with timing constraints embedded as raised
+// entries (Theorem 2), solved by the generalized/enhanced Burkard heuristic
+// of §4.2–§4.3:
+//
+//	STEP 2: bounds ω_r ≥ Σ_s q̂[r][s]·y_s for all y ∈ S (equation 2)
+//	STEP 3: η_s = Σ_r q̂[r][s]·u_r (+ ω_s·u_s per equation 3), ξ = Σ ω_r·u_r
+//	STEP 4: z = min over S of Σ η_r·u_r   — a Generalized Assignment Problem
+//	STEP 5: h_r += η_r / max(1, |z − ξ|)
+//	STEP 6: u ← argmin over S of Σ h_r·u_r — another GAP
+//	STEP 7: keep the best yᵀQ̂y seen so far
+//
+// The two §4.3 enhancements are central here: the number of partitions M is
+// small, and Q̂ is never materialized — η and ω are accumulated from sparse
+// per-component wire/timing arc lists, so one iteration costs
+// O(M·(nnz(A) + nnz(D_C)) + GAP) instead of M²N².
+package qbp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/adjacency"
+	"repro/internal/gains"
+	"repro/internal/gap"
+	"repro/internal/model"
+	"repro/internal/qmatrix"
+)
+
+// DefaultPenalty is the raised Q̂ entry for timing-violating assignment
+// pairs; the paper uses 50 in all experiments.
+const DefaultPenalty = 50
+
+// DefaultIterations matches the paper's experimental setup (100 iterations
+// per circuit).
+const DefaultIterations = 100
+
+// Options tunes Solve. The zero value reproduces the paper's setup.
+type Options struct {
+	// Iterations is the number of Burkard iterations (STEP 3–8);
+	// ≤ 0 means DefaultIterations.
+	Iterations int
+	// Penalty is the raised Q̂ entry for timing-violating pairs;
+	// ≤ 0 means DefaultPenalty. Ignored when AutoPenalty is set.
+	Penalty int64
+	// AutoPenalty derives the penalty from the problem scale instead:
+	// 1 + the largest total coupling of any single component (its wire
+	// weights times the largest B entry, plus its linear range), so no
+	// single-component relocation can ever out-bid fixing a violation.
+	// Theorem 2 allows any raised value; the paper's fixed 50 suits its
+	// instances, while this choice adapts to arbitrary cost scales.
+	AutoPenalty bool
+	// RelaxTiming drops the timing constraints entirely (the paper's
+	// Table II configuration): no entries of Q̂ are raised.
+	RelaxTiming bool
+	// OmegaInEta adds the ω_s·u_s term of equation (3) to η. The paper's
+	// STEP 3 omits it (the heuristic then relinearizes at the current
+	// point), and that is the default here too: the ω term makes every
+	// currently-occupied slot look prohibitively expensive to the
+	// subproblems, which destroys convergence in practice. Kept as an
+	// ablation switch.
+	OmegaInEta bool
+	// Refine selects the GAP refinement level for the STEP 4/6
+	// subproblems; the default is gap.RefineShift.
+	Refine gap.RefineLevel
+	// Initial is an optional starting assignment; it must satisfy C1.
+	// When nil, a seeded random capacity-feasible start is generated
+	// (the paper notes QBP maintains its quality "from any arbitrary
+	// initial solution").
+	Initial model.Assignment
+	// Seed drives the random initial solution.
+	Seed int64
+	// StopOnFeasible stops as soon as any timing-feasible iterate is
+	// found (used when generating initial solutions).
+	StopOnFeasible bool
+	// DisableRestarts turns off the stall handling: when the STEP 6
+	// iterate repeats, the accumulated h is reset and the current iterate
+	// is randomly kicked so the remaining iteration budget keeps
+	// exploring. (An enhancement over the literal §4.2 listing, which
+	// otherwise idles at a fixed point of the averaged direction; kept
+	// switchable for ablation.)
+	DisableRestarts bool
+	// DisablePolish turns off the final polish: an exact local search on
+	// the embedded objective yᵀQ̂y (single moves, then joint relocation of
+	// violated pairs) applied to the best solutions found. (Enhancement;
+	// kept switchable for ablation.)
+	DisablePolish bool
+	// OnIteration, when set, observes each iteration.
+	OnIteration func(it Iteration)
+}
+
+// Iteration is a progress snapshot passed to Options.OnIteration.
+type Iteration struct {
+	K         int     // 1-based iteration number
+	StepZ     float64 // z of STEP 4
+	Current   int64   // penalized value of u^(k+1)
+	Best      int64   // best penalized value so far
+	Penalized bool    // whether Current includes active penalties
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	// Assignment is the best solution found: the best timing-feasible one
+	// when any was seen, otherwise the best by penalized value.
+	Assignment model.Assignment
+	// Objective is α·linear + β·quadratic of Assignment (no penalties).
+	Objective int64
+	// WireLength is the single-direction wire cost Σ w·b[A(j1)][A(j2)]
+	// (the paper's reported metric for Manhattan B).
+	WireLength int64
+	// Penalized is the embedded objective yᵀQ̂y of Assignment.
+	Penalized int64
+	// TimingViolations counts violated constraints in Assignment.
+	TimingViolations int
+	// Feasible reports whether Assignment satisfies C1 and C2.
+	Feasible bool
+	// Iterations is the number of iterations performed.
+	Iterations int
+}
+
+// solver carries the per-solve state.
+type solver struct {
+	p       *model.Problem // normalized PP(1,1)
+	adj     *adjacency.Lists
+	m, n    int
+	b, d    [][]int64
+	penalty int64
+	relax   bool
+	omega   []int64 // indexed by qmatrix.Pack(i, j, m)
+}
+
+// Solve runs the generalized Burkard heuristic on p.
+func Solve(p *model.Problem, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	norm := p.Normalized()
+	s := &solver{
+		p:     norm,
+		adj:   adjacency.Build(norm.Circuit),
+		m:     norm.M(),
+		n:     norm.N(),
+		b:     norm.Topology.Cost,
+		d:     norm.Topology.Delay,
+		relax: opts.RelaxTiming,
+	}
+	s.penalty = opts.Penalty
+	if s.penalty <= 0 {
+		s.penalty = DefaultPenalty
+	}
+	if opts.AutoPenalty {
+		s.penalty = s.autoPenalty()
+	}
+	iterations := opts.Iterations
+	if iterations <= 0 {
+		iterations = DefaultIterations
+	}
+
+	// Initial solution u^(1) ∈ S.
+	var u []int
+	if opts.Initial != nil {
+		if len(opts.Initial) != s.n || !opts.Initial.Valid(s.m) {
+			return nil, errors.New("qbp: initial assignment is not complete and in range")
+		}
+		if !norm.CapacityFeasible(opts.Initial) {
+			return nil, errors.New("qbp: initial assignment violates capacity constraints (u⁽¹⁾ must lie in S)")
+		}
+		u = append([]int(nil), opts.Initial...)
+	} else {
+		var err error
+		u, err = s.randomStart(rand.New(rand.NewSource(opts.Seed)))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// STEP 2: ω bounds (computed sparsely).
+	s.omega = qmatrix.Omega(s.p, s.adj, s.effectivePenalty())
+
+	best := append([]int(nil), u...)
+	bestVal := s.penalizedValue(u)
+	var bestFeasible []int
+	bestFeasibleObj := int64(math.MaxInt64)
+	if s.relax || s.p.TimingFeasible(best) {
+		bestFeasible = append([]int(nil), u...)
+		bestFeasibleObj = s.p.Objective(u)
+	}
+
+	eta := make([][]float64, s.m)
+	h := make([][]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		eta[i] = make([]float64, s.n)
+		h[i] = make([]float64, s.n)
+	}
+	gapInst := &gap.Instance{
+		Sizes:      s.p.Circuit.Sizes,
+		Capacities: s.p.Topology.Capacities,
+	}
+	// The GAP subproblems are solved heuristically; pairwise-swap
+	// refinement is what lets the linearized subproblem reshuffle
+	// same-size components between partitions, which shift moves cannot
+	// do under tight capacities. A small pass cap keeps each call cheap —
+	// the subproblem only needs to be good, not converged.
+	gapOpts := gap.Options{Refine: opts.Refine, MaxRefinePasses: 3}
+	alternate := gapOpts.Refine == gap.RefineNone
+	if alternate {
+		gapOpts.Refine = gap.RefineSwap
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed + 0x9e3779b9))
+	prev := append([]int(nil), u...)
+	stall := 0
+	lastRepaired := int64(math.MaxInt64)
+
+	performed := 0
+	for k := 1; k <= iterations; k++ {
+		// By default the GAP refinement level alternates between
+		// iterations: deeply-refined (swap) subproblem solutions excel on
+		// sparse circuits while lightly-refined (shift) ones track the
+		// accumulated direction more smoothly on dense ones; alternating
+		// gives the best-so-far tracker both trajectories.
+		if alternate {
+			if k%2 == 0 {
+				gapOpts.Refine = gap.RefineShift
+			} else {
+				gapOpts.Refine = gap.RefineSwap
+			}
+		}
+		// STEP 3: η from the sparse arc lists, ξ from ω.
+		s.computeEta(u, eta, opts.OmegaInEta)
+		xi := 0.0
+		for j, i := range u {
+			xi += float64(s.omega[qmatrix.Pack(i, j, s.m)])
+		}
+
+		// STEP 4: z = min Σ η_r u_r over S. The minimizer uz is a
+		// relinearization of the quadratic objective at the current point,
+		// so it is itself a useful candidate — STEP 7's best-so-far
+		// tracking considers it alongside the STEP 6 iterate (an
+		// enhancement over the literal listing, which only uses z).
+		gapInst.Costs = eta
+		uz, z, ok4 := gap.Solve(gapInst, gapOpts)
+		if !ok4 {
+			return nil, errors.New("qbp: STEP 4 subproblem has no capacity-feasible solution")
+		}
+		if cur := s.penalizedValue(uz); cur < bestVal {
+			bestVal = cur
+			copy(best, uz)
+		}
+		if s.relax || s.p.TimingFeasible(uz) {
+			if obj := s.p.Objective(uz); obj < bestFeasibleObj {
+				bestFeasibleObj = obj
+				bestFeasible = append(bestFeasible[:0], uz...)
+			}
+		}
+
+		// STEP 5: accumulate the direction vector h.
+		denom := math.Abs(z - xi)
+		if denom < 1 {
+			denom = 1
+		}
+		for i := 0; i < s.m; i++ {
+			for j := 0; j < s.n; j++ {
+				h[i][j] += eta[i][j] / denom
+			}
+		}
+
+		// STEP 6: next iterate from the accumulated direction.
+		gapInst.Costs = h
+		next, _, ok6 := gap.Solve(gapInst, gapOpts)
+		if !ok6 {
+			return nil, errors.New("qbp: STEP 6 subproblem has no capacity-feasible solution")
+		}
+		u = next
+		performed = k
+
+		// Stall handling: the averaged direction h has a fixed point; once
+		// the iterate repeats, reset the accumulation and kick the iterate
+		// so the remaining budget explores new basins (STEP 7's best-so-far
+		// keeps everything already found).
+		if !opts.DisableRestarts {
+			if equalInts(u, prev) {
+				stall++
+			} else {
+				stall = 0
+			}
+			copy(prev, u)
+			if stall >= 2 {
+				stall = 0
+				for i := 0; i < s.m; i++ {
+					for j := 0; j < s.n; j++ {
+						h[i][j] = 0
+					}
+				}
+				s.kick(u, rng)
+			}
+		}
+
+		// STEP 7: best-so-far by penalized value, plus the best
+		// timing-feasible solution by true objective.
+		cur := s.penalizedValue(u)
+		if cur < bestVal {
+			bestVal = cur
+			copy(best, u)
+		}
+		if s.relax || s.p.TimingFeasible(u) {
+			if obj := s.p.Objective(u); obj < bestFeasibleObj {
+				bestFeasibleObj = obj
+				bestFeasible = append(bestFeasible[:0], u...)
+			}
+		}
+		// Whenever the penalized incumbent improves, try to convert it
+		// into a feasible candidate: under tight timing constraints the
+		// whole-assignment GAP iterates are rarely feasible end-to-end, so
+		// the feasible incumbent would otherwise only improve via the
+		// final polish. Min-conflicts clears the few residual violations;
+		// a feasibility-preserving greedy descent then recovers the wire
+		// length the repair gave up.
+		if !s.relax && !opts.DisablePolish && bestVal < lastRepaired {
+			lastRepaired = bestVal
+			w := append(model.Assignment(nil), best...)
+			s.polish(w, false)
+			if MinConflicts(s.p, w, opts.Seed+int64(k), 10*s.n) == 0 {
+				s.polish(w, true)
+				if obj := s.p.Objective(w); obj < bestFeasibleObj {
+					bestFeasibleObj = obj
+					bestFeasible = append(bestFeasible[:0], w...)
+				}
+			}
+		}
+
+		if opts.OnIteration != nil {
+			opts.OnIteration(Iteration{
+				K: k, StepZ: z, Current: cur, Best: bestVal,
+				Penalized: !s.relax,
+			})
+		}
+		if opts.StopOnFeasible && bestFeasible != nil {
+			break
+		}
+	}
+
+	if !opts.DisablePolish {
+		// Exact local search on yᵀQ̂y over S for the best penalized
+		// solution; a feasibility-preserving variant for the best feasible
+		// one. Either may promote a new best feasible solution.
+		s.polish(best, false)
+		if val := s.penalizedValue(best); val < bestVal {
+			bestVal = val
+		}
+		consider := func(w []int) {
+			if s.relax || s.p.TimingFeasible(w) {
+				if obj := s.p.Objective(w); obj < bestFeasibleObj {
+					bestFeasibleObj = obj
+					bestFeasible = append(bestFeasible[:0], w...)
+				}
+			}
+		}
+		consider(best)
+		if !s.relax && !s.p.TimingFeasible(best) {
+			// The penalized best often sits a handful of violations away
+			// from feasibility; min-conflicts repair plus a
+			// feasibility-preserving polish turns it into a candidate.
+			w := append(model.Assignment(nil), best...)
+			if MinConflicts(s.p, w, opts.Seed, 30*s.n) == 0 {
+				s.polish(w, true)
+				consider(w)
+			}
+		}
+		if bestFeasible != nil {
+			s.polish(bestFeasible, !s.relax)
+			s.strongPolish(bestFeasible)
+			bestFeasibleObj = s.p.Objective(model.Assignment(bestFeasible))
+		}
+	}
+
+	chosen := best
+	if bestFeasible != nil {
+		chosen = bestFeasible
+	}
+	a := model.Assignment(append([]int(nil), chosen...))
+	res := &Result{
+		Assignment:       a,
+		Objective:        s.p.Objective(a),
+		WireLength:       s.p.WireLength(a),
+		Penalized:        s.penalizedValue(chosen),
+		TimingViolations: s.p.CountTimingViolations(a),
+		Iterations:       performed,
+	}
+	res.Feasible = s.p.CapacityFeasible(a) && (s.relax || res.TimingViolations == 0)
+	return res, nil
+}
+
+// effectivePenalty is the penalty actually embedded (0 when timing is
+// relaxed, so ω and values reduce to the plain quadratic problem).
+func (s *solver) effectivePenalty() int64 {
+	if s.relax {
+		return 0
+	}
+	return s.penalty
+}
+
+// autoPenalty returns 1 + the largest total coupling of any single
+// component (both directions), so fixing any one timing violation always
+// out-bids whatever wire cost the move adds.
+func (s *solver) autoPenalty() int64 {
+	var maxB int64
+	for _, row := range s.b {
+		for _, v := range row {
+			if v > maxB {
+				maxB = v
+			}
+		}
+	}
+	var worst int64
+	for j, arcs := range s.adj.Arcs {
+		var tot int64
+		for _, a := range arcs {
+			tot += 2 * a.Weight * maxB
+		}
+		if s.p.Linear != nil {
+			var lo, hi int64 = math.MaxInt64, 0
+			for i := 0; i < s.m; i++ {
+				v := s.p.LinearAt(i, j)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			tot += hi - lo
+		}
+		if tot > worst {
+			worst = tot
+		}
+	}
+	pen := worst + 1
+	if pen < DefaultPenalty {
+		pen = DefaultPenalty
+	}
+	return pen
+}
+
+// penalizedValue is yᵀQ̂y for the assignment u: linear term + for every
+// ordered coupled pair either the raised penalty (violating slot, entry
+// *set* to the penalty as in the paper's §3.3 matrix) or the wire coupling.
+func (s *solver) penalizedValue(u []int) int64 {
+	var v int64
+	for j := 0; j < s.n; j++ {
+		v += s.p.LinearAt(u[j], j)
+	}
+	for j1 := 0; j1 < s.n; j1++ {
+		i1 := u[j1]
+		for _, arc := range s.adj.Arcs[j1] {
+			i2 := u[arc.Other]
+			if !s.relax && arc.MaxDelay != model.Unconstrained && s.d[i1][i2] > arc.MaxDelay {
+				v += s.penalty
+			} else {
+				v += arc.Weight * s.b[i1][i2]
+			}
+		}
+	}
+	return v
+}
+
+// computeEta fills η (an M×N view of the flat η vector) for the current u:
+// η[(i2,j2)] = Σ over coupled partners j1 of the Q̂ entry
+// ((u[j1],j1),(i2,j2)), plus the diagonal linear entry and (optionally) the
+// ω term of equation (3), both only at j2's current slot since they carry a
+// u factor.
+func (s *solver) computeEta(u []int, eta [][]float64, withOmega bool) {
+	for i := 0; i < s.m; i++ {
+		row := eta[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for j2 := 0; j2 < s.n; j2++ {
+		for _, arc := range s.adj.Arcs[j2] {
+			i1 := u[arc.Other]
+			brow := s.b[i1]
+			drow := s.d[i1]
+			if s.relax || arc.MaxDelay == model.Unconstrained {
+				if arc.Weight == 0 {
+					continue
+				}
+				for i2 := 0; i2 < s.m; i2++ {
+					eta[i2][j2] += float64(arc.Weight * brow[i2])
+				}
+			} else {
+				for i2 := 0; i2 < s.m; i2++ {
+					if drow[i2] > arc.MaxDelay {
+						eta[i2][j2] += float64(s.penalty)
+					} else {
+						eta[i2][j2] += float64(arc.Weight * brow[i2])
+					}
+				}
+			}
+		}
+		// Diagonal (linear) entries: the literal η_s = Σ_r q̂[r][s]·u_r
+		// contributes q̂[s][s] only where u_s = 1, leaving the subproblem
+		// blind to the linear cost of every other slot — fatal for
+		// PP(1,0) instances whose objective is entirely linear. Because
+		// y is binary, y_s·q̂[s][s]·y_s = q̂[s][s]·y_s exactly, so charging
+		// the diagonal at every slot keeps Σ η_s·y_s equal to yᵀQ̂y at
+		// y = u while making the subproblem see the whole linear term
+		// (a Gilmore–Lawler-style refinement of the linearization).
+		if s.p.Linear != nil {
+			for i2 := 0; i2 < s.m; i2++ {
+				eta[i2][j2] += float64(s.p.LinearAt(i2, j2))
+			}
+		}
+		if withOmega {
+			cur := u[j2]
+			eta[cur][j2] += float64(s.omega[qmatrix.Pack(cur, j2, s.m)])
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// kick randomly relocates ~10% of the components (at least 2) to other
+// partitions that still have room, preserving capacity feasibility. The
+// endpoints of currently-violated timing constraints are kicked first:
+// stalls with residual violations usually pin a small cluster that single
+// and pairwise moves cannot untangle, and scattering exactly that cluster
+// lets the next iterations re-place it jointly.
+func (s *solver) kick(u []int, rng *rand.Rand) {
+	loads := make([]int64, s.m)
+	for j, i := range u {
+		loads[i] += s.p.Circuit.Sizes[j]
+	}
+	var targets []int
+	if !s.relax {
+		seen := make(map[int]bool)
+		for j1 := 0; j1 < s.n; j1++ {
+			for _, arc := range s.adj.Arcs[j1] {
+				if arc.MaxDelay == model.Unconstrained {
+					continue
+				}
+				o := u[arc.Other]
+				if s.d[u[j1]][o] > arc.MaxDelay || s.d[o][u[j1]] > arc.MaxDelay {
+					if !seen[j1] {
+						seen[j1] = true
+						targets = append(targets, j1)
+					}
+				}
+			}
+		}
+	}
+	moves := s.n / 10
+	if moves < 2 {
+		moves = 2
+	}
+	if len(targets) > moves {
+		moves = len(targets)
+	}
+	for t := 0; t < moves; t++ {
+		var j int
+		if t < len(targets) {
+			j = targets[t]
+		} else {
+			j = rng.Intn(s.n)
+		}
+		var fits []int
+		for i := 0; i < s.m; i++ {
+			if i != u[j] && loads[i]+s.p.Circuit.Sizes[j] <= s.p.Topology.Capacities[i] {
+				fits = append(fits, i)
+			}
+		}
+		if len(fits) == 0 {
+			continue
+		}
+		to := fits[rng.Intn(len(fits))]
+		loads[u[j]] -= s.p.Circuit.Sizes[j]
+		loads[to] += s.p.Circuit.Sizes[j]
+		u[j] = to
+	}
+}
+
+// ordEntry is the Q̂ entry for the ordered pair ((i1,·),(i2,·)) along one
+// arc: the raised penalty when the arc's timing bound is violated in this
+// direction, the wire coupling otherwise.
+func (s *solver) ordEntry(i1, i2 int, arc adjacency.Arc) int64 {
+	if !s.relax && arc.MaxDelay != model.Unconstrained && s.d[i1][i2] > arc.MaxDelay {
+		return s.penalty
+	}
+	return arc.Weight * s.b[i1][i2]
+}
+
+// pairCost is the both-direction Q̂ contribution of one arc between
+// partitions iA and iB.
+func (s *solver) pairCost(iA, iB int, arc adjacency.Arc) int64 {
+	return s.ordEntry(iA, iB, arc) + s.ordEntry(iB, iA, arc)
+}
+
+// moveDeltaPenalized is the exact change of yᵀQ̂y when moving j to
+// partition to, with everything else fixed at u.
+func (s *solver) moveDeltaPenalized(u []int, j, to int) int64 {
+	cur := u[j]
+	if cur == to {
+		return 0
+	}
+	delta := s.p.LinearAt(to, j) - s.p.LinearAt(cur, j)
+	for _, arc := range s.adj.Arcs[j] {
+		o := u[arc.Other]
+		delta += s.pairCost(to, o, arc) - s.pairCost(cur, o, arc)
+	}
+	return delta
+}
+
+// timingOKAt reports whether component j placed on partition to satisfies
+// all its timing bounds against the current positions in u.
+func (s *solver) timingOKAt(u []int, j, to int) bool {
+	for _, arc := range s.adj.Arcs[j] {
+		if arc.MaxDelay == model.Unconstrained {
+			continue
+		}
+		o := u[arc.Other]
+		if s.d[to][o] > arc.MaxDelay || s.d[o][to] > arc.MaxDelay {
+			return false
+		}
+	}
+	return true
+}
+
+// polish runs an exact greedy local search on u in place. With
+// preserveFeasible it only takes timing-feasibility-preserving moves
+// (driving the true objective); otherwise it drives yᵀQ̂y directly and
+// finishes by trying joint relocations of still-violated pairs. Capacity
+// feasibility is always maintained.
+func (s *solver) polish(u []int, preserveFeasible bool) {
+	loads := make([]int64, s.m)
+	for j, i := range u {
+		loads[i] += s.p.Circuit.Sizes[j]
+	}
+	for pass := 0; pass < 60; pass++ {
+		improved := false
+		for j := 0; j < s.n; j++ {
+			cur := u[j]
+			bestTo, bestDelta := cur, int64(0)
+			for to := 0; to < s.m; to++ {
+				if to == cur || loads[to]+s.p.Circuit.Sizes[j] > s.p.Topology.Capacities[to] {
+					continue
+				}
+				if preserveFeasible && !s.timingOKAt(u, j, to) {
+					continue
+				}
+				if d := s.moveDeltaPenalized(u, j, to); d < bestDelta {
+					bestDelta, bestTo = d, to
+				}
+			}
+			if bestTo != cur {
+				loads[cur] -= s.p.Circuit.Sizes[j]
+				loads[bestTo] += s.p.Circuit.Sizes[j]
+				u[j] = bestTo
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	if !preserveFeasible && !s.relax {
+		s.repairPairs(u, loads)
+	}
+}
+
+// strongPolish runs feasibility-preserving first-improvement sweeps of
+// single moves and pair swaps on a feasible assignment until convergence,
+// using the incremental move-delta table. This leaves the final solution
+// locally optimal under the same move sets the interchange baselines use —
+// the iteration supplies the basin, the polish the local optimum.
+func (s *solver) strongPolish(u []int) {
+	t, err := gains.New(s.p, s.adj, u)
+	if err != nil {
+		return
+	}
+	moveOK := func(j, to int) bool {
+		if !t.CapacityOK(j, to) {
+			return false
+		}
+		return s.relax || t.TimingOK(j, to)
+	}
+	swapOK := func(j1, j2 int) bool {
+		if !t.SwapCapacityOK(j1, j2) {
+			return false
+		}
+		return s.relax || t.SwapTimingOK(j1, j2)
+	}
+	for pass := 0; pass < 40; pass++ {
+		improved := false
+		for j := 0; j < s.n; j++ {
+			cur := t.Partition(j)
+			for to := 0; to < s.m; to++ {
+				if to == cur || t.Delta(j, to) >= 0 || !moveOK(j, to) {
+					continue
+				}
+				t.Apply(j, to)
+				cur = to
+				improved = true
+			}
+		}
+		for j1 := 0; j1 < s.n; j1++ {
+			for j2 := j1 + 1; j2 < s.n; j2++ {
+				if t.Partition(j1) == t.Partition(j2) || t.SwapDelta(j1, j2) >= 0 || !swapOK(j1, j2) {
+					continue
+				}
+				t.ApplySwap(j1, j2)
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	copy(u, t.Assignment())
+}
+
+// repairPairs tries joint relocations of both endpoints of each violated
+// timing constraint — single moves cannot fix a pair whose only legal
+// layouts move both components.
+func (s *solver) repairPairs(u []int, loads []int64) {
+	for round := 0; round < 4; round++ {
+		fixedAny := false
+		for j1 := 0; j1 < s.n; j1++ {
+			for _, arc := range s.adj.Arcs[j1] {
+				j2 := arc.Other
+				if j2 < j1 || arc.MaxDelay == model.Unconstrained {
+					continue
+				}
+				s1, s2 := u[j1], u[j2]
+				if s.d[s1][s2] <= arc.MaxDelay && s.d[s2][s1] <= arc.MaxDelay {
+					continue // not violated
+				}
+				bestDelta := int64(0)
+				bestI1, bestI2 := s1, s2
+				for i1 := 0; i1 < s.m; i1++ {
+					for i2 := 0; i2 < s.m; i2++ {
+						if i1 == s1 && i2 == s2 {
+							continue
+						}
+						if !s.jointCapacityOK(u, loads, j1, i1, j2, i2) {
+							continue
+						}
+						if d := s.jointDeltaPenalized(u, j1, i1, j2, i2); d < bestDelta {
+							bestDelta, bestI1, bestI2 = d, i1, i2
+						}
+					}
+				}
+				if bestI1 != s1 || bestI2 != s2 {
+					sz1, sz2 := s.p.Circuit.Sizes[j1], s.p.Circuit.Sizes[j2]
+					loads[s1] -= sz1
+					loads[s2] -= sz2
+					loads[bestI1] += sz1
+					loads[bestI2] += sz2
+					u[j1], u[j2] = bestI1, bestI2
+					fixedAny = true
+				}
+			}
+		}
+		if !fixedAny {
+			return
+		}
+	}
+}
+
+// jointCapacityOK checks capacities after moving j1→i1 and j2→i2
+// simultaneously.
+func (s *solver) jointCapacityOK(u []int, loads []int64, j1, i1, j2, i2 int) bool {
+	sz1, sz2 := s.p.Circuit.Sizes[j1], s.p.Circuit.Sizes[j2]
+	delta := make(map[int]int64, 4)
+	delta[u[j1]] -= sz1
+	delta[u[j2]] -= sz2
+	delta[i1] += sz1
+	delta[i2] += sz2
+	for i, d := range delta {
+		if loads[i]+d > s.p.Topology.Capacities[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// jointDeltaPenalized is the exact yᵀQ̂y change of moving j1→i1 and j2→i2
+// simultaneously.
+func (s *solver) jointDeltaPenalized(u []int, j1, i1, j2, i2 int) int64 {
+	s1, s2 := u[j1], u[j2]
+	delta := s.p.LinearAt(i1, j1) - s.p.LinearAt(s1, j1) +
+		s.p.LinearAt(i2, j2) - s.p.LinearAt(s2, j2)
+	for _, arc := range s.adj.Arcs[j1] {
+		if arc.Other == j2 {
+			delta += s.pairCost(i1, i2, arc) - s.pairCost(s1, s2, arc)
+			continue
+		}
+		o := u[arc.Other]
+		delta += s.pairCost(i1, o, arc) - s.pairCost(s1, o, arc)
+	}
+	for _, arc := range s.adj.Arcs[j2] {
+		if arc.Other == j1 {
+			continue // already counted from j1's side
+		}
+		o := u[arc.Other]
+		delta += s.pairCost(i2, o, arc) - s.pairCost(s2, o, arc)
+	}
+	return delta
+}
+
+// EtaComputer performs STEP 3 η accumulations with precomputed sparse
+// state. Exposed for the sparse-vs-dense ablation benchmark; Solve uses the
+// same code path internally.
+type EtaComputer struct {
+	s   *solver
+	eta [][]float64
+}
+
+// NewEtaComputer prepares the sparse state (adjacency lists, ω bounds).
+func NewEtaComputer(p *model.Problem, penalty int64) *EtaComputer {
+	norm := p.Normalized()
+	s := &solver{
+		p:       norm,
+		adj:     adjacency.Build(norm.Circuit),
+		m:       norm.M(),
+		n:       norm.N(),
+		b:       norm.Topology.Cost,
+		d:       norm.Topology.Delay,
+		penalty: penalty,
+	}
+	if s.penalty <= 0 {
+		s.penalty = DefaultPenalty
+	}
+	s.omega = qmatrix.Omega(norm, s.adj, s.penalty)
+	eta := make([][]float64, s.m)
+	for i := range eta {
+		eta[i] = make([]float64, s.n)
+	}
+	return &EtaComputer{s: s, eta: eta}
+}
+
+// Compute fills and returns the M×N η matrix for assignment u. The returned
+// matrix is reused across calls.
+func (e *EtaComputer) Compute(u model.Assignment) [][]float64 {
+	e.s.computeEta(u, e.eta, false)
+	return e.eta
+}
+
+// MinConflicts runs a capacity-preserving min-conflicts repair on u in
+// place: while timing violations remain, a random conflicted component is
+// moved to the partition minimizing its own violation count (ties broken at
+// random, occasional noise moves escape plateaus). Returns the number of
+// violated constraints remaining after at most maxSteps moves. This is the
+// classic constraint-satisfaction tail-cleaner: the QBP iteration reliably
+// drives violations to a few percent, and this removes the rest.
+func MinConflicts(p *model.Problem, u model.Assignment, seed int64, maxSteps int) int {
+	norm := p.Normalized()
+	n, m := norm.N(), norm.M()
+	d := norm.Topology.Delay
+	rng := rand.New(rand.NewSource(seed))
+
+	type cons struct {
+		other int
+		dc    int64
+	}
+	cl := make([][]cons, n)
+	for _, tc := range norm.Circuit.Timing {
+		cl[tc.From] = append(cl[tc.From], cons{tc.To, tc.MaxDelay})
+		cl[tc.To] = append(cl[tc.To], cons{tc.From, tc.MaxDelay})
+	}
+	loads := norm.Loads(u)
+	viol := func(j, at int) int {
+		v := 0
+		for _, c := range cl[j] {
+			o := u[c.other]
+			if d[at][o] > c.dc || d[o][at] > c.dc {
+				v++
+			}
+		}
+		return v
+	}
+
+	// Incremental conflict bookkeeping: violCount per component, and the
+	// conflicted components kept in a slice with a position index so that
+	// membership updates and uniform random choice are both O(1).
+	violCount := make([]int, n)
+	pos := make([]int, n) // position in conflicted, -1 if absent
+	conflicted := make([]int, 0, n)
+	for j := 0; j < n; j++ {
+		pos[j] = -1
+		violCount[j] = viol(j, u[j])
+	}
+	setConflicted := func(j int) {
+		inSet := pos[j] >= 0
+		want := violCount[j] > 0
+		switch {
+		case want && !inSet:
+			pos[j] = len(conflicted)
+			conflicted = append(conflicted, j)
+		case !want && inSet:
+			last := conflicted[len(conflicted)-1]
+			conflicted[pos[j]] = last
+			pos[last] = pos[j]
+			conflicted = conflicted[:len(conflicted)-1]
+			pos[j] = -1
+		}
+	}
+	for j := 0; j < n; j++ {
+		setConflicted(j)
+	}
+
+	for step := 0; step < maxSteps; step++ {
+		if len(conflicted) == 0 {
+			return 0
+		}
+		j := conflicted[rng.Intn(len(conflicted))]
+		best := violCount[j]
+		var cands []int
+		noise := rng.Float64() < 0.08
+		for i := 0; i < m; i++ {
+			if i == u[j] || loads[i]+norm.Circuit.Sizes[j] > norm.Topology.Capacities[i] {
+				continue
+			}
+			if noise {
+				cands = append(cands, i)
+				continue
+			}
+			c := viol(j, i)
+			if c < best {
+				best = c
+				cands = cands[:0]
+				cands = append(cands, i)
+			} else if c == best {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		to := cands[rng.Intn(len(cands))]
+		from := u[j]
+		loads[from] -= norm.Circuit.Sizes[j]
+		loads[to] += norm.Circuit.Sizes[j]
+		u[j] = to
+		// Update violation counts along j's constraints only.
+		for _, c := range cl[j] {
+			o := u[c.other]
+			was := d[from][o] > c.dc || d[o][from] > c.dc
+			is := d[to][o] > c.dc || d[o][to] > c.dc
+			if was != is {
+				delta := 1
+				if was {
+					delta = -1
+				}
+				violCount[j] += delta
+				violCount[c.other] += delta
+				setConflicted(c.other)
+			}
+		}
+		setConflicted(j)
+	}
+	total := 0
+	for _, v := range violCount {
+		total += v
+	}
+	return total / 2
+}
+
+// ConstructiveStart builds a capacity-feasible assignment by sequential
+// placement: components are visited in BFS order over the coupling graph
+// (highest timing degree first), and each is placed on the
+// capacity-feasible partition that minimizes the embedded cost against its
+// already-placed partners (timing violations at the penalty, wire cost
+// otherwise), with load balance as the tie-breaker. On tightly-constrained
+// circuits this seeds the iteration far closer to the feasible region than
+// a random start.
+func ConstructiveStart(p *model.Problem, penalty int64) (model.Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	norm := p.Normalized()
+	s := &solver{
+		p:   norm,
+		adj: adjacency.Build(norm.Circuit),
+		m:   norm.M(),
+		n:   norm.N(),
+		b:   norm.Topology.Cost,
+		d:   norm.Topology.Delay,
+	}
+	if penalty <= 0 {
+		penalty = DefaultPenalty
+	}
+	s.penalty = penalty
+
+	// BFS order seeded by decreasing timing degree.
+	tdeg := make([]int, s.n)
+	for j, arcs := range s.adj.Arcs {
+		for _, a := range arcs {
+			if a.MaxDelay != model.Unconstrained {
+				tdeg[j]++
+			}
+		}
+	}
+	seedOrder := make([]int, s.n)
+	for j := range seedOrder {
+		seedOrder[j] = j
+	}
+	sort.Slice(seedOrder, func(x, y int) bool {
+		if tdeg[seedOrder[x]] != tdeg[seedOrder[y]] {
+			return tdeg[seedOrder[x]] > tdeg[seedOrder[y]]
+		}
+		return seedOrder[x] < seedOrder[y]
+	})
+	order := make([]int, 0, s.n)
+	visited := make([]bool, s.n)
+	queue := make([]int, 0, s.n)
+	for _, seed := range seedOrder {
+		if visited[seed] {
+			continue
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			order = append(order, j)
+			for _, arc := range s.adj.Arcs[j] {
+				if !visited[arc.Other] {
+					visited[arc.Other] = true
+					queue = append(queue, arc.Other)
+				}
+			}
+		}
+	}
+
+	u := make([]int, s.n)
+	placed := make([]bool, s.n)
+	loads := make([]int64, s.m)
+	for _, j := range order {
+		bestI, bestCost, bestLoad := -1, int64(math.MaxInt64), int64(0)
+		for i := 0; i < s.m; i++ {
+			if loads[i]+norm.Circuit.Sizes[j] > norm.Topology.Capacities[i] {
+				continue
+			}
+			var cost int64 = norm.LinearAt(i, j)
+			for _, arc := range s.adj.Arcs[j] {
+				if !placed[arc.Other] {
+					continue
+				}
+				cost += s.pairCost(i, u[arc.Other], arc)
+			}
+			if cost < bestCost || (cost == bestCost && loads[i] < bestLoad) {
+				bestI, bestCost, bestLoad = i, cost, loads[i]
+			}
+		}
+		if bestI < 0 {
+			return nil, fmt.Errorf("qbp: constructive start: component %d (size %d) does not fit any partition", j, norm.Circuit.Sizes[j])
+		}
+		u[j] = bestI
+		placed[j] = true
+		loads[bestI] += norm.Circuit.Sizes[j]
+	}
+	return u, nil
+}
+
+// randomStart draws a random capacity-feasible assignment: components in
+// random order, each placed on a random partition that still fits it. If
+// that fails (very tight capacities), it falls back to first-fit decreasing
+// onto the partition with the most remaining capacity.
+func (s *solver) randomStart(rng *rand.Rand) ([]int, error) {
+	for attempt := 0; attempt < 20; attempt++ {
+		u := make([]int, s.n)
+		remaining := append([]int64(nil), s.p.Topology.Capacities...)
+		order := rng.Perm(s.n)
+		ok := true
+		for _, j := range order {
+			var fits []int
+			for i := 0; i < s.m; i++ {
+				if remaining[i] >= s.p.Circuit.Sizes[j] {
+					fits = append(fits, i)
+				}
+			}
+			if len(fits) == 0 {
+				ok = false
+				break
+			}
+			i := fits[rng.Intn(len(fits))]
+			u[j] = i
+			remaining[i] -= s.p.Circuit.Sizes[j]
+		}
+		if ok {
+			return u, nil
+		}
+	}
+	// First-fit decreasing: largest components first, each onto the
+	// partition with the most remaining capacity.
+	order := make([]int, s.n)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := s.p.Circuit.Sizes[order[a]], s.p.Circuit.Sizes[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	u := make([]int, s.n)
+	remaining := append([]int64(nil), s.p.Topology.Capacities...)
+	for _, j := range order {
+		bestI := 0
+		for i := 1; i < s.m; i++ {
+			if remaining[i] > remaining[bestI] {
+				bestI = i
+			}
+		}
+		if remaining[bestI] < s.p.Circuit.Sizes[j] {
+			return nil, fmt.Errorf("qbp: cannot construct a capacity-feasible start (component %d of size %d does not fit)", j, s.p.Circuit.Sizes[j])
+		}
+		u[j] = bestI
+		remaining[bestI] -= s.p.Circuit.Sizes[j]
+	}
+	return u, nil
+}
+
+// FeasibleStart reproduces the paper's protocol for producing the initial
+// feasible solution shared by all methods: "use QBP algorithm with matrix B
+// set to all zeros; this will generate an initial feasible solution in a
+// few iterations". The quadratic cost disappears and only the embedded
+// timing penalties (plus any linear term) drive the search, so the first
+// timing-feasible iterate is returned.
+func FeasibleStart(p *model.Problem, seed int64, maxIterations int) (model.Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if maxIterations <= 0 {
+		maxIterations = 30
+	}
+	zeroB := &model.Topology{
+		Capacities: p.Topology.Capacities,
+		Cost:       make([][]int64, p.M()),
+		Delay:      p.Topology.Delay,
+	}
+	for i := range zeroB.Cost {
+		zeroB.Cost[i] = make([]int64, p.M())
+	}
+	zp := &model.Problem{
+		Circuit:  p.Circuit,
+		Topology: zeroB,
+		Alpha:    p.Alpha,
+		Beta:     p.Beta,
+		Linear:   p.Linear,
+	}
+	// Fast path: constraint-aware constructive placement plus min-conflicts
+	// repair clears real circuits in milliseconds to seconds.
+	if u, err := ConstructiveStart(zp, 0); err == nil {
+		for attempt := 0; attempt < 3; attempt++ {
+			w := append(model.Assignment(nil), u...)
+			if left := MinConflicts(zp, w, seed+int64(attempt)*7919, 100*zp.N()); left == 0 {
+				return w, nil
+			}
+		}
+	}
+	// Otherwise run the QBP(B=0) iteration from a few starts, each followed
+	// by a min-conflicts pass on its best iterate.
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		res, err := Solve(zp, Options{
+			Iterations:     maxIterations,
+			Seed:           seed + int64(attempt)*1000003,
+			StopOnFeasible: true,
+		})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if res.Feasible {
+			return res.Assignment, nil
+		}
+		u := res.Assignment
+		if left := MinConflicts(zp, u, seed+int64(attempt), 30*zp.N()); left == 0 {
+			return u, nil
+		}
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, errors.New("qbp: could not reach a timing-feasible start (instance may be infeasible)")
+}

@@ -1,0 +1,278 @@
+package qbp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/gap"
+	"repro/internal/model"
+	"repro/internal/paperex"
+	"repro/internal/testgen"
+)
+
+func TestPaperExampleReachesOptimum(t *testing.T) {
+	p := paperex.New()
+	res, err := Solve(p, Options{Iterations: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("result infeasible: %+v", res)
+	}
+	// Brute-force optimum of the worked example is 14 (both wires at
+	// distance 1, counted in both directions).
+	if res.Objective != 14 {
+		t.Fatalf("objective = %d, want 14 (assignment %v)", res.Objective, res.Assignment)
+	}
+	if res.WireLength != 7 {
+		t.Fatalf("wire length = %d, want 7", res.WireLength)
+	}
+	if res.Penalized != res.Objective {
+		t.Fatalf("feasible solution must have no penalty contribution: %d vs %d", res.Penalized, res.Objective)
+	}
+}
+
+func TestSolveValidatesInputs(t *testing.T) {
+	p := paperex.New()
+	if _, err := Solve(p, Options{Initial: model.Assignment{0, 1}}); err == nil {
+		t.Fatal("short initial accepted")
+	}
+	// Capacity-violating initial (two unit components on one unit slot).
+	if _, err := Solve(p, Options{Initial: model.Assignment{0, 0, 1}}); err == nil {
+		t.Fatal("capacity-violating initial accepted")
+	}
+	bad := paperex.New()
+	bad.Circuit.Sizes[0] = -1
+	if _, err := Solve(bad, Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+// On small random instances the heuristic must return feasible solutions
+// whose objective is close to the exact optimum.
+func TestNearOptimalOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sumRatio float64
+	count := 0
+	for trial := 0; trial < 30; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{
+			N: 5 + rng.Intn(3), TimingProb: 0.4, WithLinear: trial%3 == 0,
+		})
+		exact, err := bruteforce.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact.Found {
+			continue
+		}
+		res, err := Solve(p, Options{Iterations: 60, Seed: int64(trial), Refine: gap.RefineSwap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Fatalf("trial %d: infeasible result on feasible instance", trial)
+		}
+		if res.Objective < exact.Value {
+			t.Fatalf("trial %d: heuristic %d beat the exact optimum %d — evaluation bug", trial, res.Objective, exact.Value)
+		}
+		if exact.Value > 0 {
+			sumRatio += float64(res.Objective) / float64(exact.Value)
+			count++
+		}
+	}
+	if count < 15 {
+		t.Fatalf("only %d usable trials", count)
+	}
+	if mean := sumRatio / float64(count); mean > 1.10 {
+		t.Fatalf("mean quality ratio %0.3f; want ≤ 1.10", mean)
+	}
+}
+
+// The paper's protocol: produce a feasible start with QBP(B=0), then run
+// the full solve from it. Feasibility of the result is then guaranteed
+// (the best timing-feasible iterate is tracked and the start is one), and
+// the objective can only improve.
+func TestPaperProtocolKeepsFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{
+			N: 24, GridRows: 2, GridCols: 3, TimingProb: 0.25, WireProb: 0.3, CapSlack: 1.3,
+		})
+		start, err := FeasibleStart(p, int64(trial), 40)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := Solve(p, Options{Iterations: 80, Seed: int64(trial), Initial: start})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Fatalf("trial %d: %d timing violations remained despite feasible start", trial, res.TimingViolations)
+		}
+		if err := p.Normalized().CheckFeasible(res.Assignment); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Objective > p.Normalized().Objective(start) {
+			t.Fatalf("trial %d: objective worsened from the start: %d > %d",
+				trial, res.Objective, p.Normalized().Objective(start))
+		}
+	}
+}
+
+// From arbitrary random starts (the paper: "QBP maintained the same kind of
+// good results from any arbitrary initial solution") feasibility is not
+// formally guaranteed, but it must be reached in the vast majority of runs.
+func TestRandomStartUsuallyReachesFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	feasible := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{
+			N: 24, GridRows: 2, GridCols: 3, TimingProb: 0.25, WireProb: 0.3, CapSlack: 1.3,
+		})
+		res, err := Solve(p, Options{Iterations: 80, Seed: int64(trial), AutoPenalty: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Feasible {
+			feasible++
+		}
+	}
+	if feasible < trials-2 {
+		t.Fatalf("only %d/%d random-start runs reached timing feasibility", feasible, trials)
+	}
+}
+
+func TestRelaxTimingIgnoresConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p, _ := testgen.Random(rng, testgen.Config{N: 12, TimingProb: 0.6, TimingSlack: 0})
+	relaxed, err := Solve(p, Options{Iterations: 40, Seed: 1, RelaxTiming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Solve(p, Options{Iterations: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The relaxed optimum can only be at least as good (lower or equal
+	// objective) since it searches a superset.
+	if relaxed.Objective > strict.Objective {
+		t.Fatalf("relaxed objective %d worse than constrained %d", relaxed.Objective, strict.Objective)
+	}
+	if !relaxed.Feasible { // Feasible means C1 (+C2 only when enforced)
+		t.Fatal("relaxed solve must report capacity feasibility")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p, _ := testgen.Random(rng, testgen.Config{N: 15, TimingProb: 0.3})
+	r1, err := Solve(p, Options{Iterations: 25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(p, Options{Iterations: 25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Objective != r2.Objective {
+		t.Fatalf("same seed, different objectives: %d vs %d", r1.Objective, r2.Objective)
+	}
+	for j := range r1.Assignment {
+		if r1.Assignment[j] != r2.Assignment[j] {
+			t.Fatalf("same seed, different assignments at %d", j)
+		}
+	}
+}
+
+func TestInitialAssignmentRespected(t *testing.T) {
+	p := paperex.New()
+	initial := model.Assignment{0, 1, 3} // feasible
+	res, err := Solve(p, Options{Iterations: 10, Initial: initial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The result can only improve on (or match) the initial objective.
+	if res.Objective > p.Objective(initial) {
+		t.Fatalf("result %d worse than initial %d", res.Objective, p.Objective(initial))
+	}
+}
+
+func TestOnIterationTrace(t *testing.T) {
+	p := paperex.New()
+	var ks []int
+	_, err := Solve(p, Options{Iterations: 7, OnIteration: func(it Iteration) {
+		ks = append(ks, it.K)
+		if it.Best > it.Current && it.K > 1 {
+			// Best must be ≤ Current by definition once updated... Best is
+			// min over iterates, so Best ≤ Current always after update.
+			t.Errorf("iteration %d: best %d > current %d", it.K, it.Best, it.Current)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 7 || ks[0] != 1 || ks[6] != 7 {
+		t.Fatalf("trace iterations = %v, want 1..7", ks)
+	}
+}
+
+func TestFeasibleStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 5; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{
+			N: 30, GridRows: 2, GridCols: 3, TimingProb: 0.3, CapSlack: 1.3,
+		})
+		a, err := FeasibleStart(p, int64(trial), 40)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := p.Normalized().CheckFeasible(a); err != nil {
+			t.Fatalf("trial %d: start infeasible: %v", trial, err)
+		}
+	}
+}
+
+func TestMoreIterationsDoNotWorsen(t *testing.T) {
+	// With restarts and polish disabled the iterate sequence for a fixed
+	// seed is a pure prefix relation, so the tracked best penalized value
+	// is monotone in the iteration budget (the paper: "the more CPU time
+	// spent, the better the results").
+	rng := rand.New(rand.NewSource(13))
+	p, _ := testgen.Random(rng, testgen.Config{N: 14, TimingProb: 0.3})
+	bestAt := map[int]int64{}
+	opts := Options{Iterations: 80, Seed: 2, DisablePolish: true, DisableRestarts: true,
+		OnIteration: func(it Iteration) { bestAt[it.K] = it.Best }}
+	if _, err := Solve(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= 80; k++ {
+		if bestAt[k] > bestAt[k-1] {
+			t.Fatalf("best worsened from %d to %d at iteration %d", bestAt[k-1], bestAt[k], k)
+		}
+	}
+}
+
+func TestAutoPenalty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p, _ := testgen.Random(rng, testgen.Config{N: 10, TimingProb: 0.4, MaxWeight: 40})
+	res, err := Solve(p, Options{Iterations: 60, Seed: 1, AutoPenalty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("auto-penalty solve infeasible on feasible instance")
+	}
+}
+
+func TestOmegaAblationStillSolves(t *testing.T) {
+	p := paperex.New()
+	res, err := Solve(p, Options{Iterations: 50, Seed: 3, OmegaInEta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("ablated solver returned infeasible solution")
+	}
+}

@@ -1,0 +1,78 @@
+package qbp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lap"
+	"repro/internal/model"
+)
+
+// TestLinearAssignmentSpecialCase pins down §2.2.2 of the paper: PP(1,0)
+// with M = N, unit sizes and unit capacities *is* the Linear Assignment
+// Problem. The QBP solver run on such an instance must never beat the
+// exact Hungarian optimum, and should usually attain it.
+func TestLinearAssignmentSpecialCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	attained := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.Intn(4)
+		lin := make([][]int64, n)
+		costF := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			lin[i] = make([]int64, n)
+			costF[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := rng.Int63n(50)
+				lin[i][j] = v
+				costF[j][i] = float64(v) // LAP rows = components, cols = slots
+			}
+		}
+		c := &model.Circuit{Sizes: make([]int64, n)}
+		for j := range c.Sizes {
+			c.Sizes[j] = 1
+		}
+		topo := &model.Topology{
+			Capacities: make([]int64, n),
+			Cost:       make([][]int64, n),
+			Delay:      make([][]int64, n),
+		}
+		for i := 0; i < n; i++ {
+			topo.Capacities[i] = 1
+			topo.Cost[i] = make([]int64, n)
+			topo.Delay[i] = make([]int64, n)
+		}
+		p, err := model.NewProblem(c, topo, 1, 0, lin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, exact, err := lap.Solve(costF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(p, Options{Iterations: 60, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unit capacities force a permutation.
+		seen := make([]bool, n)
+		for _, i := range res.Assignment {
+			if seen[i] {
+				t.Fatalf("trial %d: not a permutation: %v", trial, res.Assignment)
+			}
+			seen[i] = true
+		}
+		if float64(res.Objective) < exact {
+			t.Fatalf("trial %d: QBP %d beat the exact LAP optimum %v", trial, res.Objective, exact)
+		}
+		if float64(res.Objective) == exact {
+			attained++
+		}
+	}
+	if attained < trials*3/4 {
+		t.Fatalf("LAP optimum attained in only %d/%d trials", attained, trials)
+	}
+}

@@ -1,0 +1,116 @@
+// Package report renders experiment results in machine- and
+// human-friendly formats: the paper's fixed-width table layout lives in
+// internal/bench; this package adds CSV and Markdown emitters so results
+// can be diffed, plotted and pasted into EXPERIMENTS.md without manual
+// editing.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/bench"
+)
+
+// csvHeader is the column layout shared by CSV and Markdown output.
+var csvHeader = []string{
+	"circuit", "start",
+	"qbp_wl", "qbp_improve_pct", "qbp_cpu_s", "qbp_feasible",
+	"gfm_wl", "gfm_improve_pct", "gfm_cpu_s", "gfm_feasible",
+	"gkl_wl", "gkl_improve_pct", "gkl_cpu_s", "gkl_feasible",
+}
+
+func rowFields(r bench.Row) []string {
+	emit := func(m bench.MethodResult) []string {
+		return []string{
+			strconv.FormatInt(m.WireLength, 10),
+			strconv.FormatFloat(m.Improve, 'f', 1, 64),
+			strconv.FormatFloat(m.CPU.Seconds(), 'f', 3, 64),
+			strconv.FormatBool(m.Feasible),
+		}
+	}
+	fields := []string{r.Circuit, strconv.FormatInt(r.Start, 10)}
+	fields = append(fields, emit(r.QBP)...)
+	fields = append(fields, emit(r.GFM)...)
+	fields = append(fields, emit(r.GKL)...)
+	return fields
+}
+
+// WriteCSV emits one header line plus one line per circuit.
+func WriteCSV(w io.Writer, rows []bench.Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(rowFields(r)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown emits a GitHub-flavored table in the paper's column order.
+func WriteMarkdown(w io.Writer, rows []bench.Row, timing bool) error {
+	title := "Table II — without timing constraints"
+	if timing {
+		title = "Table III — with timing constraints"
+	}
+	if _, err := fmt.Fprintf(w, "### %s\n\n", title); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "| ckt | start | QBP | (-%) | cpu | GFM | (-%) | cpu | GKL | (-%) | cpu |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|---|---|---|")
+	for _, r := range rows {
+		_, err := fmt.Fprintf(w, "| %s | %d | %d | %.1f | %.1f | %d | %.1f | %.1f | %d | %.1f | %.1f |\n",
+			r.Circuit, r.Start,
+			r.QBP.WireLength, r.QBP.Improve, r.QBP.CPU.Seconds(),
+			r.GFM.WireLength, r.GFM.Improve, r.GFM.CPU.Seconds(),
+			r.GKL.WireLength, r.GKL.Improve, r.GKL.CPU.Seconds())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a labeled sequence of (x, y) points, e.g. an iteration/quality
+// sweep for plotting.
+type Series struct {
+	Label  string
+	X      []float64
+	Y      []float64
+	XLabel string
+	YLabel string
+}
+
+// WriteSeriesCSV emits a series as two CSV columns with labeled header.
+func WriteSeriesCSV(w io.Writer, s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("report: series %q has %d x values but %d y values", s.Label, len(s.X), len(s.Y))
+	}
+	cw := csv.NewWriter(w)
+	xl, yl := s.XLabel, s.YLabel
+	if xl == "" {
+		xl = "x"
+	}
+	if yl == "" {
+		yl = "y"
+	}
+	if err := cw.Write([]string{xl, yl}); err != nil {
+		return err
+	}
+	for k := range s.X {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(s.X[k], 'g', -1, 64),
+			strconv.FormatFloat(s.Y[k], 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func sampleRows() []bench.Row {
+	return []bench.Row{
+		{
+			Circuit: "ckta", Start: 11865,
+			QBP: bench.MethodResult{WireLength: 5966, Improve: 49.7, CPU: 450 * time.Millisecond, Feasible: true},
+			GFM: bench.MethodResult{WireLength: 8890, Improve: 25.1, CPU: 160 * time.Millisecond, Feasible: true},
+			GKL: bench.MethodResult{WireLength: 7832, Improve: 34.0, CPU: 640 * time.Millisecond, Feasible: true},
+		},
+		{
+			Circuit: "cktb", Start: 6398,
+			QBP: bench.MethodResult{WireLength: 2769, Improve: 56.7, CPU: 260 * time.Millisecond, Feasible: true},
+			GFM: bench.MethodResult{WireLength: 3362, Improve: 47.5, CPU: 60 * time.Millisecond, Feasible: true},
+			GKL: bench.MethodResult{WireLength: 3150, Improve: 50.8, CPU: 450 * time.Millisecond, Feasible: true},
+		},
+	}
+}
+
+func TestWriteCSVParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("%d records, want header + 2 rows", len(records))
+	}
+	if records[0][0] != "circuit" || len(records[0]) != 14 {
+		t.Fatalf("bad header: %v", records[0])
+	}
+	if records[1][0] != "ckta" || records[1][2] != "5966" || records[1][5] != "true" {
+		t.Fatalf("bad row: %v", records[1])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, sampleRows(), true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table III", "| ckta | 11865 | 5966 | 49.7", "| cktb |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteMarkdown(&buf, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Fatal("relaxed table mislabeled")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{
+		Label:  "iteration sweep",
+		X:      []float64{10, 50, 100},
+		Y:      []float64{2979, 2769, 2769},
+		XLabel: "iterations",
+		YLabel: "wire_length",
+	}
+	if err := WriteSeriesCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 || records[0][0] != "iterations" || records[2][1] != "2769" {
+		t.Fatalf("bad series CSV: %v", records)
+	}
+	bad := Series{X: []float64{1}, Y: nil}
+	if err := WriteSeriesCSV(&buf, bad); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	// Default axis labels.
+	buf.Reset()
+	if err := WriteSeriesCSV(&buf, Series{X: []float64{1}, Y: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "x,y") {
+		t.Fatalf("default labels missing: %q", buf.String())
+	}
+}

@@ -1,0 +1,122 @@
+// Package testgen builds small random problem instances for tests: 2×2
+// grids, a handful of components, random wires, timing bounds derived from
+// a hidden feasible assignment so instances are guaranteed solvable.
+package testgen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geometry"
+	"repro/internal/model"
+)
+
+// Config controls Random.
+type Config struct {
+	N           int     // components (required)
+	GridRows    int     // default 2
+	GridCols    int     // default 2
+	MaxSize     int64   // component sizes in [1, MaxSize]; default 4
+	WireProb    float64 // per-pair wire probability; default 0.5
+	MaxWeight   int64   // wire weights in [1, MaxWeight]; default 3
+	TimingProb  float64 // per-pair timing-constraint probability; default 0.3
+	TimingSlack int64   // D_C = golden distance + [0, TimingSlack]; default 1
+	CapSlack    float64 // capacity = avg load × CapSlack; default 1.4
+	WithLinear  bool    // attach a random linear matrix P
+	Alpha, Beta int64   // objective scaling; default 1,1
+}
+
+// Random draws an instance that is guaranteed feasible: a hidden golden
+// assignment is drawn first, capacities cover its loads and every timing
+// bound is satisfied by it.
+func Random(rng *rand.Rand, cfg Config) (*model.Problem, model.Assignment) {
+	if cfg.GridRows == 0 {
+		cfg.GridRows = 2
+	}
+	if cfg.GridCols == 0 {
+		cfg.GridCols = 2
+	}
+	if cfg.MaxSize == 0 {
+		cfg.MaxSize = 4
+	}
+	if cfg.WireProb == 0 {
+		cfg.WireProb = 0.5
+	}
+	if cfg.MaxWeight == 0 {
+		cfg.MaxWeight = 3
+	}
+	if cfg.TimingProb == 0 {
+		cfg.TimingProb = 0.3
+	}
+	if cfg.TimingSlack == 0 {
+		cfg.TimingSlack = 1
+	}
+	if cfg.CapSlack == 0 {
+		cfg.CapSlack = 1.4
+	}
+	if cfg.Alpha == 0 && cfg.Beta == 0 {
+		cfg.Alpha, cfg.Beta = 1, 1
+	}
+	grid := geometry.Grid{Rows: cfg.GridRows, Cols: cfg.GridCols}
+	m := grid.M()
+	dist := grid.DistanceMatrix(geometry.Manhattan)
+
+	c := &model.Circuit{Name: "testgen", Sizes: make([]int64, cfg.N)}
+	golden := make(model.Assignment, cfg.N)
+	loads := make([]int64, m)
+	for j := 0; j < cfg.N; j++ {
+		c.Sizes[j] = 1 + rng.Int63n(cfg.MaxSize)
+		golden[j] = rng.Intn(m)
+		loads[golden[j]] += c.Sizes[j]
+	}
+	for j1 := 0; j1 < cfg.N; j1++ {
+		for j2 := j1 + 1; j2 < cfg.N; j2++ {
+			if rng.Float64() < cfg.WireProb {
+				c.Wires = append(c.Wires, model.Wire{
+					From: j1, To: j2, Weight: 1 + rng.Int63n(cfg.MaxWeight),
+				})
+			}
+			if rng.Float64() < cfg.TimingProb {
+				bound := dist[golden[j1]][golden[j2]] + rng.Int63n(cfg.TimingSlack+1)
+				c.Timing = append(c.Timing, model.TimingConstraint{
+					From: j1, To: j2, MaxDelay: bound,
+				})
+			}
+		}
+	}
+	var maxLoad int64
+	var total int64
+	for _, l := range loads {
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	capEach := int64(math.Ceil(float64(total) / float64(m) * cfg.CapSlack))
+	if capEach < maxLoad {
+		capEach = maxLoad // golden must stay feasible
+	}
+	topo := &model.Topology{
+		Capacities: make([]int64, m),
+		Cost:       dist,
+		Delay:      dist,
+	}
+	for i := range topo.Capacities {
+		topo.Capacities[i] = capEach
+	}
+	var lin [][]int64
+	if cfg.WithLinear {
+		lin = make([][]int64, m)
+		for i := range lin {
+			lin[i] = make([]int64, cfg.N)
+			for j := range lin[i] {
+				lin[i][j] = rng.Int63n(8)
+			}
+		}
+	}
+	p, err := model.NewProblem(c, topo, cfg.Alpha, cfg.Beta, lin)
+	if err != nil {
+		panic("testgen: generated invalid problem: " + err.Error())
+	}
+	return p, golden
+}

@@ -1,0 +1,105 @@
+package textio
+
+// Run with: go test ./internal/textio -run TestRegenerateGolden -regen
+// to rewrite testdata/golden-v1.prob after an intentional format change.
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/model"
+)
+
+var regen = flag.Bool("regen", false, "regenerate testdata golden files")
+
+func goldenProblem() *model.Problem {
+	grid := geometry.Grid{Rows: 2, Cols: 2}
+	dist := grid.DistanceMatrix(geometry.Manhattan)
+	c := &model.Circuit{
+		Name:  "golden-v1",
+		Sizes: []int64{3, 1, 2, 5},
+		Wires: []model.Wire{
+			{From: 0, To: 1, Weight: 4},
+			{From: 1, To: 2, Weight: 1},
+			{From: 0, To: 3, Weight: 2},
+		},
+		Timing: []model.TimingConstraint{
+			{From: 0, To: 1, MaxDelay: 1},
+			{From: 2, To: 3, MaxDelay: 2},
+		},
+	}
+	topo := &model.Topology{
+		Capacities: []int64{6, 6, 6, 6},
+		Cost:       dist,
+		Delay:      dist,
+	}
+	lin := [][]int64{
+		{0, 1, 2, 3},
+		{1, 0, 1, 2},
+		{2, 1, 0, 1},
+		{3, 2, 1, 0},
+	}
+	p, err := model.NewProblem(c, topo, 2, 3, lin)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestRegenerateGolden(t *testing.T) {
+	if !*regen {
+		t.Skip("pass -regen to rewrite the golden file")
+	}
+	f, err := os.Create("testdata/golden-v1.prob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := WriteProblem(f, goldenProblem()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFormatStability guards the on-disk format: files written by earlier
+// releases must keep parsing identically, and the current writer must
+// produce byte-identical output for the same problem.
+func TestFormatStability(t *testing.T) {
+	f, err := os.Open("testdata/golden-v1.prob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadProblem(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenProblem()
+	if !problemsEqual(got, want) {
+		t.Fatal("golden file no longer parses to the original problem")
+	}
+	// Byte-identical writer output.
+	raw, err := os.ReadFile("testdata/golden-v1.prob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	{
+		tmp := &writeBuffer{}
+		if err := WriteProblem(tmp, want); err != nil {
+			t.Fatal(err)
+		}
+		buf = tmp.data
+	}
+	if string(buf) != string(raw) {
+		t.Fatal("writer output changed; if intentional, regenerate with -regen and bump the format version")
+	}
+}
+
+type writeBuffer struct{ data []byte }
+
+func (w *writeBuffer) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}

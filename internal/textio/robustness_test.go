@@ -1,0 +1,67 @@
+package textio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+// TestParserNeverPanics feeds the reader thousands of corrupted variants of
+// a valid problem file: every outcome must be a clean value or error, never
+// a panic or a structurally invalid problem.
+func TestParserNeverPanics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, paperex.New()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3000; trial++ {
+		corrupted := append([]byte(nil), valid...)
+		for edits := 1 + rng.Intn(4); edits > 0; edits-- {
+			switch rng.Intn(4) {
+			case 0: // flip a byte
+				corrupted[rng.Intn(len(corrupted))] = byte(rng.Intn(256))
+			case 1: // truncate
+				corrupted = corrupted[:rng.Intn(len(corrupted)+1)]
+			case 2: // duplicate a slice
+				if len(corrupted) > 2 {
+					a := rng.Intn(len(corrupted))
+					b := a + rng.Intn(len(corrupted)-a)
+					corrupted = append(corrupted[:b], append([]byte(string(corrupted[a:b])), corrupted[b:]...)...)
+				}
+			case 3: // insert junk line
+				pos := rng.Intn(len(corrupted))
+				corrupted = append(corrupted[:pos], append([]byte("\n-9 xx 77\n"), corrupted[pos:]...)...)
+			}
+			if len(corrupted) == 0 {
+				break
+			}
+		}
+		p, err := ReadProblem(bytes.NewReader(corrupted))
+		if err == nil && p != nil {
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("trial %d: parser accepted a structurally invalid problem: %v", trial, verr)
+			}
+		}
+	}
+}
+
+// TestAssignmentParserNeverPanics does the same for the assignment format.
+func TestAssignmentParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := "qbpart-assignment v1 4\n0\n1\n2\n3\n"
+	for trial := 0; trial < 2000; trial++ {
+		b := []byte(base)
+		for edits := 1 + rng.Intn(3); edits > 0; edits-- {
+			if len(b) == 0 {
+				break
+			}
+			b[rng.Intn(len(b))] = byte(rng.Intn(128))
+		}
+		_, _ = ReadAssignment(strings.NewReader(string(b)))
+	}
+}

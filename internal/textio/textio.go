@@ -1,0 +1,316 @@
+// Package textio serializes problems and assignments as a plain-text,
+// line-oriented format so circuits can be generated, stored, solved and
+// validated by separate CLI invocations. The format is versioned and
+// self-describing:
+//
+//	qbpart-problem v1
+//	name <string>
+//	alpha <int>
+//	beta <int>
+//	components <N>
+//	<N lines: size>
+//	wires <K>
+//	<K lines: from to weight>
+//	timing <T>
+//	<T lines: from to maxdelay>
+//	partitions <M>
+//	<M lines: capacity>
+//	cost
+//	<M lines of M ints>
+//	delay
+//	<M lines of M ints>
+//	linear            (optional section)
+//	<M lines of N ints>
+//
+// Assignments are one header line "qbpart-assignment v1 <N>" followed by N
+// partition indices, one per line. Lines starting with '#' are comments.
+package textio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+const (
+	problemHeader    = "qbpart-problem v1"
+	assignmentHeader = "qbpart-assignment v1"
+)
+
+// WriteProblem serializes p.
+func WriteProblem(w io.Writer, p *model.Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, problemHeader)
+	fmt.Fprintf(bw, "name %s\n", sanitizeName(p.Circuit.Name))
+	fmt.Fprintf(bw, "alpha %d\n", p.Alpha)
+	fmt.Fprintf(bw, "beta %d\n", p.Beta)
+	fmt.Fprintf(bw, "components %d\n", p.N())
+	for _, s := range p.Circuit.Sizes {
+		fmt.Fprintln(bw, s)
+	}
+	fmt.Fprintf(bw, "wires %d\n", len(p.Circuit.Wires))
+	for _, wr := range p.Circuit.Wires {
+		fmt.Fprintf(bw, "%d %d %d\n", wr.From, wr.To, wr.Weight)
+	}
+	fmt.Fprintf(bw, "timing %d\n", len(p.Circuit.Timing))
+	for _, t := range p.Circuit.Timing {
+		fmt.Fprintf(bw, "%d %d %d\n", t.From, t.To, t.MaxDelay)
+	}
+	fmt.Fprintf(bw, "partitions %d\n", p.M())
+	for _, c := range p.Topology.Capacities {
+		fmt.Fprintln(bw, c)
+	}
+	fmt.Fprintln(bw, "cost")
+	writeMatrix(bw, p.Topology.Cost)
+	fmt.Fprintln(bw, "delay")
+	writeMatrix(bw, p.Topology.Delay)
+	if p.Linear != nil {
+		fmt.Fprintln(bw, "linear")
+		writeMatrix(bw, p.Linear)
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\t' {
+			return '-'
+		}
+		return r
+	}, s)
+}
+
+func writeMatrix(w io.Writer, mat [][]int64) {
+	for _, row := range mat {
+		parts := make([]string, len(row))
+		for k, v := range row {
+			parts[k] = strconv.FormatInt(v, 10)
+		}
+		fmt.Fprintln(w, strings.Join(parts, " "))
+	}
+}
+
+// reader yields non-empty, non-comment lines with position tracking.
+type reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newReader(r io.Reader) *reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return &reader{sc: sc}
+}
+
+func (r *reader) next() (string, error) {
+	for r.sc.Scan() {
+		r.line++
+		s := strings.TrimSpace(r.sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		return s, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+func (r *reader) errf(format string, args ...any) error {
+	return fmt.Errorf("textio: line %d: %s", r.line, fmt.Sprintf(format, args...))
+}
+
+// keyword reads a line expected to be "<key> <int>" and returns the int.
+func (r *reader) keyword(key string) (int64, error) {
+	s, err := r.next()
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(s)
+	if len(fields) != 2 || fields[0] != key {
+		return 0, r.errf("expected %q <value>, got %q", key, s)
+	}
+	v, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0, r.errf("bad %s value %q", key, fields[1])
+	}
+	return v, nil
+}
+
+func (r *reader) ints(want int) ([]int64, error) {
+	s, err := r.next()
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(s)
+	if len(fields) != want {
+		return nil, r.errf("expected %d values, got %d", want, len(fields))
+	}
+	out := make([]int64, want)
+	for k, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, r.errf("bad integer %q", f)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func (r *reader) matrix(rows, cols int) ([][]int64, error) {
+	mat := make([][]int64, rows)
+	for i := range mat {
+		row, err := r.ints(cols)
+		if err != nil {
+			return nil, err
+		}
+		mat[i] = row
+	}
+	return mat, nil
+}
+
+// ReadProblem parses a problem written by WriteProblem.
+func ReadProblem(rd io.Reader) (*model.Problem, error) {
+	r := newReader(rd)
+	s, err := r.next()
+	if err != nil {
+		return nil, fmt.Errorf("textio: empty input: %w", err)
+	}
+	if s != problemHeader {
+		return nil, r.errf("bad header %q, want %q", s, problemHeader)
+	}
+	nameLine, err := r.next()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(nameLine, "name ") {
+		return nil, r.errf("expected name line, got %q", nameLine)
+	}
+	name := strings.TrimSpace(strings.TrimPrefix(nameLine, "name "))
+	alpha, err := r.keyword("alpha")
+	if err != nil {
+		return nil, err
+	}
+	beta, err := r.keyword("beta")
+	if err != nil {
+		return nil, err
+	}
+	n64, err := r.keyword("components")
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	circuit := &model.Circuit{Name: name, Sizes: make([]int64, n)}
+	for j := 0; j < n; j++ {
+		v, err := r.ints(1)
+		if err != nil {
+			return nil, err
+		}
+		circuit.Sizes[j] = v[0]
+	}
+	k64, err := r.keyword("wires")
+	if err != nil {
+		return nil, err
+	}
+	for k := int64(0); k < k64; k++ {
+		v, err := r.ints(3)
+		if err != nil {
+			return nil, err
+		}
+		circuit.Wires = append(circuit.Wires, model.Wire{From: int(v[0]), To: int(v[1]), Weight: v[2]})
+	}
+	t64, err := r.keyword("timing")
+	if err != nil {
+		return nil, err
+	}
+	for k := int64(0); k < t64; k++ {
+		v, err := r.ints(3)
+		if err != nil {
+			return nil, err
+		}
+		circuit.Timing = append(circuit.Timing, model.TimingConstraint{From: int(v[0]), To: int(v[1]), MaxDelay: v[2]})
+	}
+	m64, err := r.keyword("partitions")
+	if err != nil {
+		return nil, err
+	}
+	m := int(m64)
+	topo := &model.Topology{Capacities: make([]int64, m)}
+	for i := 0; i < m; i++ {
+		v, err := r.ints(1)
+		if err != nil {
+			return nil, err
+		}
+		topo.Capacities[i] = v[0]
+	}
+	if s, err = r.next(); err != nil || s != "cost" {
+		return nil, r.errf("expected cost section (err=%v)", err)
+	}
+	if topo.Cost, err = r.matrix(m, m); err != nil {
+		return nil, err
+	}
+	if s, err = r.next(); err != nil || s != "delay" {
+		return nil, r.errf("expected delay section (err=%v)", err)
+	}
+	if topo.Delay, err = r.matrix(m, m); err != nil {
+		return nil, err
+	}
+	var linear [][]int64
+	if s, err = r.next(); err == nil {
+		if s != "linear" {
+			return nil, r.errf("unexpected trailing content %q", s)
+		}
+		if linear, err = r.matrix(m, n); err != nil {
+			return nil, err
+		}
+	} else if err != io.EOF {
+		return nil, err
+	}
+	return model.NewProblem(circuit, topo, alpha, beta, linear)
+}
+
+// WriteAssignment serializes a.
+func WriteAssignment(w io.Writer, a model.Assignment) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %d\n", assignmentHeader, len(a))
+	for _, i := range a {
+		fmt.Fprintln(bw, i)
+	}
+	return bw.Flush()
+}
+
+// ReadAssignment parses an assignment written by WriteAssignment.
+func ReadAssignment(rd io.Reader) (model.Assignment, error) {
+	r := newReader(rd)
+	s, err := r.next()
+	if err != nil {
+		return nil, fmt.Errorf("textio: empty input: %w", err)
+	}
+	if !strings.HasPrefix(s, assignmentHeader+" ") {
+		return nil, r.errf("bad header %q", s)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(s, assignmentHeader+" ")))
+	if err != nil || n < 0 {
+		return nil, r.errf("bad assignment length in header %q", s)
+	}
+	a := make(model.Assignment, n)
+	for j := 0; j < n; j++ {
+		v, err := r.ints(1)
+		if err != nil {
+			return nil, err
+		}
+		a[j] = int(v[0])
+	}
+	return a, nil
+}

@@ -1,0 +1,177 @@
+package textio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/paperex"
+	"repro/internal/testgen"
+)
+
+func roundTrip(t *testing.T, p *model.Problem) *model.Problem {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProblem(&buf)
+	if err != nil {
+		t.Fatalf("read back: %v\n", err)
+	}
+	return q
+}
+
+func problemsEqual(a, b *model.Problem) bool {
+	if a.Alpha != b.Alpha || a.Beta != b.Beta || a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	if a.Circuit.Name != b.Circuit.Name {
+		return false
+	}
+	for j := range a.Circuit.Sizes {
+		if a.Circuit.Sizes[j] != b.Circuit.Sizes[j] {
+			return false
+		}
+	}
+	if len(a.Circuit.Wires) != len(b.Circuit.Wires) || len(a.Circuit.Timing) != len(b.Circuit.Timing) {
+		return false
+	}
+	for k := range a.Circuit.Wires {
+		if a.Circuit.Wires[k] != b.Circuit.Wires[k] {
+			return false
+		}
+	}
+	for k := range a.Circuit.Timing {
+		if a.Circuit.Timing[k] != b.Circuit.Timing[k] {
+			return false
+		}
+	}
+	for i := range a.Topology.Capacities {
+		if a.Topology.Capacities[i] != b.Topology.Capacities[i] {
+			return false
+		}
+		for k := range a.Topology.Cost[i] {
+			if a.Topology.Cost[i][k] != b.Topology.Cost[i][k] || a.Topology.Delay[i][k] != b.Topology.Delay[i][k] {
+				return false
+			}
+		}
+	}
+	if (a.Linear == nil) != (b.Linear == nil) {
+		return false
+	}
+	if a.Linear != nil {
+		for i := range a.Linear {
+			for j := range a.Linear[i] {
+				if a.Linear[i][j] != b.Linear[i][j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestProblemRoundTrip(t *testing.T) {
+	if !problemsEqual(paperex.New(), roundTrip(t, paperex.New())) {
+		t.Fatal("paper example did not round-trip")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{
+			N: 10, TimingProb: 0.4, WithLinear: trial%2 == 0, Alpha: 2, Beta: 5,
+		})
+		if !problemsEqual(p, roundTrip(t, p)) {
+			t.Fatalf("trial %d did not round-trip", trial)
+		}
+	}
+}
+
+func TestGeneratedCircuitRoundTrip(t *testing.T) {
+	in := gen.MustNamed("cktb")
+	if !problemsEqual(in.Problem, roundTrip(t, in.Problem)) {
+		t.Fatal("generated circuit did not round-trip")
+	}
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	a := model.Assignment{3, 1, 4, 1, 5, 9, 2, 6}
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadAssignment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("length %d != %d", len(b), len(a))
+	}
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("entry %d: %d != %d", j, b[j], a[j])
+		}
+	}
+}
+
+func TestCommentsAndBlankLinesIgnored(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, paperex.New()); err != nil {
+		t.Fatal(err)
+	}
+	noisy := "# generated file\n\n" + strings.ReplaceAll(buf.String(), "wires", "# about to list wires\nwires")
+	if _, err := ReadProblem(strings.NewReader(noisy)); err != nil {
+		t.Fatalf("comments broke parsing: %v", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header", "something else\n"},
+		{"truncated", "qbpart-problem v1\nname x\nalpha 1\nbeta 1\ncomponents 2\n5\n"},
+		{"bad keyword", "qbpart-problem v1\nname x\nalpha 1\ngamma 1\n"},
+		{"bad int", "qbpart-problem v1\nname x\nalpha one\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadProblem(strings.NewReader(tc.input)); err == nil {
+				t.Fatalf("accepted %q", tc.input)
+			}
+		})
+	}
+	if _, err := ReadAssignment(strings.NewReader("nope\n")); err == nil {
+		t.Fatal("bad assignment header accepted")
+	}
+	if _, err := ReadAssignment(strings.NewReader("qbpart-assignment v1 3\n1\n2\n")); err == nil {
+		t.Fatal("truncated assignment accepted")
+	}
+}
+
+func TestInvalidProblemRejectedOnWrite(t *testing.T) {
+	p := paperex.New()
+	p.Circuit.Sizes[0] = -1
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err == nil {
+		t.Fatal("invalid problem serialized")
+	}
+}
+
+func TestNameSanitization(t *testing.T) {
+	p := paperex.New()
+	p.Circuit.Name = "has spaces\tand tabs"
+	q := roundTrip(t, p)
+	if strings.ContainsAny(q.Circuit.Name, " \t\n") {
+		t.Fatalf("name not sanitized: %q", q.Circuit.Name)
+	}
+	p.Circuit.Name = ""
+	if got := roundTrip(t, p).Circuit.Name; got != "unnamed" {
+		t.Fatalf("empty name round-tripped to %q", got)
+	}
+}

@@ -1,0 +1,259 @@
+// Package timing derives the pairwise routing-delay budgets D_C of the
+// partitioning formulation from a register-to-register timing model, the
+// way the paper describes its constraints: "driven by system cycle time and
+// … derived from the delay equations and intrinsic delay in combinational
+// circuit components" (§1, §2).
+//
+// The model is a combinational DAG over the circuit's components: every
+// component carries an intrinsic delay, every wire is a directed signal arc
+// whose routing delay depends on the final partitioning, and path endpoints
+// (registers, primary I/O) anchor cycle-time paths. For a cycle time T,
+// every register-to-register path p must satisfy
+//
+//	Σ intrinsic(v) + Σ routing(e)  ≤  T     over v, e on p.
+//
+// The budget of one arc (j1, j2) is the slack the worst path through that
+// arc leaves for its own routing when every *other* arc on the path is
+// charged a pessimistic per-hop routing estimate:
+//
+//	D_C(j1,j2) = T − worstPathDelay(j1,j2) − est·(worstPathArcs(j1,j2) − 1)
+//
+// where worstPathDelay is the largest total intrinsic delay over paths
+// through the arc and worstPathArcs the number of arcs on that path. Arcs
+// whose budget reaches the maximum inter-partition delay are reported as
+// unconstrained — exactly the constraints the paper "discarded" from the
+// N² total, keeping only the critical ones (Table I).
+package timing
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Graph is the combinational timing model of a circuit.
+type Graph struct {
+	// Intrinsic[j] is the internal delay of component j (≥ 0).
+	Intrinsic []int64
+	// Arcs are the directed signal connections (from driving component to
+	// driven component). Typically one per wire direction of interest.
+	Arcs []Arc
+	// Endpoint[j] marks registered components (or primary I/O): paths
+	// start after and end at endpoints. Combinational components have
+	// Endpoint[j] = false.
+	Endpoint []bool
+}
+
+// Arc is one directed signal connection.
+type Arc struct {
+	From, To int
+}
+
+// Validate checks shapes and acyclicity over the combinational interior
+// (paths may start and end at endpoints, but a cycle that never crosses an
+// endpoint has unbounded delay and is rejected).
+func (g *Graph) Validate() error {
+	n := len(g.Intrinsic)
+	if n == 0 {
+		return errors.New("timing: empty graph")
+	}
+	if len(g.Endpoint) != n {
+		return fmt.Errorf("timing: Endpoint has %d entries, want %d", len(g.Endpoint), n)
+	}
+	for j, d := range g.Intrinsic {
+		if d < 0 {
+			return fmt.Errorf("timing: component %d has negative intrinsic delay %d", j, d)
+		}
+	}
+	for k, a := range g.Arcs {
+		if a.From < 0 || a.From >= n || a.To < 0 || a.To >= n || a.From == a.To {
+			return fmt.Errorf("timing: arc %d (%d→%d) invalid", k, a.From, a.To)
+		}
+	}
+	// Combinational cycle check: DFS over arcs that do not *enter* an
+	// endpoint (paths are cut at endpoints).
+	adj := g.forwardAdj()
+	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
+	var visit func(j int) error
+	visit = func(j int) error {
+		state[j] = 1
+		for _, to := range adj[j] {
+			if g.Endpoint[to] {
+				continue // path terminates at a register
+			}
+			switch state[to] {
+			case 1:
+				return fmt.Errorf("timing: combinational cycle through component %d", to)
+			case 0:
+				if err := visit(to); err != nil {
+					return err
+				}
+			}
+		}
+		state[j] = 2
+		return nil
+	}
+	for j := 0; j < n; j++ {
+		if state[j] == 0 {
+			if err := visit(j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Graph) forwardAdj() [][]int {
+	adj := make([][]int, len(g.Intrinsic))
+	for _, a := range g.Arcs {
+		adj[a.From] = append(adj[a.From], a.To)
+	}
+	return adj
+}
+
+func (g *Graph) backwardAdj() [][]int {
+	adj := make([][]int, len(g.Intrinsic))
+	for _, a := range g.Arcs {
+		adj[a.To] = append(adj[a.To], a.From)
+	}
+	return adj
+}
+
+// pathInfo is the worst (largest) accumulated intrinsic delay and arc count
+// from/to the nearest endpoints.
+type pathInfo struct {
+	delay int64
+	arcs  int64
+}
+
+// longest computes, for every component, the worst accumulated intrinsic
+// delay and arc count from a path start (for backward) or to a path end
+// (for forward), by memoized DFS. Endpoints contribute their own intrinsic
+// delay but stop propagation.
+func (g *Graph) longest(adj [][]int) []pathInfo {
+	n := len(g.Intrinsic)
+	info := make([]pathInfo, n)
+	done := make([]bool, n)
+	var visit func(j int) pathInfo
+	visit = func(j int) pathInfo {
+		if done[j] {
+			return info[j]
+		}
+		done[j] = true // safe: Validate rejects combinational cycles
+		best := pathInfo{}
+		if !g.Endpoint[j] {
+			for _, next := range adj[j] {
+				p := visit(next)
+				cand := pathInfo{delay: p.delay, arcs: p.arcs + 1}
+				if cand.delay > best.delay || (cand.delay == best.delay && cand.arcs > best.arcs) {
+					best = cand
+				}
+			}
+		}
+		best.delay += g.Intrinsic[j]
+		info[j] = best
+		return best
+	}
+	for j := 0; j < n; j++ {
+		visit(j)
+	}
+	return info
+}
+
+// Budget is one derived routing budget.
+type Budget struct {
+	From, To int
+	MaxDelay int64
+}
+
+// Options tunes Derive.
+type Options struct {
+	// CycleTime is the clock period T (required, > 0).
+	CycleTime int64
+	// HopEstimate is the pessimistic routing delay charged to every
+	// *other* arc of the worst path; ≥ 0 (0 gives the loosest budgets).
+	HopEstimate int64
+	// MaxUseful is the largest inter-partition delay of the target
+	// topology; budgets ≥ MaxUseful are vacuous and dropped (the paper's
+	// "discarded" non-critical constraints). ≤ 0 keeps everything.
+	MaxUseful int64
+}
+
+// Derive computes a routing budget for every arc and returns the critical
+// ones. An arc with a negative budget makes the cycle time unachievable
+// regardless of partitioning; Derive reports it as an error.
+func Derive(g *Graph, opts Options) ([]Budget, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.CycleTime <= 0 {
+		return nil, errors.New("timing: cycle time must be positive")
+	}
+	if opts.HopEstimate < 0 {
+		return nil, errors.New("timing: hop estimate must be non-negative")
+	}
+	arrive := g.longest(g.backwardAdj()) // worst delay from a path start *into* j (inclusive)
+	leave := g.longest(g.forwardAdj())   // worst delay from j *to* a path end (inclusive)
+
+	var budgets []Budget
+	for _, a := range g.Arcs {
+		// Worst path through the arc: arrive at From, cross, leave from To.
+		delay := arrive[a.From].delay + leave[a.To].delay
+		arcs := arrive[a.From].arcs + leave[a.To].arcs + 1
+		budget := opts.CycleTime - delay - opts.HopEstimate*(arcs-1)
+		if budget < 0 {
+			return nil, fmt.Errorf("timing: arc %d→%d needs %d of delay on a %d cycle: unachievable",
+				a.From, a.To, delay+opts.HopEstimate*(arcs-1), opts.CycleTime)
+		}
+		if opts.MaxUseful > 0 && budget >= opts.MaxUseful {
+			continue // vacuous: any placement satisfies it
+		}
+		budgets = append(budgets, Budget{From: a.From, To: a.To, MaxDelay: budget})
+	}
+	return budgets, nil
+}
+
+// Constraints converts derived budgets into model timing constraints,
+// keeping the tightest bound per unordered pair (the model treats D_C
+// symmetrically).
+func Constraints(budgets []Budget) []model.TimingConstraint {
+	type key struct{ a, b int }
+	tight := make(map[key]int64, len(budgets))
+	order := make([]key, 0, len(budgets))
+	for _, b := range budgets {
+		x, y := b.From, b.To
+		if x > y {
+			x, y = y, x
+		}
+		k := key{x, y}
+		if cur, ok := tight[k]; !ok {
+			tight[k] = b.MaxDelay
+			order = append(order, k)
+		} else if b.MaxDelay < cur {
+			tight[k] = b.MaxDelay
+		}
+	}
+	out := make([]model.TimingConstraint, 0, len(order))
+	for _, k := range order {
+		out = append(out, model.TimingConstraint{From: k.a, To: k.b, MaxDelay: tight[k]})
+	}
+	return out
+}
+
+// CriticalPathDelay returns the worst register-to-register intrinsic delay
+// (the minimum achievable cycle time with zero routing delay).
+func CriticalPathDelay(g *Graph) (int64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	arrive := g.longest(g.backwardAdj())
+	leave := g.longest(g.forwardAdj())
+	var worst int64
+	for _, a := range g.Arcs {
+		if d := arrive[a.From].delay + leave[a.To].delay; d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,304 @@
+package timing
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// pipeline builds REG → comb(a) → comb(b) → REG with configurable delays.
+func pipeline(dreg, da, db int64) *Graph {
+	return &Graph{
+		Intrinsic: []int64{dreg, da, db, dreg},
+		Endpoint:  []bool{true, false, false, true},
+		Arcs: []Arc{
+			{From: 0, To: 1},
+			{From: 1, To: 2},
+			{From: 2, To: 3},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := pipeline(1, 2, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := pipeline(1, 2, 3)
+	bad.Intrinsic[1] = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	bad = pipeline(1, 2, 3)
+	bad.Arcs[0].To = 9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range arc accepted")
+	}
+	bad = pipeline(1, 2, 3)
+	bad.Endpoint = bad.Endpoint[:2]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short endpoint vector accepted")
+	}
+	if err := (&Graph{}).Validate(); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	g := &Graph{
+		Intrinsic: []int64{1, 1, 1},
+		Endpoint:  []bool{false, false, false},
+		Arcs:      []Arc{{0, 1}, {1, 2}, {2, 0}},
+	}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("combinational cycle not rejected: %v", err)
+	}
+}
+
+func TestCycleThroughRegisterAllowed(t *testing.T) {
+	// A feedback loop broken by a register is fine.
+	g := &Graph{
+		Intrinsic: []int64{1, 2, 3},
+		Endpoint:  []bool{true, false, false},
+		Arcs:      []Arc{{0, 1}, {1, 2}, {2, 0}},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("registered loop rejected: %v", err)
+	}
+}
+
+func TestCriticalPathDelay(t *testing.T) {
+	// REG(1) → a(2) → b(3) → REG(1): worst path 1+2+3+1 = 7.
+	g := pipeline(1, 2, 3)
+	got, err := CriticalPathDelay(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("critical path = %d, want 7", got)
+	}
+}
+
+func TestDeriveBudgets(t *testing.T) {
+	// Cycle time 13, path delay 7 over 3 arcs, hop estimate 1:
+	// every arc's budget = 13 − 7 − 1·(3−1) = 4.
+	g := pipeline(1, 2, 3)
+	budgets, err := Derive(g, Options{CycleTime: 13, HopEstimate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(budgets) != 3 {
+		t.Fatalf("%d budgets, want 3", len(budgets))
+	}
+	for _, b := range budgets {
+		if b.MaxDelay != 4 {
+			t.Fatalf("arc %d→%d budget %d, want 4", b.From, b.To, b.MaxDelay)
+		}
+	}
+}
+
+func TestDeriveDropsVacuousBudgets(t *testing.T) {
+	// One slow side branch, one fast: on a generous cycle the fast arcs'
+	// budgets exceed the topology's diameter and are dropped.
+	g := &Graph{
+		//            REG   slow  fast  REG
+		Intrinsic: []int64{1, 20, 2, 1},
+		Endpoint:  []bool{true, false, false, true},
+		Arcs:      []Arc{{0, 1}, {1, 3}, {0, 2}, {2, 3}},
+	}
+	budgets, err := Derive(g, Options{CycleTime: 30, HopEstimate: 0, MaxUseful: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow path 1+20+1 = 22 → budget 8 per arc ≥ 6? 30−22 = 8 ≥ 6 → also
+	// dropped; tighten the cycle so the slow arcs stay critical.
+	budgets, err = Derive(g, Options{CycleTime: 25, HopEstimate: 0, MaxUseful: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range budgets {
+		if b.From == 0 && b.To == 2 || b.From == 2 && b.To == 3 {
+			t.Fatalf("fast arc %d→%d should be vacuous (budget %d)", b.From, b.To, b.MaxDelay)
+		}
+	}
+	if len(budgets) != 2 {
+		t.Fatalf("%d critical budgets, want the 2 slow arcs", len(budgets))
+	}
+	// Slow arcs: 25−22 = 3.
+	for _, b := range budgets {
+		if b.MaxDelay != 3 {
+			t.Fatalf("slow arc budget %d, want 3", b.MaxDelay)
+		}
+	}
+}
+
+func TestDeriveUnachievable(t *testing.T) {
+	g := pipeline(1, 2, 3)
+	if _, err := Derive(g, Options{CycleTime: 6}); err == nil {
+		t.Fatal("cycle shorter than the intrinsic path accepted")
+	}
+	if _, err := Derive(g, Options{CycleTime: 0}); err == nil {
+		t.Fatal("zero cycle time accepted")
+	}
+	if _, err := Derive(g, Options{CycleTime: 10, HopEstimate: -1}); err == nil {
+		t.Fatal("negative hop estimate accepted")
+	}
+}
+
+func TestReconvergentPaths(t *testing.T) {
+	// Diamond: REG → a → (b | c) → d → REG, b slower than c. The a→… and
+	// …→d budgets must be driven by the slow branch.
+	g := &Graph{
+		//            REG  a   b   c   d  REG
+		Intrinsic: []int64{1, 2, 10, 1, 2, 1},
+		Endpoint:  []bool{true, false, false, false, false, true},
+		Arcs:      []Arc{{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 5}},
+	}
+	budgets, err := Derive(g, Options{CycleTime: 24, HopEstimate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byArc := map[[2]int]int64{}
+	for _, b := range budgets {
+		byArc[[2]int{b.From, b.To}] = b.MaxDelay
+	}
+	// Slow path: 1+2+10+2+1 = 16 → budget 8 on its arcs.
+	for _, a := range [][2]int{{0, 1}, {1, 2}, {2, 4}, {4, 5}} {
+		if byArc[a] != 8 {
+			t.Fatalf("arc %v budget %d, want 8 (slow branch governs)", a, byArc[a])
+		}
+	}
+	// Fast branch interior: 1+2+1+2+1 = 7 → budget 17.
+	for _, a := range [][2]int{{1, 3}, {3, 4}} {
+		if byArc[a] != 17 {
+			t.Fatalf("arc %v budget %d, want 17", a, byArc[a])
+		}
+	}
+}
+
+func TestConstraintsKeepTightest(t *testing.T) {
+	budgets := []Budget{
+		{From: 2, To: 5, MaxDelay: 4},
+		{From: 5, To: 2, MaxDelay: 2}, // reverse direction, tighter
+		{From: 1, To: 3, MaxDelay: 7},
+	}
+	cs := Constraints(budgets)
+	if len(cs) != 2 {
+		t.Fatalf("%d constraints, want 2 merged pairs", len(cs))
+	}
+	for _, c := range cs {
+		if c.From == 2 && c.To == 5 {
+			if c.MaxDelay != 2 {
+				t.Fatalf("pair (2,5) bound %d, want tightest 2", c.MaxDelay)
+			}
+		}
+	}
+}
+
+// Property: for random registered DAGs, every derived budget is exactly the
+// cycle time minus the worst through-path delay minus the hop charges,
+// verified against exhaustive path enumeration.
+func TestDeriveAgainstPathEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(6)
+		g := &Graph{
+			Intrinsic: make([]int64, n),
+			Endpoint:  make([]bool, n),
+		}
+		for j := 0; j < n; j++ {
+			g.Intrinsic[j] = int64(1 + rng.Intn(5))
+			g.Endpoint[j] = rng.Intn(3) == 0
+		}
+		g.Endpoint[0] = true
+		g.Endpoint[n-1] = true
+		// Forward arcs only (j1 < j2) keep the interior acyclic.
+		for j1 := 0; j1 < n; j1++ {
+			for j2 := j1 + 1; j2 < n; j2++ {
+				if rng.Intn(3) == 0 {
+					g.Arcs = append(g.Arcs, Arc{From: j1, To: j2})
+				}
+			}
+		}
+		if len(g.Arcs) == 0 {
+			continue
+		}
+		cp, err := CriticalPathDelay(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycle := cp + int64(1+rng.Intn(10))
+		hop := int64(rng.Intn(3))
+		budgets, err := Derive(g, Options{CycleTime: cycle, HopEstimate: hop})
+		if err != nil {
+			// Hop charges can push a tight cycle over; that is a
+			// legitimate outcome, not a test failure.
+			continue
+		}
+		want := enumerateBudgets(g, cycle, hop)
+		if len(budgets) != len(want) {
+			t.Fatalf("trial %d: %d budgets, want %d", trial, len(budgets), len(want))
+		}
+		for _, b := range budgets {
+			if want[[2]int{b.From, b.To}] != b.MaxDelay {
+				t.Fatalf("trial %d: arc %d→%d budget %d, want %d",
+					trial, b.From, b.To, b.MaxDelay, want[[2]int{b.From, b.To}])
+			}
+		}
+	}
+}
+
+// enumerateBudgets recomputes every arc budget by explicit enumeration of
+// all register-to-register paths (exponential; test sizes only).
+func enumerateBudgets(g *Graph, cycle, hop int64) map[[2]int]int64 {
+	fwd := g.forwardAdj()
+	type pathStat struct {
+		delay int64
+		arcs  int64
+	}
+	// For every arc, the worst (delay, then arcs) path through it.
+	worst := map[[2]int]pathStat{}
+	var walk func(j int, delay int64, arcs []Arc)
+	record := func(delay int64, arcs []Arc) {
+		for _, a := range arcs {
+			k := [2]int{a.From, a.To}
+			st, ok := worst[k]
+			cand := pathStat{delay: delay, arcs: int64(len(arcs))}
+			if !ok || cand.delay > st.delay || (cand.delay == st.delay && cand.arcs > st.arcs) {
+				worst[k] = cand
+			}
+		}
+	}
+	bwd := g.backwardAdj()
+	var arcsStack []Arc
+	walk = func(j int, delay int64, _ []Arc) {
+		delay += g.Intrinsic[j]
+		// Paths end at endpoints and at combinational dead ends (implicit
+		// primary outputs) — matching Derive's semantics.
+		if (g.Endpoint[j] || len(fwd[j]) == 0) && len(arcsStack) > 0 {
+			record(delay, arcsStack)
+			if g.Endpoint[j] {
+				return
+			}
+		}
+		if !g.Endpoint[j] || len(arcsStack) == 0 {
+			for _, to := range fwd[j] {
+				arcsStack = append(arcsStack, Arc{From: j, To: to})
+				walk(to, delay, nil)
+				arcsStack = arcsStack[:len(arcsStack)-1]
+			}
+		}
+	}
+	for j := range g.Intrinsic {
+		// Path starts: endpoints and implicit primary inputs.
+		if g.Endpoint[j] || len(bwd[j]) == 0 {
+			walk(j, 0, nil)
+		}
+	}
+	out := map[[2]int]int64{}
+	for k, st := range worst {
+		out[k] = cycle - st.delay - hop*(st.arcs-1)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+// Package validate independently checks a partitioning solution: it
+// recomputes the objective and every constraint from the raw circuit and
+// topology data and produces a human-readable report. Every CLI and bench
+// run passes its results through this checker, so a bug in a solver's
+// internal bookkeeping cannot silently ship a wrong number.
+package validate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Report summarizes a checked solution.
+type Report struct {
+	Objective        int64 // α·linear + β·quadratic
+	WireLength       int64 // single-direction Σ w·b
+	LinearCost       int64
+	QuadraticCost    int64
+	Loads            []int64
+	CapacityExcess   []int64 // per partition, max(0, load − capacity)
+	OverloadedCount  int
+	TimingViolations []model.TimingConstraint
+	Feasible         bool
+}
+
+// Check validates a complete assignment against p. It returns an error only
+// for structurally unusable input (wrong length, out-of-range entries);
+// constraint violations are reported, not errored.
+func Check(p *model.Problem, a model.Assignment) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(a) != p.N() {
+		return nil, fmt.Errorf("validate: assignment has %d entries, want %d", len(a), p.N())
+	}
+	m := p.M()
+	for j, i := range a {
+		if i < 0 || i >= m {
+			return nil, fmt.Errorf("validate: component %d assigned to invalid partition %d", j, i)
+		}
+	}
+
+	r := &Report{
+		Loads:          make([]int64, m),
+		CapacityExcess: make([]int64, m),
+	}
+	for j, i := range a {
+		r.Loads[i] += p.Circuit.Sizes[j]
+	}
+	for i, l := range r.Loads {
+		if l > p.Topology.Capacities[i] {
+			r.CapacityExcess[i] = l - p.Topology.Capacities[i]
+			r.OverloadedCount++
+		}
+	}
+	b := p.Topology.Cost
+	for _, w := range p.Circuit.Wires {
+		r.WireLength += w.Weight * b[a[w.From]][a[w.To]]
+		r.QuadraticCost += w.Weight * (b[a[w.From]][a[w.To]] + b[a[w.To]][a[w.From]])
+	}
+	if p.Linear != nil {
+		for j, i := range a {
+			r.LinearCost += p.Linear[i][j]
+		}
+	}
+	r.Objective = p.Alpha*r.LinearCost + p.Beta*r.QuadraticCost
+	d := p.Topology.Delay
+	for _, t := range p.Circuit.Timing {
+		i1, i2 := a[t.From], a[t.To]
+		if d[i1][i2] > t.MaxDelay || d[i2][i1] > t.MaxDelay {
+			r.TimingViolations = append(r.TimingViolations, t)
+		}
+	}
+	r.Feasible = r.OverloadedCount == 0 && len(r.TimingViolations) == 0
+	return r, nil
+}
+
+// String renders the report for CLI output.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "objective        %d\n", r.Objective)
+	fmt.Fprintf(&sb, "wire length      %d\n", r.WireLength)
+	fmt.Fprintf(&sb, "linear cost      %d\n", r.LinearCost)
+	fmt.Fprintf(&sb, "quadratic cost   %d\n", r.QuadraticCost)
+	fmt.Fprintf(&sb, "overloaded       %d partitions\n", r.OverloadedCount)
+	fmt.Fprintf(&sb, "timing violated  %d constraints\n", len(r.TimingViolations))
+	if r.Feasible {
+		sb.WriteString("feasible         yes\n")
+	} else {
+		sb.WriteString("feasible         NO\n")
+	}
+	return sb.String()
+}

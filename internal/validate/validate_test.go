@@ -1,0 +1,101 @@
+package validate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paperex"
+	"repro/internal/testgen"
+)
+
+func TestCheckPaperExample(t *testing.T) {
+	p := paperex.New()
+	a := model.Assignment{0, 1, 3} // optimal layout
+	r, err := Check(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatalf("optimal layout reported infeasible: %+v", r)
+	}
+	if r.WireLength != 7 || r.QuadraticCost != 14 || r.Objective != 14 {
+		t.Fatalf("WL=%d quad=%d obj=%d, want 7/14/14", r.WireLength, r.QuadraticCost, r.Objective)
+	}
+	if r.Loads[0] != 1 || r.Loads[1] != 1 || r.Loads[3] != 1 || r.Loads[2] != 0 {
+		t.Fatalf("loads = %v", r.Loads)
+	}
+	if !strings.Contains(r.String(), "feasible         yes") {
+		t.Fatalf("report rendering wrong:\n%s", r.String())
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	p := paperex.New()
+	// All three on one partition: capacity blown, timing fine (distance 0).
+	r, err := Check(p, model.Assignment{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible || r.OverloadedCount != 1 || r.CapacityExcess[0] != 2 {
+		t.Fatalf("overload not reported: %+v", r)
+	}
+	// a and b at opposite corners: timing violation.
+	r, err = Check(p, model.Assignment{0, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TimingViolations) != 1 || r.Feasible {
+		t.Fatalf("timing violation not reported: %+v", r)
+	}
+	if !strings.Contains(r.String(), "feasible         NO") {
+		t.Fatalf("report rendering wrong:\n%s", r.String())
+	}
+}
+
+func TestCheckRejectsBadInput(t *testing.T) {
+	p := paperex.New()
+	if _, err := Check(p, model.Assignment{0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := Check(p, model.Assignment{0, 1, 9}); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+	bad := paperex.New()
+	bad.Topology.Capacities = nil
+	if _, err := Check(bad, model.Assignment{0, 1, 3}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+// The report must agree with the model package on every metric for random
+// instances and assignments (two independently written evaluation paths).
+func TestAgreesWithModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{
+			N: 12, TimingProb: 0.4, WithLinear: trial%2 == 0, Alpha: 2, Beta: 3,
+		})
+		a := make(model.Assignment, p.N())
+		for j := range a {
+			a[j] = rng.Intn(p.M())
+		}
+		r, err := Check(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Objective != p.Objective(a) {
+			t.Fatalf("trial %d: objective %d != model %d", trial, r.Objective, p.Objective(a))
+		}
+		if r.WireLength != p.WireLength(a) {
+			t.Fatalf("trial %d: WL %d != model %d", trial, r.WireLength, p.WireLength(a))
+		}
+		if r.Feasible != p.Feasible(a) {
+			t.Fatalf("trial %d: feasible %v != model %v", trial, r.Feasible, p.Feasible(a))
+		}
+		if len(r.TimingViolations) != p.CountTimingViolations(a) {
+			t.Fatalf("trial %d: %d violations != model %d", trial, len(r.TimingViolations), p.CountTimingViolations(a))
+		}
+	}
+}

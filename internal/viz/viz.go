@@ -1,0 +1,95 @@
+// Package viz renders placements as plain-text diagrams: the partition
+// grid with per-slot utilization and component counts, plus a wire-length
+// histogram. Meant for CLI output and debugging, not precision graphics.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/geometry"
+	"repro/internal/model"
+)
+
+// Grid renders the partition array of p under assignment a: one cell per
+// slot showing the component count and the capacity utilization.
+func Grid(w io.Writer, p *model.Problem, grid geometry.Grid, a model.Assignment) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if grid.M() != p.M() {
+		return fmt.Errorf("viz: grid has %d slots but the problem has %d partitions", grid.M(), p.M())
+	}
+	if len(a) != p.N() || !a.Valid(p.M()) {
+		return fmt.Errorf("viz: assignment is not complete and in range")
+	}
+	loads := p.Loads(a)
+	counts := make([]int, p.M())
+	for _, i := range a {
+		counts[i]++
+	}
+	const cellW = 14
+	hline := "+" + strings.Repeat(strings.Repeat("-", cellW)+"+", grid.Cols)
+	for r := 0; r < grid.Rows; r++ {
+		fmt.Fprintln(w, hline)
+		// Row 1: slot number and component count.
+		for c := 0; c < grid.Cols; c++ {
+			i := grid.Slot(r, c)
+			fmt.Fprintf(w, "|%*s", cellW, fmt.Sprintf("p%-2d %4d cmp ", i+1, counts[i]))
+		}
+		fmt.Fprintln(w, "|")
+		// Row 2: utilization bar.
+		for c := 0; c < grid.Cols; c++ {
+			i := grid.Slot(r, c)
+			cap := p.Topology.Capacities[i]
+			util := 0.0
+			if cap > 0 {
+				util = float64(loads[i]) / float64(cap)
+			}
+			bars := int(util*8 + 0.5)
+			if bars > 8 {
+				bars = 8
+			}
+			bar := strings.Repeat("#", bars) + strings.Repeat(".", 8-bars)
+			fmt.Fprintf(w, "|%*s", cellW, fmt.Sprintf("%s %3.0f%% ", bar, util*100))
+		}
+		fmt.Fprintln(w, "|")
+	}
+	fmt.Fprintln(w, hline)
+	return nil
+}
+
+// WireHistogram renders the distribution of wire lengths (cost-matrix
+// distance per wire, weighted) under a.
+func WireHistogram(w io.Writer, p *model.Problem, a model.Assignment) error {
+	if len(a) != p.N() || !a.Valid(p.M()) {
+		return fmt.Errorf("viz: assignment is not complete and in range")
+	}
+	b := p.Topology.Cost
+	var maxD int64
+	for _, row := range b {
+		for _, v := range row {
+			if v > maxD {
+				maxD = v
+			}
+		}
+	}
+	weightAt := make([]int64, maxD+1)
+	var total int64
+	for _, wire := range p.Circuit.Wires {
+		d := b[a[wire.From]][a[wire.To]]
+		weightAt[d] += wire.Weight
+		total += wire.Weight
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "no wires")
+		return nil
+	}
+	fmt.Fprintln(w, "wire length distribution (distance: weight):")
+	for d, wt := range weightAt {
+		bars := int(float64(wt) / float64(total) * 40)
+		fmt.Fprintf(w, "%3d: %6d %s\n", d, wt, strings.Repeat("#", bars))
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/model"
+	"repro/internal/paperex"
+)
+
+func TestGridRendering(t *testing.T) {
+	p := paperex.New()
+	grid := geometry.Grid{Rows: 2, Cols: 2}
+	var buf bytes.Buffer
+	if err := Grid(&buf, p, grid, model.Assignment{0, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p1", "p2", "p3", "p4", "100%", "0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("grid rendering missing %q:\n%s", want, out)
+		}
+	}
+	// 2 rows × 2 content lines + 3 horizontal rules.
+	if got := strings.Count(out, "\n"); got != 7 {
+		t.Fatalf("%d lines, want 7:\n%s", got, out)
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	p := paperex.New()
+	var buf bytes.Buffer
+	if err := Grid(&buf, p, geometry.Grid{Rows: 3, Cols: 3}, model.Assignment{0, 1, 3}); err == nil {
+		t.Fatal("mismatched grid accepted")
+	}
+	if err := Grid(&buf, p, geometry.Grid{Rows: 2, Cols: 2}, model.Assignment{0, 1}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	bad := paperex.New()
+	bad.Circuit.Sizes[0] = -1
+	if err := Grid(&buf, bad, geometry.Grid{Rows: 2, Cols: 2}, model.Assignment{0, 1, 3}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestWireHistogram(t *testing.T) {
+	p := paperex.New()
+	var buf bytes.Buffer
+	// a adjacent to b, b adjacent to c: all weight at distance 1.
+	if err := WireHistogram(&buf, p, model.Assignment{0, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1:      7") {
+		t.Fatalf("expected all 7 wire units at distance 1:\n%s", out)
+	}
+	// No wires at the diameter.
+	if !strings.Contains(out, "2:      0") {
+		t.Fatalf("missing zero bucket:\n%s", out)
+	}
+	// Degenerate: no wires at all.
+	empty := paperex.New()
+	empty.Circuit.Wires = nil
+	buf.Reset()
+	if err := WireHistogram(&buf, empty, model.Assignment{0, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no wires") {
+		t.Fatal("empty-circuit message missing")
+	}
+	if err := WireHistogram(&buf, p, model.Assignment{9, 1, 3}); err == nil {
+		t.Fatal("invalid assignment accepted")
+	}
+}

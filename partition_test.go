@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface: build a problem,
+// produce a feasible start, solve with all three methods, validate, and
+// round-trip through the text format.
+func TestFacadeEndToEnd(t *testing.T) {
+	inst, err := GenerateCircuit(GenerateParams{
+		Spec: CircuitSpec{Name: "facade", Components: 80, Wires: 500, TimingConstraints: 250, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inst.Problem
+
+	start, err := FeasibleStart(p, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qres, err := SolveQBP(p, QBPOptions{Iterations: 50, Initial: start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qres.Feasible {
+		t.Fatal("QBP result infeasible")
+	}
+	fres, err := SolveGFM(p, start, GFMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kres, err := SolveGKL(p, start, GKLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, a := range map[string]Assignment{"qbp": qres.Assignment, "gfm": fres.Assignment, "gkl": kres.Assignment} {
+		rep, err := Validate(p, a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rep.Feasible {
+			t.Fatalf("%s: validation reports infeasible", name)
+		}
+		if rep.WireLength > p.WireLength(start) {
+			t.Fatalf("%s: worse than the start", name)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.N() != p.N() || q.M() != p.M() {
+		t.Fatal("problem did not round-trip")
+	}
+	buf.Reset()
+	if err := WriteAssignment(&buf, qres.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadAssignment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WireLength(a) != qres.WireLength {
+		t.Fatal("assignment did not round-trip")
+	}
+}
+
+func TestFacadePaperExample(t *testing.T) {
+	p := paperex.New()
+	res, err := SolveQBP(p, QBPOptions{Iterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != 14 || !res.Feasible {
+		t.Fatalf("paper example: objective %d feasible %v, want 14/true", res.Objective, res.Feasible)
+	}
+}
+
+func TestFacadeConstructiveAndRepair(t *testing.T) {
+	inst, err := NamedCircuit("cktb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := ConstructiveStart(inst.Problem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Problem.CapacityFeasible(u) {
+		t.Fatal("constructive start violates capacity")
+	}
+	left := MinConflicts(inst.Problem, u, 1, 100*inst.Problem.N())
+	if left != 0 {
+		t.Fatalf("min-conflicts left %d violations on cktb", left)
+	}
+	if err := inst.Problem.CheckFeasible(u); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeQAP(t *testing.T) {
+	grid := Grid{Rows: 2, Cols: 2}
+	inst := &QAPInstance{
+		Flow: [][]int64{
+			{0, 3, 0, 1},
+			{3, 0, 2, 0},
+			{0, 2, 0, 1},
+			{1, 0, 1, 0},
+		},
+		Dist: grid.DistanceMatrix(Manhattan),
+	}
+	res, err := SolveQAP(inst, QAPOptions{Iterations: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Cost(res.Perm); got != res.Cost {
+		t.Fatalf("cost %d != recomputed %d", res.Cost, got)
+	}
+}
+
+func TestPaperCircuitsListIsCopied(t *testing.T) {
+	a := PaperCircuits()
+	a[0].Name = "mutated"
+	b := PaperCircuits()
+	if b[0].Name == "mutated" {
+		t.Fatal("PaperCircuits leaks internal state")
+	}
+}
