@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test test-race bench tables cover fmt vet clean
+.PHONY: all build test test-race bench tables cover fmt vet lint clean
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariants (panic-free libraries, seeded rand, qmatrix
+# index packing, float tolerance, ...). Fails on any diagnostic.
+lint:
+	$(GO) run ./cmd/qbplint ./...
 
 clean:
 	$(GO) clean ./...

@@ -130,7 +130,7 @@ func BenchmarkTableIII(b *testing.B) {
 // BenchmarkFigure1Example solves the §3.3 worked example (the paper's only
 // figure-level workload) end to end.
 func BenchmarkFigure1Example(b *testing.B) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	for k := 0; k < b.N; k++ {
 		res, err := SolveQBP(p, QBPOptions{Iterations: 50})
 		if err != nil {

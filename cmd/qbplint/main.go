@@ -1,0 +1,76 @@
+// Command qbplint runs the project's invariant-enforcing static analyzers
+// (see internal/lint) over package directories.
+//
+// Usage:
+//
+//	qbplint [-enable list] [-disable list] [-list] [pattern ...]
+//
+// Patterns are package directories; a trailing /... walks recursively
+// (testdata, vendor and hidden directories are skipped). With no pattern,
+// ./... is assumed.
+//
+// Exit codes: 0 — no diagnostics; 1 — at least one diagnostic; 2 — usage or
+// load error. CI runs `qbplint ./...` and fails the build on any finding;
+// justified exceptions use a //lint:ignore <analyzer> <reason> comment on
+// the flagged line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("qbplint", flag.ContinueOnError)
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.Select(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := lint.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := lint.Run(loader, dirs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "qbplint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+const fixtures = "../../internal/lint/testdata/src"
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"list", []string{"-list"}, 0},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"unknown analyzer", []string{"-enable", "no-such", fixtures + "/panic_neg"}, 2},
+		{"missing dir", []string{fixtures + "/does-not-exist"}, 2},
+		{"positive fixture", []string{fixtures + "/panic_pos"}, 1},
+		{"clean fixture", []string{fixtures + "/panic_neg"}, 0},
+		{"disabled analyzer", []string{"-disable", "panic-in-library", fixtures + "/panic_pos"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPositiveFixturesFail asserts the exit-code contract on every analyzer's
+// positive fixture.
+func TestPositiveFixturesFail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("each run re-warms the source importer")
+	}
+	for _, dir := range []string{"rand_pos", "index_pos", "floateq_pos", "capture_pos", "errdiscard_pos"} {
+		if got := run([]string{fixtures + "/" + dir}); got != 1 {
+			t.Errorf("run(%s) = %d, want 1", dir, got)
+		}
+	}
+}

@@ -10,7 +10,7 @@ import (
 // array with one-hop timing budgets on both connected pairs.
 func ExampleSolveQBP() {
 	grid := partition.Grid{Rows: 2, Cols: 2}
-	dist := grid.DistanceMatrix(partition.Manhattan)
+	dist, _ := grid.DistanceMatrix(partition.Manhattan)
 	circuit := &partition.Circuit{
 		Sizes: []int64{1, 1, 1},
 		Wires: []partition.Wire{
@@ -89,7 +89,7 @@ func ExampleDeriveTimingBudgets() {
 // Validating a solution independently of the solver that produced it.
 func ExampleValidate() {
 	grid := partition.Grid{Rows: 2, Cols: 2}
-	dist := grid.DistanceMatrix(partition.Manhattan)
+	dist, _ := grid.DistanceMatrix(partition.Manhattan)
 	circuit := &partition.Circuit{
 		Sizes: []int64{1, 1},
 		Wires: []partition.Wire{{From: 0, To: 1, Weight: 3}},

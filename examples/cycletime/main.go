@@ -59,8 +59,14 @@ func main() {
 	fmt.Printf("datapath: %d components, %d nets, critical intrinsic path %d\n\n", n, len(circuit.Wires), cp)
 
 	grid := partition.Grid{Rows: 2, Cols: 4}
-	dist := grid.DistanceMatrix(partition.Manhattan)
-	diameter := grid.Diameter(partition.Manhattan)
+	dist, err := grid.DistanceMatrix(partition.Manhattan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diameter, err := grid.Diameter(partition.Manhattan)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for _, slackFactor := range []int64{10, 6} {
 		cycle := cp + slackFactor // tighter second run

@@ -52,7 +52,10 @@ func main() {
 
 	// PP(1,0): deviation cost only. p[i][j] = size_j × Manhattan(i, initial(j)).
 	grid := partition.Grid{Rows: 4, Cols: 4}
-	dist := grid.DistanceMatrix(partition.Manhattan)
+	dist, err := grid.DistanceMatrix(partition.Manhattan)
+	if err != nil {
+		log.Fatal(err)
+	}
 	linear := make([][]int64, p.M())
 	for i := range linear {
 		linear[i] = make([]int64, p.N())

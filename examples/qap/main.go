@@ -31,7 +31,10 @@ func main() {
 		{0, 0, 0, 0, 2, 0, 0, 1, 0},
 	}
 	grid := partition.Grid{Rows: 3, Cols: 3}
-	dist := grid.DistanceMatrix(partition.Manhattan)
+	dist, err := grid.DistanceMatrix(partition.Manhattan)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	inst := &partition.QAPInstance{Flow: flow, Dist: dist}
 	res, err := partition.SolveQAP(inst, partition.QAPOptions{Iterations: 200, Seed: 2})

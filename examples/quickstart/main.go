@@ -16,7 +16,10 @@ import (
 func main() {
 	// B = D = the Manhattan distance matrix of the 2×2 partition array.
 	grid := partition.Grid{Rows: 2, Cols: 2}
-	dist := grid.DistanceMatrix(partition.Manhattan)
+	dist, err := grid.DistanceMatrix(partition.Manhattan)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	circuit := &partition.Circuit{
 		Name:  "paper-example",

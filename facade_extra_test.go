@@ -114,7 +114,7 @@ func TestFacadeExactAndMultiStart(t *testing.T) {
 func TestFacadeMetricsAndConstants(t *testing.T) {
 	g := Grid{Rows: 2, Cols: 2}
 	for _, m := range []Metric{Manhattan, SquaredEuclidean, UnitCrossing, Chebyshev} {
-		mat := g.DistanceMatrix(m)
+		mat, _ := g.DistanceMatrix(m)
 		if len(mat) != 4 || mat[0][0] != 0 {
 			t.Fatalf("metric %v produced bad matrix", m)
 		}
@@ -165,7 +165,7 @@ func TestFacadeHypergraph(t *testing.T) {
 		t.Fatalf("denom=%d wires=%d", denom, len(c.Wires))
 	}
 	grid := Grid{Rows: 2, Cols: 2}
-	dist := grid.DistanceMatrix(Manhattan)
+	dist, _ := grid.DistanceMatrix(Manhattan)
 	topo := &Topology{Capacities: []int64{2, 2, 2, 2}, Cost: dist, Delay: dist}
 	p, err := NewProblem(c, topo, 0, 1, nil)
 	if err != nil {

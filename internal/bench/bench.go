@@ -111,30 +111,38 @@ func runCircuit(name string, cfg Config) (Row, error) {
 	if err != nil {
 		return Row{}, fmt.Errorf("qbp: %w", err)
 	}
-	row.QBP = result(p, qres.Assignment, row.Start, time.Since(t0), cfg.Timing)
+	if row.QBP, err = result(p, qres.Assignment, row.Start, time.Since(t0), cfg.Timing); err != nil {
+		return Row{}, fmt.Errorf("qbp: %w", err)
+	}
 
 	t0 = time.Now()
 	fres, err := fm.Solve(p, initial, fm.Options{RelaxTiming: relax})
 	if err != nil {
 		return Row{}, fmt.Errorf("gfm: %w", err)
 	}
-	row.GFM = result(p, fres.Assignment, row.Start, time.Since(t0), cfg.Timing)
+	if row.GFM, err = result(p, fres.Assignment, row.Start, time.Since(t0), cfg.Timing); err != nil {
+		return Row{}, fmt.Errorf("gfm: %w", err)
+	}
 
 	t0 = time.Now()
 	kres, err := kl.Solve(p, initial, kl.Options{RelaxTiming: relax, MaxPasses: cfg.KLMaxPasses})
 	if err != nil {
 		return Row{}, fmt.Errorf("gkl: %w", err)
 	}
-	row.GKL = result(p, kres.Assignment, row.Start, time.Since(t0), cfg.Timing)
+	if row.GKL, err = result(p, kres.Assignment, row.Start, time.Since(t0), cfg.Timing); err != nil {
+		return Row{}, fmt.Errorf("gkl: %w", err)
+	}
 
 	return row, nil
 }
 
-// result independently validates an assignment and fills a MethodResult.
-func result(p *model.Problem, a model.Assignment, start int64, cpu time.Duration, timing bool) MethodResult {
+// result independently validates an assignment and fills a MethodResult. A
+// structurally unusable assignment is a solver bug, reported as an error so
+// one bad method run fails the experiment instead of crashing the process.
+func result(p *model.Problem, a model.Assignment, start int64, cpu time.Duration, timing bool) (MethodResult, error) {
 	rep, err := validate.Check(p, a)
 	if err != nil {
-		panic("bench: solver produced unusable assignment: " + err.Error())
+		return MethodResult{}, fmt.Errorf("solver produced unusable assignment: %w", err)
 	}
 	feasible := rep.OverloadedCount == 0 && (!timing || len(rep.TimingViolations) == 0)
 	return MethodResult{
@@ -142,7 +150,7 @@ func result(p *model.Problem, a model.Assignment, start int64, cpu time.Duration
 		Improve:    100 * (1 - float64(rep.WireLength)/float64(start)),
 		CPU:        cpu,
 		Feasible:   feasible,
-	}
+	}, nil
 }
 
 // WriteTableI writes the circuit-description table.

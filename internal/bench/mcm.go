@@ -68,7 +68,10 @@ func RunMCM(cfg MCMConfig) ([]MCMRow, error) {
 	}
 	base := in.Problem
 	grid := in.Grid
-	dist := grid.DistanceMatrix(geometry.Manhattan)
+	dist, err := grid.DistanceMatrix(geometry.Manhattan)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	rows := make([]MCMRow, 0, len(cfg.PerturbRates))
@@ -100,10 +103,10 @@ func RunMCM(cfg MCMConfig) ([]MCMRow, error) {
 			return nil, err
 		}
 
-		eval := func(a model.Assignment, cpu time.Duration) MCMResult {
+		eval := func(a model.Assignment, cpu time.Duration) (MCMResult, error) {
 			rep, err := validate.Check(p, a)
 			if err != nil {
-				panic("bench: unusable MCM assignment: " + err.Error())
+				return MCMResult{}, fmt.Errorf("unusable MCM assignment: %w", err)
 			}
 			moved := 0
 			for j := range a {
@@ -116,7 +119,7 @@ func RunMCM(cfg MCMConfig) ([]MCMRow, error) {
 				Moved:     moved,
 				Feasible:  rep.Feasible,
 				CPU:       cpu,
-			}
+			}, nil
 		}
 
 		// All three methods share one feasible start, as in the paper's
@@ -132,20 +135,27 @@ func RunMCM(cfg MCMConfig) ([]MCMRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("qbp: %w", err)
 		}
-		row.QBP = eval(qres.Assignment, time.Since(t0))
+		if row.QBP, err = eval(qres.Assignment, time.Since(t0)); err != nil {
+			return nil, fmt.Errorf("qbp: %w", err)
+		}
+
 		t0 = time.Now()
 		fres, err := fm.Solve(p, start, fm.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("gfm: %w", err)
 		}
-		row.GFM = eval(fres.Assignment, time.Since(t0))
+		if row.GFM, err = eval(fres.Assignment, time.Since(t0)); err != nil {
+			return nil, fmt.Errorf("gfm: %w", err)
+		}
 
 		t0 = time.Now()
 		kres, err := kl.Solve(p, start, kl.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("gkl: %w", err)
 		}
-		row.GKL = eval(kres.Assignment, time.Since(t0))
+		if row.GKL, err = eval(kres.Assignment, time.Since(t0)); err != nil {
+			return nil, fmt.Errorf("gkl: %w", err)
+		}
 
 		rows = append(rows, row)
 	}

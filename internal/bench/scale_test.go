@@ -67,9 +67,13 @@ func TestAlternativeCostMetrics(t *testing.T) {
 	base := gen.MustNamed("cktb")
 	grid := base.Grid
 	for _, metric := range []geometry.Metric{geometry.UnitCrossing, geometry.SquaredEuclidean} {
+		cost, err := grid.DistanceMatrix(metric)
+		if err != nil {
+			t.Fatal(err)
+		}
 		topo := &model.Topology{
 			Capacities: base.Problem.Topology.Capacities,
-			Cost:       grid.DistanceMatrix(metric),
+			Cost:       cost,
 			Delay:      base.Problem.Topology.Delay, // delays stay Manhattan
 		}
 		p, err := model.NewProblem(base.Problem.Circuit, topo, 0, 1, nil)

@@ -8,6 +8,7 @@ import (
 	"errors"
 
 	"repro/internal/model"
+	"repro/internal/qmatrix"
 )
 
 // MaxStates caps the number of assignments a call may enumerate, guarding
@@ -94,9 +95,9 @@ func SolveQBP(p *model.Problem, q [][]int64) (Result, error) {
 func quadValue(q [][]int64, a model.Assignment, m int) int64 {
 	var v int64
 	for j1, i1 := range a {
-		row := q[i1+j1*m]
+		row := q[qmatrix.Pack(i1, j1, m)]
 		for j2, i2 := range a {
-			v += row[i2+j2*m]
+			v += row[qmatrix.Pack(i2, j2, m)]
 		}
 	}
 	return v

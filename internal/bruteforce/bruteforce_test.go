@@ -8,7 +8,7 @@ import (
 )
 
 func TestPaperExampleOptimum(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	res, err := Solve(p)
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +27,7 @@ func TestPaperExampleOptimum(t *testing.T) {
 }
 
 func TestInfeasibleInstance(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	// Shrink one capacity so only 2 slots remain for 3 unit components... the
 	// other three partitions still fit them; instead make every capacity 0.
 	for i := range p.Topology.Capacities {
@@ -43,7 +43,7 @@ func TestInfeasibleInstance(t *testing.T) {
 }
 
 func TestTimingMakesInfeasible(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	// Demand zero delay between a and b while capacities forbid sharing a
 	// partition: no assignment can satisfy both.
 	p.Circuit.Timing[0].MaxDelay = 0
@@ -84,7 +84,7 @@ func TestTooLargeRejected(t *testing.T) {
 }
 
 func TestSolveQBPIgnoresTiming(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	// On the raw (un-embedded) matrix the QBP search may place a and b two
 	// apart if that were cheaper; with these weights the minimum is still the
 	// timing-feasible one, so instead verify it explores capacity-only space:

@@ -10,7 +10,7 @@ import (
 )
 
 func TestRejectsInfeasibleInitial(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	if _, err := Solve(p, model.Assignment{0, 0, 1}, Options{}); err == nil {
 		t.Fatal("capacity-violating initial accepted")
 	}
@@ -28,7 +28,7 @@ func TestRejectsInfeasibleInitial(t *testing.T) {
 }
 
 func TestImprovesPaperExample(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	// Feasible but suboptimal start: a=slot1, b=slot2, c=slot4 → WL 5+2=7?
 	// d(0,1)=1 (5 wires), d(1,3)=1 (2 wires) → WL 7 — already optimal.
 	// Use a=slot1, b=slot3, c=slot4: d(0,2)=1 → 5, d(2,3)=1 → 2: also 7.

@@ -20,7 +20,7 @@ func newTable(t *testing.T, p *model.Problem, a model.Assignment) *Table {
 }
 
 func TestNewRejectsBadInitial(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	adj := adjacency.Build(p.Circuit)
 	if _, err := New(p, adj, model.Assignment{0, 1}); err == nil {
 		t.Fatal("short assignment accepted")
@@ -31,7 +31,7 @@ func TestNewRejectsBadInitial(t *testing.T) {
 }
 
 func TestDeltaMatchesRecomputedObjective(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	a := model.Assignment{0, 1, 3}
 	tb := newTable(t, p, a)
 	if tb.Objective() != p.Objective(a) {
@@ -50,7 +50,7 @@ func TestDeltaMatchesRecomputedObjective(t *testing.T) {
 }
 
 func TestSwapDeltaMatchesRecomputed(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	a := model.Assignment{0, 1, 3}
 	tb := newTable(t, p, a)
 	for j1 := 0; j1 < p.N(); j1++ {
@@ -114,7 +114,7 @@ func TestIncrementalConsistency(t *testing.T) {
 }
 
 func TestAdmissibilityChecks(t *testing.T) {
-	p := paperex.New() // unit sizes, unit capacities, D_C(a,b)=D_C(b,c)=1
+	p := paperex.MustNew() // unit sizes, unit capacities, D_C(a,b)=D_C(b,c)=1
 	a := model.Assignment{0, 1, 3}
 	tb := newTable(t, p, a)
 	// Moving a onto b's partition violates capacity.
@@ -156,7 +156,7 @@ func TestAdmissibilityChecks(t *testing.T) {
 // Swapping two components that share a wire must leave that wire's
 // contribution unchanged — the KL correction term in action.
 func TestSwapDeltaDirectCoupling(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	a := model.Assignment{0, 1, 2}
 	tb := newTable(t, p, a)
 	b := a.Clone()

@@ -135,9 +135,13 @@ type regretHeap []regretItem
 func (h regretHeap) Len() int { return len(h) }
 func (h regretHeap) Less(a, b int) bool {
 	// Max-heap on regret; ties broken by cheaper best cost for determinism.
+	// Exact float comparison is deliberate in both guards: a comparator must
+	// stay transitive, and an epsilon here would break the heap invariant.
+	//lint:ignore float-equality ordering tie-break, not a value comparison
 	if h[a].regret != h[b].regret {
 		return h[a].regret > h[b].regret
 	}
+	//lint:ignore float-equality ordering tie-break, not a value comparison
 	if h[a].bestC != h[b].bestC {
 		return h[a].bestC < h[b].bestC
 	}

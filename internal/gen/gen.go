@@ -119,10 +119,13 @@ func Named(name string) (*Instance, error) {
 	return nil, fmt.Errorf("gen: unknown circuit %q (have ckta..cktg)", name)
 }
 
-// MustNamed is Named for the known-good built-in specs.
+// MustNamed is Named for the known-good built-in specs; tests use it to
+// avoid error plumbing on circuits whose generation is covered by gen's own
+// tests.
 func MustNamed(name string) *Instance {
 	in, err := Named(name)
 	if err != nil {
+		//lint:ignore panic-in-library test convenience wrapper; Named covers the error path
 		panic(err)
 	}
 	return in
@@ -145,7 +148,10 @@ func Generate(params Params) (*Instance, error) {
 		return nil, fmt.Errorf("gen: %d timing constraints exceed the %d distinct pairs", s.TimingConstraints, maxPairs)
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
-	dist := grid.DistanceMatrix(geometry.Manhattan)
+	dist, err := grid.DistanceMatrix(geometry.Manhattan)
+	if err != nil {
+		return nil, fmt.Errorf("gen: %w", err)
+	}
 
 	// Component sizes: log-uniform over [SizeMin, SizeMax] — "different
 	// sizes ranging about 2 orders of magnitude in the same circuit".
@@ -245,7 +251,10 @@ func Generate(params Params) (*Instance, error) {
 	// constraint to the hidden layout and turn feasibility search into
 	// hidden-geometry recovery — the paper's instances clearly were not
 	// like that (QBP reached feasible starts in a few iterations).
-	diameter := grid.Diameter(geometry.Manhattan)
+	diameter, err := grid.Diameter(geometry.Manhattan)
+	if err != nil {
+		return nil, fmt.Errorf("gen: %w", err)
+	}
 	tier := func(num, den int64) int64 {
 		b := (diameter*num + den - 1) / den
 		if b < 1 {

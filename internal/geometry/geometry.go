@@ -59,6 +59,15 @@ func ParseMetric(s string) (Metric, error) {
 	return 0, fmt.Errorf("geometry: unknown metric %q", s)
 }
 
+// Valid reports whether m is one of the defined metrics.
+func (m Metric) Valid() error {
+	switch m {
+	case Manhattan, SquaredEuclidean, UnitCrossing, Chebyshev:
+		return nil
+	}
+	return fmt.Errorf("geometry: unknown metric %d", int(m))
+}
+
 // Grid is a rows×cols array of partition slots. Slot i sits at
 // (row, col) = (i/cols, i%cols); slots are numbered row-major, matching the
 // paper's 2×2 example where partitions 1..4 occupy the array
@@ -78,8 +87,18 @@ func (g Grid) Position(i int) (row, col int) { return i / g.Cols, i % g.Cols }
 // Slot returns the slot index at (row, col).
 func (g Grid) Slot(row, col int) int { return row*g.Cols + col }
 
-// Distance returns the metric distance between slots i1 and i2.
-func (g Grid) Distance(i1, i2 int, metric Metric) int64 {
+// Distance returns the metric distance between slots i1 and i2. An unknown
+// metric is an error, not a panic: metrics arrive from CLI flags and
+// serialized configs, so the library reports them instead of crashing.
+func (g Grid) Distance(i1, i2 int, metric Metric) (int64, error) {
+	if err := metric.Valid(); err != nil {
+		return 0, err
+	}
+	return g.distance(i1, i2, metric), nil
+}
+
+// distance computes the metric distance for an already-validated metric.
+func (g Grid) distance(i1, i2 int, metric Metric) int64 {
 	r1, c1 := g.Position(i1)
 	r2, c2 := g.Position(i2)
 	dr, dc := abs(r1-r2), abs(c1-c2)
@@ -99,25 +118,28 @@ func (g Grid) Distance(i1, i2 int, metric Metric) int64 {
 		}
 		return int64(dc)
 	}
-	panic(fmt.Sprintf("geometry: unknown metric %d", int(metric)))
+	return 0 // unreachable: metric validated by every exported entry point
 }
 
 // DistanceMatrix returns the full M×M distance matrix for the metric.
-func (g Grid) DistanceMatrix(metric Metric) [][]int64 {
+func (g Grid) DistanceMatrix(metric Metric) ([][]int64, error) {
+	if err := metric.Valid(); err != nil {
+		return nil, err
+	}
 	m := g.M()
 	mat := make([][]int64, m)
 	for i1 := 0; i1 < m; i1++ {
 		row := make([]int64, m)
 		for i2 := 0; i2 < m; i2++ {
-			row[i2] = g.Distance(i1, i2, metric)
+			row[i2] = g.distance(i1, i2, metric)
 		}
 		mat[i1] = row
 	}
-	return mat
+	return mat, nil
 }
 
 // Diameter returns the largest entry of the metric distance matrix.
-func (g Grid) Diameter(metric Metric) int64 {
+func (g Grid) Diameter(metric Metric) (int64, error) {
 	return g.Distance(0, g.M()-1, metric)
 }
 

@@ -14,7 +14,10 @@ func TestPaperTwoByTwoManhattan(t *testing.T) {
 		{1, 2, 0, 1},
 		{2, 1, 1, 0},
 	}
-	got := g.DistanceMatrix(Manhattan)
+	got, err := g.DistanceMatrix(Manhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range want {
 		for k := range want[i] {
 			if got[i][k] != want[i][k] {
@@ -47,22 +50,22 @@ func TestMetrics(t *testing.T) {
 		{Chebyshev, 3},
 	}
 	for _, tc := range cases {
-		if got := g.Distance(0, 11, tc.m); got != tc.want {
-			t.Errorf("%v distance = %d, want %d", tc.m, got, tc.want)
+		if got, err := g.Distance(0, 11, tc.m); err != nil || got != tc.want {
+			t.Errorf("%v distance = %d, %v, want %d", tc.m, got, err, tc.want)
 		}
-		if got := g.Distance(7, 7, tc.m); got != 0 {
-			t.Errorf("%v self-distance = %d, want 0", tc.m, got)
+		if got, err := g.Distance(7, 7, tc.m); err != nil || got != 0 {
+			t.Errorf("%v self-distance = %d, %v, want 0", tc.m, got, err)
 		}
 	}
 }
 
 func TestDiameter(t *testing.T) {
 	g := Grid{Rows: 4, Cols: 4}
-	if got := g.Diameter(Manhattan); got != 6 {
-		t.Fatalf("4×4 Manhattan diameter = %d, want 6", got)
+	if got, err := g.Diameter(Manhattan); err != nil || got != 6 {
+		t.Fatalf("4×4 Manhattan diameter = %d, %v, want 6", got, err)
 	}
-	if got := g.Diameter(Chebyshev); got != 3 {
-		t.Fatalf("4×4 Chebyshev diameter = %d, want 3", got)
+	if got, err := g.Diameter(Chebyshev); err != nil || got != 3 {
+		t.Fatalf("4×4 Chebyshev diameter = %d, %v, want 3", got, err)
 	}
 }
 
@@ -86,7 +89,10 @@ func TestMatrixProperties(t *testing.T) {
 		cols := int(cols8%5) + 1
 		g := Grid{Rows: rows, Cols: cols}
 		for _, metric := range []Metric{Manhattan, SquaredEuclidean, UnitCrossing, Chebyshev} {
-			mat := g.DistanceMatrix(metric)
+			mat, err := g.DistanceMatrix(metric)
+			if err != nil {
+				return false
+			}
 			for i := range mat {
 				if mat[i][i] != 0 {
 					return false
@@ -98,7 +104,10 @@ func TestMatrixProperties(t *testing.T) {
 				}
 			}
 		}
-		man := g.DistanceMatrix(Manhattan)
+		man, err := g.DistanceMatrix(Manhattan)
+		if err != nil {
+			return false
+		}
 		for i := range man {
 			for k := range man {
 				for l := range man {
@@ -112,5 +121,22 @@ func TestMatrixProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestUnknownMetricErrors(t *testing.T) {
+	g := Grid{Rows: 2, Cols: 2}
+	bad := Metric(99)
+	if err := bad.Valid(); err == nil {
+		t.Fatal("Valid accepted Metric(99)")
+	}
+	if _, err := g.Distance(0, 1, bad); err == nil {
+		t.Fatal("Distance accepted an unknown metric")
+	}
+	if _, err := g.DistanceMatrix(bad); err == nil {
+		t.Fatal("DistanceMatrix accepted an unknown metric")
+	}
+	if _, err := g.Diameter(bad); err == nil {
+		t.Fatal("Diameter accepted an unknown metric")
 	}
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func TestRejectsInfeasibleInitial(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	if _, err := Solve(p, model.Assignment{0, 0, 1}, Options{}); err == nil {
 		t.Fatal("capacity-violating initial accepted")
 	}

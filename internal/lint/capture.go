@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroutineLoopCapture flags `go func(){...}` literals that reference the
+// enclosing loop's variables instead of taking them as parameters. Since
+// go.mod declares ≥1.22 this is no longer a data race, but the concurrent
+// solver's convention remains: a goroutine's inputs are passed explicitly,
+// so the reader (and the race detector) can see them. Runs on test files
+// too — a racy helper in a test corrupts exactly the runs that matter.
+var GoroutineLoopCapture = &Analyzer{
+	Name:         "goroutine-loop-capture",
+	Doc:          "pass loop variables to go func literals as parameters, not captures",
+	IncludeTests: true,
+	Run: func(p *Pass) {
+		for _, f := range p.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var loopVars []*ast.Ident
+				var body *ast.BlockStmt
+				switch loop := n.(type) {
+				case *ast.RangeStmt:
+					for _, e := range []ast.Expr{loop.Key, loop.Value} {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							loopVars = append(loopVars, id)
+						}
+					}
+					body = loop.Body
+				case *ast.ForStmt:
+					if assign, ok := loop.Init.(*ast.AssignStmt); ok {
+						for _, e := range assign.Lhs {
+							if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+								loopVars = append(loopVars, id)
+							}
+						}
+					}
+					body = loop.Body
+				default:
+					return true
+				}
+				if len(loopVars) == 0 {
+					return true
+				}
+				checkLoopBody(p, body, loopVars)
+				return true
+			})
+		}
+	},
+}
+
+// checkLoopBody reports loop-variable references inside `go func` literals
+// within body.
+func checkLoopBody(p *Pass, body *ast.BlockStmt, loopVars []*ast.Ident) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		goStmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := goStmt.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		shadowed := paramNames(lit)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || shadowed[id.Name] {
+				return true
+			}
+			for _, lv := range loopVars {
+				if !sameVar(p, id, lv) {
+					continue
+				}
+				p.Reportf(id.Pos(), "goroutine captures loop variable %q; pass it as a parameter", id.Name)
+				return true
+			}
+			return true
+		})
+		return true
+	})
+}
+
+func paramNames(lit *ast.FuncLit) map[string]bool {
+	names := make(map[string]bool)
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				names[name.Name] = true
+			}
+		}
+	}
+	return names
+}
+
+// sameVar reports whether use refers to the variable declared by decl: by
+// object identity when type information exists, by name otherwise (test
+// files are not type-checked).
+func sameVar(p *Pass, use, decl *ast.Ident) bool {
+	if use.Name != decl.Name {
+		return false
+	}
+	if info := p.Pkg.Info; info != nil {
+		declObj := info.Defs[decl]
+		if useObj := info.Uses[use]; useObj != nil && declObj != nil {
+			return useObj == declObj
+		}
+	}
+	return true
+}

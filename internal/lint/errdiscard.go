@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IgnoredError flags `_ =` discards of error-typed values in non-main,
+// non-test code. The validation pipeline exists so that no wrong number can
+// ship silently; a discarded error is exactly such a silent path. Handle it,
+// return it, or suppress with the justification.
+var IgnoredError = &Analyzer{
+	Name:       "ignored-error",
+	Doc:        "library code must not discard error values with _ =",
+	NeedsTypes: true,
+	Run: func(p *Pass) {
+		if p.Pkg.IsCommand() {
+			return
+		}
+		info := p.Pkg.Info
+		for _, f := range p.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				assign, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, lhs := range assign.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" {
+						continue
+					}
+					if t := rhsType(info, assign, i); t != nil && isErrorType(t) {
+						p.Reportf(id.Pos(), "error value discarded with _; handle or return it")
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// rhsType resolves the type assigned to the i-th left-hand side: a matching
+// right-hand expression for 1:1 assignments, or the i-th result of the
+// single multi-value call/expression otherwise.
+func rhsType(info *types.Info, assign *ast.AssignStmt, i int) types.Type {
+	if len(assign.Lhs) == len(assign.Rhs) {
+		if tv, ok := info.Types[assign.Rhs[i]]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	if len(assign.Rhs) != 1 {
+		return nil
+	}
+	tv, ok := info.Types[assign.Rhs[0]]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	tuple, ok := tv.Type.(*types.Tuple)
+	if !ok || i >= tuple.Len() {
+		return nil
+	}
+	return tuple.At(i).Type()
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEquality flags == and != between floating-point expressions in
+// non-test library code. Accumulated costs and improvement ratios are
+// float64; exact comparison of computed floats is almost always a rounding
+// bug. Two escapes are deliberate:
+//
+//   - comparison against a literal 0: the zero value is the idiomatic
+//     "option not set" sentinel in config structs, and 0.0 is exactly
+//     representable;
+//   - comparisons inside tolerance helpers, recognized by an approx/almost/
+//     near/tol/exact fragment in the enclosing function name, which exist
+//     precisely to centralize the tolerance logic.
+var FloatEquality = &Analyzer{
+	Name:       "float-equality",
+	Doc:        "no ==/!= between floats outside tolerance helpers (literal 0 sentinel allowed)",
+	NeedsTypes: true,
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		for _, f := range p.Files() {
+			for _, decl := range f.Decls {
+				funcName := ""
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					funcName = fd.Name.Name
+				}
+				if isToleranceHelper(funcName) {
+					continue
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					bin, ok := n.(*ast.BinaryExpr)
+					if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+						return true
+					}
+					if !isFloat(info, bin.X) || !isFloat(info, bin.Y) {
+						return true
+					}
+					if isZeroLiteral(bin.X) || isZeroLiteral(bin.Y) {
+						return true
+					}
+					p.Reportf(bin.OpPos, "%s between float expressions; compare with an explicit tolerance", bin.Op)
+					return true
+				})
+			}
+		}
+	},
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isZeroLiteral matches the literals 0 and 0.0 (possibly parenthesized or
+// negated — -0.0 is still exact).
+func isZeroLiteral(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	switch lit.Value {
+	case "0", "0.0", "0.", ".0":
+		return true
+	}
+	return false
+}
+
+func isToleranceHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, frag := range []string{"approx", "almost", "near", "tol", "exact"} {
+		if strings.Contains(lower, frag) {
+			return true
+		}
+	}
+	return false
+}

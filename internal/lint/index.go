@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// indexHelperPackages are the packages allowed to spell out the Theorem-1
+// flat-index packing r = i + j·M by hand: qmatrix owns the Pack/Unpack
+// helpers and model owns the assignment representation.
+var indexHelperPackages = map[string]bool{
+	"qmatrix": true,
+	"model":   true,
+}
+
+// RawIndexArith flags subscripts of the shape x[i + j*m] (or x[j*m + i])
+// outside the designated index-helper packages. The paper's Theorem 1 fixes
+// one packing of the indicator matrix into the flat vector y; every ad-hoc
+// re-derivation of it is a chance to transpose i and j silently. Use
+// qmatrix.Pack and qmatrix.Unpack instead.
+var RawIndexArith = &Analyzer{
+	Name: "raw-index-arith",
+	Doc:  "flattened index arithmetic belongs in qmatrix.Pack/Unpack",
+	Run: func(p *Pass) {
+		if indexHelperPackages[p.Pkg.Name] {
+			return
+		}
+		for _, f := range p.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				idx, ok := n.(*ast.IndexExpr)
+				if !ok {
+					return true
+				}
+				if isFlattenArith(idx.Index) {
+					p.Reportf(idx.Index.Pos(), "ad-hoc flattened index arithmetic; use qmatrix.Pack/Unpack")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// isFlattenArith matches a + b*c shaped expressions (either operand order),
+// the signature of inline index packing.
+func isFlattenArith(e ast.Expr) bool {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return false
+	}
+	return isProduct(bin.X) || isProduct(bin.Y)
+}
+
+func isProduct(e ast.Expr) bool {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	return ok && bin.Op == token.MUL
+}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader memoizes packages (including the stdlib warm-up) across every
+// fixture test in this file.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loader
+}
+
+// runFixture applies all analyzers to one fixture directory.
+func runFixture(t *testing.T, dir string) []Diagnostic {
+	t.Helper()
+	diags, err := Run(testLoader(t), []string{dir}, All())
+	if err != nil {
+		t.Fatalf("Run(%s): %v", dir, err)
+	}
+	return diags
+}
+
+// keys flattens diagnostics to "analyzer:line" for compact comparison.
+func keys(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s:%d", d.Analyzer, d.Pos.Line))
+	}
+	return out
+}
+
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want []string // "analyzer:line", in Run's sorted order
+	}{
+		{"panic_pos", []string{"panic-in-library:9", "panic-in-library:20"}},
+		{"panic_neg", nil},
+		{"panic_main", nil},
+		{"rand_pos", []string{"unseeded-rand:12", "unseeded-rand:17", "unseeded-rand:22"}},
+		{"rand_neg", nil},
+		{"index_pos", []string{"raw-index-arith:8", "raw-index-arith:10"}},
+		{"index_neg", nil},
+		{"floateq_pos", []string{"float-equality:6", "float-equality:11"}},
+		{"floateq_neg", nil},
+		{"capture_pos", []string{
+			"goroutine-loop-capture:13", "goroutine-loop-capture:13", "goroutine-loop-capture:13",
+			"goroutine-loop-capture:26", "goroutine-loop-capture:26",
+		}},
+		{"capture_neg", nil},
+		{"errdiscard_pos", []string{"ignored-error:8", "ignored-error:16"}},
+		{"errdiscard_neg", nil},
+		{"suppress_ok", nil},
+		{"suppress_bad", []string{"lint:7", "panic-in-library:8", "lint:16", "panic-in-library:17"}},
+		{"mod_import", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			got := keys(runFixture(t, "testdata/src/"+tc.dir))
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Errorf("diagnostics = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBrokenPackage checks that a package failing type-check yields a
+// "typecheck" diagnostic while syntactic analyzers still run.
+func TestBrokenPackage(t *testing.T) {
+	diags := runFixture(t, "testdata/src/broken")
+	var haveTypecheck, havePanic bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "typecheck":
+			haveTypecheck = true
+			if !strings.Contains(d.Message, "undefinedName") {
+				t.Errorf("typecheck message = %q, want mention of undefinedName", d.Message)
+			}
+		case "panic-in-library":
+			havePanic = true
+			if d.Pos.Line != 7 {
+				t.Errorf("panic diagnostic at line %d, want 7", d.Pos.Line)
+			}
+		default:
+			t.Errorf("unexpected analyzer %q", d.Analyzer)
+		}
+	}
+	if !haveTypecheck || !havePanic {
+		t.Errorf("got typecheck=%v panic=%v, want both", haveTypecheck, havePanic)
+	}
+}
+
+// TestNeedsTypesSkipped checks that type-dependent analyzers stay silent on a
+// package without type information instead of misfiring.
+func TestNeedsTypesSkipped(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.Load("testdata/src/broken")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if pkg.TypeErr == nil || pkg.Info != nil {
+		t.Fatalf("fixture should fail type-check with nil Info; TypeErr=%v Info=%v", pkg.TypeErr, pkg.Info)
+	}
+	for _, a := range All() {
+		if !a.NeedsTypes {
+			continue
+		}
+		diags, err := Run(l, []string{"testdata/src/broken"}, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", a.Name, err)
+		}
+		for _, d := range diags {
+			if d.Analyzer == a.Name {
+				t.Errorf("%s reported %v on an un-typed package", a.Name, d)
+			}
+		}
+	}
+}
+
+// TestModuleImportResolution checks the loader resolved a module-internal
+// import from source (mod_import imports repro/internal/geometry).
+func TestModuleImportResolution(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.Load("testdata/src/mod_import")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if pkg.TypeErr != nil {
+		t.Fatalf("type-check failed: %v", pkg.TypeErr)
+	}
+	found := false
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == "repro/internal/geometry" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("imports = %v, want repro/internal/geometry", pkg.Types.Imports())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("", "")
+	if err != nil {
+		t.Fatalf("Select all: %v", err)
+	}
+	if len(all) != len(All()) {
+		t.Errorf("Select(\"\", \"\") = %d analyzers, want %d", len(all), len(All()))
+	}
+
+	one, err := Select("float-equality", "")
+	if err != nil {
+		t.Fatalf("Select enable: %v", err)
+	}
+	if len(one) != 1 || one[0].Name != "float-equality" {
+		t.Errorf("Select(float-equality) = %v", one)
+	}
+
+	rest, err := Select("", "panic-in-library, ignored-error")
+	if err != nil {
+		t.Fatalf("Select disable: %v", err)
+	}
+	if len(rest) != len(All())-2 {
+		t.Errorf("disable two: got %d analyzers, want %d", len(rest), len(All())-2)
+	}
+	for _, a := range rest {
+		if a.Name == "panic-in-library" || a.Name == "ignored-error" {
+			t.Errorf("disabled analyzer %q still selected", a.Name)
+		}
+	}
+
+	if _, err := Select("no-such", ""); err == nil {
+		t.Error("Select(no-such) did not fail")
+	}
+	if _, err := Select("", "no-such"); err == nil {
+		t.Error("Select(disable no-such) did not fail")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "float-equality",
+		Pos:      token.Position{Filename: "a/b.go", Line: 4, Column: 7},
+		Message:  "== between float expressions",
+	}
+	want := "a/b.go:4:7: == between float expressions [float-equality]"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	// Recursive walk below testdata/src finds every fixture directory.
+	dirs, err := ExpandPatterns([]string{"testdata/src/..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	if len(dirs) < 15 {
+		t.Errorf("found %d fixture dirs, want >= 15: %v", len(dirs), dirs)
+	}
+
+	// Walking the package itself skips testdata entirely.
+	dirs, err = ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns(./...): %v", err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("recursive walk did not skip testdata: %v", dirs)
+		}
+	}
+
+	// A plain directory pattern resolves to exactly itself.
+	dirs, err = ExpandPatterns([]string{"testdata/src/panic_pos"})
+	if err != nil {
+		t.Fatalf("ExpandPatterns(dir): %v", err)
+	}
+	if len(dirs) != 1 || dirs[0] != "testdata/src/panic_pos" {
+		t.Errorf("ExpandPatterns(dir) = %v", dirs)
+	}
+
+	// A directory without Go files is an error.
+	if _, err := ExpandPatterns([]string{"testdata"}); err == nil {
+		t.Error("ExpandPatterns(testdata) did not fail on a Go-less directory")
+	}
+}
+
+// TestSuppressionInSameLine checks the end-of-line form of //lint:ignore.
+func TestSuppressionSelfAndNextLine(t *testing.T) {
+	diags := runFixture(t, "testdata/src/suppress_ok")
+	if len(diags) != 0 {
+		t.Errorf("suppress_ok should be clean, got %v", diags)
+	}
+}

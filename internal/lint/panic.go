@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicInLibrary flags panic(...) calls in non-main, non-test packages.
+// Library code must return errors: a panic deep inside a solver kills the
+// whole multi-start fleet (and any future server) instead of failing one
+// request. Must-style helpers that intentionally wrap a checked constructor
+// belong behind an explicit //lint:ignore with the justification.
+var PanicInLibrary = &Analyzer{
+	Name: "panic-in-library",
+	Doc:  "library packages must return errors instead of calling panic",
+	Run: func(p *Pass) {
+		if p.Pkg.IsCommand() {
+			return
+		}
+		for _, f := range p.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// With type info, make sure this is the builtin and not a
+				// local function that happens to be named panic.
+				if p.Pkg.Info != nil {
+					if obj := p.Pkg.Info.Uses[id]; obj != nil {
+						if _, builtin := obj.(*types.Builtin); !builtin {
+							return true
+						}
+					}
+				}
+				p.Reportf(call.Pos(), "panic in library package %q; return an error instead", p.Pkg.Name)
+				return true
+			})
+		}
+	},
+}

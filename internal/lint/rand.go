@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// randGlobalFuncs are the math/rand (and math/rand/v2) package-level
+// functions that draw from the process-global generator. rand.New,
+// rand.NewSource and rand.NewZipf are constructors and stay allowed.
+var randGlobalFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true, "UintN": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true, "N": true,
+}
+
+// UnseededRand flags package-level math/rand calls in non-test code. The
+// multi-start solver promises bit-for-bit seed determinism; global-state
+// randomness breaks it silently, so every randomized routine must thread an
+// explicit *rand.Rand built from a caller-supplied seed.
+var UnseededRand = &Analyzer{
+	Name: "unseeded-rand",
+	Doc:  "thread an explicit seeded *rand.Rand; never use math/rand global state",
+	Run: func(p *Pass) {
+		for _, f := range p.Files() {
+			// Names under which math/rand[/v2] is imported in this file.
+			randNames := make(map[string]bool)
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || (path != "math/rand" && path != "math/rand/v2") {
+					continue
+				}
+				name := "rand"
+				if imp.Name != nil {
+					name = imp.Name.Name
+				}
+				randNames[name] = true
+			}
+			if len(randNames) == 0 {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || !randNames[id.Name] || !randGlobalFuncs[sel.Sel.Name] {
+					return true
+				}
+				// With type info, confirm the receiver is the package (not a
+				// local variable shadowing the import name).
+				if p.Pkg.Info != nil {
+					obj := p.Pkg.Info.Uses[id]
+					if _, isPkg := obj.(*types.PkgName); obj != nil && !isPkg {
+						return true
+					}
+				}
+				p.Reportf(sel.Pos(), "global rand.%s breaks seed determinism; thread a seeded *rand.Rand", sel.Sel.Name)
+				return true
+			})
+		}
+	},
+}

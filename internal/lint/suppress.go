@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//lint:ignore"
+
+// suppressionKey addresses one (file, line) position a suppression covers.
+type suppressionKey struct {
+	file string
+	line int
+}
+
+// applySuppressions drops diagnostics covered by a well-formed
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// comment on the same line or the line directly above, and appends a "lint"
+// diagnostic for every malformed suppression comment. Diagnostics belonging
+// to other packages pass through untouched.
+func applySuppressions(fset *token.FileSet, pkg *Package, diags []Diagnostic) []Diagnostic {
+	covered := make(map[suppressionKey]map[string]bool)
+	var malformed []Diagnostic
+	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignored — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed suppression: want //lint:ignore <analyzer>[,<analyzer>...] <reason>",
+					})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				bad := ""
+				for _, n := range names {
+					if !knownAnalyzer(n) {
+						bad = n
+						break
+					}
+				}
+				if bad != "" {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "suppression names unknown analyzer \"" + bad + "\"",
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := suppressionKey{pos.Filename, line}
+					if covered[k] == nil {
+						covered[k] = make(map[string]bool)
+					}
+					for _, n := range names {
+						covered[k][n] = true
+					}
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if set := covered[suppressionKey{d.Pos.Filename, d.Pos.Line}]; set != nil && set[d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, malformed...)
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,9 @@
+// Fixture: fails type-checking (undefined identifier) but parses, so the
+// driver must emit a typecheck diagnostic and still run syntactic analyzers.
+package fixture
+
+// Boom references an undefined name and also panics.
+func Boom() int {
+	panic("still visible to the syntactic panic analyzer")
+	return undefinedName
+}

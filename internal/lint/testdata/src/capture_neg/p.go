@@ -1,0 +1,42 @@
+// Negative fixture: loop variables passed to goroutines as parameters, or
+// rebound before capture.
+package fixture
+
+import "sync"
+
+// Param passes the loop variables explicitly.
+func Param(xs []int, out []int) {
+	var wg sync.WaitGroup
+	for k, x := range xs {
+		wg.Add(1)
+		go func(k, x int) {
+			defer wg.Done()
+			out[k] = x * x
+		}(k, x)
+	}
+	wg.Wait()
+}
+
+// Rebound shadows the loop variable with a per-iteration copy first.
+func Rebound(xs []int, out []int) {
+	var wg sync.WaitGroup
+	for k := range xs {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[k] = k
+		}()
+	}
+	wg.Wait()
+}
+
+// NoGoroutine uses the loop variable in a plain closure, which is fine.
+func NoGoroutine(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		f := func() { sum += x }
+		f()
+	}
+	return sum
+}

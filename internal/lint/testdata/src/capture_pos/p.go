@@ -1,0 +1,30 @@
+// Positive fixture: goroutines capturing enclosing loop variables.
+package fixture
+
+import "sync"
+
+// RangeCapture captures the range variable.
+func RangeCapture(xs []int, out []int) {
+	var wg sync.WaitGroup
+	for k, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[k] = x * x // line 13: two diagnostics (k and x)
+		}()
+	}
+	wg.Wait()
+}
+
+// ForCapture captures the classic three-clause loop variable.
+func ForCapture(n int, out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i // line 26: two diagnostics (i twice)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,29 @@
+// Negative fixture: blank assignments that do not discard errors, and errors
+// that are actually handled.
+package fixture
+
+import "strconv"
+
+// Lookup discards a bool, not an error.
+func Lookup(m map[string]int, k string) int {
+	v, _ := m[k]
+	return v
+}
+
+// Handled checks the error.
+func Handled(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// Index discards a non-error value from a multi-result call.
+func Index(s string) byte {
+	for i, c := range s {
+		_ = i
+		return byte(c)
+	}
+	return 0
+}

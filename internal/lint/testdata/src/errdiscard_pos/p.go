@@ -1,0 +1,17 @@
+// Positive fixture: error values discarded with the blank identifier.
+package fixture
+
+import "strconv"
+
+// Parse drops the error from a (T, error) call.
+func Parse(s string) int {
+	n, _ := strconv.Atoi(s) // line 8: diagnostic
+	return n
+}
+
+func mayFail() error { return nil }
+
+// Fire discards a bare error result.
+func Fire() {
+	_ = mayFail() // line 16: diagnostic
+}

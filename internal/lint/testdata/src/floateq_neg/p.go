@@ -1,0 +1,32 @@
+// Negative fixture: the allowed float comparisons — zero-value sentinels,
+// tolerance helpers, and non-float operands.
+package fixture
+
+import "math"
+
+// Defaults treats 0 as "unset", the config-struct idiom.
+func Defaults(slack float64) float64 {
+	if slack == 0 {
+		return 1.4
+	}
+	return slack
+}
+
+// approxEqual is a tolerance helper: the exact comparison inside it guards
+// the degenerate both-zero case and is allowed by the helper-name rule.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Ints compares integers, never flagged.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// UsesHelper routes the float comparison through the tolerance helper.
+func UsesHelper(a, b float64) bool {
+	return approxEqual(a, b, 1e-9)
+}

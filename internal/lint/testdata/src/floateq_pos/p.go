@@ -1,0 +1,12 @@
+// Positive fixture: exact comparison of computed floats.
+package fixture
+
+// Converged compares two accumulated costs exactly.
+func Converged(prev, cur float64) bool {
+	return prev == cur // line 6: diagnostic
+}
+
+// Changed compares a ratio against a non-zero constant.
+func Changed(improve float64) bool {
+	return improve != 1.0 // line 11: diagnostic
+}

@@ -1,0 +1,23 @@
+// Negative fixture: flat indices come from a helper; plain additive or
+// multiplicative subscripts stay allowed.
+package fixture
+
+func pack(i, j, m int) int { return i + j*m }
+
+// Value uses the designated helper for packing.
+func Value(q [][]int64, a []int, m int) int64 {
+	var v int64
+	for j1, i1 := range a {
+		row := q[pack(i1, j1, m)]
+		for j2, i2 := range a {
+			v += row[pack(i2, j2, m)]
+		}
+	}
+	return v
+}
+
+// Windows shows index arithmetic that is not a flattening: offset sums and
+// scaled strides alone are fine.
+func Windows(xs []int64, base, k, stride int) int64 {
+	return xs[base+k] + xs[k*stride]
+}

@@ -1,0 +1,14 @@
+// Positive fixture: inline flat-index packing outside the helper packages.
+package fixture
+
+// Value recomputes the Theorem-1 packing by hand, in both operand orders.
+func Value(q [][]int64, a []int, m int) int64 {
+	var v int64
+	for j1, i1 := range a {
+		row := q[i1+j1*m] // line 9: diagnostic
+		for j2, i2 := range a {
+			v += row[j2*m+i2] // line 11: diagnostic
+		}
+	}
+	return v
+}

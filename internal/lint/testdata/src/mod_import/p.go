@@ -1,0 +1,11 @@
+// Fixture: imports a package from the enclosing module to prove the loader
+// resolves module-internal imports from source. Must be diagnostic-free.
+package fixture
+
+import "repro/internal/geometry"
+
+// Span measures the diameter of a small grid under the given metric.
+func Span(metric geometry.Metric) (int64, error) {
+	g := geometry.Grid{Rows: 2, Cols: 2}
+	return g.Diameter(metric)
+}

@@ -1,0 +1,7 @@
+// Negative fixture: panic in package main is allowed (a command owns its
+// process).
+package main
+
+func main() {
+	panic("commands may crash")
+}

@@ -1,0 +1,24 @@
+// Negative fixture: library code that returns errors, plus a local function
+// that happens to be named panic (allowed — it is not the builtin).
+package fixture
+
+import "fmt"
+
+// F reports bad input as an error.
+func F(x int) (int, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("negative input %d", x)
+	}
+	return x, nil
+}
+
+type logger struct{}
+
+// panic here is a method, not the builtin.
+func (logger) panic(msg string) {}
+
+// G calls the method, not the builtin.
+func G() {
+	var l logger
+	l.panic("fine")
+}

@@ -1,0 +1,21 @@
+// Positive fixture: panics in a library package.
+package fixture
+
+import "fmt"
+
+// F panics directly.
+func F(x int) int {
+	if x < 0 {
+		panic("negative input") // line 9: diagnostic
+	}
+	return x
+}
+
+// G panics through fmt.Sprintf.
+func G(kind int) string {
+	switch kind {
+	case 0:
+		return "zero"
+	}
+	panic(fmt.Sprintf("unknown kind %d", kind)) // line 20: diagnostic
+}

@@ -1,0 +1,21 @@
+// Negative fixture: randomness threaded through an explicit seeded
+// *rand.Rand, plus a non-package identifier named rand.
+package fixture
+
+import "math/rand"
+
+// Pick draws from a caller-seeded generator.
+func Pick(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+type fakeRand struct{}
+
+func (fakeRand) Intn(n int) int { return 0 }
+
+// Local draws from a local variable that shadows the import name.
+func Local(n int) int {
+	var rand fakeRand
+	return rand.Intn(n)
+}

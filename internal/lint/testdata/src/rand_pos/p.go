@@ -1,0 +1,23 @@
+// Positive fixture: math/rand global-state use, including under a renamed
+// import.
+package fixture
+
+import (
+	"math/rand"
+	mrand "math/rand"
+)
+
+// Pick draws from the process-global source.
+func Pick(n int) int {
+	return rand.Intn(n) // line 12: diagnostic
+}
+
+// Shuffle uses the global source under a renamed import.
+func Shuffle(xs []int) {
+	mrand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // line 17: diagnostic
+}
+
+// Reseed mutates shared global state.
+func Reseed(seed int64) {
+	rand.Seed(seed) // line 22: diagnostic
+}

@@ -1,0 +1,20 @@
+// Fixture: malformed suppression comments that must themselves be reported.
+package fixture
+
+// NoReason omits the justification text.
+func NoReason(n int) int {
+	if n <= 0 {
+		//lint:ignore panic-in-library
+		panic("n must be positive") // suppression above is malformed: still flagged
+	}
+	return n
+}
+
+// UnknownName names an analyzer that does not exist.
+func UnknownName(n int) int {
+	if n <= 0 {
+		//lint:ignore no-such-analyzer because reasons
+		panic("n must be positive")
+	}
+	return n
+}

@@ -1,0 +1,11 @@
+// Fixture: a finding silenced by a well-formed suppression comment.
+package fixture
+
+// MustPositive panics on bad input by design; the suppression documents why.
+func MustPositive(n int) int {
+	if n <= 0 {
+		//lint:ignore panic-in-library contract helper, documented to panic
+		panic("n must be positive")
+	}
+	return n
+}

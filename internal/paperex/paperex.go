@@ -7,6 +7,8 @@
 package paperex
 
 import (
+	"fmt"
+
 	"repro/internal/geometry"
 	"repro/internal/model"
 )
@@ -27,9 +29,12 @@ const Penalty = 50
 // three components onto three distinct partitions (the paper leaves sizes
 // unspecified; unit sizes keep the instance faithful to its figure). The
 // linear matrix P is nil (the paper leaves its entries symbolic).
-func New() *model.Problem {
+func New() (*model.Problem, error) {
 	grid := geometry.Grid{Rows: 2, Cols: 2}
-	dist := grid.DistanceMatrix(geometry.Manhattan)
+	dist, err := grid.DistanceMatrix(geometry.Manhattan)
+	if err != nil {
+		return nil, fmt.Errorf("paperex: %w", err)
+	}
 	circuit := &model.Circuit{
 		Name:  "paper-example",
 		Sizes: []int64{1, 1, 1},
@@ -49,7 +54,18 @@ func New() *model.Problem {
 	}
 	p, err := model.NewProblem(circuit, topo, 1, 1, nil)
 	if err != nil {
-		panic("paperex: invalid example instance: " + err.Error())
+		return nil, fmt.Errorf("paperex: invalid example instance: %w", err)
+	}
+	return p, nil
+}
+
+// MustNew is New for callers that can tolerate a crash on the (statically
+// impossible) construction failure — in practice, tests.
+func MustNew() *model.Problem {
+	p, err := New()
+	if err != nil {
+		//lint:ignore panic-in-library test convenience wrapper; New covers the error path
+		panic(err)
 	}
 	return p
 }

@@ -3,7 +3,10 @@ package paperex
 import "testing"
 
 func TestInstanceShape(t *testing.T) {
-	p := New()
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.N() != 3 || p.M() != 4 {
 		t.Fatalf("N=%d M=%d, want 3 components on 4 partitions", p.N(), p.M())
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 func TestPaperExampleReachesOptimum(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	res, err := Solve(p, Options{Iterations: 50, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -34,7 +34,7 @@ func TestPaperExampleReachesOptimum(t *testing.T) {
 }
 
 func TestSolveValidatesInputs(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	if _, err := Solve(p, Options{Initial: model.Assignment{0, 1}}); err == nil {
 		t.Fatal("short initial accepted")
 	}
@@ -42,7 +42,7 @@ func TestSolveValidatesInputs(t *testing.T) {
 	if _, err := Solve(p, Options{Initial: model.Assignment{0, 0, 1}}); err == nil {
 		t.Fatal("capacity-violating initial accepted")
 	}
-	bad := paperex.New()
+	bad := paperex.MustNew()
 	bad.Circuit.Sizes[0] = -1
 	if _, err := Solve(bad, Options{}); err == nil {
 		t.Fatal("invalid problem accepted")
@@ -187,7 +187,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestInitialAssignmentRespected(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	initial := model.Assignment{0, 1, 3} // feasible
 	res, err := Solve(p, Options{Iterations: 10, Initial: initial})
 	if err != nil {
@@ -200,7 +200,7 @@ func TestInitialAssignmentRespected(t *testing.T) {
 }
 
 func TestOnIterationTrace(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	var ks []int
 	_, err := Solve(p, Options{Iterations: 7, OnIteration: func(it Iteration) {
 		ks = append(ks, it.K)
@@ -267,7 +267,7 @@ func TestAutoPenalty(t *testing.T) {
 }
 
 func TestOmegaAblationStillSolves(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	res, err := Solve(p, Options{Iterations: 50, Seed: 3, OmegaInEta: true})
 	if err != nil {
 		t.Fatal(err)

@@ -1,4 +1,4 @@
-package qmatrix
+package qmatrix_test
 
 import (
 	"math/rand"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/model"
 	"repro/internal/paperex"
+	. "repro/internal/qmatrix"
 )
 
 func TestPackUnpackRoundTrip(t *testing.T) {
@@ -32,7 +33,7 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 // TestPaperExampleQhat reproduces the 12×12 matrix printed in §3.3 of the
 // paper entry-for-entry.
 func TestPaperExampleQhat(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	got := DenseQhat(p, paperex.Penalty)
 	want := paperex.Qhat()
 	if len(got) != 12 {
@@ -53,7 +54,7 @@ func TestPaperExampleQhat(t *testing.T) {
 // TestValueMatchesObjective checks that yᵀQy on the un-embedded matrix
 // equals the PP objective for every assignment of the paper example.
 func TestValueMatchesObjective(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	q := DenseBase(p)
 	a := model.Assignment{0, 0, 0}
 	m := p.M()
@@ -77,7 +78,7 @@ func TestValueMatchesObjective(t *testing.T) {
 // tight capacities.
 func randomProblem(rng *rand.Rand, n int, tight bool) *model.Problem {
 	grid := geometry.Grid{Rows: 2, Cols: 2}
-	dist := grid.DistanceMatrix(geometry.Manhattan)
+	dist, _ := grid.DistanceMatrix(geometry.Manhattan)
 	c := &model.Circuit{Sizes: make([]int64, n)}
 	var total int64
 	for j := range c.Sizes {
@@ -234,7 +235,7 @@ func TestOmegaIsValidBound(t *testing.T) {
 }
 
 func TestDenseTheorem1UDominates(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	q, u := DenseTheorem1(p)
 	base := DenseBase(p)
 	var sum int64

@@ -1,4 +1,4 @@
-package qmatrix
+package qmatrix_test
 
 import (
 	"math/rand"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/adjacency"
 	"repro/internal/geometry"
 	"repro/internal/model"
+	. "repro/internal/qmatrix"
 )
 
 // quickSeed generates small random instances for the quick properties.
@@ -25,7 +26,7 @@ func (qs quickSeed) build() (*model.Problem, model.Assignment) {
 	rng := rand.New(rand.NewSource(qs.Seed))
 	n := int(qs.N)
 	grid := geometry.Grid{Rows: 2, Cols: 2}
-	dist := grid.DistanceMatrix(geometry.Manhattan)
+	dist, _ := grid.DistanceMatrix(geometry.Manhattan)
 	c := &model.Circuit{Sizes: make([]int64, n)}
 	for j := range c.Sizes {
 		c.Sizes[j] = 1

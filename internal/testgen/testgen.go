@@ -59,7 +59,11 @@ func Random(rng *rand.Rand, cfg Config) (*model.Problem, model.Assignment) {
 	}
 	grid := geometry.Grid{Rows: cfg.GridRows, Cols: cfg.GridCols}
 	m := grid.M()
-	dist := grid.DistanceMatrix(geometry.Manhattan)
+	dist, err := grid.DistanceMatrix(geometry.Manhattan)
+	if err != nil {
+		//lint:ignore panic-in-library test-support generator with a hardwired valid metric
+		panic("testgen: " + err.Error())
+	}
 
 	c := &model.Circuit{Name: "testgen", Sizes: make([]int64, cfg.N)}
 	golden := make(model.Assignment, cfg.N)
@@ -116,6 +120,10 @@ func Random(rng *rand.Rand, cfg Config) (*model.Problem, model.Assignment) {
 	}
 	p, err := model.NewProblem(c, topo, cfg.Alpha, cfg.Beta, lin)
 	if err != nil {
+		// The generator guarantees a valid instance by construction; a
+		// failure here is a testgen bug and every caller is a test, so
+		// crashing with the cause beats threading an impossible error.
+		//lint:ignore panic-in-library test-support generator; validity is guaranteed by construction
 		panic("testgen: generated invalid problem: " + err.Error())
 	}
 	return p, golden

@@ -1,0 +1,109 @@
+package textio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+// problemSeeds returns valid and near-valid serializations for the fuzzers.
+func problemSeeds(t interface{ Fatalf(string, ...any) }) [][]byte {
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, paperex.MustNew()); err != nil {
+		t.Fatalf("seed WriteProblem: %v", err)
+	}
+	tiny := `qbpart-problem v1
+name tiny
+alpha 1
+beta 10
+components 2
+1
+1
+wires 1
+0 1 2
+timing 1
+0 1 9
+partitions 2
+4
+4
+cost
+0 1
+1 0
+delay
+0 3
+3 0
+`
+	return [][]byte{
+		buf.Bytes(),
+		[]byte(tiny),
+		[]byte(tiny + "linear\n0 0\n0 0\n"),
+		[]byte("qbpart-problem v1\n"),
+		[]byte("qbpart-problem v1\nname x\nalpha 1\nbeta 1\ncomponents -3\n"),
+		[]byte("qbpart-problem v1\nname x\nalpha 1\nbeta 1\ncomponents 99999999999\n"),
+		[]byte("# comment only\n"),
+	}
+}
+
+// FuzzReadProblem checks that ReadProblem never panics on arbitrary input and
+// that every accepted problem survives a canonical write/read/write
+// round-trip byte-for-byte.
+func FuzzReadProblem(f *testing.F) {
+	for _, seed := range problemSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProblem(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only panics are failures
+		}
+		var first bytes.Buffer
+		if err := WriteProblem(&first, p); err != nil {
+			t.Fatalf("accepted problem failed to serialize: %v", err)
+		}
+		p2, err := ReadProblem(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := WriteProblem(&second, p2); err != nil {
+			t.Fatalf("second serialize failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round-trip not canonical:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}
+
+// FuzzReadAssignment checks that ReadAssignment never panics and that
+// accepted assignments round-trip exactly.
+func FuzzReadAssignment(f *testing.F) {
+	f.Add([]byte("qbpart-assignment v1 3\n0\n1\n0\n"))
+	f.Add([]byte("qbpart-assignment v1 0\n"))
+	f.Add([]byte("qbpart-assignment v1 -1\n"))
+	f.Add([]byte("qbpart-assignment v1 99999999999\n"))
+	f.Add([]byte("# leading comment\nqbpart-assignment v1 1\n7\n"))
+	f.Add([]byte("qbpart-problem v1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := ReadAssignment(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteAssignment(&buf, a); err != nil {
+			t.Fatalf("accepted assignment failed to serialize: %v", err)
+		}
+		a2, err := ReadAssignment(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v", err)
+		}
+		if len(a) != len(a2) {
+			t.Fatalf("round-trip length %d != %d", len(a2), len(a))
+		}
+		for i := range a {
+			if a[i] != a2[i] {
+				t.Fatalf("round-trip mismatch at %d: %d != %d", i, a2[i], a[i])
+			}
+		}
+	})
+}

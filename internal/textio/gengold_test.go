@@ -16,7 +16,7 @@ var regen = flag.Bool("regen", false, "regenerate testdata golden files")
 
 func goldenProblem() *model.Problem {
 	grid := geometry.Grid{Rows: 2, Cols: 2}
-	dist := grid.DistanceMatrix(geometry.Manhattan)
+	dist, _ := grid.DistanceMatrix(geometry.Manhattan)
 	c := &model.Circuit{
 		Name:  "golden-v1",
 		Sizes: []int64{3, 1, 2, 5},

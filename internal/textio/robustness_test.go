@@ -14,7 +14,7 @@ import (
 // a panic or a structurally invalid problem.
 func TestParserNeverPanics(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteProblem(&buf, paperex.New()); err != nil {
+	if err := WriteProblem(&buf, paperex.MustNew()); err != nil {
 		t.Fatal(err)
 	}
 	valid := buf.Bytes()

@@ -131,6 +131,12 @@ func (r *reader) errf(format string, args ...any) error {
 	return fmt.Errorf("textio: line %d: %s", r.line, fmt.Sprintf(format, args...))
 }
 
+// maxCount bounds every element count read from a header line. It sits far
+// above any realistic instance (the paper's largest benchmark has 469
+// components) while keeping a hostile header like "components 1e18" from
+// driving a huge allocation before any element line is read.
+const maxCount = 1 << 20
+
 // keyword reads a line expected to be "<key> <int>" and returns the int.
 func (r *reader) keyword(key string) (int64, error) {
 	s, err := r.next()
@@ -146,6 +152,18 @@ func (r *reader) keyword(key string) (int64, error) {
 		return 0, r.errf("bad %s value %q", key, fields[1])
 	}
 	return v, nil
+}
+
+// count reads a "<key> <int>" line and range-checks it as an element count.
+func (r *reader) count(key string) (int, error) {
+	v, err := r.keyword(key)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > maxCount {
+		return 0, r.errf("%s count %d out of range [0, %d]", key, v, maxCount)
+	}
+	return int(v), nil
 }
 
 func (r *reader) ints(want int) ([]int64, error) {
@@ -206,11 +224,10 @@ func ReadProblem(rd io.Reader) (*model.Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	n64, err := r.keyword("components")
+	n, err := r.count("components")
 	if err != nil {
 		return nil, err
 	}
-	n := int(n64)
 	circuit := &model.Circuit{Name: name, Sizes: make([]int64, n)}
 	for j := 0; j < n; j++ {
 		v, err := r.ints(1)
@@ -219,33 +236,32 @@ func ReadProblem(rd io.Reader) (*model.Problem, error) {
 		}
 		circuit.Sizes[j] = v[0]
 	}
-	k64, err := r.keyword("wires")
+	nw, err := r.count("wires")
 	if err != nil {
 		return nil, err
 	}
-	for k := int64(0); k < k64; k++ {
+	for k := 0; k < nw; k++ {
 		v, err := r.ints(3)
 		if err != nil {
 			return nil, err
 		}
 		circuit.Wires = append(circuit.Wires, model.Wire{From: int(v[0]), To: int(v[1]), Weight: v[2]})
 	}
-	t64, err := r.keyword("timing")
+	nt, err := r.count("timing")
 	if err != nil {
 		return nil, err
 	}
-	for k := int64(0); k < t64; k++ {
+	for k := 0; k < nt; k++ {
 		v, err := r.ints(3)
 		if err != nil {
 			return nil, err
 		}
 		circuit.Timing = append(circuit.Timing, model.TimingConstraint{From: int(v[0]), To: int(v[1]), MaxDelay: v[2]})
 	}
-	m64, err := r.keyword("partitions")
+	m, err := r.count("partitions")
 	if err != nil {
 		return nil, err
 	}
-	m := int(m64)
 	topo := &model.Topology{Capacities: make([]int64, m)}
 	for i := 0; i < m; i++ {
 		v, err := r.ints(1)
@@ -301,7 +317,7 @@ func ReadAssignment(rd io.Reader) (model.Assignment, error) {
 		return nil, r.errf("bad header %q", s)
 	}
 	n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(s, assignmentHeader+" ")))
-	if err != nil || n < 0 {
+	if err != nil || n < 0 || n > maxCount {
 		return nil, r.errf("bad assignment length in header %q", s)
 	}
 	a := make(model.Assignment, n)

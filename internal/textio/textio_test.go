@@ -76,7 +76,7 @@ func problemsEqual(a, b *model.Problem) bool {
 }
 
 func TestProblemRoundTrip(t *testing.T) {
-	if !problemsEqual(paperex.New(), roundTrip(t, paperex.New())) {
+	if !problemsEqual(paperex.MustNew(), roundTrip(t, paperex.MustNew())) {
 		t.Fatal("paper example did not round-trip")
 	}
 	rng := rand.New(rand.NewSource(3))
@@ -119,7 +119,7 @@ func TestAssignmentRoundTrip(t *testing.T) {
 
 func TestCommentsAndBlankLinesIgnored(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteProblem(&buf, paperex.New()); err != nil {
+	if err := WriteProblem(&buf, paperex.MustNew()); err != nil {
 		t.Fatal(err)
 	}
 	noisy := "# generated file\n\n" + strings.ReplaceAll(buf.String(), "wires", "# about to list wires\nwires")
@@ -155,7 +155,7 @@ func TestReadErrors(t *testing.T) {
 }
 
 func TestInvalidProblemRejectedOnWrite(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	p.Circuit.Sizes[0] = -1
 	var buf bytes.Buffer
 	if err := WriteProblem(&buf, p); err == nil {
@@ -164,7 +164,7 @@ func TestInvalidProblemRejectedOnWrite(t *testing.T) {
 }
 
 func TestNameSanitization(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	p.Circuit.Name = "has spaces\tand tabs"
 	q := roundTrip(t, p)
 	if strings.ContainsAny(q.Circuit.Name, " \t\n") {

@@ -11,7 +11,7 @@ import (
 )
 
 func TestCheckPaperExample(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	a := model.Assignment{0, 1, 3} // optimal layout
 	r, err := Check(p, a)
 	if err != nil {
@@ -32,7 +32,7 @@ func TestCheckPaperExample(t *testing.T) {
 }
 
 func TestCheckDetectsViolations(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	// All three on one partition: capacity blown, timing fine (distance 0).
 	r, err := Check(p, model.Assignment{0, 0, 0})
 	if err != nil {
@@ -55,17 +55,131 @@ func TestCheckDetectsViolations(t *testing.T) {
 }
 
 func TestCheckRejectsBadInput(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	if _, err := Check(p, model.Assignment{0}); err == nil {
 		t.Fatal("short assignment accepted")
 	}
 	if _, err := Check(p, model.Assignment{0, 1, 9}); err == nil {
 		t.Fatal("out-of-range assignment accepted")
 	}
-	bad := paperex.New()
+	bad := paperex.MustNew()
 	bad.Topology.Capacities = nil
 	if _, err := Check(bad, model.Assignment{0, 1, 3}); err == nil {
 		t.Fatal("invalid problem accepted")
+	}
+}
+
+// triProblem builds a 3-component instance on 2 partitions with uniform
+// inter-partition delay 5 and the given capacities and timing constraints.
+func triProblem(t *testing.T, caps []int64, timing []model.TimingConstraint) *model.Problem {
+	t.Helper()
+	m := len(caps)
+	zero := make([][]int64, m)
+	delay := make([][]int64, m)
+	for i := range zero {
+		zero[i] = make([]int64, m)
+		delay[i] = make([]int64, m)
+		for k := range delay[i] {
+			if i != k {
+				delay[i][k] = 5
+			}
+		}
+	}
+	p, err := model.NewProblem(
+		&model.Circuit{
+			Name:   "tri",
+			Sizes:  []int64{1, 1, 1},
+			Wires:  []model.Wire{{From: 0, To: 1, Weight: 1}},
+			Timing: timing,
+		},
+		&model.Topology{Capacities: caps, Cost: zero, Delay: delay},
+		1, 1, nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Timing violations must be enumerated in the constraints' declaration order,
+// preserving each constraint verbatim, with satisfied ones skipped in place.
+func TestTimingViolationOrdering(t *testing.T) {
+	timing := []model.TimingConstraint{
+		{From: 0, To: 1, MaxDelay: 1},  // parts 0,1: delay 5 > 1 — violated
+		{From: 1, To: 2, MaxDelay: 10}, // parts 1,0: delay 5 ≤ 10 — fine
+		{From: 2, To: 1, MaxDelay: 2},  // parts 0,1: delay 5 > 2 — violated
+	}
+	p := triProblem(t, []int64{3, 3}, timing)
+	r, err := Check(p, model.Assignment{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TimingViolations) != 2 {
+		t.Fatalf("TimingViolations = %v, want 2 entries", r.TimingViolations)
+	}
+	if r.TimingViolations[0] != timing[0] || r.TimingViolations[1] != timing[2] {
+		t.Fatalf("TimingViolations = %v, want [%v %v] in declaration order",
+			r.TimingViolations, timing[0], timing[2])
+	}
+}
+
+// A zero-capacity partition overloads as soon as anything lands on it, with
+// the excess equal to the full load; left empty it is not overloaded.
+func TestZeroCapacityPartition(t *testing.T) {
+	p := triProblem(t, []int64{0, 3}, nil)
+	r, err := Check(p, model.Assignment{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverloadedCount != 1 || r.CapacityExcess[0] != 2 || r.CapacityExcess[1] != 0 {
+		t.Fatalf("overload accounting wrong: count=%d excess=%v", r.OverloadedCount, r.CapacityExcess)
+	}
+	if r.Feasible {
+		t.Fatal("overloaded zero-capacity partition reported feasible")
+	}
+
+	// The empty zero-capacity partition triggers nothing: load 0 ≤ cap 0.
+	r, err = Check(p, model.Assignment{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverloadedCount != 0 || !r.Feasible {
+		t.Fatalf("empty zero-capacity partition misreported: %+v", r)
+	}
+}
+
+// Feasible must be the conjunction over both violation kinds: any overload or
+// any timing violation alone already flips it.
+func TestFeasibleFlagInteraction(t *testing.T) {
+	tight := []model.TimingConstraint{{From: 0, To: 1, MaxDelay: 1}}
+	loose := []model.TimingConstraint{{From: 0, To: 1, MaxDelay: 10}}
+	cases := []struct {
+		name         string
+		caps         []int64
+		timing       []model.TimingConstraint
+		a            model.Assignment
+		wantFeasible bool
+		wantOverload int
+		wantTiming   int
+	}{
+		{"clean", []int64{2, 2}, loose, model.Assignment{0, 1, 0}, true, 0, 0},
+		{"overload only", []int64{1, 3}, loose, model.Assignment{0, 0, 1}, false, 1, 0},
+		{"timing only", []int64{2, 2}, tight, model.Assignment{0, 1, 0}, false, 0, 1},
+		{"both", []int64{1, 3}, tight, model.Assignment{0, 1, 0}, false, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := triProblem(t, tc.caps, tc.timing)
+			r, err := Check(p, tc.a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Feasible != tc.wantFeasible || r.OverloadedCount != tc.wantOverload || len(r.TimingViolations) != tc.wantTiming {
+				t.Fatalf("feasible=%v overload=%d timing=%d, want %v/%d/%d",
+					r.Feasible, r.OverloadedCount, len(r.TimingViolations),
+					tc.wantFeasible, tc.wantOverload, tc.wantTiming)
+			}
+		})
 	}
 }
 

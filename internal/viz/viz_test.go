@@ -11,7 +11,7 @@ import (
 )
 
 func TestGridRendering(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	grid := geometry.Grid{Rows: 2, Cols: 2}
 	var buf bytes.Buffer
 	if err := Grid(&buf, p, grid, model.Assignment{0, 1, 3}); err != nil {
@@ -30,7 +30,7 @@ func TestGridRendering(t *testing.T) {
 }
 
 func TestGridErrors(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	var buf bytes.Buffer
 	if err := Grid(&buf, p, geometry.Grid{Rows: 3, Cols: 3}, model.Assignment{0, 1, 3}); err == nil {
 		t.Fatal("mismatched grid accepted")
@@ -38,7 +38,7 @@ func TestGridErrors(t *testing.T) {
 	if err := Grid(&buf, p, geometry.Grid{Rows: 2, Cols: 2}, model.Assignment{0, 1}); err == nil {
 		t.Fatal("short assignment accepted")
 	}
-	bad := paperex.New()
+	bad := paperex.MustNew()
 	bad.Circuit.Sizes[0] = -1
 	if err := Grid(&buf, bad, geometry.Grid{Rows: 2, Cols: 2}, model.Assignment{0, 1, 3}); err == nil {
 		t.Fatal("invalid problem accepted")
@@ -46,7 +46,7 @@ func TestGridErrors(t *testing.T) {
 }
 
 func TestWireHistogram(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	var buf bytes.Buffer
 	// a adjacent to b, b adjacent to c: all weight at distance 1.
 	if err := WireHistogram(&buf, p, model.Assignment{0, 1, 3}); err != nil {
@@ -61,7 +61,7 @@ func TestWireHistogram(t *testing.T) {
 		t.Fatalf("missing zero bucket:\n%s", out)
 	}
 	// Degenerate: no wires at all.
-	empty := paperex.New()
+	empty := paperex.MustNew()
 	empty.Circuit.Wires = nil
 	buf.Reset()
 	if err := WireHistogram(&buf, empty, model.Assignment{0, 1, 3}); err != nil {

@@ -77,7 +77,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 func TestFacadePaperExample(t *testing.T) {
-	p := paperex.New()
+	p := paperex.MustNew()
 	res, err := SolveQBP(p, QBPOptions{Iterations: 50})
 	if err != nil {
 		t.Fatal(err)
@@ -110,6 +110,10 @@ func TestFacadeConstructiveAndRepair(t *testing.T) {
 
 func TestFacadeQAP(t *testing.T) {
 	grid := Grid{Rows: 2, Cols: 2}
+	dist, err := grid.DistanceMatrix(Manhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
 	inst := &QAPInstance{
 		Flow: [][]int64{
 			{0, 3, 0, 1},
@@ -117,7 +121,7 @@ func TestFacadeQAP(t *testing.T) {
 			{0, 2, 0, 1},
 			{1, 0, 1, 0},
 		},
-		Dist: grid.DistanceMatrix(Manhattan),
+		Dist: dist,
 	}
 	res, err := SolveQAP(inst, QAPOptions{Iterations: 100, Seed: 1})
 	if err != nil {
