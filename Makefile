@@ -13,9 +13,19 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Every table/figure of the paper plus the ablations; one full run each.
+# Perf artifact: the paper tables/ablations (one full solve per op) plus the
+# PR 2 kernel micro-benchmarks, 6 repetitions each, folded into BENCH_PR2.json
+# (ns/op, allocs/op, and the finalWL quality metric per instance).
+BENCHJSON ?= BENCH_PR2.json
+BENCH_MICRO = ComputeEta|PenalizedValue|GAPSolve|SolveWorkers|EtaIncrementalSweep
+
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x .
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) test -bench . -benchmem -benchtime 1x -count 6 -run '^$$' . > $$tmp/tables.txt; \
+	$(GO) test -bench '$(BENCH_MICRO)' -benchmem -benchtime 200ms -count 6 -run '^$$' \
+		./internal/qbp ./internal/gap > $$tmp/micro.txt; \
+	$(GO) run ./cmd/benchjson -o $(BENCHJSON) $$tmp/tables.txt $$tmp/micro.txt; \
+	echo "wrote $(BENCHJSON)"
 
 # Regenerate the paper's Tables I-III end to end.
 tables:

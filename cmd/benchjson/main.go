@@ -1,0 +1,186 @@
+// Command benchjson folds `go test -bench` text output into a stable JSON
+// artifact. Feed it one or more result files (or stdin) produced with
+// -benchmem -count N; it groups the repeated runs of each benchmark and
+// records every metric sample (ns/op, B/op, allocs/op, and custom
+// b.ReportMetric units such as finalWL) plus min and median summaries.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 6 ./... | benchjson -o BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metric holds the repeated-run samples of one benchmark metric.
+type metric struct {
+	Samples []float64 `json:"samples"`
+	Min     float64   `json:"min"`
+	Median  float64   `json:"median"`
+}
+
+// benchmark is one named benchmark aggregated over -count runs.
+type benchmark struct {
+	Name       string             `json:"name"`
+	Runs       int                `json:"runs"`
+	Iterations []int64            `json:"iterations"`
+	Metrics    map[string]*metric `json:"metrics"`
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Benchmarks []*benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "-", "output path (- for stdout)")
+	flag.Parse()
+
+	rep, err := collect(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	if err := emit(rep, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// collect parses every input source in order and aggregates by benchmark
+// name, preserving first-seen order.
+func collect(paths []string) (*report, error) {
+	rep := &report{}
+	index := map[string]*benchmark{}
+	if len(paths) == 0 {
+		if err := parse(os.Stdin, rep, index); err != nil {
+			return nil, err
+		}
+		return finish(rep), nil
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		err = parse(f, rep, index)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return finish(rep), nil
+}
+
+// parse scans one `go test -bench` output stream for result lines of the
+// shape
+//
+//	BenchmarkName-4   123   4567 ns/op   89 B/op   1 allocs/op
+//
+// and merges the (value, unit) pairs into the aggregate.
+func parse(r io.Reader, rep *report, index map[string]*benchmark) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." line without a result column
+		}
+		name := trimProcSuffix(strings.TrimPrefix(fields[0], "Benchmark"))
+		b := index[name]
+		if b == nil {
+			b = &benchmark{Name: name, Metrics: map[string]*metric{}}
+			index[name] = b
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+		b.Runs++
+		b.Iterations = append(b.Iterations, iters)
+		for k := 2; k+1 < len(fields); k += 2 {
+			v, err := strconv.ParseFloat(fields[k], 64)
+			if err != nil {
+				return fmt.Errorf("bad value %q for %s", fields[k], name)
+			}
+			unit := fields[k+1]
+			m := b.Metrics[unit]
+			if m == nil {
+				m = &metric{}
+				b.Metrics[unit] = m
+			}
+			m.Samples = append(m.Samples, v)
+		}
+	}
+	return sc.Err()
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS marker go test appends to
+// benchmark names (only the final dash-digits group, so sub-benchmark names
+// like sweep/n=60 survive intact).
+func trimProcSuffix(name string) string {
+	k := strings.LastIndexByte(name, '-')
+	if k <= 0 {
+		return name
+	}
+	suffix := name[k+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:k]
+}
+
+// finish computes the per-metric summaries.
+func finish(rep *report) *report {
+	for _, b := range rep.Benchmarks {
+		for _, m := range b.Metrics {
+			m.Min, m.Median = summarize(m.Samples)
+		}
+	}
+	return rep
+}
+
+func summarize(samples []float64) (min, median float64) {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	min = sorted[0]
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return min, sorted[mid]
+	}
+	return min, (sorted[mid-1] + sorted[mid]) / 2
+}
+
+func emit(rep *report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

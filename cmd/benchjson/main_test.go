@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTableII/ckta/qbp-1         	       1	  52034121 ns/op	        1203 finalWL	        1450 startWL	 5120 B/op	      12 allocs/op
+BenchmarkTableII/ckta/qbp-1         	       1	  51782002 ns/op	        1203 finalWL	        1450 startWL	 5120 B/op	      12 allocs/op
+BenchmarkComputeEta/kernel/n=60-1   	   12794	     17857 ns/op	       0 B/op	       0 allocs/op
+BenchmarkComputeEta/kernel/n=60-1   	   12100	     18003 ns/op	       0 B/op	       0 allocs/op
+BenchmarkComputeEta/kernel/n=60-1   	   12500	     17900 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseAggregates(t *testing.T) {
+	rep := &report{}
+	if err := parse(strings.NewReader(sample), rep, map[string]*benchmark{}); err != nil {
+		t.Fatal(err)
+	}
+	finish(rep)
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	table := rep.Benchmarks[0]
+	if table.Name != "TableII/ckta/qbp" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix not trimmed?)", table.Name)
+	}
+	if table.Runs != 2 || len(table.Iterations) != 2 {
+		t.Fatalf("runs = %d, iterations = %v", table.Runs, table.Iterations)
+	}
+	wl := table.Metrics["finalWL"]
+	if wl == nil || len(wl.Samples) != 2 || wl.Min != 1203 {
+		t.Fatalf("finalWL metric = %+v", wl)
+	}
+	eta := rep.Benchmarks[1]
+	if eta.Name != "ComputeEta/kernel/n=60" {
+		t.Fatalf("name = %q (sub-benchmark dash mangled?)", eta.Name)
+	}
+	ns := eta.Metrics["ns/op"]
+	if ns == nil || len(ns.Samples) != 3 {
+		t.Fatalf("ns/op = %+v", ns)
+	}
+	if ns.Min != 17857 || ns.Median != 17900 {
+		t.Fatalf("min/median = %v/%v, want 17857/17900", ns.Min, ns.Median)
+	}
+}
+
+func TestSummarizeEvenCount(t *testing.T) {
+	min, median := summarize([]float64{4, 1, 3, 2})
+	if min != 1 || median != 2.5 {
+		t.Fatalf("min/median = %v/%v, want 1/2.5", min, median)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"Solve-8":           "Solve",
+		"Sweep/n=60-1":      "Sweep/n=60",
+		"Sweep/n=60":        "Sweep/n=60", // no suffix: left alone
+		"Odd-name":          "Odd-name",
+		"BenchmarkRawDash-": "BenchmarkRawDash-",
+		"workers=2-16":      "workers=2",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

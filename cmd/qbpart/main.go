@@ -31,6 +31,7 @@ func main() {
 		initial    = flag.String("initial", "", "initial assignment file (default: generated feasible start)")
 		out        = flag.String("o", "", "write the final assignment to this file")
 		multistart = flag.Int("multistart", 1, "independent QBP starts run concurrently (qbp only)")
+		workers    = flag.Int("workers", 1, "goroutines sharding each solve's inner loops; results are identical for any value (qbp only)")
 		check      = flag.String("check", "", "validate this assignment file against the problem and exit")
 		show       = flag.Bool("show", false, "render the placement grid and wire-length histogram (square grids)")
 	)
@@ -100,6 +101,7 @@ func main() {
 			Initial:     start,
 			RelaxTiming: *relax,
 			Seed:        *seed,
+			Workers:     *workers,
 		}
 		var res *partition.QBPResult
 		var err error

@@ -120,6 +120,45 @@ func (l *Lists) MaxDelay(j1, j2 int) int64 {
 	return model.Unconstrained
 }
 
+// DelayClasses returns the sorted distinct finite MaxDelay values over all
+// arcs ("delay classes") and, aligned with Arcs, the class index of every
+// arc (-1 for arcs without a timing bound). The flat solve kernels
+// precompute one effective cost row per (class, partition) pair, which is
+// only economical because real circuits carry a handful of distinct bounds.
+func (l *Lists) DelayClasses() (bounds []int64, classes [][]int) {
+	seen := make(map[int64]int)
+	for _, arcs := range l.Arcs {
+		for _, a := range arcs {
+			if a.MaxDelay != model.Unconstrained {
+				seen[a.MaxDelay] = 0
+			}
+		}
+	}
+	bounds = make([]int64, 0, len(seen))
+	for v := range seen {
+		bounds = append(bounds, v)
+	}
+	sort.Slice(bounds, func(x, y int) bool { return bounds[x] < bounds[y] })
+	for c, v := range bounds {
+		seen[v] = c
+	}
+	classes = make([][]int, len(l.Arcs))
+	for j, arcs := range l.Arcs {
+		if len(arcs) == 0 {
+			continue
+		}
+		classes[j] = make([]int, len(arcs))
+		for k, a := range arcs {
+			if a.MaxDelay == model.Unconstrained {
+				classes[j][k] = -1
+			} else {
+				classes[j][k] = seen[a.MaxDelay]
+			}
+		}
+	}
+	return bounds, classes
+}
+
 // NNZ returns the total number of stored arcs (twice the number of distinct
 // coupled pairs).
 func (l *Lists) NNZ() int {

@@ -1,0 +1,143 @@
+package gap
+
+// Exactness tests for the flat cost paths: for costs whose values are
+// integers (the QBP subproblem case), the int64 FlatCosts path, the float64
+// FlatCosts64 path and the classic bin-major Costs path must make identical
+// decisions — same assignment, same cost, same ok.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qmatrix"
+)
+
+// randomIntegralInstance builds one GAP instance in all three cost
+// representations.
+func randomIntegralInstance(rng *rand.Rand) (byRows, byFlat64, byFlatInt *Instance) {
+	return integralInstance(rng, 2+rng.Intn(5), 4+rng.Intn(20))
+}
+
+// integralInstance builds an m×n instance with integer-valued costs in all
+// three representations.
+func integralInstance(rng *rand.Rand, m, n int) (byRows, byFlat64, byFlatInt *Instance) {
+	sizes := make([]int64, n)
+	var total int64
+	for j := range sizes {
+		sizes[j] = 1 + int64(rng.Intn(9))
+		total += sizes[j]
+	}
+	caps := make([]int64, m)
+	slack := 1.1 + rng.Float64()
+	for i := range caps {
+		caps[i] = int64(float64(total) * slack / float64(m))
+	}
+	costs := make([][]float64, m)
+	flat64 := make([]float64, m*n)
+	flatInt := make([]int64, m*n)
+	for i := range costs {
+		costs[i] = make([]float64, n)
+		for j := range costs[i] {
+			c := int64(rng.Intn(200))
+			costs[i][j] = float64(c)
+			flat64[qmatrix.Pack(i, j, m)] = float64(c)
+			flatInt[qmatrix.Pack(i, j, m)] = c
+		}
+	}
+	byRows = &Instance{Costs: costs, Sizes: sizes, Capacities: caps}
+	byFlat64 = &Instance{FlatCosts64: flat64, Sizes: sizes, Capacities: caps}
+	byFlatInt = &Instance{FlatCosts: flatInt, Sizes: sizes, Capacities: caps}
+	return byRows, byFlat64, byFlatInt
+}
+
+func TestFlatPathsAgreeExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		byRows, byFlat64, byFlatInt := randomIntegralInstance(rng)
+		for _, in := range []*Instance{byRows, byFlat64, byFlatInt} {
+			if err := in.Validate(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		for _, refine := range []RefineLevel{RefineNone, RefineShift, RefineSwap} {
+			opt := Options{Refine: refine, MaxRefinePasses: 3}
+			aR, cR, okR := Solve(byRows, opt)
+			a64, c64, ok64 := Solve(byFlat64, opt)
+			aI, cI, okI := Solve(byFlatInt, opt)
+			if okR != ok64 || okR != okI {
+				t.Fatalf("trial %d refine=%d: ok %v/%v/%v", trial, refine, okR, ok64, okI)
+			}
+			if cR != c64 || cR != cI {
+				t.Fatalf("trial %d refine=%d: cost %v/%v/%v", trial, refine, cR, c64, cI)
+			}
+			for j := range aR {
+				if aR[j] != a64[j] || aR[j] != aI[j] {
+					t.Fatalf("trial %d refine=%d: assignment diverged at item %d: %d/%d/%d",
+						trial, refine, j, aR[j], a64[j], aI[j])
+				}
+			}
+			// Instance.Cost agrees across representations too.
+			if okR {
+				if byRows.Cost(aR) != byFlatInt.Cost(aI) || byRows.Cost(aR) != byFlat64.Cost(a64) {
+					t.Fatalf("trial %d: Cost() diverged across representations", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestFlatExactAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		byRows, byFlat64, byFlatInt := randomIntegralInstance(rng)
+		if byRows.N() > 10 {
+			continue // keep branch and bound cheap
+		}
+		aR, cR, okR := SolveExact(byRows)
+		a64, c64, ok64 := SolveExact(byFlat64)
+		aI, cI, okI := SolveExact(byFlatInt)
+		if okR != ok64 || okR != okI {
+			t.Fatalf("trial %d: ok %v/%v/%v", trial, okR, ok64, okI)
+		}
+		if !okR {
+			continue
+		}
+		if cR != c64 || cR != cI {
+			t.Fatalf("trial %d: cost %v/%v/%v", trial, cR, c64, cI)
+		}
+		for j := range aR {
+			if aR[j] != a64[j] || aR[j] != aI[j] {
+				t.Fatalf("trial %d: exact assignment diverged at item %d", trial, j)
+			}
+		}
+	}
+}
+
+func TestFlatValidate(t *testing.T) {
+	in := &Instance{
+		FlatCosts:  make([]int64, 5),
+		Sizes:      []int64{1, 2, 3},
+		Capacities: []int64{10, 10},
+	}
+	if err := in.Validate(); err == nil {
+		t.Fatal("short FlatCosts accepted")
+	}
+	in.FlatCosts = make([]int64, 6)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("valid flat instance rejected: %v", err)
+	}
+	bad := &Instance{
+		FlatCosts64: []float64{0, 1, 2},
+		Sizes:       []int64{1, 2, 3},
+		Capacities:  []int64{10},
+	}
+	bad.FlatCosts64[1] = nan()
+	if err := bad.Validate(); err == nil {
+		t.Fatal("NaN FlatCosts64 accepted")
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}

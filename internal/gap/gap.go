@@ -9,19 +9,41 @@
 // is the Martello–Toth MTHG regret heuristic (ref [12] of the paper),
 // followed by shift and swap local refinement; an exact branch-and-bound
 // solver is provided for cross-checking on small instances.
+//
+// The solver core is generic over the cost element type and runs on an
+// item-major flat cost layout (all bins of one item contiguous, the access
+// pattern of every inner loop here). Callers on the hot path hand costs in
+// directly via FlatCosts (int64, the all-integral QBP subproblems) or
+// FlatCosts64 (float64); the classic bin-major Costs matrix remains
+// supported and is transposed into a scratch buffer per call. For costs
+// whose values are integers exactly representable in float64, the int64 and
+// float64 paths make identical decisions.
 package gap
 
 import (
 	"container/heap"
 	"errors"
 	"math"
+
+	"repro/internal/qmatrix"
 )
 
-// Instance is a minimization GAP.
+// Instance is a minimization GAP. Exactly one cost representation must be
+// set: Costs, FlatCosts or FlatCosts64.
 type Instance struct {
-	Costs      [][]float64 // M×N: Costs[i][j] = cost of placing item j in bin i
-	Sizes      []int64     // N item sizes, > 0
-	Capacities []int64     // M bin capacities, ≥ 0
+	Costs [][]float64 // M×N: Costs[i][j] = cost of placing item j in bin i
+	// FlatCosts is an optional item-major flat integer cost matrix:
+	// FlatCosts[qmatrix.Pack(i, j, M)] (= i + j·M) is the cost of placing
+	// item j in bin i. When set it takes precedence over the other
+	// representations and the solve runs entirely in int64 — no float64
+	// round-trip.
+	FlatCosts []int64
+	// FlatCosts64 is the float64 analogue of FlatCosts, for subproblems
+	// with fractional costs (the heuristic's STEP 6 direction vector).
+	// Used when FlatCosts is nil; takes precedence over Costs.
+	FlatCosts64 []float64
+	Sizes       []int64 // N item sizes, > 0
+	Capacities  []int64 // M bin capacities, ≥ 0
 }
 
 // M returns the number of bins.
@@ -36,16 +58,32 @@ func (in *Instance) Validate() error {
 	if m == 0 {
 		return errors.New("gap: no bins")
 	}
-	if len(in.Costs) != m {
-		return errors.New("gap: cost matrix row count != M")
-	}
-	for _, row := range in.Costs {
-		if len(row) != n {
-			return errors.New("gap: cost matrix column count != N")
+	switch {
+	case in.FlatCosts != nil:
+		if len(in.FlatCosts) != m*n {
+			return errors.New("gap: flat cost matrix length != M·N")
 		}
-		for _, c := range row {
+	case in.FlatCosts64 != nil:
+		if len(in.FlatCosts64) != m*n {
+			return errors.New("gap: flat cost matrix length != M·N")
+		}
+		for _, c := range in.FlatCosts64 {
 			if math.IsNaN(c) {
 				return errors.New("gap: NaN cost")
+			}
+		}
+	default:
+		if len(in.Costs) != m {
+			return errors.New("gap: cost matrix row count != M")
+		}
+		for _, row := range in.Costs {
+			if len(row) != n {
+				return errors.New("gap: cost matrix column count != N")
+			}
+			for _, c := range row {
+				if math.IsNaN(c) {
+					return errors.New("gap: NaN cost")
+				}
 			}
 		}
 	}
@@ -62,13 +100,30 @@ func (in *Instance) Validate() error {
 	return nil
 }
 
-// Cost returns the total cost of a complete assignment.
+// Cost returns the total cost of a complete assignment under whichever cost
+// representation is set.
 func (in *Instance) Cost(assign []int) float64 {
-	var t float64
-	for j, i := range assign {
-		t += in.Costs[i][j]
+	m := in.M()
+	switch {
+	case in.FlatCosts != nil:
+		var t int64
+		for j, i := range assign {
+			t += in.FlatCosts[qmatrix.Pack(i, j, m)]
+		}
+		return float64(t)
+	case in.FlatCosts64 != nil:
+		var t float64
+		for j, i := range assign {
+			t += in.FlatCosts64[qmatrix.Pack(i, j, m)]
+		}
+		return t
+	default:
+		var t float64
+		for j, i := range assign {
+			t += in.Costs[i][j]
+		}
+		return t
 	}
-	return t
 }
 
 // Feasible reports whether assign respects all bin capacities.
@@ -108,21 +163,75 @@ type Options struct {
 	MaxRefinePasses int // ≤ 0 means a safe default
 }
 
+// number is the cost element constraint of the generic solver core.
+type number interface{ ~int64 | ~float64 }
+
+// view is the solver's internal window onto an instance: item-major flat
+// costs plus the size/capacity vectors.
+type view[T number] struct {
+	flat  []T
+	m     int
+	sizes []int64
+	caps  []int64
+}
+
+// col returns the contiguous cost column of item j (one entry per bin).
+func (v *view[T]) col(j int) []T { return v.flat[j*v.m : (j+1)*v.m] }
+
+func (v *view[T]) n() int { return len(v.sizes) }
+
+func (v *view[T]) cost(assign []int) T {
+	var t T
+	for j, i := range assign {
+		t += v.col(j)[i]
+	}
+	return t
+}
+
 // Solve runs MTHG plus refinement. It returns the assignment (assign[j] =
 // bin), its cost, and whether it is capacity-feasible. On pathological
 // instances where the constructor dead-ends and repair fails, the returned
 // assignment may be infeasible (ok = false); callers that require
 // feasibility must check.
 func Solve(in *Instance, opt Options) (assign []int, cost float64, ok bool) {
-	assign, ok = construct(in)
-	if ok {
-		refine(in, assign, opt)
+	switch {
+	case in.FlatCosts != nil:
+		v := &view[int64]{flat: in.FlatCosts, m: in.M(), sizes: in.Sizes, caps: in.Capacities}
+		a, c, ok := solve(v, opt)
+		return a, float64(c), ok
+	case in.FlatCosts64 != nil:
+		v := &view[float64]{flat: in.FlatCosts64, m: in.M(), sizes: in.Sizes, caps: in.Capacities}
+		return solve(v, opt)
+	default:
+		v := &view[float64]{flat: transpose(in.Costs, in.N()), m: in.M(), sizes: in.Sizes, caps: in.Capacities}
+		return solve(v, opt)
 	}
-	return assign, in.Cost(assign), ok
+}
+
+// transpose flattens a bin-major matrix into the item-major layout.
+func transpose(costs [][]float64, n int) []float64 {
+	m := len(costs)
+	flat := make([]float64, m*n)
+	for i, row := range costs {
+		for j, c := range row {
+			flat[qmatrix.Pack(i, j, m)] = c
+		}
+	}
+	return flat
+}
+
+func solve[T number](v *view[T], opt Options) (assign []int, cost T, ok bool) {
+	assign, ok = construct(v)
+	if ok {
+		refine(v, assign, opt)
+	}
+	return assign, v.cost(assign), ok
 }
 
 // regretItem is a heap entry: the cached best/second-best feasible bins of
-// an unassigned item.
+// an unassigned item. The ordering keys are held as float64 regardless of
+// the cost element type; integer costs below 2⁵³ convert exactly, so the
+// int64 path orders identically to the float64 path.
 type regretItem struct {
 	j            int
 	best, second int     // bin indices; -1 when absent
@@ -153,15 +262,16 @@ func (h *regretHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *
 
 // score computes the best/second-best feasible bins of item j given the
 // remaining capacities. ok is false when no bin fits.
-func score(in *Instance, j int, remaining []int64) (it regretItem, ok bool) {
+func score[T number](v *view[T], j int, remaining []int64) (it regretItem, ok bool) {
 	it = regretItem{j: j, best: -1, second: -1}
-	sz := in.Sizes[j]
-	var bestC, secondC float64
-	for i := range in.Capacities {
+	sz := v.sizes[j]
+	col := v.col(j)
+	var bestC, secondC T
+	for i := range v.caps {
 		if remaining[i] < sz {
 			continue
 		}
-		c := in.Costs[i][j]
+		c := col[i]
 		switch {
 		case it.best < 0 || c < bestC:
 			it.second, secondC = it.best, bestC
@@ -173,11 +283,11 @@ func score(in *Instance, j int, remaining []int64) (it regretItem, ok bool) {
 	if it.best < 0 {
 		return it, false
 	}
-	it.bestC = bestC
+	it.bestC = float64(bestC)
 	if it.second < 0 {
 		it.regret = math.Inf(1)
 	} else {
-		it.regret = secondC - bestC
+		it.regret = float64(secondC) - float64(bestC)
 	}
 	return it, true
 }
@@ -185,19 +295,19 @@ func score(in *Instance, j int, remaining []int64) (it regretItem, ok bool) {
 // construct is the MTHG regret constructor with lazy cache revalidation:
 // since capacities only shrink, a cached (best, second) stays valid as long
 // as both bins still fit the item.
-func construct(in *Instance) (assign []int, ok bool) {
-	n := in.N()
+func construct[T number](v *view[T]) (assign []int, ok bool) {
+	n := v.n()
 	assign = make([]int, n)
 	for j := range assign {
 		assign[j] = -1
 	}
-	remaining := append([]int64(nil), in.Capacities...)
+	remaining := append([]int64(nil), v.caps...)
 
 	h := make(regretHeap, 0, n)
 	for j := 0; j < n; j++ {
-		it, fits := score(in, j, remaining)
+		it, fits := score(v, j, remaining)
 		if !fits {
-			return repair(in, assign, remaining, j)
+			return repair(v, assign, remaining, j)
 		}
 		h = append(h, it)
 	}
@@ -208,15 +318,15 @@ func construct(in *Instance) (assign []int, ok bool) {
 		if assign[it.j] >= 0 {
 			continue
 		}
-		sz := in.Sizes[it.j]
+		sz := v.sizes[it.j]
 		stale := remaining[it.best] < sz ||
 			(it.second >= 0 && remaining[it.second] < sz)
 		if stale {
-			fresh, fits := score(in, it.j, remaining)
+			fresh, fits := score(v, it.j, remaining)
 			if !fits {
 				// Repair completes the whole assignment, so no restart
 				// of the constructor is needed.
-				return repair(in, assign, remaining, it.j)
+				return repair(v, assign, remaining, it.j)
 			}
 			heap.Push(&h, fresh)
 			continue
@@ -231,8 +341,8 @@ func construct(in *Instance) (assign []int, ok bool) {
 // other still-unassigned items) are forced into the bin with the largest
 // remaining capacity, then overloaded bins are relieved by cheapest-penalty
 // shifts. Returns ok = false when overloads cannot be eliminated.
-func repair(in *Instance, assign []int, remaining []int64, stuck int) ([]int, bool) {
-	m := in.M()
+func repair[T number](v *view[T], assign []int, remaining []int64, stuck int) ([]int, bool) {
+	m := v.m
 	force := func(j int) {
 		best := 0
 		for i := 1; i < m; i++ {
@@ -241,15 +351,15 @@ func repair(in *Instance, assign []int, remaining []int64, stuck int) ([]int, bo
 			}
 		}
 		assign[j] = best
-		remaining[best] -= in.Sizes[j]
+		remaining[best] -= v.sizes[j]
 	}
 	force(stuck)
 	for j := range assign {
 		if assign[j] < 0 {
 			// Prefer a feasible bin if one exists; force otherwise.
-			if it, fits := score(in, j, remaining); fits {
+			if it, fits := score(v, j, remaining); fits {
 				assign[j] = it.best
-				remaining[it.best] -= in.Sizes[j]
+				remaining[it.best] -= v.sizes[j]
 			} else {
 				force(j)
 			}
@@ -274,12 +384,13 @@ func repair(in *Instance, assign []int, remaining []int64, stuck int) ([]int, bo
 			if i != over {
 				continue
 			}
-			sz := in.Sizes[j]
+			sz := v.sizes[j]
+			col := v.col(j)
 			for i2 := 0; i2 < m; i2++ {
 				if i2 == over || remaining[i2] < sz {
 					continue
 				}
-				pen := in.Costs[i2][j] - in.Costs[over][j]
+				pen := float64(col[i2] - col[over])
 				if pen < bestPenalty {
 					bestPenalty, bestJ, bestI = pen, j, i2
 				}
@@ -289,14 +400,14 @@ func repair(in *Instance, assign []int, remaining []int64, stuck int) ([]int, bo
 			return assign, false
 		}
 		assign[bestJ] = bestI
-		remaining[over] += in.Sizes[bestJ]
-		remaining[bestI] -= in.Sizes[bestJ]
+		remaining[over] += v.sizes[bestJ]
+		remaining[bestI] -= v.sizes[bestJ]
 	}
 	return assign, false
 }
 
 // refine applies shift (and optionally swap) local search in place.
-func refine(in *Instance, assign []int, opt Options) {
+func refine[T number](v *view[T], assign []int, opt Options) {
 	passes := opt.MaxRefinePasses
 	if passes <= 0 {
 		passes = 50
@@ -304,10 +415,10 @@ func refine(in *Instance, assign []int, opt Options) {
 	if opt.Refine == RefineNone {
 		return
 	}
-	m, n := in.M(), in.N()
-	remaining := append([]int64(nil), in.Capacities...)
+	m, n := v.m, v.n()
+	remaining := append([]int64(nil), v.caps...)
 	for j, i := range assign {
-		remaining[i] -= in.Sizes[j]
+		remaining[i] -= v.sizes[j]
 	}
 	// One sweep of single-item relocations; cheap (O(N·M)), so it always
 	// runs to convergence inside each outer pass.
@@ -315,13 +426,14 @@ func refine(in *Instance, assign []int, opt Options) {
 		improved := false
 		for j := 0; j < n; j++ {
 			cur := assign[j]
-			sz := in.Sizes[j]
-			bestI, bestC := cur, in.Costs[cur][j]
+			sz := v.sizes[j]
+			col := v.col(j)
+			bestI, bestC := cur, col[cur]
 			for i := 0; i < m; i++ {
 				if i == cur || remaining[i] < sz {
 					continue
 				}
-				if c := in.Costs[i][j]; c < bestC {
+				if c := col[i]; c < bestC {
 					bestI, bestC = i, c
 				}
 			}
@@ -338,24 +450,25 @@ func refine(in *Instance, assign []int, opt Options) {
 		improved := false
 		for j1 := 0; j1 < n; j1++ {
 			i1 := assign[j1]
-			s1 := in.Sizes[j1]
+			s1 := v.sizes[j1]
+			col1 := v.col(j1)
 			for j2 := j1 + 1; j2 < n; j2++ {
 				i2 := assign[j2]
 				if i1 == i2 {
 					continue
 				}
-				s2 := in.Sizes[j2]
+				s2 := v.sizes[j2]
 				if remaining[i1]+s1 < s2 || remaining[i2]+s2 < s1 {
 					continue
 				}
-				delta := in.Costs[i2][j1] + in.Costs[i1][j2] -
-					in.Costs[i1][j1] - in.Costs[i2][j2]
-				if delta < -1e-12 {
+				col2 := v.col(j2)
+				delta := col1[i2] + col2[i1] - col1[i1] - col2[i2]
+				if float64(delta) < -1e-12 {
 					assign[j1], assign[j2] = i2, i1
 					remaining[i1] += s1 - s2
 					remaining[i2] += s2 - s1
 					i1 = assign[j1]
-					s1 = in.Sizes[j1]
+					s1 = v.sizes[j1]
 					improved = true
 				}
 			}
@@ -376,7 +489,7 @@ func refine(in *Instance, assign []int, opt Options) {
 		improved := swapSweep()
 		// Ejection is the expensive last resort: only scan for depth-2
 		// chains once shifts and swaps have dried up.
-		if !improved && eject(in, assign, remaining) {
+		if !improved && eject(v, assign, remaining) {
 			improved = true
 		}
 		if !improved {
@@ -389,8 +502,8 @@ func refine(in *Instance, assign []int, opt Options) {
 // item k from i to a third bin, when the combined cost delta is negative.
 // This escapes local optima that single shifts and pairwise swaps cannot
 // (three-way rotations). Returns whether any move was applied.
-func eject(in *Instance, assign []int, remaining []int64) bool {
-	m, n := in.M(), in.N()
+func eject[T number](v *view[T], assign []int, remaining []int64) bool {
+	m, n := v.m, v.n()
 	members := make([][]int, m)
 	for j, i := range assign {
 		members[i] = append(members[i], j)
@@ -398,12 +511,13 @@ func eject(in *Instance, assign []int, remaining []int64) bool {
 	moved := false
 	for j := 0; j < n; j++ {
 		s := assign[j]
-		sj := in.Sizes[j]
+		sj := v.sizes[j]
+		colJ := v.col(j)
 		for i := 0; i < m; i++ {
 			if i == s {
 				continue
 			}
-			gain0 := in.Costs[i][j] - in.Costs[s][j]
+			gain0 := float64(colJ[i] - colJ[s])
 			if remaining[i] >= sj {
 				continue // plain shift handles this case
 			}
@@ -411,10 +525,11 @@ func eject(in *Instance, assign []int, remaining []int64) bool {
 			bestDelta := math.Inf(1)
 			bestK, bestB := -1, -1
 			for _, k := range members[i] {
-				sk := in.Sizes[k]
+				sk := v.sizes[k]
 				if remaining[i]+sk < sj {
 					continue
 				}
+				colK := v.col(k)
 				for b := 0; b < m; b++ {
 					room := remaining[b]
 					if b == s {
@@ -423,7 +538,7 @@ func eject(in *Instance, assign []int, remaining []int64) bool {
 					if b == i || room < sk {
 						continue
 					}
-					d := in.Costs[b][k] - in.Costs[i][k]
+					d := float64(colK[b] - colK[i])
 					if d < bestDelta {
 						bestDelta, bestK, bestB = d, k, b
 					}
@@ -431,8 +546,8 @@ func eject(in *Instance, assign []int, remaining []int64) bool {
 			}
 			if bestK >= 0 && gain0+bestDelta < -1e-12 {
 				// Apply: k out of i, j into i.
-				remaining[i] += in.Sizes[bestK]
-				remaining[bestB] -= in.Sizes[bestK]
+				remaining[i] += v.sizes[bestK]
+				remaining[bestB] -= v.sizes[bestK]
 				assign[bestK] = bestB
 				remaining[s] += sj
 				remaining[i] -= sj
@@ -456,19 +571,24 @@ func eject(in *Instance, assign []int, remaining []int64) bool {
 // with a per-item best-cost lower bound. Intended for small instances
 // (N ≲ 14) in tests. Returns ok = false when no feasible assignment exists.
 func SolveExact(in *Instance) (assign []int, cost float64, ok bool) {
-	m, n := in.M(), in.N()
-	// Lower bound suffix: lb[j] = Σ_{k ≥ j} min_i cost[i][k] (capacity
-	// ignored).
-	lb := make([]float64, n+1)
-	for j := n - 1; j >= 0; j-- {
-		best := math.Inf(1)
-		for i := 0; i < m; i++ {
-			if in.Costs[i][j] < best {
-				best = in.Costs[i][j]
-			}
-		}
-		lb[j] = lb[j+1] + best
+	switch {
+	case in.FlatCosts != nil:
+		v := &view[int64]{flat: in.FlatCosts, m: in.M(), sizes: in.Sizes, caps: in.Capacities}
+		return solveExact(v)
+	case in.FlatCosts64 != nil:
+		v := &view[float64]{flat: in.FlatCosts64, m: in.M(), sizes: in.Sizes, caps: in.Capacities}
+		return solveExact(v)
+	default:
+		v := &view[float64]{flat: transpose(in.Costs, in.N()), m: in.M(), sizes: in.Sizes, caps: in.Capacities}
+		return solveExact(v)
 	}
+}
+
+// solveExact accumulates bounds and costs in float64 for both element
+// types: the float64 path reproduces the historical arithmetic exactly, and
+// integral costs below 2⁵³ stay exact under the conversion.
+func solveExact[T number](v *view[T]) (assign []int, cost float64, ok bool) {
+	m, n := v.m, v.n()
 	// Branch on items in decreasing size for earlier capacity pruning.
 	order := make([]int, n)
 	for j := range order {
@@ -476,17 +596,20 @@ func SolveExact(in *Instance) (assign []int, cost float64, ok bool) {
 	}
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
-			if in.Sizes[order[b]] > in.Sizes[order[a]] {
+			if v.sizes[order[b]] > v.sizes[order[a]] {
 				order[a], order[b] = order[b], order[a]
 			}
 		}
 	}
-	// Recompute the suffix bound in branch order.
+	// Lower bound suffix in branch order: lb[j] = Σ_{k ≥ j} min_i cost of
+	// item order[k] (capacity ignored).
+	lb := make([]float64, n+1)
 	for j := n - 1; j >= 0; j-- {
 		best := math.Inf(1)
+		col := v.col(order[j])
 		for i := 0; i < m; i++ {
-			if in.Costs[i][order[j]] < best {
-				best = in.Costs[i][order[j]]
+			if c := float64(col[i]); c < best {
+				best = c
 			}
 		}
 		lb[j] = lb[j+1] + best
@@ -495,7 +618,7 @@ func SolveExact(in *Instance) (assign []int, cost float64, ok bool) {
 	bestCost := math.Inf(1)
 	var bestAssign []int
 	cur := make([]int, n)
-	remaining := append([]int64(nil), in.Capacities...)
+	remaining := append([]int64(nil), v.caps...)
 	var dfs func(depth int, acc float64)
 	dfs = func(depth int, acc float64) {
 		if acc+lb[depth] >= bestCost {
@@ -507,14 +630,15 @@ func SolveExact(in *Instance) (assign []int, cost float64, ok bool) {
 			return
 		}
 		j := order[depth]
-		sz := in.Sizes[j]
+		sz := v.sizes[j]
+		col := v.col(j)
 		for i := 0; i < m; i++ {
 			if remaining[i] < sz {
 				continue
 			}
 			cur[j] = i
 			remaining[i] -= sz
-			dfs(depth+1, acc+in.Costs[i][j])
+			dfs(depth+1, acc+float64(col[i]))
 			remaining[i] += sz
 		}
 	}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// hotLoopPackages are the solver kernels whose loops run once per heuristic
+// iteration (or more): a per-iteration allocation there is a measurable
+// regression, which is why their working memory lives in solver-owned
+// scratch buffers.
+var hotLoopPackages = map[string]bool{
+	"qbp": true,
+	"gap": true,
+}
+
+// AllocInHotLoop flags allocation sites inside for/range bodies of the hot
+// solver packages: `make(...)`, and `append` onto a base that can never
+// reuse capacity (nil, a []T(nil) conversion, or a composite literal). Both
+// spell "fresh garbage every iteration" — hoist the buffer into the scratch
+// struct and reslice it instead. Deliberate once-per-solve setup loops carry
+// a //lint:ignore alloc-in-hot-loop suppression with the justification.
+var AllocInHotLoop = &Analyzer{
+	Name: "alloc-in-hot-loop",
+	Doc:  "no per-iteration allocations in solver hot loops; hoist into scratch buffers",
+	Run: func(p *Pass) {
+		if !hotLoopPackages[p.Pkg.Name] {
+			return
+		}
+		seen := make(map[ast.Node]bool)
+		for _, f := range p.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					reportLoopAllocs(p, loop.Body, seen)
+				case *ast.RangeStmt:
+					reportLoopAllocs(p, loop.Body, seen)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// reportLoopAllocs reports the allocation sites directly inside body. It does
+// not descend into function literals (a closure's allocations happen when it
+// runs, not per enclosing iteration) and deduplicates nested-loop bodies,
+// which the outer walk visits more than once.
+func reportLoopAllocs(p *Pass, body *ast.BlockStmt, seen map[ast.Node]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || seen[call] {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case fn.Name == "make":
+			seen[call] = true
+			p.Reportf(call.Pos(), "make in a hot solver loop allocates every iteration; hoist into a scratch buffer")
+		case fn.Name == "append" && len(call.Args) > 0 && freshSliceBase(call.Args[0]):
+			seen[call] = true
+			p.Reportf(call.Pos(), "append onto a fresh slice in a hot solver loop allocates every iteration; reuse a scratch buffer")
+		}
+		return true
+	})
+}
+
+// freshSliceBase matches append first arguments that can never carry spare
+// capacity: nil, a composite literal, or a []T(nil) conversion.
+func freshSliceBase(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name == "nil"
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if _, isSlice := x.Fun.(*ast.ArrayType); isSlice && len(x.Args) == 1 {
+			id, ok := ast.Unparen(x.Args[0]).(*ast.Ident)
+			return ok && id.Name == "nil"
+		}
+	}
+	return false
+}

@@ -7,10 +7,12 @@ import (
 
 // indexHelperPackages are the packages allowed to spell out the Theorem-1
 // flat-index packing r = i + j·M by hand: qmatrix owns the Pack/Unpack
-// helpers and model owns the assignment representation.
+// helpers, model owns the assignment representation, and flatmat owns the
+// row-major flat matrix layout under the performance kernels.
 var indexHelperPackages = map[string]bool{
 	"qmatrix": true,
 	"model":   true,
+	"flatmat": true,
 }
 
 // RawIndexArith flags subscripts of the shape x[i + j*m] (or x[j*m + i])

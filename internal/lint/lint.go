@@ -89,6 +89,7 @@ func All() []*Analyzer {
 		FloatEquality,
 		GoroutineLoopCapture,
 		IgnoredError,
+		AllocInHotLoop,
 	}
 }
 

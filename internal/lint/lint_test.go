@@ -67,6 +67,12 @@ func TestFixtures(t *testing.T) {
 		{"capture_neg", nil},
 		{"errdiscard_pos", []string{"ignored-error:8", "ignored-error:16"}},
 		{"errdiscard_neg", nil},
+		{"hotalloc_pos", []string{
+			"alloc-in-hot-loop:9", "alloc-in-hot-loop:19", "alloc-in-hot-loop:20",
+			"alloc-in-hot-loop:32",
+		}},
+		{"hotalloc_neg", nil},
+		{"hotalloc_cold", nil},
 		{"suppress_ok", nil},
 		{"suppress_bad", []string{"lint:7", "panic-in-library:8", "lint:16", "panic-in-library:17"}},
 		{"mod_import", nil},

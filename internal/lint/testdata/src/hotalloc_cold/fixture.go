@@ -1,0 +1,12 @@
+// Negative fixture: allocations in loops are fine outside the designated
+// hot solver packages.
+package fixture
+
+// ColdMakeInLoop would be flagged in qbp/gap but this package is not hot.
+func ColdMakeInLoop(n int) int {
+	total := 0
+	for k := 0; k < n; k++ {
+		total += len(make([]int, k))
+	}
+	return total
+}

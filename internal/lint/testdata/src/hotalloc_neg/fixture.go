@@ -1,0 +1,37 @@
+// Negative fixture: a hot solver package (named gap) whose loops reuse
+// hoisted buffers — nothing to report.
+package gap
+
+// Hoisted allocates once, then reslices inside the loop.
+func Hoisted(n int) int {
+	buf := make([]int, 0, n)
+	total := 0
+	for k := 0; k < n; k++ {
+		buf = buf[:0]
+		buf = append(buf, k) // growing a reused buffer is fine
+		total += len(buf)
+	}
+	return total
+}
+
+// SetupLoop is a once-per-solve initialization loop; the allocation is
+// deliberate and suppressed with a justification.
+func SetupLoop(rows [][]int) [][]int {
+	out := make([][]int, len(rows))
+	for i, row := range rows {
+		//lint:ignore alloc-in-hot-loop one-time setup, not in the iteration path
+		out[i] = make([]int, len(row))
+		copy(out[i], row)
+	}
+	return out
+}
+
+// ClosureAlloc: allocations inside a func literal are the closure's, not the
+// loop's.
+func ClosureAlloc(n int) []func() []int {
+	var fns []func() []int
+	for k := 0; k < n; k++ {
+		fns = append(fns, func() []int { return make([]int, 1) })
+	}
+	return fns
+}

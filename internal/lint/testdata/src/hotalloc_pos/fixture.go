@@ -1,0 +1,36 @@
+// Positive fixture: per-iteration allocations in a hot solver package.
+// The package is named qbp so the analyzer treats its loops as hot.
+package qbp
+
+// MakeInLoop allocates a fresh buffer every iteration.
+func MakeInLoop(n int) int {
+	total := 0
+	for k := 0; k < n; k++ {
+		buf := make([]int, n) // line 9: make in loop
+		total += len(buf)
+	}
+	return total
+}
+
+// AppendFresh rebuilds slices from scratch inside a range loop.
+func AppendFresh(xs []int) [][]int {
+	var out [][]int
+	for _, x := range xs {
+		row := append([]int{}, x)        // line 19: composite-literal base
+		row = append([]int(nil), row...) // line 20: typed-nil base
+		out = append(out, row)
+	}
+	return out
+}
+
+// NestedLoop: the inner loop's make is reported exactly once even though
+// both loop walks visit it.
+func NestedLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			total += len(make([]int, j)) // line 32: one diagnostic, not two
+		}
+	}
+	return total
+}

@@ -1,0 +1,320 @@
+package qbp
+
+import (
+	"repro/internal/flatmat"
+	"repro/internal/qmatrix"
+)
+
+// This file holds the flat performance kernels under the solve loop: the
+// per-delay-class effective-row cache (flatmat.Kernel), the flat item-major
+// η/h vectors, and the incremental η maintenance. All flat vectors use the
+// qmatrix.Pack layout — entry (partition i, component j) lives at
+// Pack(i, j, m) = i + j·m, so the per-component column is the contiguous
+// subslice [j·m, (j+1)·m). That is exactly the access pattern of the GAP
+// subproblems, so STEP 4 hands the η vector to gap.Solve with no copy and
+// no float64 round-trip.
+
+// initKernel builds the flat solve state from the solver's topology: flat
+// mirrors of B and the delay matrix, the per-(delay-class, partition)
+// effective rows, the per-arc class indices aligned with adj.Arcs, and the
+// flat linear-cost mirror. Must run after s.penalty and s.relax are final.
+func (s *solver) initKernel() {
+	bm := flatmat.FromRows(s.b)
+	dm := flatmat.FromRows(s.d)
+	if s.relax {
+		// Timing relaxed: every arc behaves as unconstrained, so no
+		// penalty rows are needed at all.
+		s.cls = make([][]int, s.n)
+		for j, arcs := range s.adj.Arcs {
+			if len(arcs) == 0 {
+				continue
+			}
+			//lint:ignore alloc-in-hot-loop one-time kernel construction, not the iteration path
+			s.cls[j] = make([]int, len(arcs))
+			for k := range s.cls[j] {
+				s.cls[j][k] = flatmat.UnconstrainedClass
+			}
+		}
+		s.kern = flatmat.NewKernel(bm, dm, nil, 0)
+	} else {
+		bounds, classes := s.adj.DelayClasses()
+		s.cls = classes
+		s.kern = flatmat.NewKernel(bm, dm, bounds, s.penalty)
+	}
+	if s.p.Linear != nil {
+		s.linFlat = make([]int64, s.m*s.n)
+		for j := 0; j < s.n; j++ {
+			for i := 0; i < s.m; i++ {
+				s.linFlat[qmatrix.Pack(i, j, s.m)] = s.p.LinearAt(i, j)
+			}
+		}
+	}
+}
+
+// scratch is the solver-owned reusable buffer set. One scratch serves many
+// sequential solves of same-shape problems (the multi-start workers each
+// own one), eliminating the per-call and per-iteration allocations of the
+// solve loop's hot helpers.
+type scratch struct {
+	m, n int
+
+	etaI     []int64 // flat η, item-major
+	h        []float64
+	etaU     []int // assignment etaI currently reflects
+	etaValid bool
+
+	loads []int64
+	fits  []int
+	prev  []int
+	wbuf  []int
+
+	moved     []bool
+	colDirty  []bool
+	dirtyCols []int
+
+	// polish/strongPolish candidate-scan buffers (parallel path only;
+	// allocated lazily).
+	deltas []int64
+	timOK  []bool
+	cand   []bool
+	dirty  []bool
+	u0     []int
+}
+
+func newScratch(m, n int) *scratch {
+	return &scratch{
+		m:         m,
+		n:         n,
+		etaI:      make([]int64, m*n),
+		h:         make([]float64, m*n),
+		etaU:      make([]int, n),
+		loads:     make([]int64, m),
+		fits:      make([]int, 0, m),
+		prev:      make([]int, n),
+		wbuf:      make([]int, n),
+		moved:     make([]bool, n),
+		colDirty:  make([]bool, n),
+		dirtyCols: make([]int, 0, n),
+	}
+}
+
+// ensurePolishBufs sizes the snapshot buffers of the sharded candidate
+// scans on first use.
+func (sc *scratch) ensurePolishBufs() {
+	if sc.deltas == nil {
+		sc.deltas = make([]int64, sc.n*sc.m)
+		sc.timOK = make([]bool, sc.n*sc.m)
+		sc.cand = make([]bool, sc.n)
+		sc.dirty = make([]bool, sc.n)
+		sc.u0 = make([]int, sc.n)
+	}
+}
+
+// etaCol returns component j's contiguous η column.
+func etaCol(etaI []int64, j, m int) []int64 { return etaI[j*m : (j+1)*m] }
+
+// refreshEta brings sc.etaI in sync with assignment u and returns it. The
+// first call per solve computes η in full; later calls diff u against the
+// assignment the buffer reflects and only rebuild the η columns of the
+// moved components' neighbors. Both paths are exact int64 arithmetic, so
+// they agree bit for bit — the incremental path is purely a cost saving
+// proportional to how much of the iterate actually moved.
+func (s *solver) refreshEta(u []int, withOmega bool) []int64 {
+	sc := s.sc
+	if !sc.etaValid {
+		s.etaFull(sc.etaI, u, withOmega)
+		copy(sc.etaU, u)
+		sc.etaValid = true
+		return sc.etaI
+	}
+	nm := 0
+	for j := range u {
+		if u[j] != sc.etaU[j] {
+			nm++
+		}
+	}
+	switch {
+	case nm == 0:
+		return sc.etaI
+	case nm*3 > s.n:
+		// Most of the iterate moved (a GAP jump or a kick): a full rebuild
+		// touches less memory than diffing nearly every column.
+		s.etaFull(sc.etaI, u, withOmega)
+	default:
+		s.etaIncremental(sc.etaI, sc.etaU, u, withOmega)
+	}
+	copy(sc.etaU, u)
+	return sc.etaI
+}
+
+// etaFull computes η from scratch: for every component column, the sum of
+// the partners' effective rows, plus the flat linear diagonal and
+// (optionally) the ω term at the current slot. Columns are independent, so
+// the loop shards over components. The serial path calls the range body
+// directly — building the shard closure would cost an allocation per call.
+func (s *solver) etaFull(etaI []int64, u []int, withOmega bool) {
+	if s.pool == nil {
+		s.etaFullRange(etaI, u, withOmega, 0, s.n)
+		return
+	}
+	s.pool.forRange(s.n, func(lo, hi int) {
+		s.etaFullRange(etaI, u, withOmega, lo, hi)
+	})
+}
+
+func (s *solver) etaFullRange(etaI []int64, u []int, withOmega bool, lo, hi int) {
+	m := s.m
+	for j2 := lo; j2 < hi; j2++ {
+		col := etaCol(etaI, j2, m)
+		for r := range col {
+			col[r] = 0
+		}
+		cls := s.cls[j2]
+		for k, arc := range s.adj.Arcs[j2] {
+			c := cls[k]
+			w := arc.Weight
+			// The row loops stay inline: an accumulate call per arc costs
+			// more than the whole length-M fused add at realistic M.
+			if c == flatmat.UnconstrainedClass {
+				if w == 0 {
+					continue
+				}
+				row := s.kern.BRow(u[arc.Other])
+				row = row[:len(col)]
+				for r := range col {
+					col[r] += w * row[r]
+				}
+			} else {
+				mask, pen := s.kern.ClassRows(c, u[arc.Other])
+				mask = mask[:len(col)]
+				pen = pen[:len(col)]
+				for r := range col {
+					col[r] += w*mask[r] + pen[r]
+				}
+			}
+		}
+		if s.linFlat != nil {
+			lcol := etaCol(s.linFlat, j2, m)
+			lcol = lcol[:len(col)]
+			for r := range col {
+				col[r] += lcol[r]
+			}
+		}
+		if withOmega {
+			cur := u[j2]
+			col[cur] += s.omega[qmatrix.Pack(cur, j2, m)]
+		}
+	}
+}
+
+// etaIncremental updates etaI from oldU to newU: only the columns with at
+// least one moved partner are touched, each by subtracting the partner's
+// old effective row and adding the new one. Dirty columns are disjoint, so
+// the update shards over them.
+func (s *solver) etaIncremental(etaI []int64, oldU, newU []int, withOmega bool) {
+	m := s.m
+	sc := s.sc
+	moved := sc.moved
+	for j := range newU {
+		moved[j] = newU[j] != oldU[j]
+	}
+	dirty := sc.colDirty
+	cols := sc.dirtyCols[:0]
+	for j := range newU {
+		if !moved[j] {
+			continue
+		}
+		for _, arc := range s.adj.Arcs[j] {
+			if !dirty[arc.Other] {
+				dirty[arc.Other] = true
+				cols = append(cols, arc.Other)
+			}
+		}
+	}
+	sc.dirtyCols = cols
+	if s.pool == nil {
+		s.etaIncrementalRange(etaI, oldU, newU, cols, 0, len(cols))
+	} else {
+		s.pool.forRange(len(cols), func(lo, hi int) {
+			s.etaIncrementalRange(etaI, oldU, newU, cols, lo, hi)
+		})
+	}
+	if withOmega {
+		for j := range newU {
+			if !moved[j] {
+				continue
+			}
+			col := etaCol(etaI, j, m)
+			col[oldU[j]] -= s.omega[qmatrix.Pack(oldU[j], j, m)]
+			col[newU[j]] += s.omega[qmatrix.Pack(newU[j], j, m)]
+		}
+	}
+	for _, o := range cols {
+		dirty[o] = false
+	}
+}
+
+// etaIncrementalRange re-derives the η columns cols[lo:hi]: per moved
+// partner, one fused pass replacing its old effective row with the new one.
+// old and new contributions cancel exactly in int64, so the fused
+// (new − old) form is bit-identical to a subtract-then-add pair.
+func (s *solver) etaIncrementalRange(etaI []int64, oldU, newU, cols []int, lo, hi int) {
+	m := s.m
+	moved := s.sc.moved
+	for x := lo; x < hi; x++ {
+		o := cols[x]
+		col := etaCol(etaI, o, m)
+		cls := s.cls[o]
+		for k, arc := range s.adj.Arcs[o] {
+			j := arc.Other
+			if !moved[j] {
+				continue
+			}
+			c := cls[k]
+			w := arc.Weight
+			if c == flatmat.UnconstrainedClass {
+				if w == 0 {
+					continue
+				}
+				oldRow := s.kern.BRow(oldU[j])
+				newRow := s.kern.BRow(newU[j])
+				oldRow = oldRow[:len(col)]
+				newRow = newRow[:len(col)]
+				for r := range col {
+					col[r] += w * (newRow[r] - oldRow[r])
+				}
+			} else {
+				om, op := s.kern.ClassRows(c, oldU[j])
+				nm, np := s.kern.ClassRows(c, newU[j])
+				om = om[:len(col)]
+				op = op[:len(col)]
+				nm = nm[:len(col)]
+				np = np[:len(col)]
+				for r := range col {
+					col[r] += w*(nm[r]-om[r]) + np[r] - op[r]
+				}
+			}
+		}
+	}
+}
+
+// accumulateH folds the current η into the direction vector h (STEP 5):
+// h[r] += float64(η[r]) / denom, sharded over flat index ranges. The
+// division stays per-entry: multiplying by a precomputed reciprocal would
+// change last-ulp rounding and break bit-compatibility with the float64
+// reference implementation.
+func (s *solver) accumulateH(h []float64, etaI []int64, denom float64) {
+	if s.pool == nil {
+		accumulateHRange(h, etaI, denom, 0, len(h))
+		return
+	}
+	s.pool.forRange(len(h), func(lo, hi int) {
+		accumulateHRange(h, etaI, denom, lo, hi)
+	})
+}
+
+func accumulateHRange(h []float64, etaI []int64, denom float64, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		h[r] += float64(etaI[r]) / denom
+	}
+}

@@ -42,22 +42,34 @@ func SolveMultiStart(p *model.Problem, opts MultiStartOptions) (*Result, error) 
 
 	results := make([]*Result, starts)
 	errs := make([]error, starts)
+	// Exactly `workers` goroutines drain the start indices — not one
+	// goroutine per start parked on a semaphore, which stacked `starts`
+	// goroutines (and their solver state) up front. Each worker owns one
+	// scratch buffer set, reused across every start it runs: all starts
+	// solve the same problem shape, so the per-solve allocations of the
+	// pipeline are paid once per worker instead of once per start.
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for k := 0; k < starts; k++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(k int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			o := opts.Base
-			o.Seed += int64(k) * 7_368_787
-			if k > 0 {
-				o.Initial = nil // later starts explore from random points
+			sc := newScratch(p.M(), p.N())
+			for k := range jobs {
+				o := opts.Base
+				o.Seed += int64(k) * 7_368_787
+				if k > 0 {
+					o.Initial = nil // later starts explore from random points
+				}
+				o.sc = sc
+				results[k], errs[k] = Solve(p, o)
 			}
-			results[k], errs[k] = Solve(p, o)
-		}(k)
+		}()
 	}
+	for k := 0; k < starts; k++ {
+		jobs <- k
+	}
+	close(jobs)
 	wg.Wait()
 
 	var best *Result

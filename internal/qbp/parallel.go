@@ -1,0 +1,78 @@
+package qbp
+
+import "sync"
+
+// pool is a reusable worker pool for the solve pipeline's shardable loops
+// (the η/h accumulations and the polish candidate scans). Workers are
+// started once per solve and fed closures over a channel, so per-iteration
+// sharding costs a channel send per chunk rather than a goroutine spawn.
+//
+// Every loop dispatched here writes disjoint index ranges (or only reads),
+// so the reduction is deterministic by construction: sharded runs produce
+// bit-identical results to serial ones.
+type pool struct {
+	workers int
+	tasks   chan func()
+	once    sync.Once
+	wg      sync.WaitGroup // worker goroutine lifetimes
+}
+
+// newPool returns a pool of the given width, or nil for workers ≤ 1 — the
+// nil pool runs everything inline, which is the serial reference path.
+func newPool(workers int) *pool {
+	if workers <= 1 {
+		return nil
+	}
+	return &pool{workers: workers}
+}
+
+func (p *pool) start() {
+	p.tasks = make(chan func(), p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+}
+
+// close shuts the workers down. Safe on a nil or never-started pool.
+func (p *pool) close() {
+	if p == nil || p.tasks == nil {
+		return
+	}
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// forRange splits [0, n) into contiguous chunks and runs fn on each, one
+// chunk per worker, blocking until all complete. fn must only touch state
+// owned by its chunk. A nil pool (or a range too small to shard) runs
+// fn(0, n) inline.
+func (p *pool) forRange(n int, fn func(lo, hi int)) {
+	if p == nil || n < 2*p.workers {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	p.once.Do(p.start)
+	chunk := (n + p.workers - 1) / p.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		lo := lo
+		wg.Add(1)
+		p.tasks <- func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,166 @@
+package qbp
+
+// Micro-benchmarks for the flat solve kernels, measured against the
+// pre-kernel reference implementations (kept here verbatim as baselines).
+// `make bench` folds these into BENCH_PR2.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// referenceComputeEta is the branchy per-entry STEP 3 accumulation the
+// effective-row kernel replaced: per arc, per target partition, a timing
+// test against the delay matrix selects penalty or weighted coupling.
+func referenceComputeEta(s *solver, u []int, eta [][]float64) {
+	for i := 0; i < s.m; i++ {
+		row := eta[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for j2 := 0; j2 < s.n; j2++ {
+		for _, arc := range s.adj.Arcs[j2] {
+			i1 := u[arc.Other]
+			brow := s.b[i1]
+			drow := s.d[i1]
+			if s.relax || arc.MaxDelay == model.Unconstrained {
+				if arc.Weight == 0 {
+					continue
+				}
+				for i2 := 0; i2 < s.m; i2++ {
+					eta[i2][j2] += float64(arc.Weight * brow[i2])
+				}
+			} else {
+				for i2 := 0; i2 < s.m; i2++ {
+					if drow[i2] > arc.MaxDelay {
+						eta[i2][j2] += float64(s.penalty)
+					} else {
+						eta[i2][j2] += float64(arc.Weight * brow[i2])
+					}
+				}
+			}
+		}
+		if s.p.Linear != nil {
+			for i2 := 0; i2 < s.m; i2++ {
+				eta[i2][j2] += float64(s.p.LinearAt(i2, j2))
+			}
+		}
+	}
+}
+
+func benchSolver(b *testing.B, n int) (*solver, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	p, _ := testgen.Random(rng, testgen.Config{N: n, TimingProb: 0.4})
+	s := newTestSolver(p, DefaultPenalty, false)
+	u := make([]int, s.n)
+	for j := range u {
+		u[j] = rng.Intn(s.m)
+	}
+	return s, u
+}
+
+func BenchmarkComputeEta(b *testing.B) {
+	for _, n := range []int{60, 250} {
+		s, u := benchSolver(b, n)
+		rows := make([][]float64, s.m)
+		for i := range rows {
+			rows[i] = make([]float64, s.n)
+		}
+		b.Run(fmt.Sprintf("reference/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				referenceComputeEta(s, u, rows)
+			}
+		})
+		b.Run(fmt.Sprintf("kernel/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				s.etaFull(s.sc.etaI, u, false)
+			}
+		})
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			s.sc.etaValid = false
+			s.refreshEta(u, false)
+			rng := rand.New(rand.NewSource(7))
+			b.ResetTimer()
+			for k := 0; k < b.N; k++ {
+				// A typical between-iteration diff: a handful of moves.
+				for x := 0; x < 4; x++ {
+					u[rng.Intn(s.n)] = rng.Intn(s.m)
+				}
+				s.refreshEta(u, false)
+			}
+		})
+	}
+}
+
+func BenchmarkPenalizedValue(b *testing.B) {
+	for _, n := range []int{60, 250} {
+		s, u := benchSolver(b, n)
+		b.Run(fmt.Sprintf("reference/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink int64
+			for k := 0; k < b.N; k++ {
+				sink += refPenalizedValue(s, u)
+			}
+			_ = sink
+		})
+		b.Run(fmt.Sprintf("kernel/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink int64
+			for k := 0; k < b.N; k++ {
+				sink += s.penalizedValue(u)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkSolveWorkers measures the end-to-end solve at different shard
+// widths (identical outputs; wall-clock scales with available cores).
+func BenchmarkSolveWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	p, _ := testgen.Random(rng, testgen.Config{N: 150, TimingProb: 0.3, CapSlack: 1.4})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				res, err := Solve(p, Options{Iterations: 20, Seed: 1, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if k == 0 {
+					b.ReportMetric(float64(res.WireLength), "finalWL")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEtaIncrementalSweep shows how the incremental path scales with
+// the fraction of the iterate that moved between refreshes.
+func BenchmarkEtaIncrementalSweep(b *testing.B) {
+	s, u := benchSolver(b, 250)
+	for _, moves := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("moves=%d", moves), func(b *testing.B) {
+			b.ReportAllocs()
+			s.sc.etaValid = false
+			s.refreshEta(u, false)
+			rng := rand.New(rand.NewSource(7))
+			b.ResetTimer()
+			for k := 0; k < b.N; k++ {
+				for x := 0; x < moves; x++ {
+					u[rng.Intn(s.n)] = rng.Intn(s.m)
+				}
+				s.refreshEta(u, false)
+			}
+		})
+	}
+}

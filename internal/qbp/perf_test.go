@@ -1,0 +1,202 @@
+package qbp
+
+// Exactness tests for the flat performance kernels: the incremental η
+// maintenance, the flat penalizedValue, and the Workers-sharded pipeline
+// must agree bit for bit with their straightforward reference
+// implementations — the PR 2 rework is a pure cost saving, never a
+// behavioral change.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adjacency"
+	"repro/internal/model"
+	"repro/internal/qmatrix"
+	"repro/internal/testgen"
+)
+
+// newTestSolver builds a solver with the flat kernels initialized, the way
+// Solve does internally.
+func newTestSolver(p *model.Problem, penalty int64, relax bool) *solver {
+	norm := p.Normalized()
+	s := &solver{
+		p:       norm,
+		adj:     adjacency.Build(norm.Circuit),
+		m:       norm.M(),
+		n:       norm.N(),
+		b:       norm.Topology.Cost,
+		d:       norm.Topology.Delay,
+		penalty: penalty,
+		relax:   relax,
+	}
+	s.omega = qmatrix.Omega(norm, s.adj, s.effectivePenalty())
+	s.initKernel()
+	s.sc = newScratch(s.m, s.n)
+	return s
+}
+
+// checkEtaIncremental drives refreshEta through a sequence of perturbations
+// and asserts exact equality with a from-scratch recompute after each one.
+func checkEtaIncremental(t *testing.T, seed int64, moves int, withOmega, relax bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p, _ := testgen.Random(rng, testgen.Config{
+		N: 15 + rng.Intn(25), TimingProb: 0.4, WithLinear: seed%2 == 0,
+	})
+	s := newTestSolver(p, DefaultPenalty, relax)
+	u := make([]int, s.n)
+	for j := range u {
+		u[j] = rng.Intn(s.m)
+	}
+	got := s.refreshEta(u, withOmega) // full compute seeds the buffer
+	want := make([]int64, s.m*s.n)
+	for step := 0; step < 12; step++ {
+		// Perturb a random subset (sometimes large, forcing the full-rebuild
+		// branch; sometimes empty, the no-op branch).
+		for x := 0; x < moves*(step%3); x++ {
+			u[rng.Intn(s.n)] = rng.Intn(s.m)
+		}
+		got = s.refreshEta(u, withOmega)
+		s.etaFull(want, u, withOmega)
+		for r := range want {
+			if got[r] != want[r] {
+				i, j := qmatrix.Unpack(r, s.m)
+				t.Fatalf("seed=%d step=%d: η[%d][%d] = %d, want %d (incremental diverged)",
+					seed, step, i, j, got[r], want[r])
+			}
+		}
+	}
+}
+
+func TestEtaIncrementalMatchesFull(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		checkEtaIncremental(t, seed, 1+int(seed%5), seed%3 == 0, seed%4 == 3)
+	}
+}
+
+func FuzzEtaIncremental(f *testing.F) {
+	f.Add(int64(1), 3, false, false)
+	f.Add(int64(2), 1, true, false)
+	f.Add(int64(3), 8, false, true)
+	f.Add(int64(4), 20, true, true)
+	f.Fuzz(func(t *testing.T, seed int64, moves int, withOmega, relax bool) {
+		if moves < 0 || moves > 64 {
+			t.Skip()
+		}
+		checkEtaIncremental(t, seed, moves, withOmega, relax)
+	})
+}
+
+// refPenalizedValue is the branchy per-entry reference the flat kernel
+// replaced: linear term plus, per ordered coupled pair, the raised penalty
+// or the wire coupling.
+func refPenalizedValue(s *solver, u []int) int64 {
+	var v int64
+	for j := 0; j < s.n; j++ {
+		v += s.p.LinearAt(u[j], j)
+	}
+	for j1 := 0; j1 < s.n; j1++ {
+		i1 := u[j1]
+		for _, arc := range s.adj.Arcs[j1] {
+			i2 := u[arc.Other]
+			if !s.relax && arc.MaxDelay != model.Unconstrained && s.d[i1][i2] > arc.MaxDelay {
+				v += s.penalty
+			} else {
+				v += arc.Weight * s.b[i1][i2]
+			}
+		}
+	}
+	return v
+}
+
+func TestPenalizedValueMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{
+			N: 10 + rng.Intn(30), TimingProb: 0.5, WithLinear: trial%2 == 0,
+		})
+		s := newTestSolver(p, DefaultPenalty, trial%5 == 4)
+		u := make([]int, s.n)
+		for probe := 0; probe < 10; probe++ {
+			for j := range u {
+				u[j] = rng.Intn(s.m)
+			}
+			if got, want := s.penalizedValue(u), refPenalizedValue(s, u); got != want {
+				t.Fatalf("trial %d: penalizedValue = %d, want %d", trial, got, want)
+			}
+			// Move deltas must match value differences exactly.
+			j, to := rng.Intn(s.n), rng.Intn(s.m)
+			before := s.penalizedValue(u)
+			d := s.moveDeltaPenalized(u, j, to)
+			old := u[j]
+			u[j] = to
+			if after := s.penalizedValue(u); after-before != d {
+				t.Fatalf("trial %d: moveDelta(%d→%d) = %d, value change %d", trial, old, to, d, after-before)
+			}
+		}
+	}
+}
+
+// TestWorkersIndependence is the determinism contract of qbp.Options.Workers:
+// a fixed seed yields the identical assignment no matter how the pipeline
+// is sharded. Run under -race this also exercises the pool for data races.
+func TestWorkersIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{
+			N: 30 + rng.Intn(30), TimingProb: 0.3, CapSlack: 1.4,
+		})
+		base := Options{Iterations: 25, Seed: int64(trial)}
+		ref, err := Solve(p, base)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, workers := range []int{2, 3, 7} {
+			o := base
+			o.Workers = workers
+			got, err := Solve(p, o)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if got.Objective != ref.Objective || got.Penalized != ref.Penalized {
+				t.Fatalf("trial %d workers=%d: objective %d/%d, want %d/%d",
+					trial, workers, got.Objective, got.Penalized, ref.Objective, ref.Penalized)
+			}
+			for j := range ref.Assignment {
+				if got.Assignment[j] != ref.Assignment[j] {
+					t.Fatalf("trial %d workers=%d: assignment diverged at component %d",
+						trial, workers, j)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiStartSharedScratch checks that the per-worker scratch reuse does
+// not leak state between starts: serial (1 worker) and concurrent runs pick
+// the same winner.
+func TestMultiStartSharedScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	p, _ := testgen.Random(rng, testgen.Config{N: 40, TimingProb: 0.3, CapSlack: 1.4})
+	base := Options{Iterations: 15, Seed: 5}
+	ref, err := SolveMultiStart(p, MultiStartOptions{Base: base, Starts: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		got, err := SolveMultiStart(p, MultiStartOptions{Base: base, Starts: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Objective != ref.Objective || got.Penalized != ref.Penalized || got.Feasible != ref.Feasible {
+			t.Fatalf("workers=%d: %d/%d/%v, want %d/%d/%v", workers,
+				got.Objective, got.Penalized, got.Feasible, ref.Objective, ref.Penalized, ref.Feasible)
+		}
+		for j := range ref.Assignment {
+			if got.Assignment[j] != ref.Assignment[j] {
+				t.Fatalf("workers=%d: assignment diverged at component %d", workers, j)
+			}
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/adjacency"
+	"repro/internal/flatmat"
 	"repro/internal/gains"
 	"repro/internal/gap"
 	"repro/internal/model"
@@ -95,6 +96,17 @@ type Options struct {
 	DisablePolish bool
 	// OnIteration, when set, observes each iteration.
 	OnIteration func(it Iteration)
+	// Workers shards the solve pipeline's data-parallel loops (the η and h
+	// accumulations and the polish candidate scans) across this many
+	// goroutines. Every sharded loop either writes disjoint ranges or is
+	// revalidated serially, so the result is bit-identical for every
+	// Workers value — including the default serial path (≤ 1).
+	Workers int
+
+	// sc lends a reusable scratch buffer set to this solve. Package-internal
+	// (the multi-start workers share one per worker); nil means Solve
+	// allocates its own.
+	sc *scratch
 }
 
 // Iteration is a progress snapshot passed to Options.OnIteration.
@@ -135,6 +147,26 @@ type solver struct {
 	penalty int64
 	relax   bool
 	omega   []int64 // indexed by qmatrix.Pack(i, j, m)
+
+	// Flat kernel state (initKernel).
+	kern    *flatmat.Kernel
+	cls     [][]int // per-arc delay class, aligned with adj.Arcs
+	linFlat []int64 // item-major flat linear costs, nil when Linear is nil
+
+	sc   *scratch
+	pool *pool // nil means serial
+}
+
+// ensureScratch lazily attaches a scratch of the right shape; a lent
+// scratch with mismatched dimensions is replaced rather than trusted.
+func (s *solver) ensureScratch(lent *scratch) {
+	if lent != nil && lent.m == s.m && lent.n == s.n {
+		s.sc = lent
+	}
+	if s.sc == nil {
+		s.sc = newScratch(s.m, s.n)
+	}
+	s.sc.etaValid = false
 }
 
 // Solve runs the generalized Burkard heuristic on p.
@@ -185,6 +217,12 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 	// STEP 2: ω bounds (computed sparsely).
 	s.omega = qmatrix.Omega(s.p, s.adj, s.effectivePenalty())
 
+	// Flat kernels, reusable scratch, and the (optional) worker pool.
+	s.initKernel()
+	s.ensureScratch(opts.sc)
+	s.pool = newPool(opts.Workers)
+	defer s.pool.close()
+
 	best := append([]int(nil), u...)
 	bestVal := s.penalizedValue(u)
 	var bestFeasible []int
@@ -194,11 +232,9 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 		bestFeasibleObj = s.p.Objective(u)
 	}
 
-	eta := make([][]float64, s.m)
-	h := make([][]float64, s.m)
-	for i := 0; i < s.m; i++ {
-		eta[i] = make([]float64, s.n)
-		h[i] = make([]float64, s.n)
+	h := s.sc.h
+	for r := range h {
+		h[r] = 0
 	}
 	gapInst := &gap.Instance{
 		Sizes:      s.p.Circuit.Sizes,
@@ -216,7 +252,8 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed + 0x9e3779b9))
-	prev := append([]int(nil), u...)
+	prev := s.sc.prev
+	copy(prev, u)
 	stall := 0
 	lastRepaired := int64(math.MaxInt64)
 
@@ -234,19 +271,21 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 				gapOpts.Refine = gap.RefineSwap
 			}
 		}
-		// STEP 3: η from the sparse arc lists, ξ from ω.
-		s.computeEta(u, eta, opts.OmegaInEta)
-		xi := 0.0
+		// STEP 3: η from the sparse arc lists (incrementally against the
+		// previous iterate where profitable), ξ from ω.
+		etaI := s.refreshEta(u, opts.OmegaInEta)
+		var xiI int64
 		for j, i := range u {
-			xi += float64(s.omega[qmatrix.Pack(i, j, s.m)])
+			xiI += s.omega[qmatrix.Pack(i, j, s.m)]
 		}
+		xi := float64(xiI)
 
 		// STEP 4: z = min Σ η_r u_r over S. The minimizer uz is a
 		// relinearization of the quadratic objective at the current point,
 		// so it is itself a useful candidate — STEP 7's best-so-far
 		// tracking considers it alongside the STEP 6 iterate (an
 		// enhancement over the literal listing, which only uses z).
-		gapInst.Costs = eta
+		gapInst.FlatCosts, gapInst.FlatCosts64 = etaI, nil
 		uz, z, ok4 := gap.Solve(gapInst, gapOpts)
 		if !ok4 {
 			return nil, errors.New("qbp: STEP 4 subproblem has no capacity-feasible solution")
@@ -267,14 +306,10 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 		if denom < 1 {
 			denom = 1
 		}
-		for i := 0; i < s.m; i++ {
-			for j := 0; j < s.n; j++ {
-				h[i][j] += eta[i][j] / denom
-			}
-		}
+		s.accumulateH(h, etaI, denom)
 
 		// STEP 6: next iterate from the accumulated direction.
-		gapInst.Costs = h
+		gapInst.FlatCosts, gapInst.FlatCosts64 = nil, h
 		next, _, ok6 := gap.Solve(gapInst, gapOpts)
 		if !ok6 {
 			return nil, errors.New("qbp: STEP 6 subproblem has no capacity-feasible solution")
@@ -295,10 +330,8 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 			copy(prev, u)
 			if stall >= 2 {
 				stall = 0
-				for i := 0; i < s.m; i++ {
-					for j := 0; j < s.n; j++ {
-						h[i][j] = 0
-					}
+				for r := range h {
+					h[r] = 0
 				}
 				s.kick(u, rng)
 			}
@@ -326,7 +359,8 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 		// length the repair gave up.
 		if !s.relax && !opts.DisablePolish && bestVal < lastRepaired {
 			lastRepaired = bestVal
-			w := append(model.Assignment(nil), best...)
+			w := model.Assignment(s.sc.wbuf)
+			copy(w, best)
 			s.polish(w, false)
 			if MinConflicts(s.p, w, opts.Seed+int64(k), 10*s.n) == 0 {
 				s.polish(w, true)
@@ -453,77 +487,23 @@ func (s *solver) autoPenalty() int64 {
 // penalizedValue is yᵀQ̂y for the assignment u: linear term + for every
 // ordered coupled pair either the raised penalty (violating slot, entry
 // *set* to the penalty as in the paper's §3.3 matrix) or the wire coupling.
+// The per-arc entry comes from the precomputed effective rows, so the loop
+// carries no timing branches.
 func (s *solver) penalizedValue(u []int) int64 {
 	var v int64
-	for j := 0; j < s.n; j++ {
-		v += s.p.LinearAt(u[j], j)
+	if s.linFlat != nil {
+		for j, i := range u {
+			v += s.linFlat[qmatrix.Pack(i, j, s.m)]
+		}
 	}
 	for j1 := 0; j1 < s.n; j1++ {
 		i1 := u[j1]
-		for _, arc := range s.adj.Arcs[j1] {
-			i2 := u[arc.Other]
-			if !s.relax && arc.MaxDelay != model.Unconstrained && s.d[i1][i2] > arc.MaxDelay {
-				v += s.penalty
-			} else {
-				v += arc.Weight * s.b[i1][i2]
-			}
+		cls := s.cls[j1]
+		for k, arc := range s.adj.Arcs[j1] {
+			v += s.kern.Entry(cls[k], i1, u[arc.Other], arc.Weight)
 		}
 	}
 	return v
-}
-
-// computeEta fills η (an M×N view of the flat η vector) for the current u:
-// η[(i2,j2)] = Σ over coupled partners j1 of the Q̂ entry
-// ((u[j1],j1),(i2,j2)), plus the diagonal linear entry and (optionally) the
-// ω term of equation (3), both only at j2's current slot since they carry a
-// u factor.
-func (s *solver) computeEta(u []int, eta [][]float64, withOmega bool) {
-	for i := 0; i < s.m; i++ {
-		row := eta[i]
-		for j := range row {
-			row[j] = 0
-		}
-	}
-	for j2 := 0; j2 < s.n; j2++ {
-		for _, arc := range s.adj.Arcs[j2] {
-			i1 := u[arc.Other]
-			brow := s.b[i1]
-			drow := s.d[i1]
-			if s.relax || arc.MaxDelay == model.Unconstrained {
-				if arc.Weight == 0 {
-					continue
-				}
-				for i2 := 0; i2 < s.m; i2++ {
-					eta[i2][j2] += float64(arc.Weight * brow[i2])
-				}
-			} else {
-				for i2 := 0; i2 < s.m; i2++ {
-					if drow[i2] > arc.MaxDelay {
-						eta[i2][j2] += float64(s.penalty)
-					} else {
-						eta[i2][j2] += float64(arc.Weight * brow[i2])
-					}
-				}
-			}
-		}
-		// Diagonal (linear) entries: the literal η_s = Σ_r q̂[r][s]·u_r
-		// contributes q̂[s][s] only where u_s = 1, leaving the subproblem
-		// blind to the linear cost of every other slot — fatal for
-		// PP(1,0) instances whose objective is entirely linear. Because
-		// y is binary, y_s·q̂[s][s]·y_s = q̂[s][s]·y_s exactly, so charging
-		// the diagonal at every slot keeps Σ η_s·y_s equal to yᵀQ̂y at
-		// y = u while making the subproblem see the whole linear term
-		// (a Gilmore–Lawler-style refinement of the linearization).
-		if s.p.Linear != nil {
-			for i2 := 0; i2 < s.m; i2++ {
-				eta[i2][j2] += float64(s.p.LinearAt(i2, j2))
-			}
-		}
-		if withOmega {
-			cur := u[j2]
-			eta[cur][j2] += float64(s.omega[qmatrix.Pack(cur, j2, s.m)])
-		}
-	}
 }
 
 func equalInts(a, b []int) bool {
@@ -542,7 +522,10 @@ func equalInts(a, b []int) bool {
 // and pairwise moves cannot untangle, and scattering exactly that cluster
 // lets the next iterations re-place it jointly.
 func (s *solver) kick(u []int, rng *rand.Rand) {
-	loads := make([]int64, s.m)
+	loads := s.sc.loads
+	for i := range loads {
+		loads[i] = 0
+	}
 	for j, i := range u {
 		loads[i] += s.p.Circuit.Sizes[j]
 	}
@@ -578,7 +561,7 @@ func (s *solver) kick(u []int, rng *rand.Rand) {
 		} else {
 			j = rng.Intn(s.n)
 		}
-		var fits []int
+		fits := s.sc.fits[:0]
 		for i := 0; i < s.m; i++ {
 			if i != u[j] && loads[i]+s.p.Circuit.Sizes[j] <= s.p.Topology.Capacities[i] {
 				fits = append(fits, i)
@@ -594,20 +577,12 @@ func (s *solver) kick(u []int, rng *rand.Rand) {
 	}
 }
 
-// ordEntry is the Q̂ entry for the ordered pair ((i1,·),(i2,·)) along one
-// arc: the raised penalty when the arc's timing bound is violated in this
-// direction, the wire coupling otherwise.
-func (s *solver) ordEntry(i1, i2 int, arc adjacency.Arc) int64 {
-	if !s.relax && arc.MaxDelay != model.Unconstrained && s.d[i1][i2] > arc.MaxDelay {
-		return s.penalty
-	}
-	return arc.Weight * s.b[i1][i2]
-}
-
-// pairCost is the both-direction Q̂ contribution of one arc between
-// partitions iA and iB.
-func (s *solver) pairCost(iA, iB int, arc adjacency.Arc) int64 {
-	return s.ordEntry(iA, iB, arc) + s.ordEntry(iB, iA, arc)
+// pairCost is the both-direction Q̂ contribution of one arc in delay class
+// c with wire weight w between partitions iA and iB: the raised penalty in
+// each violated direction, the wire coupling otherwise. Evaluated from the
+// precomputed effective rows.
+func (s *solver) pairCost(iA, iB, c int, w int64) int64 {
+	return s.kern.Entry(c, iA, iB, w) + s.kern.Entry(c, iB, iA, w)
 }
 
 // moveDeltaPenalized is the exact change of yᵀQ̂y when moving j to
@@ -618,9 +593,11 @@ func (s *solver) moveDeltaPenalized(u []int, j, to int) int64 {
 		return 0
 	}
 	delta := s.p.LinearAt(to, j) - s.p.LinearAt(cur, j)
-	for _, arc := range s.adj.Arcs[j] {
+	cls := s.cls[j]
+	for k, arc := range s.adj.Arcs[j] {
 		o := u[arc.Other]
-		delta += s.pairCost(to, o, arc) - s.pairCost(cur, o, arc)
+		c := cls[k]
+		delta += s.pairCost(to, o, c, arc.Weight) - s.pairCost(cur, o, c, arc.Weight)
 	}
 	return delta
 }
@@ -646,32 +623,19 @@ func (s *solver) timingOKAt(u []int, j, to int) bool {
 // finishes by trying joint relocations of still-violated pairs. Capacity
 // feasibility is always maintained.
 func (s *solver) polish(u []int, preserveFeasible bool) {
-	loads := make([]int64, s.m)
+	loads := s.sc.loads
+	for i := range loads {
+		loads[i] = 0
+	}
 	for j, i := range u {
 		loads[i] += s.p.Circuit.Sizes[j]
 	}
 	for pass := 0; pass < 60; pass++ {
-		improved := false
-		for j := 0; j < s.n; j++ {
-			cur := u[j]
-			bestTo, bestDelta := cur, int64(0)
-			for to := 0; to < s.m; to++ {
-				if to == cur || loads[to]+s.p.Circuit.Sizes[j] > s.p.Topology.Capacities[to] {
-					continue
-				}
-				if preserveFeasible && !s.timingOKAt(u, j, to) {
-					continue
-				}
-				if d := s.moveDeltaPenalized(u, j, to); d < bestDelta {
-					bestDelta, bestTo = d, to
-				}
-			}
-			if bestTo != cur {
-				loads[cur] -= s.p.Circuit.Sizes[j]
-				loads[bestTo] += s.p.Circuit.Sizes[j]
-				u[j] = bestTo
-				improved = true
-			}
+		var improved bool
+		if s.pool != nil {
+			improved = s.polishPassSharded(u, loads, preserveFeasible)
+		} else {
+			improved = s.polishPass(u, loads, preserveFeasible)
 		}
 		if !improved {
 			break
@@ -680,6 +644,104 @@ func (s *solver) polish(u []int, preserveFeasible bool) {
 	if !preserveFeasible && !s.relax {
 		s.repairPairs(u, loads)
 	}
+}
+
+// polishPass is one serial best-improvement sweep: for each component in
+// order, take the best capacity-feasible (and optionally
+// timing-preserving) relocation.
+func (s *solver) polishPass(u []int, loads []int64, preserveFeasible bool) bool {
+	improved := false
+	for j := 0; j < s.n; j++ {
+		cur := u[j]
+		bestTo, bestDelta := cur, int64(0)
+		for to := 0; to < s.m; to++ {
+			if to == cur || loads[to]+s.p.Circuit.Sizes[j] > s.p.Topology.Capacities[to] {
+				continue
+			}
+			if preserveFeasible && !s.timingOKAt(u, j, to) {
+				continue
+			}
+			if d := s.moveDeltaPenalized(u, j, to); d < bestDelta {
+				bestDelta, bestTo = d, to
+			}
+		}
+		if bestTo != cur {
+			loads[cur] -= s.p.Circuit.Sizes[j]
+			loads[bestTo] += s.p.Circuit.Sizes[j]
+			u[j] = bestTo
+			improved = true
+		}
+	}
+	return improved
+}
+
+// polishPassSharded runs one polish pass with the candidate deltas (and
+// timing gates) precomputed in parallel from a snapshot of u, then applies
+// moves serially in component order. Deltas and timing gates depend only
+// on a component's own slot and its neighbors' slots, so a snapshot row
+// goes stale exactly when a neighbor moved earlier in the pass — those
+// rows are recomputed serially before use, and capacity gating always
+// reads the live loads. The applied move sequence is therefore identical
+// to polishPass for every Workers value.
+func (s *solver) polishPassSharded(u []int, loads []int64, preserveFeasible bool) bool {
+	sc := s.sc
+	sc.ensurePolishBufs()
+	m := s.m
+	u0 := sc.u0
+	copy(u0, u)
+	deltas, tim := sc.deltas, sc.timOK
+	s.pool.forRange(s.n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := deltas[j*m : (j+1)*m]
+			trow := tim[j*m : (j+1)*m]
+			for to := 0; to < m; to++ {
+				row[to] = s.moveDeltaPenalized(u0, j, to)
+				if preserveFeasible {
+					trow[to] = s.timingOKAt(u0, j, to)
+				}
+			}
+		}
+	})
+	dirty := sc.dirty
+	for j := range dirty {
+		dirty[j] = false
+	}
+	improved := false
+	for j := 0; j < s.n; j++ {
+		row := deltas[j*m : (j+1)*m]
+		trow := tim[j*m : (j+1)*m]
+		if dirty[j] {
+			for to := 0; to < m; to++ {
+				row[to] = s.moveDeltaPenalized(u, j, to)
+				if preserveFeasible {
+					trow[to] = s.timingOKAt(u, j, to)
+				}
+			}
+		}
+		cur := u[j]
+		bestTo, bestDelta := cur, int64(0)
+		for to := 0; to < m; to++ {
+			if to == cur || loads[to]+s.p.Circuit.Sizes[j] > s.p.Topology.Capacities[to] {
+				continue
+			}
+			if preserveFeasible && !trow[to] {
+				continue
+			}
+			if d := row[to]; d < bestDelta {
+				bestDelta, bestTo = d, to
+			}
+		}
+		if bestTo != cur {
+			loads[cur] -= s.p.Circuit.Sizes[j]
+			loads[bestTo] += s.p.Circuit.Sizes[j]
+			u[j] = bestTo
+			improved = true
+			for _, arc := range s.adj.Arcs[j] {
+				dirty[arc.Other] = true
+			}
+		}
+	}
+	return improved
 }
 
 // strongPolish runs feasibility-preserving first-improvement sweeps of
@@ -706,24 +768,31 @@ func (s *solver) strongPolish(u []int) {
 	}
 	for pass := 0; pass < 40; pass++ {
 		improved := false
-		for j := 0; j < s.n; j++ {
-			cur := t.Partition(j)
-			for to := 0; to < s.m; to++ {
-				if to == cur || t.Delta(j, to) >= 0 || !moveOK(j, to) {
-					continue
-				}
-				t.Apply(j, to)
-				cur = to
+		if s.pool != nil {
+			improved = s.strongMoveSweepSharded(t, moveOK)
+			if s.strongSwapSweepSharded(t, swapOK) {
 				improved = true
 			}
-		}
-		for j1 := 0; j1 < s.n; j1++ {
-			for j2 := j1 + 1; j2 < s.n; j2++ {
-				if t.Partition(j1) == t.Partition(j2) || t.SwapDelta(j1, j2) >= 0 || !swapOK(j1, j2) {
-					continue
+		} else {
+			for j := 0; j < s.n; j++ {
+				cur := t.Partition(j)
+				for to := 0; to < s.m; to++ {
+					if to == cur || t.Delta(j, to) >= 0 || !moveOK(j, to) {
+						continue
+					}
+					t.Apply(j, to)
+					cur = to
+					improved = true
 				}
-				t.ApplySwap(j1, j2)
-				improved = true
+			}
+			for j1 := 0; j1 < s.n; j1++ {
+				for j2 := j1 + 1; j2 < s.n; j2++ {
+					if t.Partition(j1) == t.Partition(j2) || t.SwapDelta(j1, j2) >= 0 || !swapOK(j1, j2) {
+						continue
+					}
+					t.ApplySwap(j1, j2)
+					improved = true
+				}
 			}
 		}
 		if !improved {
@@ -731,6 +800,104 @@ func (s *solver) strongPolish(u []int) {
 		}
 	}
 	copy(u, t.Assignment())
+}
+
+// strongMoveSweepSharded is the single-move sweep of strongPolish with the
+// candidate scan sharded: workers mark, from a read-only snapshot of the
+// gains table and ignoring the (purely restrictive) capacity and timing
+// gates, which components have any improving move at all. The serial apply
+// walk then only visits marked components plus those whose neighborhood
+// changed after an applied move — every visit re-reads the live table, so
+// the applied move sequence matches the serial sweep exactly.
+func (s *solver) strongMoveSweepSharded(t *gains.Table, moveOK func(j, to int) bool) bool {
+	sc := s.sc
+	sc.ensurePolishBufs()
+	cand, dirty := sc.cand, sc.dirty
+	s.pool.forRange(s.n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			cand[j] = false
+			cur := t.Partition(j)
+			for to := 0; to < s.m; to++ {
+				if to != cur && t.Delta(j, to) < 0 {
+					cand[j] = true
+					break
+				}
+			}
+		}
+	})
+	for j := range dirty {
+		dirty[j] = false
+	}
+	improved := false
+	for j := 0; j < s.n; j++ {
+		if !cand[j] && !dirty[j] {
+			continue
+		}
+		cur := t.Partition(j)
+		for to := 0; to < s.m; to++ {
+			if to == cur || t.Delta(j, to) >= 0 || !moveOK(j, to) {
+				continue
+			}
+			t.Apply(j, to)
+			cur = to
+			improved = true
+			for _, arc := range s.adj.Arcs[j] {
+				dirty[arc.Other] = true
+			}
+		}
+	}
+	return improved
+}
+
+// strongSwapSweepSharded is the pair-swap sweep of strongPolish with the
+// same snapshot-prefilter scheme: a pair can only have turned profitable
+// since the snapshot if one of its endpoints moved or had a neighbor move,
+// so unmarked rows need only be checked against dirty partners.
+func (s *solver) strongSwapSweepSharded(t *gains.Table, swapOK func(j1, j2 int) bool) bool {
+	sc := s.sc
+	sc.ensurePolishBufs()
+	cand, dirty := sc.cand, sc.dirty
+	s.pool.forRange(s.n, func(lo, hi int) {
+		for j1 := lo; j1 < hi; j1++ {
+			cand[j1] = false
+			for j2 := j1 + 1; j2 < s.n; j2++ {
+				if t.Partition(j1) != t.Partition(j2) && t.SwapDelta(j1, j2) < 0 {
+					cand[j1] = true
+					break
+				}
+			}
+		}
+	})
+	for j := range dirty {
+		dirty[j] = false
+	}
+	improved := false
+	apply := func(j1, j2 int) {
+		t.ApplySwap(j1, j2)
+		improved = true
+		dirty[j1], dirty[j2] = true, true
+		for _, arc := range s.adj.Arcs[j1] {
+			dirty[arc.Other] = true
+		}
+		for _, arc := range s.adj.Arcs[j2] {
+			dirty[arc.Other] = true
+		}
+	}
+	for j1 := 0; j1 < s.n; j1++ {
+		for j2 := j1 + 1; j2 < s.n; j2++ {
+			// dirty[j1] is re-read per pair: an applied swap in this very
+			// row marks j1 dirty, and the rest of the row must then be
+			// scanned in full, exactly as the serial sweep would.
+			if !cand[j1] && !dirty[j1] && !dirty[j2] {
+				continue
+			}
+			if t.Partition(j1) == t.Partition(j2) || t.SwapDelta(j1, j2) >= 0 || !swapOK(j1, j2) {
+				continue
+			}
+			apply(j1, j2)
+		}
+	}
+	return improved
 }
 
 // repairPairs tries joint relocations of both endpoints of each violated
@@ -782,16 +949,32 @@ func (s *solver) repairPairs(u []int, loads []int64) {
 }
 
 // jointCapacityOK checks capacities after moving j1→i1 and j2→i2
-// simultaneously.
+// simultaneously. The four affected (bin, size-delta) pairs are folded in
+// fixed-size arrays — this sits inside repairPairs's M² scan, where a map
+// per probe dominated the allocation profile.
 func (s *solver) jointCapacityOK(u []int, loads []int64, j1, i1, j2, i2 int) bool {
 	sz1, sz2 := s.p.Circuit.Sizes[j1], s.p.Circuit.Sizes[j2]
-	delta := make(map[int]int64, 4)
-	delta[u[j1]] -= sz1
-	delta[u[j2]] -= sz2
-	delta[i1] += sz1
-	delta[i2] += sz2
-	for i, d := range delta {
-		if loads[i]+d > s.p.Topology.Capacities[i] {
+	bins := [4]int{u[j1], u[j2], i1, i2}
+	deltas := [4]int64{-sz1, -sz2, sz1, sz2}
+	for x := 0; x < 4; x++ {
+		b := bins[x]
+		dup := false
+		for y := 0; y < x; y++ {
+			if bins[y] == b {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		var d int64
+		for y := x; y < 4; y++ {
+			if bins[y] == b {
+				d += deltas[y]
+			}
+		}
+		if loads[b]+d > s.p.Topology.Capacities[b] {
 			return false
 		}
 	}
@@ -804,33 +987,39 @@ func (s *solver) jointDeltaPenalized(u []int, j1, i1, j2, i2 int) int64 {
 	s1, s2 := u[j1], u[j2]
 	delta := s.p.LinearAt(i1, j1) - s.p.LinearAt(s1, j1) +
 		s.p.LinearAt(i2, j2) - s.p.LinearAt(s2, j2)
-	for _, arc := range s.adj.Arcs[j1] {
+	cls1 := s.cls[j1]
+	for k, arc := range s.adj.Arcs[j1] {
+		c := cls1[k]
 		if arc.Other == j2 {
-			delta += s.pairCost(i1, i2, arc) - s.pairCost(s1, s2, arc)
+			delta += s.pairCost(i1, i2, c, arc.Weight) - s.pairCost(s1, s2, c, arc.Weight)
 			continue
 		}
 		o := u[arc.Other]
-		delta += s.pairCost(i1, o, arc) - s.pairCost(s1, o, arc)
+		delta += s.pairCost(i1, o, c, arc.Weight) - s.pairCost(s1, o, c, arc.Weight)
 	}
-	for _, arc := range s.adj.Arcs[j2] {
+	cls2 := s.cls[j2]
+	for k, arc := range s.adj.Arcs[j2] {
 		if arc.Other == j1 {
 			continue // already counted from j1's side
 		}
 		o := u[arc.Other]
-		delta += s.pairCost(i2, o, arc) - s.pairCost(s2, o, arc)
+		c := cls2[k]
+		delta += s.pairCost(i2, o, c, arc.Weight) - s.pairCost(s2, o, c, arc.Weight)
 	}
 	return delta
 }
 
 // EtaComputer performs STEP 3 η accumulations with precomputed sparse
 // state. Exposed for the sparse-vs-dense ablation benchmark; Solve uses the
-// same code path internally.
+// same flat kernels internally (plus incremental maintenance between
+// iterations, which this one-shot API deliberately does not exploit).
 type EtaComputer struct {
-	s   *solver
-	eta [][]float64
+	s    *solver
+	rows [][]float64
 }
 
-// NewEtaComputer prepares the sparse state (adjacency lists, ω bounds).
+// NewEtaComputer prepares the sparse state (adjacency lists, ω bounds, flat
+// effective-row kernels).
 func NewEtaComputer(p *model.Problem, penalty int64) *EtaComputer {
 	norm := p.Normalized()
 	s := &solver{
@@ -846,18 +1035,29 @@ func NewEtaComputer(p *model.Problem, penalty int64) *EtaComputer {
 		s.penalty = DefaultPenalty
 	}
 	s.omega = qmatrix.Omega(norm, s.adj, s.penalty)
-	eta := make([][]float64, s.m)
-	for i := range eta {
-		eta[i] = make([]float64, s.n)
+	s.initKernel()
+	s.sc = newScratch(s.m, s.n)
+	rows := make([][]float64, s.m)
+	for i := range rows {
+		//lint:ignore alloc-in-hot-loop one-time construction of the reused result matrix
+		rows[i] = make([]float64, s.n)
 	}
-	return &EtaComputer{s: s, eta: eta}
+	return &EtaComputer{s: s, rows: rows}
 }
 
 // Compute fills and returns the M×N η matrix for assignment u. The returned
 // matrix is reused across calls.
 func (e *EtaComputer) Compute(u model.Assignment) [][]float64 {
-	e.s.computeEta(u, e.eta, false)
-	return e.eta
+	s := e.s
+	etaI := s.sc.etaI
+	s.etaFull(etaI, u, false)
+	for i := 0; i < s.m; i++ {
+		row := e.rows[i]
+		for j := 0; j < s.n; j++ {
+			row[j] = float64(etaI[qmatrix.Pack(i, j, s.m)])
+		}
+	}
+	return e.rows
 }
 
 // MinConflicts runs a capacity-preserving min-conflicts repair on u in
@@ -1005,6 +1205,7 @@ func ConstructiveStart(p *model.Problem, penalty int64) (model.Assignment, error
 		penalty = DefaultPenalty
 	}
 	s.penalty = penalty
+	s.initKernel()
 
 	// BFS order seeded by decreasing timing degree.
 	tdeg := make([]int, s.n)
@@ -1057,11 +1258,12 @@ func ConstructiveStart(p *model.Problem, penalty int64) (model.Assignment, error
 				continue
 			}
 			var cost int64 = norm.LinearAt(i, j)
-			for _, arc := range s.adj.Arcs[j] {
+			cls := s.cls[j]
+			for k, arc := range s.adj.Arcs[j] {
 				if !placed[arc.Other] {
 					continue
 				}
-				cost += s.pairCost(i, u[arc.Other], arc)
+				cost += s.pairCost(i, u[arc.Other], cls[k], arc.Weight)
 			}
 			if cost < bestCost || (cost == bestCost && loads[i] < bestLoad) {
 				bestI, bestCost, bestLoad = i, cost, loads[i]
@@ -1082,13 +1284,15 @@ func ConstructiveStart(p *model.Problem, penalty int64) (model.Assignment, error
 // that fails (very tight capacities), it falls back to first-fit decreasing
 // onto the partition with the most remaining capacity.
 func (s *solver) randomStart(rng *rand.Rand) ([]int, error) {
+	u := make([]int, s.n)
+	remaining := make([]int64, s.m)
+	fits := make([]int, 0, s.m)
 	for attempt := 0; attempt < 20; attempt++ {
-		u := make([]int, s.n)
-		remaining := append([]int64(nil), s.p.Topology.Capacities...)
+		copy(remaining, s.p.Topology.Capacities)
 		order := rng.Perm(s.n)
 		ok := true
 		for _, j := range order {
-			var fits []int
+			fits = fits[:0]
 			for i := 0; i < s.m; i++ {
 				if remaining[i] >= s.p.Circuit.Sizes[j] {
 					fits = append(fits, i)
@@ -1119,8 +1323,7 @@ func (s *solver) randomStart(rng *rand.Rand) ([]int, error) {
 		}
 		return order[a] < order[b]
 	})
-	u := make([]int, s.n)
-	remaining := append([]int64(nil), s.p.Topology.Capacities...)
+	copy(remaining, s.p.Topology.Capacities)
 	for _, j := range order {
 		bestI := 0
 		for i := 1; i < s.m; i++ {
@@ -1156,6 +1359,7 @@ func FeasibleStart(p *model.Problem, seed int64, maxIterations int) (model.Assig
 		Delay:      p.Topology.Delay,
 	}
 	for i := range zeroB.Cost {
+		//lint:ignore alloc-in-hot-loop once-per-call construction of the zero-B topology
 		zeroB.Cost[i] = make([]int64, p.M())
 	}
 	zp := &model.Problem{
