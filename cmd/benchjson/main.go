@@ -92,7 +92,9 @@ func collect(paths []string) (*report, error) {
 //
 //	BenchmarkName-4   123   4567 ns/op   89 B/op   1 allocs/op
 //
-// and merges the (value, unit) pairs into the aggregate.
+// and merges the (value, unit) pairs into the aggregate. The memory columns
+// are optional (runs without -benchmem omit them); unparsable tokens are
+// skipped, not fatal.
 func parse(r io.Reader, rep *report, index map[string]*benchmark) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -114,10 +116,15 @@ func parse(r io.Reader, rep *report, index map[string]*benchmark) error {
 		}
 		b.Runs++
 		b.Iterations = append(b.Iterations, iters)
-		for k := 2; k+1 < len(fields); k += 2 {
+		// Metric columns come in (value, unit) pairs, but runs without
+		// -benchmem omit B/op and allocs/op, and stray tokens (a trailing
+		// note, a lone unit) can break the pairing. Resync on anything that
+		// is not a number followed by a unit instead of failing the file.
+		for k := 2; k < len(fields); {
 			v, err := strconv.ParseFloat(fields[k], 64)
-			if err != nil {
-				return fmt.Errorf("bad value %q for %s", fields[k], name)
+			if err != nil || k+1 >= len(fields) {
+				k++
+				continue
 			}
 			unit := fields[k+1]
 			m := b.Metrics[unit]
@@ -126,6 +133,7 @@ func parse(r io.Reader, rep *report, index map[string]*benchmark) error {
 				b.Metrics[unit] = m
 			}
 			m.Samples = append(m.Samples, v)
+			k += 2
 		}
 	}
 	return sc.Err()

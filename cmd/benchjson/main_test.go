@@ -50,6 +50,65 @@ func TestParseAggregates(t *testing.T) {
 	}
 }
 
+// TestParsePartialMetricColumns covers result lines that do not carry the
+// full -benchmem column set: bare ns/op lines, custom metrics without
+// memory columns, and stray tokens that would desync the (value, unit)
+// pairing.
+func TestParsePartialMetricColumns(t *testing.T) {
+	cases := []struct {
+		name  string
+		line  string
+		units map[string]float64 // unit -> single expected sample
+	}{
+		{
+			"no benchmem",
+			"BenchmarkSolve-8   100   250 ns/op",
+			map[string]float64{"ns/op": 250},
+		},
+		{
+			"custom metric only",
+			"BenchmarkTableII/ckta-1   1   52034121 ns/op   1203 finalWL",
+			map[string]float64{"ns/op": 52034121, "finalWL": 1203},
+		},
+		{
+			"allocs without B/op",
+			"BenchmarkGAP-4   500   9000 ns/op   3 allocs/op",
+			map[string]float64{"ns/op": 9000, "allocs/op": 3},
+		},
+		{
+			"stray token between pairs",
+			"BenchmarkOdd-2   10   100 ns/op   note   7 allocs/op",
+			map[string]float64{"ns/op": 100, "allocs/op": 7},
+		},
+		{
+			"trailing value without unit",
+			"BenchmarkTail-2   10   100 ns/op   42",
+			map[string]float64{"ns/op": 100},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := &report{}
+			if err := parse(strings.NewReader(tc.line+"\n"), rep, map[string]*benchmark{}); err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(rep.Benchmarks) != 1 {
+				t.Fatalf("got %d benchmarks, want 1", len(rep.Benchmarks))
+			}
+			b := rep.Benchmarks[0]
+			if len(b.Metrics) != len(tc.units) {
+				t.Fatalf("metrics = %v, want units %v", b.Metrics, tc.units)
+			}
+			for unit, want := range tc.units {
+				m := b.Metrics[unit]
+				if m == nil || len(m.Samples) != 1 || m.Samples[0] != want {
+					t.Errorf("metric %q = %+v, want one sample %v", unit, m, want)
+				}
+			}
+		})
+	}
+}
+
 func TestSummarizeEvenCount(t *testing.T) {
 	min, median := summarize([]float64{4, 1, 3, 2})
 	if min != 1 || median != 2.5 {

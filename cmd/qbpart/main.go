@@ -51,18 +51,18 @@ func main() {
 	}
 
 	if *check != "" {
-		cf, err := os.Open(*check)
-		if err != nil {
-			fatal(err)
+		cf, cerr := os.Open(*check)
+		if cerr != nil {
+			fatal(cerr)
 		}
-		a, err := partition.ReadAssignment(cf)
+		a, cerr := partition.ReadAssignment(cf)
 		cf.Close()
-		if err != nil {
-			fatal(err)
+		if cerr != nil {
+			fatal(cerr)
 		}
-		report, err := partition.Validate(p, a)
-		if err != nil {
-			fatal(err)
+		report, cerr := partition.Validate(p, a)
+		if cerr != nil {
+			fatal(cerr)
 		}
 		fmt.Print(report)
 		if !report.Feasible {
@@ -73,14 +73,14 @@ func main() {
 
 	var start partition.Assignment
 	if *initial != "" {
-		af, err := os.Open(*initial)
-		if err != nil {
-			fatal(err)
+		af, aerr := os.Open(*initial)
+		if aerr != nil {
+			fatal(aerr)
 		}
-		start, err = partition.ReadAssignment(af)
+		start, aerr = partition.ReadAssignment(af)
 		af.Close()
-		if err != nil {
-			fatal(err)
+		if aerr != nil {
+			fatal(aerr)
 		}
 	} else {
 		t0 := time.Now()
@@ -117,23 +117,23 @@ func main() {
 		}
 		final = res.Assignment
 	case "gfm":
-		res, err := partition.SolveGFM(p, start, partition.GFMOptions{RelaxTiming: *relax})
-		if err != nil {
-			fatal(err)
+		res, serr := partition.SolveGFM(p, start, partition.GFMOptions{RelaxTiming: *relax})
+		if serr != nil {
+			fatal(serr)
 		}
 		final = res.Assignment
 	case "gkl":
-		res, err := partition.SolveGKL(p, start, partition.GKLOptions{RelaxTiming: *relax})
-		if err != nil {
-			fatal(err)
+		res, serr := partition.SolveGKL(p, start, partition.GKLOptions{RelaxTiming: *relax})
+		if serr != nil {
+			fatal(serr)
 		}
 		final = res.Assignment
 	case "sa":
-		res, err := partition.SolveSA(p, partition.SAOptions{
+		res, serr := partition.SolveSA(p, partition.SAOptions{
 			Initial: start, RelaxTiming: *relax, Seed: *seed,
 		})
-		if err != nil {
-			fatal(err)
+		if serr != nil {
+			fatal(serr)
 		}
 		final = res.Assignment
 	default:

@@ -3,11 +3,22 @@
 //
 // Usage:
 //
-//	qbplint [-enable list] [-disable list] [-list] [pattern ...]
+//	qbplint [-enable list] [-disable list] [-list] [-tests=false]
+//	        [-format text|json|sarif] [-o file]
+//	        [-baseline file] [-write-baseline file] [pattern ...]
 //
 // Patterns are package directories; a trailing /... walks recursively
 // (testdata, vendor and hidden directories are skipped). With no pattern,
 // ./... is assumed.
+//
+// -format selects the report encoding: the default one-line text, a flat
+// JSON array, or SARIF 2.1.0 for code-scanning upload. -o writes the report
+// to a file instead of stdout (the exit code is unchanged). -baseline
+// subtracts the committed findings inventory before reporting, so only new
+// findings fail the build; -write-baseline regenerates that inventory from
+// the current findings and exits successfully. -tests=false skips
+// type-checking in-package _test.go files (typed analyzers then fall back
+// to non-test code only).
 //
 // Exit codes: 0 — no diagnostics; 1 — at least one diagnostic; 2 — usage or
 // load error. CI runs `qbplint ./...` and fails the build on any finding;
@@ -18,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/lint"
@@ -32,6 +44,11 @@ func run(args []string) int {
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	tests := fs.Bool("tests", true, "type-check in-package _test.go files for typed analyzers")
+	format := fs.String("format", "text", "report format: text, json or sarif")
+	output := fs.String("o", "", "write the report to this file instead of stdout")
+	baselinePath := fs.String("baseline", "", "subtract findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,6 +57,10 @@ func run(args []string) int {
 			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "qbplint: unknown -format %q (want text, json or sarif)\n", *format)
+		return 2
 	}
 	analyzers, err := lint.Select(*enable, *disable)
 	if err != nil {
@@ -60,13 +81,63 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	loader.IncludeTestTypes = *tests
 	diags, err := lint.Run(loader, dirs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *writeBaseline != "" {
+		f, cerr := os.Create(*writeBaseline)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			return 2
+		}
+		werr := lint.NewBaseline(diags, loader.ModRoot).Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "qbplint: wrote %d finding group(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		base, rerr := lint.ReadBaseline(*baselinePath)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, rerr)
+			return 2
+		}
+		diags = base.Filter(diags, loader.ModRoot)
+	}
+
+	var w io.Writer = os.Stdout
+	if *output != "" {
+		f, cerr := os.Create(*output)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = lint.WriteJSON(w, diags, loader.ModRoot)
+	case "sarif":
+		err = lint.WriteSARIF(w, diags, loader.ModRoot)
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "qbplint: %d diagnostic(s)\n", len(diags))

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 const fixtures = "../../internal/lint/testdata/src"
 
@@ -13,10 +18,15 @@ func TestExitCodes(t *testing.T) {
 		{"list", []string{"-list"}, 0},
 		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
 		{"unknown analyzer", []string{"-enable", "no-such", fixtures + "/panic_neg"}, 2},
+		{"unknown format", []string{"-format", "xml", fixtures + "/panic_neg"}, 2},
 		{"missing dir", []string{fixtures + "/does-not-exist"}, 2},
+		{"missing baseline", []string{"-baseline", fixtures + "/no-such.json", fixtures + "/panic_neg"}, 2},
 		{"positive fixture", []string{fixtures + "/panic_pos"}, 1},
+		{"positive as json", []string{"-format", "json", fixtures + "/panic_pos"}, 1},
+		{"positive as sarif", []string{"-format", "sarif", fixtures + "/panic_pos"}, 1},
 		{"clean fixture", []string{fixtures + "/panic_neg"}, 0},
 		{"disabled analyzer", []string{"-disable", "panic-in-library", fixtures + "/panic_pos"}, 0},
+		{"tests disabled", []string{"-tests=false", "-enable", "shadow-err", fixtures + "/shadowerr_neg"}, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -33,9 +43,60 @@ func TestPositiveFixturesFail(t *testing.T) {
 	if testing.Short() {
 		t.Skip("each run re-warms the source importer")
 	}
-	for _, dir := range []string{"rand_pos", "index_pos", "floateq_pos", "capture_pos", "errdiscard_pos"} {
+	for _, dir := range []string{
+		"rand_pos", "index_pos", "floateq_pos", "capture_pos", "errdiscard_pos",
+		"maporder_pos", "lockbal_pos", "flatbounds_pos", "shadowerr_pos",
+	} {
 		if got := run([]string{fixtures + "/" + dir}); got != 1 {
 			t.Errorf("run(%s) = %d, want 1", dir, got)
 		}
+	}
+}
+
+// TestBaselineWorkflow exercises the write-then-filter round trip: a baseline
+// regenerated from a positive fixture turns its exit code from 1 to 0, and
+// -write-baseline itself always exits 0.
+func TestBaselineWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("each run re-warms the source importer")
+	}
+	base := filepath.Join(t.TempDir(), "base.json")
+	if got := run([]string{"-write-baseline", base, fixtures + "/panic_pos"}); got != 0 {
+		t.Fatalf("-write-baseline exited %d, want 0", got)
+	}
+	if got := run([]string{"-baseline", base, fixtures + "/panic_pos"}); got != 0 {
+		t.Errorf("baselined run exited %d, want 0", got)
+	}
+	// The baseline for panic_pos must not absorb findings elsewhere.
+	if got := run([]string{"-baseline", base, fixtures + "/floateq_pos"}); got != 1 {
+		t.Errorf("baselined run on other fixture exited %d, want 1", got)
+	}
+}
+
+// TestOutputFile checks -o writes a parseable report without changing the
+// exit code.
+func TestOutputFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("each run re-warms the source importer")
+	}
+	out := filepath.Join(t.TempDir(), "report.sarif")
+	if got := run([]string{"-format", "sarif", "-o", out, fixtures + "/panic_pos"}); got != 1 {
+		t.Errorf("run -o exited %d, want 1", got)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Errorf("unexpected SARIF shape: version=%q runs=%d", log.Version, len(log.Runs))
 	}
 }

@@ -109,7 +109,10 @@ func TestFullTables(t *testing.T) {
 			t.Errorf("timing=%v: QBP mean improvement %.1f%% should exceed GFM %.1f%% and GKL %.1f%%",
 				timing, qbpPct/n, gfmPct/n, gklPct/n)
 		}
-		if gfmCPU >= qbpCPU || qbpCPU >= gklCPU {
+		// The detector's overhead is not uniform across the three
+		// algorithms, so the paper's CPU-shape claim only holds
+		// uninstrumented.
+		if !raceEnabled && (gfmCPU >= qbpCPU || qbpCPU >= gklCPU) {
 			t.Errorf("timing=%v: CPU ordering GFM (%.1fs) < QBP (%.1fs) < GKL (%.1fs) violated",
 				timing, gfmCPU, qbpCPU, gklCPU)
 		}

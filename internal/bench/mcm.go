@@ -104,9 +104,9 @@ func RunMCM(cfg MCMConfig) ([]MCMRow, error) {
 		}
 
 		eval := func(a model.Assignment, cpu time.Duration) (MCMResult, error) {
-			rep, err := validate.Check(p, a)
-			if err != nil {
-				return MCMResult{}, fmt.Errorf("unusable MCM assignment: %w", err)
+			rep, verr := validate.Check(p, a)
+			if verr != nil {
+				return MCMResult{}, fmt.Errorf("unusable MCM assignment: %w", verr)
 			}
 			moved := 0
 			for j := range a {

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Wall-clock
+// assertions are skipped under instrumentation: the detector's overhead is
+// not uniform across algorithms, so the paper's CPU-shape claim does not
+// transfer.
+const raceEnabled = true

@@ -52,8 +52,10 @@ func (m Matrix) Rows() int {
 	return len(m.V) / m.Stride
 }
 
-// Row returns row i as a contiguous subslice.
+// Row returns row i as a contiguous subslice. Callers guarantee
+// 0 <= i < Rows(); the runtime slice check backs that contract.
 func (m Matrix) Row(i int) []int64 {
+	//lint:ignore flat-bounds caller contract 0 <= i < Rows() is not visible locally
 	return m.V[i*m.Stride : (i+1)*m.Stride]
 }
 
@@ -135,9 +137,11 @@ func (k *Kernel) ClassRows(class, i1 int) (mask, pen []int64) {
 // the call inlines into per-arc evaluation loops.
 func (k *Kernel) Entry(class, i1, i2 int, w int64) int64 {
 	if class == UnconstrainedClass {
+		//lint:ignore flat-bounds caller contract 0 <= i1,i2 < M is not visible locally
 		return w * k.b.V[i1*k.b.Stride+i2]
 	}
 	r := (class*k.m + i1) * k.m
+	//lint:ignore flat-bounds caller contract 0 <= class < classes, 0 <= i1,i2 < M is not visible locally
 	return w*k.maskB.V[r+i2] + k.penAdd.V[r+i2]
 }
 

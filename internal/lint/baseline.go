@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Baseline is a committed inventory of accepted findings. Entries are
+// counted per {file, analyzer, message} — line numbers are deliberately
+// excluded so unrelated edits above a finding do not invalidate the
+// baseline, while any NEW instance of the same message in the same file
+// still fails strictly.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one accepted finding group.
+type BaselineEntry struct {
+	File     string `json:"file"` // module-root relative, forward slashes
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+type baselineKey struct {
+	file     string
+	analyzer string
+	message  string
+}
+
+// NewBaseline builds a baseline covering exactly the given diagnostics.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		k := baselineKey{relativeURI(root, d.Pos.Filename), d.Analyzer, d.Message}
+		counts[k]++
+	}
+	findings := []BaselineEntry{}
+	for k, n := range counts {
+		findings = append(findings, BaselineEntry{File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, c := findings[i], findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return &Baseline{Version: 1, Findings: findings}
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Write renders the baseline as stable, diff-friendly JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Filter drops diagnostics covered by the baseline: each entry absorbs up
+// to Count matching findings (by file, analyzer and message); anything
+// beyond that — or not listed — passes through and stays fatal.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	budget := make(map[baselineKey]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[baselineKey{e.File, e.Analyzer, e.Message}] += e.Count
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{relativeURI(root, d.Pos.Filename), d.Analyzer, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

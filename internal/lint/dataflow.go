@@ -1,0 +1,113 @@
+package lint
+
+// Generic forward dataflow over the lint CFG. Analyzers implement
+// FlowProblem; the solver iterates block transfer functions to a fixpoint
+// in reverse postorder with a worklist.
+//
+// Termination: every analyzer's lattice either has finite height
+// (map-order-leak and lock-balance join finite sets/states drawn from the
+// function's syntax) or is widened at loop heads after a bounded number of
+// visits (flat-bounds drops changing interval bounds to ±∞ via Widen). A
+// hard visit cap backstops both arguments so a buggy transfer function can
+// only cost time, never loop the linter forever.
+
+// FlowProblem defines one forward analysis. F must behave as an immutable
+// value: Transfer and Join return fresh facts rather than mutating inputs.
+type FlowProblem[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Transfer applies block b to the incoming fact.
+	Transfer(b *Block, in F) F
+	// Join merges two facts at a control-flow merge point.
+	Join(a, b F) F
+	// Equal reports whether two facts are indistinguishable (fixpoint test).
+	Equal(a, b F) bool
+}
+
+// EdgeRefiner optionally refines the fact flowing along one edge: succIdx
+// is the index into from.Succs, so a conditional block (Cond != nil) sees
+// succIdx 0 for the true edge and 1 for the false edge. Interval analysis
+// uses this to narrow variable ranges under comparisons.
+type EdgeRefiner[F any] interface {
+	Refine(from *Block, succIdx int, out F) F
+}
+
+// Widener optionally accelerates convergence on infinite-height lattices:
+// after widenAfter visits of a loop-head block, Widen(prev, next) replaces
+// Join's result on that block.
+type Widener[F any] interface {
+	Widen(prev, next F) F
+}
+
+// widenAfter is the number of loop-head visits before widening kicks in:
+// two full passes let simple induction variables stabilize their lower
+// bound before the upper bound is widened away (and re-refined by the loop
+// condition edge).
+const widenAfter = 2
+
+// SolveForward runs the analysis to fixpoint and returns the fact at the
+// entry of every reachable block.
+func SolveForward[F any](g *CFG, p FlowProblem[F]) map[*Block]F {
+	rpo := g.ReversePostorder()
+	pos := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	heads := g.LoopHeads()
+	refiner, _ := p.(EdgeRefiner[F])
+	widener, _ := p.(Widener[F])
+
+	in := make(map[*Block]F, len(rpo))
+	hasIn := make(map[*Block]bool, len(rpo))
+	visits := make(map[*Block]int, len(rpo))
+	in[g.Entry] = p.Entry()
+	hasIn[g.Entry] = true
+
+	inWork := make(map[*Block]bool, len(rpo))
+	work := []*Block{g.Entry}
+	inWork[g.Entry] = true
+
+	// Hard backstop: generous for any real function, final for pathological
+	// transfer functions.
+	maxSteps := 64 * (len(rpo) + 4)
+	for steps := 0; len(work) > 0 && steps < maxSteps; steps++ {
+		// Pop the earliest block in reverse postorder for fast convergence.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if pos[work[i]] < pos[work[best]] {
+				best = i
+			}
+		}
+		b := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b] = false
+
+		out := p.Transfer(b, in[b])
+		for k, s := range b.Succs {
+			next := out
+			if refiner != nil {
+				next = refiner.Refine(b, k, next)
+			}
+			if !hasIn[s] {
+				in[s] = next
+				hasIn[s] = true
+			} else {
+				joined := p.Join(in[s], next)
+				if widener != nil && heads[s] && visits[s] >= widenAfter {
+					joined = widener.Widen(in[s], joined)
+				}
+				if p.Equal(in[s], joined) {
+					continue
+				}
+				in[s] = joined
+			}
+			visits[s]++
+			if !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FlatBounds runs the symbolic interval analysis over every function that
+// subscripts the backing vector of a flatmat.Matrix and demands a proof
+// that each access stays inside the Theorem-1 packing: for m.V[e] it must
+// show 0 ≤ e and e ≤ len(m.V)−1, and for m.V[lo:hi] that 0 ≤ lo, lo ≤ hi
+// and hi ≤ len(m.V). Index arithmetic the domain cannot bound — which
+// includes the canonical i*m.Stride+j with unconstrained i — is reported,
+// so every branch-free kernel either carries loop bounds the prover can
+// discharge or a justified suppression stating the caller contract.
+//
+// Only direct subscripts of the V field are checked; raw-index-arith
+// already forces flat offsets through the designated helpers elsewhere.
+var FlatBounds = &Analyzer{
+	Name:       "flat-bounds",
+	Doc:        "flat matrix indices must provably stay within len(m.V)",
+	NeedsTypes: true,
+	Run:        runFlatBounds,
+}
+
+// intervalProblem adapts intervalInterp to the generic dataflow solver.
+type intervalProblem struct {
+	ii *intervalInterp
+}
+
+func (p intervalProblem) Entry() intervalEnv { return intervalEnv{} }
+
+func (p intervalProblem) Transfer(b *Block, in intervalEnv) intervalEnv {
+	env := in
+	for _, n := range b.Nodes {
+		env = p.ii.transferNode(env, n)
+	}
+	return env
+}
+
+func (p intervalProblem) Join(a, b intervalEnv) intervalEnv {
+	j := make(intervalEnv)
+	for v, iv := range a {
+		if w, ok := b[v]; ok {
+			joined := ivalJoin(iv, w, p.ii.pr)
+			if joined.hasLo || joined.hasHi {
+				j[v] = joined
+			}
+		}
+		// Variables known on one side only join with ⊤ and drop out.
+	}
+	return j
+}
+
+func (p intervalProblem) Equal(a, b intervalEnv) bool { return a.equal(b) }
+
+// Refine narrows variable ranges along the true/false edges of condition
+// leaf blocks (Succs[0] is the true edge by the CFG contract).
+func (p intervalProblem) Refine(from *Block, succIdx int, out intervalEnv) intervalEnv {
+	if from.Cond == nil {
+		return out
+	}
+	return p.ii.refineCond(out, from.Cond, succIdx == 0)
+}
+
+// Widen keeps only the bounds that stabilized between loop iterations.
+func (p intervalProblem) Widen(prev, next intervalEnv) intervalEnv {
+	w := make(intervalEnv)
+	for v, nv := range next {
+		pv, ok := prev[v]
+		if !ok {
+			continue
+		}
+		widened := ivalWiden(pv, nv)
+		if widened.hasLo || widened.hasHi {
+			w[v] = widened
+		}
+	}
+	return w
+}
+
+func runFlatBounds(p *Pass) {
+	info := p.Info()
+	forEachFuncBody(p, func(body *ast.BlockStmt) {
+		analyzeFlatBounds(p, info, body)
+	})
+}
+
+func analyzeFlatBounds(p *Pass, info *types.Info, body *ast.BlockStmt) {
+	fb := &flatBoundsInterp{info: info}
+	if !fb.mentionsFlatVector(body) {
+		return
+	}
+	ii := &intervalInterp{info: info, pr: newProver()}
+	g := p.Pkg.CFG(body)
+	in := SolveForward[intervalEnv](g, intervalProblem{ii})
+
+	for _, b := range g.ReversePostorder() {
+		env, ok := in[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fb.checkNode(p, ii, env, n)
+			env = ii.transferNode(env, n)
+		}
+	}
+}
+
+type flatBoundsInterp struct {
+	info *types.Info
+}
+
+// checkNode proves every flatmat vector subscript inside n (evaluated in
+// env, the state before n executes).
+func (fb *flatBoundsInterp) checkNode(p *Pass, ii *intervalInterp, env intervalEnv, n ast.Node) {
+	inspectShallow(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.IndexExpr:
+			sel, ok := fb.flatVector(x.X)
+			if !ok {
+				return true
+			}
+			lenP := polyAtom(lenSymbol(symbolFor(sel)))
+			iv := ii.eval(env, x.Index)
+			if !fb.proveIndex(ii, iv, lenP) {
+				p.Reportf(x.Index.Pos(), "cannot prove flat index %s stays within len(%s)", renderNode(x.Index), renderNode(sel))
+			}
+		case *ast.SliceExpr:
+			sel, ok := fb.flatVector(x.X)
+			if !ok {
+				return true
+			}
+			lenP := polyAtom(lenSymbol(symbolFor(sel)))
+			if !fb.proveSlice(ii, env, x, lenP) {
+				p.Reportf(x.Pos(), "cannot prove slice bounds of %s stay within len(%s)", renderNode(x), renderNode(sel))
+			}
+		}
+		return true
+	})
+}
+
+// proveIndex demands 0 ≤ iv.lo and iv.hi ≤ len−1.
+func (fb *flatBoundsInterp) proveIndex(ii *intervalInterp, iv ival, lenP poly) bool {
+	if !iv.bounded() {
+		return false
+	}
+	if !ii.pr.ge0(iv.lo) {
+		return false
+	}
+	limit, ok := polySub(lenP, polyConst(1))
+	if !ok {
+		return false
+	}
+	return ii.pr.leq(iv.hi, limit)
+}
+
+// proveSlice demands 0 ≤ lo ≤ hi ≤ len for v[lo:hi] (missing bounds
+// default to 0 and len and hold trivially). Full three-index slices are
+// checked on their capacity bound as well.
+func (fb *flatBoundsInterp) proveSlice(ii *intervalInterp, env intervalEnv, x *ast.SliceExpr, lenP poly) bool {
+	loIv := ival{lo: polyConst(0), hi: polyConst(0), hasLo: true, hasHi: true}
+	if x.Low != nil {
+		loIv = ii.eval(env, x.Low)
+	}
+	hiIv := pointIval(lenP)
+	if x.High != nil {
+		hiIv = ii.eval(env, x.High)
+	}
+	if !loIv.bounded() || !hiIv.bounded() {
+		return false
+	}
+	if !ii.pr.ge0(loIv.lo) {
+		return false
+	}
+	if !ii.pr.leq(loIv.hi, hiIv.lo) {
+		return false
+	}
+	if !ii.pr.leq(hiIv.hi, lenP) {
+		return false
+	}
+	if x.Max != nil {
+		maxIv := ii.eval(env, x.Max)
+		if !maxIv.bounded() || !ii.pr.leq(maxIv.hi, lenP) {
+			return false
+		}
+	}
+	return true
+}
+
+// flatVector reports e is the V field of a flatmat.Matrix (by value or
+// pointer) and returns the selector for diagnostics.
+func (fb *flatBoundsInterp) flatVector(e ast.Expr) (*ast.SelectorExpr, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "V" {
+		return nil, false
+	}
+	tv, ok := fb.info.Types[sel.X]
+	if !ok {
+		return nil, false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Matrix" {
+		return nil, false
+	}
+	pkg := named.Obj().Pkg()
+	return sel, pkg != nil && pkg.Name() == "flatmat"
+}
+
+// mentionsFlatVector cheaply pre-filters functions that never touch a
+// flatmat vector.
+func (fb *flatBoundsInterp) mentionsFlatVector(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.IndexExpr:
+			_, found = fb.flatVector(x.X)
+		case *ast.SliceExpr:
+			_, found = fb.flatVector(x.X)
+		}
+		return !found
+	})
+	return found
+}

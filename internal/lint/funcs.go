@@ -1,0 +1,35 @@
+package lint
+
+import "go/ast"
+
+// forEachFuncBody visits every function body in the pass's files: named
+// declarations and function literals. Each body gets its own CFG; the
+// enclosing function's graph treats a literal as an opaque value, so
+// dataflow analyzers must not descend into nested *ast.FuncLit bodies
+// while walking block nodes.
+func forEachFuncBody(p *Pass, fn func(body *ast.BlockStmt)) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// inspectShallow walks the expression trees of n without entering nested
+// function literals (their statements belong to another CFG).
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(m)
+	})
+}

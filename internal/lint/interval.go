@@ -1,0 +1,821 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Symbolic interval abstract interpretation for integer expressions.
+//
+// Bounds are multivariate polynomials over *symbolic atoms* — opaque
+// nonnegative quantities such as len(m.V), m.Stride, or the integer
+// quotient (len(v))/(stride). A variable's abstract value is an interval
+// [lo, hi] whose ends are such polynomials (either end may be missing =
+// unbounded). The domain is just strong enough to discharge the Theorem-1
+// flat-index obligations: with i ∈ [0, rows-1], j ∈ [0, stride-1] and
+// rows = len(v)/stride, the packing i*stride+j provably stays below
+// len(v), while arithmetic the domain cannot bound is reported.
+//
+// Soundness caveat (documented in DESIGN.md §8): atoms are assumed
+// nonnegative. For the quantities the analysis names (len/cap results,
+// loop bounds that admit at least one iteration, matrix strides) this
+// holds in every reachable state the solver constructs; a negative stride
+// would fail at runtime long before order-of-evaluation mattered.
+
+// poly is a polynomial with int64 coefficients: monomial key "" is the
+// constant term, any other key is a '*'-joined sorted list of atom names
+// (with multiplicity).
+type poly map[string]int64
+
+const (
+	polyMaxTerms  = 24
+	polyMaxDegree = 4
+	polyMaxCoeff  = int64(1) << 40
+)
+
+func polyConst(c int64) poly { return poly{"": c} }
+func polyAtom(sym string) poly {
+	return poly{sym: 1}
+}
+
+func (p poly) clone() poly {
+	q := make(poly, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	return q
+}
+
+func (p poly) constant() (int64, bool) {
+	switch len(p) {
+	case 0:
+		return 0, true
+	case 1:
+		c, ok := p[""]
+		return c, ok
+	}
+	return 0, false
+}
+
+func (p poly) equal(q poly) bool {
+	if len(p) != len(q) {
+		// Zero coefficients are never stored, so length differences are real.
+		return false
+	}
+	for k, v := range p {
+		if q[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ok reports the polynomial is within the complexity caps.
+func (p poly) ok() bool {
+	if len(p) > polyMaxTerms {
+		return false
+	}
+	for k, v := range p {
+		if v > polyMaxCoeff || v < -polyMaxCoeff {
+			return false
+		}
+		if k != "" && strings.Count(k, "*")+1 > polyMaxDegree {
+			return false
+		}
+	}
+	return true
+}
+
+func polyAdd(a, b poly) (poly, bool) {
+	s := a.clone()
+	for k, v := range b {
+		s[k] += v
+		if s[k] == 0 {
+			delete(s, k)
+		}
+	}
+	return s, s.ok()
+}
+
+func polyNeg(a poly) poly {
+	n := make(poly, len(a))
+	for k, v := range a {
+		n[k] = -v
+	}
+	return n
+}
+
+func polySub(a, b poly) (poly, bool) { return polyAdd(a, polyNeg(b)) }
+
+func polyMul(a, b poly) (poly, bool) {
+	s := make(poly)
+	for ka, va := range a {
+		for kb, vb := range b {
+			k := mulKeys(ka, kb)
+			s[k] += va * vb
+			if s[k] == 0 {
+				delete(s, k)
+			}
+		}
+	}
+	return s, s.ok()
+}
+
+// mulKeys merges two monomial keys into a canonical sorted product.
+func mulKeys(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	syms := append(strings.Split(a, "*"), strings.Split(b, "*")...)
+	sort.Strings(syms)
+	return strings.Join(syms, "*")
+}
+
+// divAtom records that atom name is the integer quotient num/den, enabling
+// the cancellation rule name·den ≤ num during nonnegativity proofs.
+type divAtom struct {
+	num string // monomial key of the numerator
+	den string // single atom name of the denominator
+}
+
+// prover decides polynomial nonnegativity under the all-atoms-nonnegative
+// assumption, with integer-division cancellation.
+type prover struct {
+	divs map[string]divAtom
+}
+
+func newProver() *prover { return &prover{divs: make(map[string]divAtom)} }
+
+// quotient returns (registering if needed) the atom for num/den.
+func (pr *prover) quotient(num, den string) string {
+	name := "(" + num + ")/(" + den + ")"
+	pr.divs[name] = divAtom{num: num, den: den}
+	return name
+}
+
+// ge0 reports whether p ≥ 0 is provable: after rewriting q·den → num for
+// registered quotients q = num/den on negatively-weighted monomials
+// (sound since 0 ≤ (num/den)·den ≤ num for den ≥ 1, and both sides are 0
+// when den = 0 never executes the division), every coefficient must be
+// nonnegative.
+func (pr *prover) ge0(p poly) bool {
+	p = p.clone()
+	for pass := 0; pass < 4; pass++ {
+		rewrote := false
+		for k, v := range p {
+			if v >= 0 || k == "" {
+				continue
+			}
+			syms := strings.Split(k, "*")
+			done := false
+			for i := 0; i < len(syms) && !done; i++ {
+				da, isDiv := pr.divs[syms[i]]
+				if !isDiv {
+					continue
+				}
+				for j := 0; j < len(syms); j++ {
+					if j == i || syms[j] != da.den {
+						continue
+					}
+					rest := make([]string, 0, len(syms))
+					for t, s := range syms {
+						if t != i && t != j {
+							rest = append(rest, s)
+						}
+					}
+					newKey := da.num
+					for _, s := range rest {
+						newKey = mulKeys(newKey, s)
+					}
+					p[newKey] += v
+					if p[newKey] == 0 {
+						delete(p, newKey)
+					}
+					delete(p, k)
+					rewrote, done = true, true
+					break
+				}
+			}
+		}
+		if !rewrote {
+			break
+		}
+	}
+	for _, v := range p {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// leq reports a ≤ b provable.
+func (pr *prover) leq(a, b poly) bool {
+	d, ok := polySub(b, a)
+	return ok && pr.ge0(d)
+}
+
+// ival is an interval with optional polynomial bounds.
+type ival struct {
+	lo, hi poly
+	hasLo  bool
+	hasHi  bool
+}
+
+func unboundedIval() ival    { return ival{} }
+func pointIval(p poly) ival  { return ival{lo: p, hi: p, hasLo: true, hasHi: true} }
+func constIval(c int64) ival { return pointIval(polyConst(c)) }
+func (v ival) bounded() bool { return v.hasLo && v.hasHi }
+func (v ival) equal(w ival) bool {
+	if v.hasLo != w.hasLo || v.hasHi != w.hasHi {
+		return false
+	}
+	if v.hasLo && !v.lo.equal(w.lo) {
+		return false
+	}
+	if v.hasHi && !v.hi.equal(w.hi) {
+		return false
+	}
+	return true
+}
+
+func ivalAdd(a, b ival) ival {
+	var r ival
+	if a.hasLo && b.hasLo {
+		if lo, ok := polyAdd(a.lo, b.lo); ok {
+			r.lo, r.hasLo = lo, true
+		}
+	}
+	if a.hasHi && b.hasHi {
+		if hi, ok := polyAdd(a.hi, b.hi); ok {
+			r.hi, r.hasHi = hi, true
+		}
+	}
+	return r
+}
+
+func ivalSub(a, b ival) ival {
+	var r ival
+	if a.hasLo && b.hasHi {
+		if lo, ok := polySub(a.lo, b.hi); ok {
+			r.lo, r.hasLo = lo, true
+		}
+	}
+	if a.hasHi && b.hasLo {
+		if hi, ok := polySub(a.hi, b.lo); ok {
+			r.hi, r.hasHi = hi, true
+		}
+	}
+	return r
+}
+
+// ivalMul multiplies two intervals. Precise cases: exact constants on
+// either side, and the both-provably-nonnegative case the index math uses.
+func ivalMul(a, b ival, pr *prover) ival {
+	if c, ok := a.exactConst(); ok {
+		return b.scale(c)
+	}
+	if c, ok := b.exactConst(); ok {
+		return a.scale(c)
+	}
+	if a.hasLo && b.hasLo && pr.ge0(a.lo) && pr.ge0(b.lo) {
+		var r ival
+		if lo, ok := polyMul(a.lo, b.lo); ok {
+			r.lo, r.hasLo = lo, true
+		}
+		if a.hasHi && b.hasHi {
+			if hi, ok := polyMul(a.hi, b.hi); ok {
+				r.hi, r.hasHi = hi, true
+			}
+		}
+		return r
+	}
+	return unboundedIval()
+}
+
+func (v ival) exactConst() (int64, bool) {
+	if !v.bounded() || !v.lo.equal(v.hi) {
+		return 0, false
+	}
+	return v.lo.constant()
+}
+
+func (v ival) scale(c int64) ival {
+	var r ival
+	mul := func(p poly) (poly, bool) { return polyMul(p, polyConst(c)) }
+	if c >= 0 {
+		if v.hasLo {
+			if lo, ok := mul(v.lo); ok {
+				r.lo, r.hasLo = lo, true
+			}
+		}
+		if v.hasHi {
+			if hi, ok := mul(v.hi); ok {
+				r.hi, r.hasHi = hi, true
+			}
+		}
+		return r
+	}
+	if v.hasHi {
+		if lo, ok := mul(v.hi); ok {
+			r.lo, r.hasLo = lo, true
+		}
+	}
+	if v.hasLo {
+		if hi, ok := mul(v.lo); ok {
+			r.hi, r.hasHi = hi, true
+		}
+	}
+	return r
+}
+
+// ivalJoin is the lattice join: keep a bound only when both sides agree or
+// one side provably dominates.
+func ivalJoin(a, b ival, pr *prover) ival {
+	var r ival
+	if a.hasLo && b.hasLo {
+		switch {
+		case a.lo.equal(b.lo):
+			r.lo, r.hasLo = a.lo, true
+		case pr.leq(a.lo, b.lo):
+			r.lo, r.hasLo = a.lo, true
+		case pr.leq(b.lo, a.lo):
+			r.lo, r.hasLo = b.lo, true
+		}
+	}
+	if a.hasHi && b.hasHi {
+		switch {
+		case a.hi.equal(b.hi):
+			r.hi, r.hasHi = a.hi, true
+		case pr.leq(b.hi, a.hi):
+			r.hi, r.hasHi = a.hi, true
+		case pr.leq(a.hi, b.hi):
+			r.hi, r.hasHi = b.hi, true
+		}
+	}
+	return r
+}
+
+// ivalWiden drops any bound that did not stabilize between iterations.
+func ivalWiden(prev, next ival) ival {
+	var r ival
+	if prev.hasLo && next.hasLo && prev.lo.equal(next.lo) {
+		r.lo, r.hasLo = next.lo, true
+	}
+	if prev.hasHi && next.hasHi && prev.hi.equal(next.hi) {
+		r.hi, r.hasHi = next.hi, true
+	}
+	return r
+}
+
+// intervalEnv maps variables to their abstract intervals. Environments are
+// treated as immutable; transfer functions clone before writing.
+type intervalEnv map[*types.Var]ival
+
+func (e intervalEnv) clone() intervalEnv {
+	c := make(intervalEnv, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+func (e intervalEnv) equal(o intervalEnv) bool {
+	if len(e) != len(o) {
+		return false
+	}
+	for k, v := range e {
+		w, ok := o[k]
+		if !ok || !v.equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// intervalInterp evaluates expressions and transfers statements over
+// intervalEnv facts for one function.
+type intervalInterp struct {
+	info *types.Info
+	pr   *prover
+}
+
+// symbolFor renders an expression as a canonical atom name.
+func symbolFor(e ast.Expr) string { return renderNode(e) }
+
+// lenSymbol is the atom naming len(x) for the rendered base expression.
+func lenSymbol(base string) string { return "len(" + base + ")" }
+
+// varOf resolves a (possibly parenthesized) identifier to its variable.
+func (ii *intervalInterp) varOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := ii.info.Uses[id]
+	if obj == nil {
+		obj = ii.info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// eval computes the interval of an integer expression under env.
+func (ii *intervalInterp) eval(env intervalEnv, e ast.Expr) ival {
+	e = ast.Unparen(e)
+	// Constant-folded expressions are exact regardless of shape.
+	if tv, ok := ii.info.Types[e]; ok && tv.Value != nil {
+		if c, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return constIval(c)
+		}
+	}
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		if x.Kind == token.INT {
+			if c, err := strconv.ParseInt(x.Value, 0, 64); err == nil {
+				return constIval(c)
+			}
+		}
+	case *ast.Ident:
+		if v := ii.varOf(x); v != nil {
+			if iv, ok := env[v]; ok {
+				return iv
+			}
+		}
+	case *ast.SelectorExpr:
+		// A pure field read is a stable symbolic atom (killed on any write
+		// to its base variable).
+		if ii.pureChain(x) {
+			return pointIval(polyAtom(symbolFor(x)))
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") && len(x.Args) == 1 {
+			if _, isBuiltin := ii.info.Uses[id].(*types.Builtin); isBuiltin {
+				return pointIval(polyAtom(lenSymbol(symbolFor(x.Args[0]))))
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB {
+			return ii.eval(env, x.X).scale(-1)
+		}
+		if x.Op == token.ADD {
+			return ii.eval(env, x.X)
+		}
+	case *ast.BinaryExpr:
+		a := ii.eval(env, x.X)
+		b := ii.eval(env, x.Y)
+		switch x.Op {
+		case token.ADD:
+			return ivalAdd(a, b)
+		case token.SUB:
+			return ivalSub(a, b)
+		case token.MUL:
+			return ivalMul(a, b, ii.pr)
+		case token.QUO:
+			return ii.evalQuo(a, b)
+		case token.REM:
+			// a % b ∈ [0, b-1] when both operands are provably nonnegative.
+			if a.hasLo && ii.pr.ge0(a.lo) && b.hasHi && b.hasLo && ii.pr.ge0(b.lo) {
+				if hi, ok := polySub(b.hi, polyConst(1)); ok {
+					return ival{lo: polyConst(0), hi: hi, hasLo: true, hasHi: true}
+				}
+			}
+		}
+	}
+	return unboundedIval()
+}
+
+// evalQuo models integer division: exact for constants, and a registered
+// quotient atom when both operands are single symbolic atoms (the
+// rows = len(v)/stride pattern).
+func (ii *intervalInterp) evalQuo(a, b ival) ival {
+	if ca, ok := a.exactConst(); ok {
+		if cb, ok := b.exactConst(); ok && cb != 0 {
+			return constIval(ca / cb)
+		}
+		return unboundedIval()
+	}
+	na, aPoint := a.pointMonomial()
+	nb, bPoint := b.pointMonomial()
+	if aPoint && bPoint && !strings.Contains(nb, "*") {
+		return pointIval(polyAtom(ii.pr.quotient(na, nb)))
+	}
+	// Integer division of a nonnegative numerator by a divisor ≥ 1 only
+	// shrinks: a/b ∈ [0, a.hi]. Covers len(v)/2 midpoints.
+	if a.hasLo && ii.pr.ge0(a.lo) && b.hasLo {
+		if dm1, ok := polySub(b.lo, polyConst(1)); ok && ii.pr.ge0(dm1) {
+			r := ival{lo: polyConst(0), hasLo: true}
+			if a.hasHi {
+				r.hi, r.hasHi = a.hi, true
+			}
+			return r
+		}
+	}
+	return unboundedIval()
+}
+
+// pointMonomial reports v is exactly one monomial with coefficient 1 and
+// returns its key.
+func (v ival) pointMonomial() (string, bool) {
+	if !v.bounded() || !v.lo.equal(v.hi) || len(v.lo) != 1 {
+		return "", false
+	}
+	//lint:ignore map-order-leak v.lo has exactly one entry (len check above)
+	for k, c := range v.lo {
+		if k != "" && c == 1 {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// pureChain reports whether e is an ident/selector chain without calls or
+// indexing — safe to name as a symbol.
+func (ii *intervalInterp) pureChain(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return true
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// assign records v := value in a cloned environment, killing symbols the
+// write invalidates.
+func (ii *intervalInterp) transferNode(env intervalEnv, n ast.Node) intervalEnv {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		return ii.transferAssign(env, s)
+	case *ast.IncDecStmt:
+		if v := ii.varOf(s.X); v != nil {
+			env = env.clone()
+			env = ii.killMentions(env, v.Name())
+			delta := constIval(1)
+			if s.Tok == token.DEC {
+				delta = constIval(-1)
+			}
+			cur, ok := env[v]
+			if !ok {
+				cur = unboundedIval()
+			}
+			env[v] = ivalAdd(cur, delta)
+		}
+		return env
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return env
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				v, _ := ii.info.Defs[name].(*types.Var)
+				if v == nil {
+					continue
+				}
+				env = env.clone()
+				env = ii.killMentions(env, v.Name())
+				switch {
+				case i < len(vs.Values):
+					env[v] = ii.eval(env, vs.Values[i])
+				case vs.Type != nil && isIntegerVar(v):
+					env[v] = constIval(0) // zero value
+				}
+			}
+		}
+		return env
+	}
+	return env
+}
+
+func (ii *intervalInterp) transferAssign(env intervalEnv, s *ast.AssignStmt) intervalEnv {
+	env = env.clone()
+	// Invalidate symbols that mention any written base variable: an
+	// assignment to v changes len(v), v.Stride, ...
+	for _, lhs := range s.Lhs {
+		if base := rootIdent(lhs); base != nil {
+			env = ii.killMentions(env, base.Name)
+		}
+	}
+	if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				if v := ii.varOf(lhs); v != nil && isIntegerVar(v) {
+					env[v] = ii.eval(env, s.Rhs[i])
+				} else if v := ii.varOf(lhs); v != nil {
+					delete(env, v)
+				}
+			}
+		} else {
+			for _, lhs := range s.Lhs {
+				if v := ii.varOf(lhs); v != nil {
+					delete(env, v)
+				}
+			}
+		}
+		return env
+	}
+	// Compound assignment on a single variable.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		v := ii.varOf(s.Lhs[0])
+		if v == nil || !isIntegerVar(v) {
+			return env
+		}
+		cur, ok := env[v]
+		if !ok {
+			cur = unboundedIval()
+		}
+		rhs := ii.eval(env, s.Rhs[0])
+		switch s.Tok {
+		case token.ADD_ASSIGN:
+			env[v] = ivalAdd(cur, rhs)
+		case token.SUB_ASSIGN:
+			env[v] = ivalSub(cur, rhs)
+		case token.MUL_ASSIGN:
+			env[v] = ivalMul(cur, rhs, ii.pr)
+		default:
+			delete(env, v)
+		}
+	}
+	return env
+}
+
+// killMentions drops every interval whose bounds reference an atom that
+// mentions name as a syntactic token (len(v), v.Stride, (len(v))/(s), …).
+func (ii *intervalInterp) killMentions(env intervalEnv, name string) intervalEnv {
+	mentions := func(p poly) bool {
+		for k := range p {
+			if k == "" {
+				continue
+			}
+			if atomMentions(k, name) {
+				return true
+			}
+		}
+		return false
+	}
+	for v, iv := range env {
+		if (iv.hasLo && mentions(iv.lo)) || (iv.hasHi && mentions(iv.hi)) {
+			delete(env, v)
+		}
+	}
+	return env
+}
+
+// atomMentions reports whether identifier name occurs in the atom string
+// at a token boundary.
+func atomMentions(atom, name string) bool {
+	for i := 0; i+len(name) <= len(atom); i++ {
+		if atom[i:i+len(name)] != name {
+			continue
+		}
+		beforeOK := i == 0 || !isWordByte(atom[i-1])
+		after := i + len(name)
+		afterOK := after == len(atom) || !isWordByte(atom[after])
+		if beforeOK && afterOK {
+			return true
+		}
+	}
+	return false
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || ('0' <= b && b <= '9') || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z')
+}
+
+// refineCond narrows env under cond being true (holds) or false.
+func (ii *intervalInterp) refineCond(env intervalEnv, cond ast.Expr, holds bool) intervalEnv {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return env
+	}
+	op := bin.Op
+	if !holds {
+		switch op {
+		case token.LSS:
+			op = token.GEQ
+		case token.LEQ:
+			op = token.GTR
+		case token.GTR:
+			op = token.LEQ
+		case token.GEQ:
+			op = token.LSS
+		case token.EQL:
+			op = token.NEQ
+		case token.NEQ:
+			op = token.EQL
+		default:
+			return env
+		}
+	}
+	env = ii.refineRel(env, bin.X, op, bin.Y)
+	// Mirror for the right operand: x OP y ⇒ y (flip OP) x.
+	flip := map[token.Token]token.Token{
+		token.LSS: token.GTR, token.LEQ: token.GEQ,
+		token.GTR: token.LSS, token.GEQ: token.LEQ,
+		token.EQL: token.EQL, token.NEQ: token.NEQ,
+	}
+	if f, ok := flip[op]; ok {
+		env = ii.refineRel(env, bin.Y, f, bin.X)
+	}
+	return env
+}
+
+// refineRel narrows the interval of lhs (when it is a variable) under
+// lhs OP rhs.
+func (ii *intervalInterp) refineRel(env intervalEnv, lhs ast.Expr, op token.Token, rhs ast.Expr) intervalEnv {
+	v := ii.varOf(lhs)
+	if v == nil || !isIntegerVar(v) {
+		return env
+	}
+	r := ii.eval(env, rhs)
+	cur, ok := env[v]
+	if !ok {
+		cur = unboundedIval()
+	}
+	setHi := func(p poly) {
+		if !cur.hasHi || !ii.pr.leq(cur.hi, p) {
+			cur.hi, cur.hasHi = p, true
+		}
+	}
+	setLo := func(p poly) {
+		if !cur.hasLo || !ii.pr.leq(p, cur.lo) {
+			cur.lo, cur.hasLo = p, true
+		}
+	}
+	switch op {
+	case token.LSS:
+		if r.hasHi {
+			if hi, ok := polySub(r.hi, polyConst(1)); ok {
+				setHi(hi)
+			}
+		}
+	case token.LEQ:
+		if r.hasHi {
+			setHi(r.hi)
+		}
+	case token.GTR:
+		if r.hasLo {
+			if lo, ok := polyAdd(r.lo, polyConst(1)); ok {
+				setLo(lo)
+			}
+		}
+	case token.GEQ:
+		if r.hasLo {
+			setLo(r.lo)
+		}
+	case token.EQL:
+		if r.hasHi {
+			setHi(r.hi)
+		}
+		if r.hasLo {
+			setLo(r.lo)
+		}
+	default:
+		return env
+	}
+	env = env.clone()
+	env[v] = cur
+	return env
+}
+
+// isIntegerVar reports whether v has an integer (or untyped int) type.
+func isIntegerVar(v *types.Var) bool {
+	basic, ok := v.Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// rootIdent walks to the base identifier of an lvalue/selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

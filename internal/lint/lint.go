@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -62,13 +63,33 @@ type Pass struct {
 }
 
 // Files returns the files the analyzer should inspect: non-test files
-// always, plus test files when the analyzer opts in.
+// always, plus test files when the analyzer opts in. A typed analyzer that
+// opts into tests only sees the in-package test files, and only when the
+// loader managed to type-check them (see Package.TestInfo).
 func (p *Pass) Files() []*ast.File {
 	files := p.Pkg.Files
 	if p.Analyzer.IncludeTests {
-		files = append(append([]*ast.File(nil), files...), p.Pkg.TestFiles...)
+		extra := p.Pkg.TestFiles
+		if p.Analyzer.NeedsTypes {
+			if p.Pkg.TestInfo != nil {
+				extra = p.Pkg.TestInPkg
+			} else {
+				extra = nil
+			}
+		}
+		files = append(append([]*ast.File(nil), files...), extra...)
 	}
 	return files
+}
+
+// Info returns the type information matching Files(): the combined
+// files+tests check for typed analyzers that opted into test files, the
+// plain package check otherwise.
+func (p *Pass) Info() *types.Info {
+	if p.Analyzer.IncludeTests && p.Pkg.TestInfo != nil {
+		return p.Pkg.TestInfo
+	}
+	return p.Pkg.Info
 }
 
 // Reportf records a finding at pos.
@@ -90,6 +111,10 @@ func All() []*Analyzer {
 		GoroutineLoopCapture,
 		IgnoredError,
 		AllocInHotLoop,
+		MapOrderLeak,
+		LockBalance,
+		FlatBounds,
+		ShadowErr,
 	}
 }
 

@@ -76,6 +76,22 @@ func TestFixtures(t *testing.T) {
 		{"suppress_ok", nil},
 		{"suppress_bad", []string{"lint:7", "panic-in-library:8", "lint:16", "panic-in-library:17"}},
 		{"mod_import", nil},
+		{"buildtags", nil},
+		{"maporder_pos", []string{"map-order-leak:12", "map-order-leak:25", "map-order-leak:34"}},
+		{"maporder_neg", nil},
+		{"maporder_suppress", nil},
+		{"maporder_entropy", []string{"map-order-leak:12", "map-order-leak:18", "unseeded-rand:18"}},
+		{"lockbal_pos", []string{"lock-balance:15", "lock-balance:29"}},
+		{"lockbal_neg", nil},
+		{"lockbal_suppress", nil},
+		{"flatbounds_pos", []string{"flat-bounds:10", "flat-bounds:15", "flat-bounds:22"}},
+		{"flatbounds_neg", nil},
+		{"flatbounds_suppress", nil},
+		// The p_test.go finding proves typed analyzers reach test files via
+		// the loader's combined check (satellite: test type-checking).
+		{"shadowerr_pos", []string{"shadow-err:21", "shadow-err:38", "shadow-err:8"}},
+		{"shadowerr_neg", nil},
+		{"shadowerr_suppress", nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

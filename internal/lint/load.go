@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -13,18 +14,47 @@ import (
 	"strings"
 )
 
+// buildCtx evaluates //go:build constraints and _GOOS/_GOARCH filename
+// suffixes for the default build context when selecting package files.
+var buildCtx = build.Default
+
 // Package is one loaded, parsed and (best-effort) type-checked package
-// directory. Non-test files carry full type information; _test.go files are
-// parsed but not type-checked, so only syntactic analyzers see them.
+// directory. Non-test files carry full type information; in-package
+// _test.go files get types through a second combined check (TestInfo),
+// external-test-package files are parsed only.
 type Package struct {
 	Dir        string      // absolute directory
 	ImportPath string      // module-relative import path, or Dir for out-of-module code
 	Name       string      // package name of the non-test files ("" if none)
 	Files      []*ast.File // non-test files, sorted by file name
 	TestFiles  []*ast.File // _test.go files (internal and external test package)
+	TestInPkg  []*ast.File // the subset of TestFiles in the package itself (not package foo_test)
 	Types      *types.Package
 	Info       *types.Info // covers Files only; nil when type-checking failed
 	TypeErr    error       // first type-checking error, if any
+
+	// TestInfo covers Files plus TestInPkg, so typed analyzers that opt
+	// into test files see real type information there. It is nil when the
+	// loader's test type-checking is disabled or failed (TestTypeErr); the
+	// fallback is the parse-only treatment test files always had.
+	TestInfo    *types.Info
+	TestTypeErr error
+
+	cfgs map[*ast.BlockStmt]*CFG // per-function CFG cache (see CFG)
+}
+
+// CFG returns the memoized control-flow graph of one function body in this
+// package, shared by every dataflow analyzer.
+func (p *Package) CFG(body *ast.BlockStmt) *CFG {
+	if p.cfgs == nil {
+		p.cfgs = make(map[*ast.BlockStmt]*CFG)
+	}
+	g, ok := p.cfgs[body]
+	if !ok {
+		g = BuildCFG(body)
+		p.cfgs[body] = g
+	}
+	return g
 }
 
 // IsCommand reports whether the package is a main package.
@@ -39,6 +69,12 @@ type Loader struct {
 	Fset    *token.FileSet
 	ModRoot string // directory containing go.mod
 	ModPath string // module path declared in go.mod
+
+	// IncludeTestTypes (default true) additionally type-checks each
+	// package's in-package _test.go files into Package.TestInfo, falling
+	// back to parse-only per package when that check fails. qbplint's
+	// -tests=false turns it off.
+	IncludeTestTypes bool
 
 	std     types.ImporterFrom
 	pkgs    map[string]*Package // by absolute dir
@@ -59,12 +95,13 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		Fset:    fset,
-		ModRoot: root,
-		ModPath: path,
-		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
+		Fset:             fset,
+		ModRoot:          root,
+		ModPath:          path,
+		IncludeTestTypes: true,
+		std:              importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:             make(map[string]*Package),
+		loading:          make(map[string]bool),
 	}, nil
 }
 
@@ -170,9 +207,18 @@ func (l *Loader) load(dir string) (*Package, error) {
 	}
 	var names []string
 	for _, e := range ents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			names = append(names, e.Name())
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
 		}
+		// Honor //go:build constraints and filename suffixes for the
+		// default context, like the go tool: without this, mutually
+		// exclusive files (e.g. a race / !race pair) type-check together
+		// and report a bogus redeclaration. On error, keep the file so
+		// the parser reports the problem with a position.
+		if ok, merr := buildCtx.MatchFile(dir, e.Name()); merr == nil && !ok {
+			continue
+		}
+		names = append(names, e.Name())
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
@@ -181,9 +227,9 @@ func (l *Loader) load(dir string) (*Package, error) {
 
 	pkg := &Package{Dir: dir, ImportPath: l.importPath(dir)}
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, fmt.Errorf("lint: %w", perr)
 		}
 		if strings.HasSuffix(name, "_test.go") {
 			pkg.TestFiles = append(pkg.TestFiles, f)
@@ -192,6 +238,11 @@ func (l *Loader) load(dir string) (*Package, error) {
 		pkg.Files = append(pkg.Files, f)
 		if pkg.Name == "" {
 			pkg.Name = f.Name.Name
+		}
+	}
+	for _, f := range pkg.TestFiles {
+		if pkg.Name != "" && f.Name.Name == pkg.Name {
+			pkg.TestInPkg = append(pkg.TestInPkg, f)
 		}
 	}
 	if len(pkg.Files) == 0 {
@@ -224,5 +275,42 @@ func (l *Loader) load(dir string) (*Package, error) {
 	} else {
 		pkg.Info = info
 	}
+	l.checkTestFiles(pkg)
 	return pkg, nil
+}
+
+// checkTestFiles type-checks Files together with the in-package test files
+// into pkg.TestInfo. The combined check is separate from the export check
+// so importers of the package never see test-only symbols; when it fails
+// (build-tagged helpers, generated code, ...) the package silently falls
+// back to the parse-only treatment of test files.
+func (l *Loader) checkTestFiles(pkg *Package) {
+	if !l.IncludeTestTypes || pkg.Info == nil || len(pkg.TestInPkg) == 0 {
+		return
+	}
+	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestInPkg...)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	_, err := conf.Check(pkg.ImportPath, l.Fset, files, info)
+	if firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		pkg.TestTypeErr = firstErr
+		return
+	}
+	pkg.TestInfo = info
 }

@@ -1,0 +1,555 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// MapOrderLeak is a CFG-based taint analysis: values derived from ranging
+// over a map are tainted with the range's nondeterministic iteration order,
+// and a taint that reaches a function output (return, channel send, write
+// to a package variable or through a parameter) without an intervening sort
+// is reported. Order-insensitive uses — keyed writes indexed by the range
+// key itself, and commutative integer accumulation — are recognized and not
+// flagged, which is exactly what a syntactic check cannot do.
+//
+// In the deterministic solver packages (qbp, gap, flatmat) the analyzer
+// additionally reports any call to time.Now or to global math/rand state:
+// the multi-start search promises bit-identical output for a fixed seed,
+// so no wall-clock or process-global entropy may be reachable there.
+var MapOrderLeak = &Analyzer{
+	Name:       "map-order-leak",
+	Doc:        "map iteration order must not flow into solver output without a sort",
+	NeedsTypes: true,
+	Run:        runMapOrderLeak,
+}
+
+// deterministicPkgs are the package names whose output the paper's
+// reproduction pipeline compares bit-for-bit across runs.
+var deterministicPkgs = map[string]bool{"qbp": true, "gap": true, "flatmat": true}
+
+// sortKillers are sort-package and slices-package calls whose first
+// argument comes out order-normalized.
+var sortKillers = map[string]bool{
+	"sort.Sort": true, "sort.Stable": true,
+	"sort.Slice": true, "sort.SliceStable": true,
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+func runMapOrderLeak(p *Pass) {
+	info := p.Info()
+	forEachFuncBody(p, func(body *ast.BlockStmt) {
+		analyzeMapOrder(p, info, body)
+	})
+	if deterministicPkgs[p.Pkg.Name] {
+		reportEntropySources(p, info)
+	}
+}
+
+// mapTaint is the dataflow fact: which variables currently hold data whose
+// value (or element order) depends on a map iteration, and which local
+// slice variables alias each other (so sorting one launders the other).
+type mapTaint struct {
+	tainted map[types.Object]*ast.RangeStmt
+	aliases map[types.Object]types.Object
+}
+
+func (t mapTaint) clone() mapTaint {
+	c := mapTaint{
+		tainted: make(map[types.Object]*ast.RangeStmt, len(t.tainted)),
+		aliases: make(map[types.Object]types.Object, len(t.aliases)),
+	}
+	for k, v := range t.tainted {
+		c.tainted[k] = v
+	}
+	for k, v := range t.aliases {
+		c.aliases[k] = v
+	}
+	return c
+}
+
+// mapOrderProblem implements FlowProblem over mapTaint facts.
+type mapOrderProblem struct {
+	mo *mapOrderInterp
+}
+
+func (p mapOrderProblem) Entry() mapTaint {
+	return mapTaint{tainted: map[types.Object]*ast.RangeStmt{}, aliases: map[types.Object]types.Object{}}
+}
+
+func (p mapOrderProblem) Transfer(b *Block, in mapTaint) mapTaint {
+	out := in
+	for _, n := range b.Nodes {
+		out = p.mo.step(out, n, nil)
+	}
+	return out
+}
+
+func (p mapOrderProblem) Join(a, b mapTaint) mapTaint {
+	j := a.clone()
+	for obj, src := range b.tainted {
+		if cur, ok := j.tainted[obj]; !ok || src.Pos() < cur.Pos() {
+			j.tainted[obj] = src
+		}
+	}
+	for obj, root := range b.aliases {
+		if cur, ok := j.aliases[obj]; ok && cur != root {
+			// Conflicting alias info: a nil tombstone, so the entry cannot
+			// flip back and forth between joins (keeps the fact monotone).
+			j.aliases[obj] = nil
+		} else {
+			j.aliases[obj] = root
+		}
+	}
+	return j
+}
+
+func (p mapOrderProblem) Equal(a, b mapTaint) bool {
+	if len(a.tainted) != len(b.tainted) || len(a.aliases) != len(b.aliases) {
+		return false
+	}
+	for k, v := range a.tainted {
+		if b.tainted[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.aliases {
+		if b.aliases[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// mapOrderInterp carries the per-function state shared by the transfer
+// function and the reporting pass.
+type mapOrderInterp struct {
+	pass *Pass
+	info *types.Info
+}
+
+func analyzeMapOrder(p *Pass, info *types.Info, body *ast.BlockStmt) {
+	mo := &mapOrderInterp{pass: p, info: info}
+	g := p.Pkg.CFG(body)
+	in := SolveForward[mapTaint](g, mapOrderProblem{mo})
+
+	// Second pass with stabilized facts: replay each block and report sinks.
+	reported := make(map[*ast.RangeStmt]bool)
+	report := func(src *ast.RangeStmt, sink string, pos token.Pos) {
+		if reported[src] {
+			return
+		}
+		reported[src] = true
+		line := p.Fset.Position(pos).Line
+		p.Reportf(src.Pos(), "map iteration order flows into %s at line %d without an intervening sort", sink, line)
+	}
+	for _, b := range g.ReversePostorder() {
+		fact, ok := in[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fact = mo.step(fact, n, report)
+		}
+	}
+}
+
+// step applies one CFG node to the fact; when report is non-nil it also
+// checks the node's sinks.
+func (mo *mapOrderInterp) step(t mapTaint, n ast.Node, report func(*ast.RangeStmt, string, token.Pos)) mapTaint {
+	switch s := n.(type) {
+	case *ast.RangeStmt:
+		return mo.stepRange(t, s)
+	case *ast.AssignStmt:
+		return mo.stepAssign(t, s, report)
+	case *ast.ExprStmt:
+		return mo.stepCall(t, s.X)
+	case *ast.ReturnStmt:
+		if report != nil {
+			for _, r := range s.Results {
+				if src := mo.exprTaint(t, r); src != nil {
+					report(src, "a return value", s.Pos())
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if report != nil {
+			if src := mo.exprTaint(t, s.Value); src != nil {
+				report(src, "a channel send", s.Pos())
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						if src := mo.exprTaint(t, vs.Values[i]); src != nil {
+							if obj := mo.info.Defs[name]; obj != nil {
+								t = t.clone()
+								t.tainted[obj] = src
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// stepRange taints the key and value variables of a range over a map.
+func (mo *mapOrderInterp) stepRange(t mapTaint, s *ast.RangeStmt) mapTaint {
+	tv, ok := mo.info.Types[s.X]
+	if !ok {
+		return t
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return t
+	}
+	out := t.clone()
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if e == nil {
+			continue
+		}
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := mo.info.Defs[id]
+		if obj == nil {
+			obj = mo.info.Uses[id]
+		}
+		if obj != nil {
+			out.tainted[obj] = s
+		}
+	}
+	return out
+}
+
+func (mo *mapOrderInterp) stepAssign(t mapTaint, s *ast.AssignStmt, report func(*ast.RangeStmt, string, token.Pos)) mapTaint {
+	if len(s.Lhs) != len(s.Rhs) {
+		// Tuple assignment (v, ok := m[k] and friends): taint every target
+		// when the single source is tainted.
+		var src *ast.RangeStmt
+		for _, r := range s.Rhs {
+			if src = mo.exprTaint(t, r); src != nil {
+				break
+			}
+		}
+		if src == nil {
+			return t
+		}
+		out := t.clone()
+		for _, lhs := range s.Lhs {
+			if obj := mo.lhsObject(lhs); obj != nil {
+				out.tainted[obj] = src
+			}
+		}
+		return out
+	}
+	out := t
+	for i, lhs := range s.Lhs {
+		rhs := s.Rhs[i]
+		obj := mo.lhsObject(lhs)
+		src := mo.exprTaint(t, rhs)
+
+		// A write whose destination is selected by the tainted range key
+		// (m2[k] = v, l.Arcs[k.a] = append(...)) lands in a slot the key
+		// itself determines, so the result is independent of visit order.
+		if mo.keyedWrite(t, lhs) {
+			continue
+		}
+
+		wholeValue := obj != nil && isBareIdent(lhs) && (s.Tok == token.ASSIGN || s.Tok == token.DEFINE)
+		if wholeValue {
+			// Track slice identity regardless of taint: sorting either name
+			// later normalizes both.
+			out = out.clone()
+			if root := mo.aliasRoot(rhs); root != nil && root != obj {
+				out.aliases[obj] = root
+			} else {
+				delete(out.aliases, obj)
+			}
+		}
+		if src == nil {
+			// Untainted overwrite of a whole variable clears its taint.
+			if wholeValue {
+				delete(out.tainted, obj)
+			}
+			continue
+		}
+		if obj == nil {
+			continue
+		}
+		// Commutative integer accumulation (counts[k] += 1, total += v with
+		// integer total) yields the same result in any order.
+		if mo.isCommutativeAccum(s, i, lhs, rhs) {
+			continue
+		}
+		if report != nil && mo.escapingWrite(lhs, obj) {
+			report(src, "a write to "+renderNode(lhs), s.Pos())
+		}
+		out = out.clone()
+		out.tainted[obj] = src
+	}
+	return out
+}
+
+// stepCall kills taint through the recognized sort functions.
+func (mo *mapOrderInterp) stepCall(t mapTaint, e ast.Expr) mapTaint {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return t
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return t
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok || !sortKillers[pkgID.Name+"."+sel.Sel.Name] {
+		return t
+	}
+	if obj, isPkg := mo.info.Uses[pkgID].(*types.PkgName); !isPkg || obj == nil {
+		return t
+	}
+	root := rootIdent(call.Args[0])
+	if root == nil {
+		return t
+	}
+	obj := mo.info.Uses[root]
+	if obj == nil {
+		return t
+	}
+	out := t.clone()
+	// Sorting normalizes the slice and everything it aliases.
+	for _, o := range aliasClosure(out.aliases, obj) {
+		delete(out.tainted, o)
+	}
+	return out
+}
+
+// aliasClosure returns obj plus every object connected to it through the
+// alias edges (in either direction). Tombstoned (nil) edges connect nothing.
+func aliasClosure(aliases map[types.Object]types.Object, obj types.Object) []types.Object {
+	in := map[types.Object]bool{obj: true}
+	for changed := true; changed; {
+		changed = false
+		for a, b := range aliases {
+			if b == nil {
+				continue
+			}
+			if in[a] != in[b] {
+				in[a], in[b] = true, true
+				changed = true
+			}
+		}
+	}
+	out := make([]types.Object, 0, len(in))
+	//lint:ignore map-order-leak callers consume the closure as a set; order never reaches output
+	for o := range in {
+		out = append(out, o)
+	}
+	return out
+}
+
+// exprTaint returns the range statement whose iteration order taints e, or
+// nil. Function literals are opaque (their bodies have their own CFG).
+func (mo *mapOrderInterp) exprTaint(t mapTaint, e ast.Expr) *ast.RangeStmt {
+	if e == nil {
+		return nil
+	}
+	var src *ast.RangeStmt
+	inspectShallow(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := mo.info.Uses[id]
+		if obj == nil {
+			obj = mo.info.Defs[id]
+		}
+		if obj != nil {
+			if s, ok := t.tainted[obj]; ok && (src == nil || s.Pos() < src.Pos()) {
+				src = s
+			}
+		}
+		return true
+	})
+	return src
+}
+
+// lhsObject resolves the object whose abstract value an assignment to lhs
+// updates: the base variable of the ident/selector/index chain.
+func (mo *mapOrderInterp) lhsObject(lhs ast.Expr) types.Object {
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return nil
+	}
+	obj := mo.info.Uses[root]
+	if obj == nil {
+		obj = mo.info.Defs[root]
+	}
+	return obj
+}
+
+// keyedWrite reports lhs is an indexed write whose index expression itself
+// mentions a tainted variable — each key addresses its own slot, so the
+// aggregate is iteration-order independent.
+func (mo *mapOrderInterp) keyedWrite(t mapTaint, lhs ast.Expr) bool {
+	found := false
+	inspectShallow(lhs, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if mo.exprTaint(t, ix.Index) != nil {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isCommutativeAccum reports the assignment is an integer accumulation
+// (n += v, n = n + v, n = v + n): addition over int is commutative and
+// associative, so the order of contributions cannot change the result.
+// Float accumulation is NOT exempt — rounding makes it order sensitive —
+// and neither is string concatenation.
+func (mo *mapOrderInterp) isCommutativeAccum(s *ast.AssignStmt, i int, lhs, rhs ast.Expr) bool {
+	tv, ok := mo.info.Types[lhs]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return false
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		return true
+	case token.ASSIGN:
+		// Normalize n = n + v and n = v + n.
+		bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.AND && bin.Op != token.OR && bin.Op != token.XOR) {
+			return false
+		}
+		want := renderNode(lhs)
+		return renderNode(bin.X) == want || renderNode(bin.Y) == want
+	}
+	return false
+}
+
+// escapingWrite reports the assignment publishes data beyond this call
+// frame: the target is a package-level variable, or a field/element write
+// through something other than a plain local (receiver, parameter,
+// captured variable).
+func (mo *mapOrderInterp) escapingWrite(lhs ast.Expr, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return true // package-level variable
+	}
+	if isBareIdent(lhs) {
+		return false // whole-value overwrite of a local: tracked, not escaped
+	}
+	// Field or element write. Through a pointer or reference type the write
+	// is visible to the caller.
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// aliasRoot returns the object of rhs when it is a plain alias-producing
+// expression (another slice variable, or an element/field of one).
+func (mo *mapOrderInterp) aliasRoot(rhs ast.Expr) types.Object {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
+		root := rootIdent(rhs)
+		if root == nil {
+			return nil
+		}
+		obj := mo.info.Uses[root]
+		if obj == nil {
+			obj = mo.info.Defs[root]
+		}
+		return obj
+	}
+	return nil
+}
+
+func isBareIdent(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.Ident)
+	return ok
+}
+
+// reportEntropySources flags time.Now and global math/rand reachability in
+// the bit-deterministic solver packages.
+func reportEntropySources(p *Pass, info *types.Info) {
+	for _, f := range p.Files() {
+		timeNames, randNames := entropyImports(f)
+		if len(timeNames) == 0 && len(randNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj, isPkg := info.Uses[id].(*types.PkgName); obj == nil || !isPkg {
+				return true
+			}
+			switch {
+			case timeNames[id.Name] && sel.Sel.Name == "Now":
+				p.Reportf(sel.Pos(), "time.Now is reachable in deterministic solver package %s; results must depend only on inputs and seed", p.Pkg.Name)
+			case randNames[id.Name] && randGlobalFuncs[sel.Sel.Name]:
+				p.Reportf(sel.Pos(), "global math/rand state is reachable in deterministic solver package %s; thread a seeded *rand.Rand", p.Pkg.Name)
+			}
+			return true
+		})
+	}
+}
+
+// entropyImports returns the local names under which time and math/rand
+// are imported in f.
+func entropyImports(f *ast.File) (timeNames, randNames map[string]bool) {
+	timeNames = map[string]bool{}
+	randNames = map[string]bool{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch path {
+		case "time":
+			if name == "" {
+				name = "time"
+			}
+			timeNames[name] = true
+		case "math/rand", "math/rand/v2":
+			if name == "" {
+				name = "rand"
+			}
+			randNames[name] = true
+		}
+	}
+	return timeNames, randNames
+}

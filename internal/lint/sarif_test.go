@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// staticDiags is a fixed diagnostic set exercising rule dedup/sorting, the
+// pseudo-analyzer level downgrade, line clamping for directory-scoped
+// findings, and path relativization.
+func staticDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "typecheck",
+			Pos:      token.Position{Filename: "/mod/internal/qbp"},
+			Message:  "type-check failed: undefined: x",
+		},
+		{
+			Analyzer: "map-order-leak",
+			Pos:      token.Position{Filename: "/mod/internal/qbp/solve.go", Line: 42, Column: 2},
+			Message:  "map iteration order flows into return at line 48 without an intervening sort",
+		},
+		{
+			Analyzer: "map-order-leak",
+			Pos:      token.Position{Filename: "/mod/internal/qbp/solve.go", Line: 90, Column: 2},
+			Message:  "map iteration order flows into append at line 91 without an intervening sort",
+		},
+		{
+			Analyzer: "lint",
+			Pos:      token.Position{Filename: "/mod/internal/gap/gap.go", Line: 7, Column: 1},
+			Message:  "malformed //lint:ignore comment: missing reason",
+		},
+		{
+			Analyzer: "flat-bounds",
+			Pos:      token.Position{Filename: "/outside/tree.go", Line: 3, Column: 9},
+			Message:  "cannot prove flat index i*m.Stride+j stays within len(m.V)",
+		},
+	}
+}
+
+// TestSARIFGolden byte-compares WriteSARIF output against the committed
+// golden file. Regenerate with: go test ./internal/lint -run TestSARIFGolden -update
+func TestSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, staticDiags(), "/mod"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	golden := filepath.Join("testdata", "golden.sarif")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output differs from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestSARIFShape asserts the structural invariants GitHub code scanning
+// requires of a SARIF 2.1.0 upload, independent of exact serialization.
+func TestSARIFShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, staticDiags(), "/mod"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name           string `json:"name"`
+					InformationURI string `json:"informationUri"`
+					Rules          []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-schema-2.1.0.json") {
+		t.Errorf("$schema = %q, want a 2.1.0 schema URI", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "qbplint" {
+		t.Errorf("driver.name = %q, want qbplint", run.Tool.Driver.Name)
+	}
+	if run.Tool.Driver.InformationURI == "" {
+		t.Error("driver.informationUri is empty")
+	}
+
+	// Rules: sorted, distinct, covering exactly the analyzers that fired.
+	wantRules := []string{"flat-bounds", "lint", "map-order-leak", "typecheck"}
+	if len(run.Tool.Driver.Rules) != len(wantRules) {
+		t.Fatalf("rules = %d, want %d", len(run.Tool.Driver.Rules), len(wantRules))
+	}
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID != wantRules[i] {
+			t.Errorf("rules[%d].id = %q, want %q", i, r.ID, wantRules[i])
+		}
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rules[%d] (%s) has empty shortDescription", i, r.ID)
+		}
+	}
+
+	if len(run.Results) != len(staticDiags()) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(staticDiags()))
+	}
+	for i, res := range run.Results {
+		if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("results[%d]: ruleIndex %d does not point at rule %q", i, res.RuleIndex, res.RuleID)
+		}
+		wantLevel := "error"
+		if res.RuleID == "lint" {
+			wantLevel = "warning"
+		}
+		if res.Level != wantLevel {
+			t.Errorf("results[%d] (%s): level = %q, want %q", i, res.RuleID, res.Level, wantLevel)
+		}
+		if res.Message.Text == "" {
+			t.Errorf("results[%d]: empty message", i)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("results[%d]: locations = %d, want 1", i, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+			t.Errorf("results[%d]: uriBaseId = %q, want %%SRCROOT%%", i, loc.ArtifactLocation.URIBaseID)
+		}
+		if strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("results[%d]: uri %q contains backslashes", i, loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine < 1 {
+			t.Errorf("results[%d]: startLine = %d, want >= 1", i, loc.Region.StartLine)
+		}
+	}
+
+	// Relativization: in-module paths lose the root, outside paths stay.
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/qbp/solve.go" {
+		t.Errorf("in-module uri = %q, want internal/qbp/solve.go", uri)
+	}
+	if uri := run.Results[4].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/outside/tree.go" {
+		t.Errorf("outside-module uri = %q, want /outside/tree.go", uri)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, staticDiags(), "/mod"); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(out) != len(staticDiags()) {
+		t.Fatalf("records = %d, want %d", len(out), len(staticDiags()))
+	}
+	if out[1].File != "internal/qbp/solve.go" || out[1].Line != 42 {
+		t.Errorf("record[1] = %+v, want internal/qbp/solve.go:42", out[1])
+	}
+
+	// Empty input must still encode as [], not null, for jq pipelines.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil, "/mod"); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("WriteJSON(nil) = %q, want []", s)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := staticDiags()
+	b := NewBaseline(diags, "/mod")
+
+	// Two map-order-leak findings in the same file carry different messages,
+	// so they land in distinct entries; total groups = 5.
+	if len(b.Findings) != 5 {
+		t.Fatalf("findings = %d, want 5: %+v", len(b.Findings), b.Findings)
+	}
+	for i := 1; i < len(b.Findings); i++ {
+		a, c := b.Findings[i-1], b.Findings[i]
+		if a.File > c.File || (a.File == c.File && a.Analyzer > c.Analyzer) {
+			t.Errorf("findings not sorted at %d: %+v before %+v", i, a, c)
+		}
+	}
+
+	// Round-trip through the JSON encoding.
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+
+	// A baseline generated from the findings absorbs all of them...
+	if kept := got.Filter(diags, "/mod"); len(kept) != 0 {
+		t.Errorf("Filter left %d diagnostics, want 0: %v", len(kept), kept)
+	}
+	// ...but a NEW instance beyond the recorded count passes through.
+	extra := append(append([]Diagnostic(nil), diags...), diags[1])
+	if kept := got.Filter(extra, "/mod"); len(kept) != 1 {
+		t.Errorf("Filter(extra) left %d diagnostics, want 1", len(kept))
+	}
+	// Line-number drift must NOT invalidate the baseline.
+	moved := append([]Diagnostic(nil), diags...)
+	moved[1].Pos.Line = 57
+	if kept := got.Filter(moved, "/mod"); len(kept) != 0 {
+		t.Errorf("Filter after line drift left %d diagnostics, want 0", len(kept))
+	}
+}
+
+func TestBaselineVersionCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"version":99,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil {
+		t.Error("ReadBaseline accepted version 99")
+	}
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShadowErr flags the classic shadowed-error bug: an inner `:=` rebinds an
+// error variable that also exists in an enclosing function scope, and the
+// OUTER variable is read again after the inner scope has closed — so
+// whatever the shadowed assignment produced is invisible to the later
+// check, which silently consults stale state. Runs on test files too (via
+// the loader's combined type-check): table-driven tests redefine err in
+// nested blocks constantly and are where this bug hides best.
+//
+// Shadows introduced in an if/for/switch init clause
+// (`if err := f(); err != nil`) are exempt: there the declaration is
+// syntactically bound to its own check, which is the idiom Go recommends
+// precisely to LIMIT scope — confusing it with the outer variable is not
+// plausible.
+var ShadowErr = &Analyzer{
+	Name:         "shadow-err",
+	Doc:          "an inner err := shadowing an outer error later re-checked reads stale state",
+	NeedsTypes:   true,
+	IncludeTests: true,
+	Run:          runShadowErr,
+}
+
+func runShadowErr(p *Pass) {
+	info := p.Info()
+	errType := types.Universe.Lookup("error").Type()
+
+	// Index every read/write reference per variable object.
+	usePos := make(map[types.Object][]token.Pos)
+	for id, obj := range info.Uses {
+		if _, isVar := obj.(*types.Var); isVar {
+			usePos[obj] = append(usePos[obj], id.Pos())
+		}
+	}
+
+	for _, f := range p.Files() {
+		// Collect init-clause assignments: those shadows are idiomatic.
+		initStmts := make(map[ast.Stmt]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.IfStmt:
+				initStmts[s.Init] = true
+			case *ast.ForStmt:
+				initStmts[s.Init] = true
+			case *ast.SwitchStmt:
+				initStmts[s.Init] = true
+			case *ast.TypeSwitchStmt:
+				initStmts[s.Init] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || initStmts[as] {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				inner, ok := info.Defs[id].(*types.Var)
+				if !ok || !types.Identical(inner.Type(), errType) {
+					continue
+				}
+				outer := shadowedVar(inner, id.Name)
+				if outer == nil || !types.Identical(outer.Type(), errType) {
+					continue
+				}
+				// Only function-local outers: shadowing a package-level
+				// error variable and reading it later is a different (and
+				// rarer) story than the stale-err pattern.
+				if outer.Parent() == nil || outer.Parent().Parent() == types.Universe {
+					continue
+				}
+				// The bug needs the outer value to be consulted after the
+				// inner binding's scope has ended; reads before (or none)
+				// cannot observe stale state.
+				scopeEnd := inner.Parent().End()
+				staleRead := false
+				for _, pos := range usePos[outer] {
+					if pos >= scopeEnd {
+						staleRead = true
+						break
+					}
+				}
+				if !staleRead {
+					continue
+				}
+				p.Reportf(id.Pos(), "%s := shadows %s from an enclosing scope; the check after this block reads the outer (stale) value", id.Name, id.Name)
+			}
+			return true
+		})
+	}
+}
+
+// shadowedVar finds the variable named name in a scope strictly enclosing
+// inner's own scope, visible at inner's position.
+func shadowedVar(inner *types.Var, name string) *types.Var {
+	scope := inner.Parent()
+	if scope == nil || scope.Parent() == nil {
+		return nil
+	}
+	_, obj := scope.Parent().LookupParent(name, inner.Pos())
+	if obj == nil || obj == inner {
+		return nil
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}

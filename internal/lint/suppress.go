@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"errors"
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -14,10 +16,37 @@ type suppressionKey struct {
 	line int
 }
 
-// applySuppressions drops diagnostics covered by a well-formed
+// parseSuppression interprets one comment's text as a
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
+// directive. match is false when the comment is not a suppression at all
+// (including near-misses like //lint:ignored). A matching but malformed
+// directive — missing reason, empty or unknown analyzer name — returns a
+// non-nil err describing the problem; names is non-empty exactly when
+// match is true and err is nil.
+func parseSuppression(text string) (names []string, match bool, err error) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return nil, false, nil
+	}
+	rest := strings.TrimPrefix(text, ignorePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false, nil // e.g. //lint:ignored — not ours
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, true, errors.New("malformed suppression: want //lint:ignore <analyzer>[,<analyzer>...] <reason>")
+	}
+	names = strings.Split(fields[0], ",")
+	for _, n := range names {
+		if !knownAnalyzer(n) {
+			return nil, true, fmt.Errorf("suppression names unknown analyzer %q", n)
+		}
+	}
+	return names, true, nil
+}
+
+// applySuppressions drops diagnostics covered by a well-formed suppression
 // comment on the same line or the line directly above, and appends a "lint"
 // diagnostic for every malformed suppression comment. Diagnostics belonging
 // to other packages pass through untouched.
@@ -28,36 +57,16 @@ func applySuppressions(fset *token.FileSet, pkg *Package, diags []Diagnostic) []
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				names, match, err := parseSuppression(c.Text)
+				if !match {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				rest := strings.TrimPrefix(c.Text, ignorePrefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // e.g. //lint:ignored — not ours
-				}
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
+				if err != nil {
 					malformed = append(malformed, Diagnostic{
 						Analyzer: "lint",
 						Pos:      pos,
-						Message:  "malformed suppression: want //lint:ignore <analyzer>[,<analyzer>...] <reason>",
-					})
-					continue
-				}
-				names := strings.Split(fields[0], ",")
-				bad := ""
-				for _, n := range names {
-					if !knownAnalyzer(n) {
-						bad = n
-						break
-					}
-				}
-				if bad != "" {
-					malformed = append(malformed, Diagnostic{
-						Analyzer: "lint",
-						Pos:      pos,
-						Message:  "suppression names unknown analyzer \"" + bad + "\"",
+						Message:  err.Error(),
 					})
 					continue
 				}

@@ -1,0 +1,6 @@
+// Fixture: mutually exclusive build-tagged files must not type-check
+// together — without constraint matching the loader would report a bogus
+// redeclaration of flagged.
+package fixture
+
+func Flagged() bool { return flagged }

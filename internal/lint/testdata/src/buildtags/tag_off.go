@@ -1,0 +1,5 @@
+//go:build !sometag
+
+package fixture
+
+const flagged = false

@@ -1,0 +1,34 @@
+// Fixture: flat-vector accesses the interval prover can discharge,
+// including the full Theorem-1 obligation via the integer-division rule
+// (len(m.V)/m.Stride − 1)·m.Stride + m.Stride − 1 ≤ len(m.V) − 1.
+package flatmat
+
+import fm "repro/internal/flatmat"
+
+// SumAll walks the vector with loop-bounded indices.
+func SumAll(m *fm.Matrix) int64 {
+	var s int64
+	for i := 0; i < len(m.V); i++ {
+		s += m.V[i]
+	}
+	return s
+}
+
+// SumPacked proves the packed index i*Stride+j stays below len(m.V) for
+// i < rows and j < Stride, where rows = len(m.V)/m.Stride.
+func SumPacked(m *fm.Matrix) int64 {
+	var s int64
+	rows := len(m.V) / m.Stride
+	for i := 0; i < rows; i++ {
+		for j := 0; j < m.Stride; j++ {
+			s += m.V[i*m.Stride+j]
+		}
+	}
+	return s
+}
+
+// Halves splits the vector at a provably in-range midpoint.
+func Halves(m *fm.Matrix) ([]int64, []int64) {
+	mid := len(m.V) / 2
+	return m.V[:mid], m.V[mid:]
+}

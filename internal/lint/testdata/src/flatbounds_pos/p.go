@@ -1,0 +1,25 @@
+// Fixture: flat-vector accesses the interval prover must reject. The
+// package is named flatmat so raw-index-arith (which owns a different
+// invariant) stays out of the way and flat-bounds is isolated.
+package flatmat
+
+import fm "repro/internal/flatmat"
+
+// At subscripts with the Theorem-1 packing but nothing bounds i or j.
+func At(m *fm.Matrix, i, j int) int64 {
+	return m.V[i*m.Stride+j]
+}
+
+// RowSlice has the same problem in slice form.
+func RowSlice(m *fm.Matrix, i int) []int64 {
+	return m.V[i*m.Stride : (i+1)*m.Stride]
+}
+
+// OffByOne runs the loop head one step too far: i may equal len(m.V).
+func OffByOne(m *fm.Matrix) int64 {
+	var s int64
+	for i := 0; i <= len(m.V); i++ {
+		s += m.V[i]
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+// Fixture: an unprovable-but-correct kernel access with the caller
+// contract recorded in a suppression.
+package flatmat
+
+import fm "repro/internal/flatmat"
+
+// Tail returns the vector from row r onward. The prover cannot see the
+// caller's r < Rows() guarantee.
+func Tail(m *fm.Matrix, r int) []int64 {
+	//lint:ignore flat-bounds caller guarantees r < len(m.V)/m.Stride (kernel contract)
+	return m.V[r*m.Stride:]
+}

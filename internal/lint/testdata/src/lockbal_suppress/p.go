@@ -1,0 +1,21 @@
+// Fixture: a deliberate lock handoff documented with a suppression.
+package fixture
+
+import "sync"
+
+// Pipeline hands its lock across goroutine boundaries.
+type Pipeline struct {
+	mu sync.Mutex
+}
+
+// Acquire transfers lock ownership to the caller by contract; the matching
+// Release runs in another frame.
+func (p *Pipeline) Acquire() {
+	//lint:ignore lock-balance lock ownership transfers to the caller by contract
+	p.mu.Lock()
+}
+
+// Release is the matching half of the handoff.
+func (p *Pipeline) Release() {
+	p.mu.Unlock()
+}

@@ -1,0 +1,19 @@
+// Fixture: entropy sources inside a deterministic solver package. The
+// package NAME (qbp) selects the strict policy, not the directory.
+package qbp
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp leaks wall-clock time into solver state.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from process-global randomness (also caught by
+// unseeded-rand; map-order-leak adds the determinism-contract framing).
+func Jitter() int {
+	return rand.Intn(4)
+}

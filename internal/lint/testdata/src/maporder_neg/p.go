@@ -1,0 +1,48 @@
+// Fixture: order-insensitive map consumption — none of these may be
+// flagged. Covers the unconditional sort, the sort-through-alias, keyed
+// writes addressed by the range key itself, and commutative integer
+// accumulation.
+package fixture
+
+import "sort"
+
+// SortedKeys normalizes before returning.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortedViaAlias sorts under another name for the same backing array.
+func SortedViaAlias(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	view := out
+	sort.Strings(view)
+	return out
+}
+
+// Invert writes each entry into the slot its own key selects; the final
+// map is identical for every visit order.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Total accumulates integers: addition over int is commutative and
+// associative, so order cannot show in the result.
+func Total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

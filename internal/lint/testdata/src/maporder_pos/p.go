@@ -1,0 +1,40 @@
+// Fixture: map iteration order escaping into function outputs. The first
+// case is the showcase for the dataflow engine: a sort call IS present
+// after the loop, so any syntactic "range-then-no-sort" check stays silent —
+// only the CFG sees the path on which the sort is skipped.
+package fixture
+
+import "sort"
+
+// KeysMaybeSorted publishes raw map order whenever sorted is false.
+func KeysMaybeSorted(m map[string]int, sorted bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	if sorted {
+		sort.Strings(out)
+	}
+	return out
+}
+
+// SumWeights accumulates floats in map order; float addition rounds, so the
+// visit order changes the result in the last bits.
+func SumWeights(m map[string]float64) float64 {
+	var s float64
+	for _, w := range m {
+		s += w
+	}
+	return s
+}
+
+// AnyLabel returns whichever value the runtime happens to visit first.
+func AnyLabel(m map[int]string) string {
+	label := ""
+	for _, v := range m {
+		if label == "" {
+			label = v
+		}
+	}
+	return label
+}

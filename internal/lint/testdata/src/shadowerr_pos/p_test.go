@@ -1,0 +1,18 @@
+// In-package test file: shadow-err sees it through the loader's combined
+// files+tests type-check (Package.TestInfo).
+package fixture
+
+func totalForTest(a, b string) (int, error) {
+	n, err := parse(a)
+	if b != "" {
+		m, err := parse(b)
+		if err != nil {
+			m = 0
+		}
+		n += m
+	}
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,0 +1,27 @@
+// Fixture: a deliberate shadow with the justification on record.
+package fixture
+
+import "errors"
+
+var errNeg = errors.New("negative")
+
+func abs(n int) (int, error) {
+	if n < 0 {
+		return -n, errNeg
+	}
+	return n, nil
+}
+
+// BestEffort intentionally keeps the first error and treats the second
+// computation as advisory.
+func BestEffort(a, b int) (int, error) {
+	x, err := abs(a)
+	if b != 0 {
+		//lint:ignore shadow-err second abs is advisory; first error is the one reported
+		y, err := abs(b)
+		if err == nil {
+			x += y
+		}
+	}
+	return x, err
+}

@@ -230,9 +230,9 @@ func ReadProblem(rd io.Reader) (*model.Problem, error) {
 	}
 	circuit := &model.Circuit{Name: name, Sizes: make([]int64, n)}
 	for j := 0; j < n; j++ {
-		v, err := r.ints(1)
-		if err != nil {
-			return nil, err
+		v, verr := r.ints(1)
+		if verr != nil {
+			return nil, verr
 		}
 		circuit.Sizes[j] = v[0]
 	}
@@ -241,9 +241,9 @@ func ReadProblem(rd io.Reader) (*model.Problem, error) {
 		return nil, err
 	}
 	for k := 0; k < nw; k++ {
-		v, err := r.ints(3)
-		if err != nil {
-			return nil, err
+		v, verr := r.ints(3)
+		if verr != nil {
+			return nil, verr
 		}
 		circuit.Wires = append(circuit.Wires, model.Wire{From: int(v[0]), To: int(v[1]), Weight: v[2]})
 	}
@@ -252,9 +252,9 @@ func ReadProblem(rd io.Reader) (*model.Problem, error) {
 		return nil, err
 	}
 	for k := 0; k < nt; k++ {
-		v, err := r.ints(3)
-		if err != nil {
-			return nil, err
+		v, verr := r.ints(3)
+		if verr != nil {
+			return nil, verr
 		}
 		circuit.Timing = append(circuit.Timing, model.TimingConstraint{From: int(v[0]), To: int(v[1]), MaxDelay: v[2]})
 	}
@@ -264,9 +264,9 @@ func ReadProblem(rd io.Reader) (*model.Problem, error) {
 	}
 	topo := &model.Topology{Capacities: make([]int64, m)}
 	for i := 0; i < m; i++ {
-		v, err := r.ints(1)
-		if err != nil {
-			return nil, err
+		v, verr := r.ints(1)
+		if verr != nil {
+			return nil, verr
 		}
 		topo.Capacities[i] = v[0]
 	}

@@ -40,9 +40,9 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for name, a := range map[string]Assignment{"qbp": qres.Assignment, "gfm": fres.Assignment, "gkl": kres.Assignment} {
-		rep, err := Validate(p, a)
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+		rep, verr := Validate(p, a)
+		if verr != nil {
+			t.Fatalf("%s: %v", name, verr)
 		}
 		if !rep.Feasible {
 			t.Fatalf("%s: validation reports infeasible", name)
