@@ -6,6 +6,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -39,7 +40,7 @@ func sharedStart(b *testing.B, name string) Assignment {
 		return a
 	}
 	in := instance(b, name)
-	a, err := FeasibleStart(in.Problem, 0, 40)
+	a, err := FeasibleStart(context.Background(), in.Problem, 0, 40)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func tableBench(b *testing.B, name, method string, timing bool) {
 	for k := 0; k < b.N; k++ {
 		switch method {
 		case "qbp":
-			res, err := SolveQBP(p, QBPOptions{Initial: start, RelaxTiming: !timing})
+			res, err := SolveQBP(context.Background(), p, QBPOptions{Initial: start, RelaxTiming: !timing})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -86,13 +87,13 @@ func tableBench(b *testing.B, name, method string, timing bool) {
 			}
 			wl = res.WireLength
 		case "gfm":
-			res, err := SolveGFM(p, start, GFMOptions{RelaxTiming: !timing})
+			res, err := SolveGFM(context.Background(), p, start, GFMOptions{RelaxTiming: !timing})
 			if err != nil {
 				b.Fatal(err)
 			}
 			wl = res.WireLength
 		case "gkl":
-			res, err := SolveGKL(p, start, GKLOptions{RelaxTiming: !timing})
+			res, err := SolveGKL(context.Background(), p, start, GKLOptions{RelaxTiming: !timing})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -132,7 +133,7 @@ func BenchmarkTableIII(b *testing.B) {
 func BenchmarkFigure1Example(b *testing.B) {
 	p := paperex.MustNew()
 	for k := 0; k < b.N; k++ {
-		res, err := SolveQBP(p, QBPOptions{Iterations: 50})
+		res, err := SolveQBP(context.Background(), p, QBPOptions{Iterations: 50})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkInitialSolution(b *testing.B) {
 		b.Run(spec.Name, func(b *testing.B) {
 			in := instance(b, spec.Name)
 			for k := 0; k < b.N; k++ {
-				if _, err := FeasibleStart(in.Problem, int64(k), 40); err != nil {
+				if _, err := FeasibleStart(context.Background(), in.Problem, int64(k), 40); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -168,7 +169,7 @@ func BenchmarkIterationSweep(b *testing.B) {
 			start := sharedStart(b, "cktb")
 			var wl int64
 			for k := 0; k < b.N; k++ {
-				res, err := SolveQBP(in.Problem, QBPOptions{Iterations: iters, Initial: start})
+				res, err := SolveQBP(context.Background(), in.Problem, QBPOptions{Iterations: iters, Initial: start})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -190,7 +191,7 @@ func BenchmarkPenaltySweep(b *testing.B) {
 			var wl int64
 			feasible := true
 			for k := 0; k < b.N; k++ {
-				res, err := SolveQBP(in.Problem, QBPOptions{Penalty: pen, Initial: start})
+				res, err := SolveQBP(context.Background(), in.Problem, QBPOptions{Penalty: pen, Initial: start})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -214,7 +215,7 @@ func BenchmarkOmegaAblation(b *testing.B) {
 			start := sharedStart(b, "cktb")
 			var wl int64
 			for k := 0; k < b.N; k++ {
-				res, err := SolveQBP(in.Problem, QBPOptions{Initial: start, OmegaInEta: withOmega})
+				res, err := SolveQBP(context.Background(), in.Problem, QBPOptions{Initial: start, OmegaInEta: withOmega})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -243,7 +244,7 @@ func BenchmarkEnhancementAblation(b *testing.B) {
 			start := sharedStart(b, "cktg")
 			var wl int64
 			for k := 0; k < b.N; k++ {
-				res, err := SolveQBP(in.Problem, QBPOptions{
+				res, err := SolveQBP(context.Background(), in.Problem, QBPOptions{
 					Initial:         start,
 					DisableRestarts: !c.restarts,
 					DisablePolish:   !c.polish,
@@ -305,7 +306,7 @@ func BenchmarkSimulatedAnnealing(b *testing.B) {
 	start := sharedStart(b, "cktb")
 	var wl int64
 	for k := 0; k < b.N; k++ {
-		res, err := SolveSA(in.Problem, SAOptions{Initial: start, Seed: 1})
+		res, err := SolveSA(context.Background(), in.Problem, SAOptions{Initial: start, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -336,7 +337,7 @@ func BenchmarkMultiStart(b *testing.B) {
 	b.Run("single", func(b *testing.B) {
 		var wl int64
 		for k := 0; k < b.N; k++ {
-			res, err := SolveQBP(in.Problem, QBPOptions{Initial: start})
+			res, err := SolveQBP(context.Background(), in.Problem, QBPOptions{Initial: start})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -347,7 +348,7 @@ func BenchmarkMultiStart(b *testing.B) {
 	b.Run("starts=4", func(b *testing.B) {
 		var wl int64
 		for k := 0; k < b.N; k++ {
-			res, err := SolveQBPMultiStart(in.Problem, MultiStartOptions{
+			res, err := SolveQBPMultiStart(context.Background(), in.Problem, MultiStartOptions{
 				Base: QBPOptions{Initial: start}, Starts: 4,
 			})
 			if err != nil {
@@ -366,7 +367,7 @@ func BenchmarkStartGenerators(b *testing.B) {
 	b.Run("feasible-start", func(b *testing.B) {
 		var wl int64
 		for k := 0; k < b.N; k++ {
-			a, err := FeasibleStart(in.Problem, int64(k), 40)
+			a, err := FeasibleStart(context.Background(), in.Problem, int64(k), 40)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -399,7 +400,7 @@ func BenchmarkGKLPassCost(b *testing.B) {
 	in := instance(b, "cktf")
 	start := sharedStart(b, "cktf")
 	for k := 0; k < b.N; k++ {
-		res, err := SolveGKL(in.Problem, start, GKLOptions{MaxPasses: 1})
+		res, err := SolveGKL(context.Background(), in.Problem, start, GKLOptions{MaxPasses: 1})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,132 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// acceptanceInstance generates the "large generated instance" of the
+// cancellation acceptance criterion: big enough that a full multistart
+// solve takes far longer than 50 ms.
+func acceptanceInstance(t *testing.T) *Problem {
+	t.Helper()
+	inst, err := GenerateCircuit(GenerateParams{
+		Spec: CircuitSpec{
+			Name:              "cancel-acceptance",
+			Components:        1200,
+			Wires:             9000,
+			TimingConstraints: 2000,
+			Seed:              11,
+		},
+		GridRows: 4,
+		GridCols: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.Problem
+}
+
+// TestSolveQBPMultiStartDeadline is the PR's acceptance criterion at the
+// facade: a 50 ms deadline yields a capacity-feasible best-so-far
+// assignment with Stopped set and zero leaked goroutines, and the same
+// seed without a deadline reproduces the identical assignment across runs.
+func TestSolveQBPMultiStartDeadline(t *testing.T) {
+	p := acceptanceInstance(t)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, err := SolveQBPMultiStart(ctx, p, MultiStartOptions{
+		Base:   QBPOptions{Iterations: 1 << 20, Seed: 21},
+		Starts: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("deadline expired but Stopped not set")
+	}
+	norm := p.Normalized()
+	if len(res.Assignment) != p.N() || !norm.CapacityFeasible(res.Assignment) {
+		t.Fatal("best-so-far assignment is not capacity-feasible")
+	}
+
+	// No goroutine leaks: the worker pool must have drained by return.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", base, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSolveQBPDeterminismWithoutDeadline: the cancellation plumbing must
+// not perturb an uncancelled solve — same seed, same assignment, with and
+// without a live (never-firing) context.
+func TestSolveQBPDeterminismWithoutDeadline(t *testing.T) {
+	inst, err := NamedCircuit("ckta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inst.Problem
+	a, err := SolveQBP(context.Background(), p, QBPOptions{Iterations: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	b, err := SolveQBP(ctx, p, QBPOptions{Iterations: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stopped || b.Stopped {
+		t.Fatal("uncancelled solve reported Stopped")
+	}
+	for j := range a.Assignment {
+		if a.Assignment[j] != b.Assignment[j] {
+			t.Fatalf("assignments diverge at component %d", j)
+		}
+	}
+}
+
+// TestFacadeCancelledBeforeEntry: every facade solver returns ctx.Err()
+// for a context already cancelled at entry.
+func TestFacadeCancelledBeforeEntry(t *testing.T) {
+	inst, err := NamedCircuit("ckta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inst.Problem
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := SolveQBP(ctx, p, QBPOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveQBP: err = %v, want context.Canceled", err)
+	}
+	if _, err := SolveQBPMultiStart(ctx, p, MultiStartOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveQBPMultiStart: err = %v, want context.Canceled", err)
+	}
+	if _, err := FeasibleStart(ctx, p, 0, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FeasibleStart: err = %v, want context.Canceled", err)
+	}
+	if _, err := SolveSA(ctx, p, SAOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveSA: err = %v, want context.Canceled", err)
+	}
+	if _, err := SolveExact(ctx, p, ExactOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveExact: err = %v, want context.Canceled", err)
+	}
+	start, err := FeasibleStart(context.Background(), p, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveGFM(ctx, p, start, GFMOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveGFM: err = %v, want context.Canceled", err)
+	}
+	if _, err := SolveGKL(ctx, p, start, GKLOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveGKL: err = %v, want context.Canceled", err)
+	}
+}

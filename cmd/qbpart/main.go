@@ -7,15 +7,19 @@
 //
 //	qbpart -in ckta.prob -method qbp -iterations 100 -o ckta.assign
 //	qbpart -in ckta.prob -method qbp -multistart 4
+//	qbpart -in ckta.prob -method qbp -timeout 2s      # best-so-far at deadline
+//	qbpart -in ckta.prob -method qbp -progress 500ms  # periodic progress line
 //	qbpart -in ckta.prob -method gkl -relax-timing
 //	qbpart -in ckta.prob -initial ckta.assign -method gfm
 //	qbpart -in ckta.prob -check ckta.assign            # validate only
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	partition "repro"
@@ -25,19 +29,40 @@ func main() {
 	var (
 		in         = flag.String("in", "", "problem file (required)")
 		method     = flag.String("method", "qbp", "solver: qbp, gfm, gkl or sa")
-		iterations = flag.Int("iterations", 100, "QBP iterations")
+		iterations = flag.Int("iterations", 100, "QBP iterations (must be >= 1)")
 		relax      = flag.Bool("relax-timing", false, "ignore timing constraints (Table II mode)")
 		seed       = flag.Int64("seed", 0, "random seed")
 		initial    = flag.String("initial", "", "initial assignment file (default: generated feasible start)")
 		out        = flag.String("o", "", "write the final assignment to this file")
-		multistart = flag.Int("multistart", 1, "independent QBP starts run concurrently (qbp only)")
-		workers    = flag.Int("workers", 1, "goroutines sharding each solve's inner loops; results are identical for any value (qbp only)")
+		multistart = flag.Int("multistart", 1, "independent QBP starts run concurrently (qbp only, must be >= 1)")
+		workers    = flag.Int("workers", 1, "goroutines sharding each solve's inner loops; results are identical for any value (qbp only, must be >= 1)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the solve; at expiry the best solution found so far is reported (0 = none)")
+		progress   = flag.Duration("progress", 0, "print a progress line to stderr at most this often (qbp only, 0 = off)")
 		check      = flag.String("check", "", "validate this assignment file against the problem and exit")
 		show       = flag.Bool("show", false, "render the placement grid and wire-length histogram (square grids)")
 	)
 	flag.Parse()
 	if *in == "" {
-		fatal(fmt.Errorf("-in is required"))
+		usageError("-in is required")
+	}
+	// Validate numeric knobs up front: the packages behind the facade each
+	// apply their own defaulting to out-of-range values (and qbp and sa
+	// disagree on what a non-positive count means), so a typo like
+	// -multistart 0 must be a usage error here, not a silent reinterpretation.
+	if *iterations < 1 {
+		usageError(fmt.Sprintf("-iterations must be >= 1 (got %d)", *iterations))
+	}
+	if *multistart < 1 {
+		usageError(fmt.Sprintf("-multistart must be >= 1 (got %d)", *multistart))
+	}
+	if *workers < 1 {
+		usageError(fmt.Sprintf("-workers must be >= 1 (got %d)", *workers))
+	}
+	if *timeout < 0 {
+		usageError(fmt.Sprintf("-timeout must be >= 0 (got %v)", *timeout))
+	}
+	if *progress < 0 {
+		usageError(fmt.Sprintf("-progress must be >= 0 (got %v)", *progress))
 	}
 
 	f, err := os.Open(*in)
@@ -71,6 +96,16 @@ func main() {
 		return
 	}
 
+	// One deadline bounds the whole run (feasible-start generation plus the
+	// solve): at expiry the solver returns its best incumbent with Stopped
+	// set and the report below is produced from it as usual.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var start partition.Assignment
 	if *initial != "" {
 		af, aerr := os.Open(*initial)
@@ -84,7 +119,7 @@ func main() {
 		}
 	} else {
 		t0 := time.Now()
-		start, err = partition.FeasibleStart(p, *seed, 40)
+		start, err = partition.FeasibleStart(ctx, p, *seed, 40)
 		if err != nil {
 			fatal(fmt.Errorf("generating feasible start: %w", err))
 		}
@@ -94,6 +129,8 @@ func main() {
 
 	t0 := time.Now()
 	var final partition.Assignment
+	var stopped bool
+	var stats *partition.QBPSolveStats
 	switch *method {
 	case "qbp":
 		o := partition.QBPOptions{
@@ -102,42 +139,43 @@ func main() {
 			RelaxTiming: *relax,
 			Seed:        *seed,
 			Workers:     *workers,
+			OnProgress:  progressPrinter(*progress),
 		}
 		var res *partition.QBPResult
 		var err error
 		if *multistart > 1 {
-			res, err = partition.SolveQBPMultiStart(p, partition.MultiStartOptions{
+			res, err = partition.SolveQBPMultiStart(ctx, p, partition.MultiStartOptions{
 				Base: o, Starts: *multistart,
 			})
 		} else {
-			res, err = partition.SolveQBP(p, o)
+			res, err = partition.SolveQBP(ctx, p, o)
 		}
 		if err != nil {
 			fatal(err)
 		}
-		final = res.Assignment
+		final, stopped, stats = res.Assignment, res.Stopped, &res.Stats
 	case "gfm":
-		res, serr := partition.SolveGFM(p, start, partition.GFMOptions{RelaxTiming: *relax})
+		res, serr := partition.SolveGFM(ctx, p, start, partition.GFMOptions{RelaxTiming: *relax})
 		if serr != nil {
 			fatal(serr)
 		}
-		final = res.Assignment
+		final, stopped = res.Assignment, res.Stopped
 	case "gkl":
-		res, serr := partition.SolveGKL(p, start, partition.GKLOptions{RelaxTiming: *relax})
+		res, serr := partition.SolveGKL(ctx, p, start, partition.GKLOptions{RelaxTiming: *relax})
 		if serr != nil {
 			fatal(serr)
 		}
-		final = res.Assignment
+		final, stopped = res.Assignment, res.Stopped
 	case "sa":
-		res, serr := partition.SolveSA(p, partition.SAOptions{
+		res, serr := partition.SolveSA(ctx, p, partition.SAOptions{
 			Initial: start, RelaxTiming: *relax, Seed: *seed,
 		})
 		if serr != nil {
 			fatal(serr)
 		}
-		final = res.Assignment
+		final, stopped = res.Assignment, res.Stopped
 	default:
-		fatal(fmt.Errorf("unknown method %q (want qbp, gfm, gkl or sa)", *method))
+		usageError(fmt.Sprintf("unknown method %q (want qbp, gfm, gkl or sa)", *method))
 	}
 	elapsed := time.Since(t0)
 
@@ -147,6 +185,13 @@ func main() {
 	}
 	fmt.Printf("method           %s\n", *method)
 	fmt.Printf("cpu              %.2fs\n", elapsed.Seconds())
+	if stopped {
+		fmt.Printf("stopped          true (deadline/cancellation: best-so-far result)\n")
+	}
+	if stats != nil {
+		fmt.Printf("iterations       %d (%d starts, %d restarts)\n",
+			stats.Iterations, stats.Starts, stats.Restarts)
+	}
 	fmt.Printf("start WL         %d\n", p.WireLength(start))
 	fmt.Print(report)
 	if !report.Feasible && !*relax {
@@ -171,6 +216,28 @@ func main() {
 	}
 }
 
+// progressPrinter returns an OnProgress callback that writes one status
+// line to stderr at most once per interval (0 disables it). The callback
+// runs concurrently from every multistart worker, so the rate limiter is
+// locked.
+func progressPrinter(interval time.Duration) func(partition.QBPProgress) {
+	if interval <= 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	var last time.Time
+	return func(pr partition.QBPProgress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if now := time.Now(); now.Sub(last) >= interval {
+			last = now
+			fmt.Fprintf(os.Stderr,
+				"progress: start %d iter %d/%d best penalized %d restarts %d elapsed %.1fs\n",
+				pr.Start, pr.Iteration, pr.Iterations, pr.BestPenalized, pr.Restarts, pr.Elapsed.Seconds())
+		}
+	}
+}
+
 // renderPlacement draws the placement assuming the partitions form the
 // most-square grid with M slots (exact for the built-in generators).
 func renderPlacement(p *partition.Problem, a partition.Assignment) error {
@@ -188,6 +255,12 @@ func renderPlacement(p *partition.Problem, a partition.Assignment) error {
 	}
 	fmt.Println()
 	return partition.RenderWireHistogram(os.Stdout, p, a)
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "qbpart:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

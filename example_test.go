@@ -1,6 +1,7 @@
 package partition_test
 
 import (
+	"context"
 	"fmt"
 
 	partition "repro"
@@ -32,7 +33,7 @@ func ExampleSolveQBP() {
 		fmt.Println(err)
 		return
 	}
-	res, err := partition.SolveQBP(p, partition.QBPOptions{Iterations: 50})
+	res, err := partition.SolveQBP(context.Background(), p, partition.QBPOptions{Iterations: 50})
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	std, err := partition.FeasibleStart(p, 0, 40)
+	std, err := partition.FeasibleStart(context.Background(), p, 0, 40)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,11 +56,11 @@ func main() {
 
 	// The cluster seed satisfies capacity but not necessarily timing; let
 	// QBP legalize and optimize from each start.
-	fromClusters, err := partition.SolveQBP(p, partition.QBPOptions{Iterations: 100, Initial: seed})
+	fromClusters, err := partition.SolveQBP(context.Background(), p, partition.QBPOptions{Iterations: 100, Initial: seed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fromStandard, err := partition.SolveQBP(p, partition.QBPOptions{Iterations: 100, Initial: std})
+	fromStandard, err := partition.SolveQBP(context.Background(), p, partition.QBPOptions{Iterations: 100, Initial: std})
 	if err != nil {
 		log.Fatal(err)
 	}

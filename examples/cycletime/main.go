@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -97,7 +98,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := partition.SolveQBP(p, partition.QBPOptions{Iterations: 120, Seed: 1})
+		res, err := partition.SolveQBP(context.Background(), p, partition.QBPOptions{Iterations: 120, Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -33,7 +34,7 @@ func main() {
 	fmt.Printf("system: %d components, %d wires, %d timing constraints, %d FPGAs\n",
 		p.N(), p.Circuit.TotalWireWeight(), len(p.Circuit.Timing), p.M())
 
-	start, err := partition.FeasibleStart(p, 0, 40)
+	start, err := partition.FeasibleStart(context.Background(), p, 0, 40)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,21 +50,21 @@ func main() {
 	var results []outcome
 
 	t0 := time.Now()
-	q, err := partition.SolveQBP(p, partition.QBPOptions{Initial: start})
+	q, err := partition.SolveQBP(context.Background(), p, partition.QBPOptions{Initial: start})
 	if err != nil {
 		log.Fatal(err)
 	}
 	results = append(results, outcome{"QBP", q.WireLength, time.Since(t0), q.Feasible})
 
 	t0 = time.Now()
-	g, err := partition.SolveGFM(p, start, partition.GFMOptions{})
+	g, err := partition.SolveGFM(context.Background(), p, start, partition.GFMOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	results = append(results, outcome{"GFM", g.WireLength, time.Since(t0), p.Feasible(g.Assignment)})
 
 	t0 = time.Now()
-	k, err := partition.SolveGKL(p, start, partition.GKLOptions{})
+	k, err := partition.SolveGKL(context.Background(), p, start, partition.GKLOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

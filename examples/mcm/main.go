@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -68,7 +69,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := partition.SolveQBP(reassign, partition.QBPOptions{Iterations: 150, Seed: 3})
+	res, err := partition.SolveQBP(context.Background(), reassign, partition.QBPOptions{Iterations: 150, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

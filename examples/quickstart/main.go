@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := partition.SolveQBP(problem, partition.QBPOptions{Iterations: 50})
+	res, err := partition.SolveQBP(context.Background(), problem, partition.QBPOptions{Iterations: 50})
 	if err != nil {
 		log.Fatal(err)
 	}

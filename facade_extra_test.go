@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"testing"
 )
 
@@ -69,11 +70,11 @@ func TestFacadeGAPAndLAP(t *testing.T) {
 		Sizes:      []int64{5, 5, 5},
 		Capacities: []int64{10, 10},
 	}
-	assign, cost, ok := SolveGAP(in, GAPOptions{Refine: GAPRefineSwap})
+	assign, cost, ok := SolveGAP(context.Background(), in, GAPOptions{Refine: GAPRefineSwap})
 	if !ok || cost != 3 || !in.Feasible(assign) {
 		t.Fatalf("GAP: cost=%v ok=%v", cost, ok)
 	}
-	_, exCost, exOK := SolveGAPExact(in)
+	_, exCost, exOK := SolveGAPExact(context.Background(), in)
 	if !exOK || exCost != 3 {
 		t.Fatalf("exact GAP: cost=%v ok=%v", exCost, exOK)
 	}
@@ -92,14 +93,14 @@ func TestFacadeExactAndMultiStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := inst.Problem
-	exact, err := SolveExact(p, ExactOptions{})
+	exact, err := SolveExact(context.Background(), p, ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !exact.Found {
 		t.Fatal("feasible instance reported infeasible")
 	}
-	multi, err := SolveQBPMultiStart(p, MultiStartOptions{
+	multi, err := SolveQBPMultiStart(context.Background(), p, MultiStartOptions{
 		Base:   QBPOptions{Iterations: 60},
 		Starts: 3,
 	})
@@ -129,11 +130,11 @@ func TestFacadeSimulatedAnnealing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	start, err := FeasibleStart(inst.Problem, 0, 40)
+	start, err := FeasibleStart(context.Background(), inst.Problem, 0, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := SolveSA(inst.Problem, SAOptions{Initial: start, Seed: 2, Stages: 30})
+	res, err := SolveSA(context.Background(), inst.Problem, SAOptions{Initial: start, Seed: 2, Stages: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestFacadeHypergraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := SolveQBP(p, QBPOptions{Iterations: 40})
+	res, err := SolveQBP(context.Background(), p, QBPOptions{Iterations: 40})
 	if err != nil {
 		t.Fatal(err)
 	}

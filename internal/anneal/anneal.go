@@ -8,11 +8,13 @@
 package anneal
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 
 	"repro/internal/adjacency"
+	"repro/internal/interrupt"
 	"repro/internal/model"
 	"repro/internal/qbp"
 )
@@ -46,10 +48,19 @@ type Result struct {
 	WireLength int64
 	Feasible   bool
 	Moves      int64 // accepted moves
+	// Stopped reports the schedule was cut short by ctx cancellation;
+	// Assignment is then the best state seen before the stop.
+	Stopped bool
 }
 
-// Solve anneals single-component moves over the penalized objective.
-func Solve(p *model.Problem, opts Options) (*Result, error) {
+// Solve anneals single-component moves over the penalized objective. A ctx
+// already cancelled at entry returns ctx.Err(); cancellation mid-schedule
+// stops at the next stage boundary (amortized move-level checks inside a
+// stage) and returns the best state seen with Result.Stopped set.
+func Solve(ctx context.Context, p *model.Problem, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,8 +169,15 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 	}
 
 	var accepted int64
+	ck := interrupt.New(ctx, 0)
 	for stage := 0; stage < stages; stage++ {
+		if ck.Now() {
+			break
+		}
 		for move := 0; move < movesPerStage; move++ {
+			if ck.Stop() {
+				break
+			}
 			j := rng.Intn(n)
 			to := rng.Intn(m)
 			if to == u[j] || loads[to]+norm.Circuit.Sizes[j] > norm.Topology.Capacities[to] {
@@ -196,6 +214,7 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 		Objective:  norm.Objective(chosen),
 		WireLength: norm.WireLength(chosen),
 		Moves:      accepted,
+		Stopped:    ck.Stopped(),
 	}
 	res.Feasible = norm.CapacityFeasible(chosen) && feasible(chosen)
 	return res, nil

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -13,15 +14,15 @@ import (
 func TestValidatesInputs(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	p, golden := testgen.Random(rng, testgen.Config{N: 8})
-	if _, err := Solve(p, Options{Cooling: 2}); err == nil {
+	if _, err := Solve(context.Background(), p, Options{Cooling: 2}); err == nil {
 		t.Fatal("cooling ≥ 1 accepted")
 	}
-	if _, err := Solve(p, Options{Initial: golden[:2]}); err == nil {
+	if _, err := Solve(context.Background(), p, Options{Initial: golden[:2]}); err == nil {
 		t.Fatal("short initial accepted")
 	}
 	bad := p
 	bad.Circuit.Sizes[0] = -1
-	if _, err := Solve(bad, Options{}); err == nil {
+	if _, err := Solve(context.Background(), bad, Options{}); err == nil {
 		t.Fatal("invalid problem accepted")
 	}
 }
@@ -39,7 +40,7 @@ func TestNearOptimalOnSmallInstances(t *testing.T) {
 		if !exact.Found {
 			continue
 		}
-		res, err := Solve(p, Options{Seed: int64(trial)})
+		res, err := Solve(context.Background(), p, Options{Seed: int64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func TestCapacityAlwaysRespected(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 8; trial++ {
 		p, _ := testgen.Random(rng, testgen.Config{N: 20, CapSlack: 1.15, TimingProb: 0.3})
-		res, err := Solve(p, Options{Seed: int64(trial), Stages: 25})
+		res, err := Solve(context.Background(), p, Options{Seed: int64(trial), Stages: 25})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,11 +85,11 @@ func TestCapacityAlwaysRespected(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	p, _ := testgen.Random(rng, testgen.Config{N: 15, TimingProb: 0.3})
-	a, err := Solve(p, Options{Seed: 9, Stages: 20})
+	a, err := Solve(context.Background(), p, Options{Seed: 9, Stages: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(p, Options{Seed: 9, Stages: 20})
+	b, err := Solve(context.Background(), p, Options{Seed: 9, Stages: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +106,11 @@ func TestCompetitiveOnPaperCircuit(t *testing.T) {
 	}
 	in := gen.MustNamed("cktb")
 	p := in.Problem
-	start, err := qbp.FeasibleStart(p, 0, 40)
+	start, err := qbp.FeasibleStart(context.Background(), p, 0, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Solve(p, Options{Initial: start, Seed: 1})
+	res, err := Solve(context.Background(), p, Options{Initial: start, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestCompetitiveOnPaperCircuit(t *testing.T) {
 	if res.WireLength >= p.WireLength(start) {
 		t.Fatalf("no improvement: %d vs start %d", res.WireLength, p.WireLength(start))
 	}
-	q, err := qbp.Solve(p, qbp.Options{Initial: start})
+	q, err := qbp.Solve(context.Background(), p, qbp.Options{Initial: start})
 	if err != nil {
 		t.Fatal(err)
 	}

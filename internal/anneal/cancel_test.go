@@ -1,0 +1,42 @@
+package anneal
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/testgen"
+)
+
+func TestSolveCancelledBeforeEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p, _ := testgen.Random(rng, testgen.Config{N: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, p, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveDeadlineReturnsBest: a schedule of 2²⁰ stages cannot complete
+// within the deadline, so the anneal must stop mid-schedule and return its
+// best state with Stopped set.
+func TestSolveDeadlineReturnsBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	p, _ := testgen.Random(rng, testgen.Config{N: 40, TimingProb: 0.2})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res, err := Solve(ctx, p, Options{Stages: 1 << 20, Cooling: 0.9999, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("deadline expired but Stopped not set")
+	}
+	norm := p.Normalized()
+	if len(res.Assignment) != p.N() || !norm.CapacityFeasible(res.Assignment) {
+		t.Fatal("best-so-far assignment is not capacity-feasible")
+	}
+}

@@ -13,10 +13,12 @@
 package bb
 
 import (
+	"context"
 	"errors"
 	"sort"
 
 	"repro/internal/adjacency"
+	"repro/internal/interrupt"
 	"repro/internal/model"
 )
 
@@ -26,6 +28,10 @@ type Result struct {
 	Value      int64
 	Found      bool  // false when no feasible assignment exists
 	Nodes      int64 // search-tree nodes expanded
+	// Stopped reports the search was cut short by ctx cancellation; the
+	// result is then the best incumbent found (a feasible upper bound),
+	// not a proven optimum.
+	Stopped bool
 }
 
 // Options tunes Solve.
@@ -52,6 +58,7 @@ type solver struct {
 	found    bool
 	nodes    int64
 	maxNodes int64
+	ck       interrupt.Checker
 	// minTail[k] = optimistic bound on couplings strictly among order[k:]
 	// (pairs with both endpoints unplaced), valued at the global minimum
 	// B entry. linTail[k] = suffix sum of per-component linear minima.
@@ -62,8 +69,16 @@ type solver struct {
 	linTail []int64
 }
 
-// Solve finds the exact optimum of PP(α,β) under C1, C2, C3.
-func Solve(p *model.Problem, opts Options) (Result, error) {
+// Solve finds the exact optimum of PP(α,β) under C1, C2, C3. A ctx already
+// cancelled at entry returns ctx.Err(); a ctx cancelled mid-search aborts
+// the remaining tree at the next amortized check and returns the incumbent
+// found so far with Result.Stopped set (Found stays false when no feasible
+// assignment had been reached yet). Exhausting MaxNodes remains an error —
+// a budget overrun is a sizing mistake, not a requested stop.
+func Solve(ctx context.Context, p *model.Problem, opts Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -80,6 +95,10 @@ func Solve(p *model.Problem, opts Options) (Result, error) {
 	if s.maxNodes <= 0 {
 		s.maxNodes = 50_000_000
 	}
+	// Heavy-tailed search trees are exactly what cancellation exists for;
+	// one poll per 4096 expanded nodes keeps detection latency far below
+	// any realistic deadline at negligible per-node cost.
+	s.ck = interrupt.New(ctx, 4096)
 
 	// Visit order: decreasing size (capacity pruning bites early), ties by
 	// decreasing coupling degree (cost pruning bites early).
@@ -114,10 +133,10 @@ func Solve(p *model.Problem, opts Options) (Result, error) {
 		s.bestU = append([]int(nil), opts.Incumbent...)
 	}
 
-	if aborted := s.dfs(0, 0); aborted {
+	if aborted := s.dfs(0, 0); aborted && !s.ck.Stopped() {
 		return Result{}, errors.New("bb: node budget exhausted before proving optimality")
 	}
-	res := Result{Found: s.found, Nodes: s.nodes}
+	res := Result{Found: s.found, Nodes: s.nodes, Stopped: s.ck.Stopped()}
 	if s.found {
 		res.Assignment = append(model.Assignment(nil), s.bestU...)
 		res.Value = s.bestVal
@@ -228,10 +247,14 @@ func (s *solver) unplacedBound(fromRank int) (int64, bool) {
 	return total, true
 }
 
-// dfs returns true when the node budget was exhausted.
+// dfs returns true when the search was aborted (node budget exhausted or
+// ctx cancelled — the caller distinguishes the two via s.ck.Stopped()).
 func (s *solver) dfs(rank int, acc int64) bool {
 	s.nodes++
 	if s.nodes > s.maxNodes {
+		return true
+	}
+	if s.ck.Stop() {
 		return true
 	}
 	if rank == s.n {

@@ -1,6 +1,7 @@
 package bb
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Solve(p, Options{})
+		res, err := Solve(context.Background(), p, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +64,7 @@ func TestMidSizeCertifiesHeuristic(t *testing.T) {
 		// miss doubles the ratio; use a short multi-start as a user would.
 		var heur *qbp.Result
 		for seed := int64(0); seed < 3; seed++ {
-			r, err := qbp.Solve(p, qbp.Options{Iterations: 80, Seed: 100*int64(trial) + seed})
+			r, err := qbp.Solve(context.Background(), p, qbp.Options{Iterations: 80, Seed: 100*int64(trial) + seed})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -75,7 +76,7 @@ func TestMidSizeCertifiesHeuristic(t *testing.T) {
 		if !heur.Feasible {
 			incumbent = golden
 		}
-		res, err := Solve(p, Options{Incumbent: incumbent, MaxNodes: 20_000_000})
+		res, err := Solve(context.Background(), p, Options{Incumbent: incumbent, MaxNodes: 20_000_000})
 		if err != nil {
 			t.Skipf("trial %d: %v", trial, err) // bound too weak for this instance
 		}
@@ -94,11 +95,11 @@ func TestMidSizeCertifiesHeuristic(t *testing.T) {
 func TestIncumbentSpeedsSearch(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	p, golden := testgen.Random(rng, testgen.Config{N: 12, TimingProb: 0.3})
-	cold, err := Solve(p, Options{})
+	cold, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := Solve(p, Options{Incumbent: golden})
+	warm, err := Solve(context.Background(), p, Options{Incumbent: golden})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestIncumbentSpeedsSearch(t *testing.T) {
 func TestNodeBudgetAborts(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	p, _ := testgen.Random(rng, testgen.Config{N: 14, WireProb: 0.6})
-	if _, err := Solve(p, Options{MaxNodes: 10}); err == nil {
+	if _, err := Solve(context.Background(), p, Options{MaxNodes: 10}); err == nil {
 		t.Fatal("tiny node budget did not abort")
 	}
 }
@@ -122,7 +123,7 @@ func TestInvalidProblemRejected(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	p, _ := testgen.Random(rng, testgen.Config{N: 4})
 	p.Circuit.Sizes[0] = -1
-	if _, err := Solve(p, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, Options{}); err == nil {
 		t.Fatal("invalid problem accepted")
 	}
 }

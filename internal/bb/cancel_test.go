@@ -1,0 +1,50 @@
+package bb
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/testgen"
+)
+
+func TestSolveCancelledBeforeEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p, _ := testgen.Random(rng, testgen.Config{N: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, p, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveDeadlineStopsSearch: a search tree with 4⁶⁴ leaves cannot be
+// exhausted within the deadline, so the solve must come back promptly with
+// Stopped set instead of running to the node budget.
+func TestSolveDeadlineStopsSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p, _ := testgen.Random(rng, testgen.Config{N: 64, TimingProb: 0.1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	res, err := Solve(ctx, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("deadline expired but Stopped not set")
+	}
+	if res.Found {
+		// Any incumbent reached before the stop must be a genuine
+		// feasible upper bound.
+		norm := p.Normalized()
+		if !norm.CapacityFeasible(res.Assignment) || norm.CountTimingViolations(res.Assignment) != 0 {
+			t.Fatal("stopped incumbent is not feasible")
+		}
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}

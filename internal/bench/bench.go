@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -96,7 +97,7 @@ func runCircuit(name string, cfg Config) (Row, error) {
 	// It satisfies the timing constraints, so the same start serves both
 	// the relaxed and the constrained tables — as in the paper, whose
 	// start column is identical across Tables II and III.
-	initial, err := qbp.FeasibleStart(p, cfg.Seed, 40)
+	initial, err := qbp.FeasibleStart(context.Background(), p, cfg.Seed, 40)
 	if err != nil {
 		return Row{}, fmt.Errorf("initial solution: %w", err)
 	}
@@ -105,7 +106,7 @@ func runCircuit(name string, cfg Config) (Row, error) {
 	relax := !cfg.Timing
 
 	t0 := time.Now()
-	qres, err := qbp.Solve(p, qbp.Options{
+	qres, err := qbp.Solve(context.Background(), p, qbp.Options{
 		Iterations:  cfg.QBPIterations,
 		Initial:     initial,
 		RelaxTiming: relax,
@@ -120,7 +121,7 @@ func runCircuit(name string, cfg Config) (Row, error) {
 	}
 
 	t0 = time.Now()
-	fres, err := fm.Solve(p, initial, fm.Options{RelaxTiming: relax})
+	fres, err := fm.Solve(context.Background(), p, initial, fm.Options{RelaxTiming: relax})
 	if err != nil {
 		return Row{}, fmt.Errorf("gfm: %w", err)
 	}
@@ -129,7 +130,7 @@ func runCircuit(name string, cfg Config) (Row, error) {
 	}
 
 	t0 = time.Now()
-	kres, err := kl.Solve(p, initial, kl.Options{RelaxTiming: relax, MaxPasses: cfg.KLMaxPasses})
+	kres, err := kl.Solve(context.Background(), p, initial, kl.Options{RelaxTiming: relax, MaxPasses: cfg.KLMaxPasses})
 	if err != nil {
 		return Row{}, fmt.Errorf("gkl: %w", err)
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ import (
 func TestFeasibleStartsAllCircuits(t *testing.T) {
 	for _, s := range gen.Paper {
 		in := gen.MustNamed(s.Name)
-		a, err := qbp.FeasibleStart(in.Problem, 0, 40)
+		a, err := qbp.FeasibleStart(context.Background(), in.Problem, 0, 40)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name, err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -125,13 +126,13 @@ func RunMCM(cfg MCMConfig) ([]MCMRow, error) {
 		// All three methods share one feasible start, as in the paper's
 		// protocol (for PP(1,0) the B matrix is unused, so the B=0 run is
 		// just "find any legal low-deviation layout").
-		start, err := qbp.FeasibleStart(p, cfg.Seed, 40)
+		start, err := qbp.FeasibleStart(context.Background(), p, cfg.Seed, 40)
 		if err != nil {
 			return nil, fmt.Errorf("initial solution: %w", err)
 		}
 
 		t0 := time.Now()
-		qres, err := qbp.Solve(p, qbp.Options{Iterations: cfg.QBPIterations, Seed: cfg.Seed, Initial: start})
+		qres, err := qbp.Solve(context.Background(), p, qbp.Options{Iterations: cfg.QBPIterations, Seed: cfg.Seed, Initial: start})
 		if err != nil {
 			return nil, fmt.Errorf("qbp: %w", err)
 		}
@@ -140,7 +141,7 @@ func RunMCM(cfg MCMConfig) ([]MCMRow, error) {
 		}
 
 		t0 = time.Now()
-		fres, err := fm.Solve(p, start, fm.Options{})
+		fres, err := fm.Solve(context.Background(), p, start, fm.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("gfm: %w", err)
 		}
@@ -149,7 +150,7 @@ func RunMCM(cfg MCMConfig) ([]MCMRow, error) {
 		}
 
 		t0 = time.Now()
-		kres, err := kl.Solve(p, start, kl.Options{})
+		kres, err := kl.Solve(context.Background(), p, start, kl.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("gkl: %w", err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -31,12 +32,12 @@ func TestScalesBeyondPaperSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := in.Problem
-	start, err := qbp.FeasibleStart(p, 0, 40)
+	start, err := qbp.FeasibleStart(context.Background(), p, 0, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t0 := time.Now()
-	res, err := qbp.Solve(p, qbp.Options{Iterations: 100, Initial: start})
+	res, err := qbp.Solve(context.Background(), p, qbp.Options{Iterations: 100, Initial: start})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +81,11 @@ func TestAlternativeCostMetrics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		start, err := qbp.FeasibleStart(p, 0, 40)
+		start, err := qbp.FeasibleStart(context.Background(), p, 0, 40)
 		if err != nil {
 			t.Fatalf("%v: %v", metric, err)
 		}
-		res, err := qbp.Solve(p, qbp.Options{Iterations: 60, Initial: start})
+		res, err := qbp.Solve(context.Background(), p, qbp.Options{Iterations: 60, Initial: start})
 		if err != nil {
 			t.Fatalf("%v: %v", metric, err)
 		}

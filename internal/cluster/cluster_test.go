@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -181,7 +182,7 @@ func TestSeedFeedsQBP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := qbp.Solve(p, qbp.Options{Iterations: 40, Initial: seed})
+	res, err := qbp.Solve(context.Background(), p, qbp.Options{Iterations: 40, Initial: seed})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,11 +11,13 @@
 package fm
 
 import (
+	"context"
 	"errors"
 	"math"
 
 	"repro/internal/adjacency"
 	"repro/internal/gains"
+	"repro/internal/interrupt"
 	"repro/internal/model"
 )
 
@@ -40,6 +42,10 @@ type Result struct {
 	WireLength int64
 	Passes     int
 	Moves      int // accepted (kept) moves across all passes
+	// Stopped reports the passes were cut short by ctx cancellation; the
+	// interrupted pass was first rolled back to its best prefix, so the
+	// returned assignment stays feasible and no worse than the pass start.
+	Stopped bool
 }
 
 type move struct {
@@ -49,8 +55,13 @@ type move struct {
 
 // Solve improves a feasible initial assignment by FM-style passes. The
 // initial assignment must satisfy C1 and (unless relaxed) C2; the result is
-// guaranteed to satisfy them too.
-func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, error) {
+// guaranteed to satisfy them too. A ctx already cancelled at entry returns
+// ctx.Err(); cancellation mid-pass stops the move selection, rolls the pass
+// back to its best prefix, and returns with Result.Stopped set.
+func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -79,6 +90,7 @@ func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, e
 		return opts.RelaxTiming || t.TimingOK(j, to)
 	}
 
+	ck := interrupt.New(ctx, 0)
 	locked := make([]bool, n)
 	trail := make([]move, 0, n)
 	passes, kept := 0, 0
@@ -93,6 +105,12 @@ func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, e
 		bestPrefix := 0
 
 		for len(trail) < maxMoves {
+			// One poll per selection (each costs O(N·M) gain scans); on
+			// cancellation the roll-back below still runs, so the pass
+			// never leaves a worse-than-prefix state behind.
+			if ck.Now() {
+				break
+			}
 			// Select the best admissible move over all unlocked
 			// components and their M−1 alternative partitions.
 			bestDelta := int64(math.MaxInt64)
@@ -137,7 +155,7 @@ func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, e
 			opts.OnPass(passes, t.Objective())
 		}
 		improved := bestObj < startObj
-		if !improved || (opts.MaxPasses > 0 && passes >= opts.MaxPasses) {
+		if !improved || ck.Stopped() || (opts.MaxPasses > 0 && passes >= opts.MaxPasses) {
 			break
 		}
 	}
@@ -149,5 +167,6 @@ func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, e
 		WireLength: norm.WireLength(a),
 		Passes:     passes,
 		Moves:      kept,
+		Stopped:    ck.Stopped(),
 	}, nil
 }

@@ -1,6 +1,7 @@
 package fm
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -10,11 +11,11 @@ import (
 func TestDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	p, golden := testgen.Random(rng, testgen.Config{N: 22, TimingProb: 0.3})
-	a, err := Solve(p, golden, Options{})
+	a, err := Solve(context.Background(), p, golden, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(p, golden, Options{})
+	b, err := Solve(context.Background(), p, golden, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestPassObjectiveMonotone(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	p, golden := testgen.Random(rng, testgen.Config{N: 30, GridRows: 2, GridCols: 3, WireProb: 0.4})
 	var trace []int64
-	_, err := Solve(p, golden, Options{OnPass: func(pass int, obj int64) {
+	_, err := Solve(context.Background(), p, golden, Options{OnPass: func(pass int, obj int64) {
 		trace = append(trace, obj)
 	}})
 	if err != nil {
@@ -54,7 +55,7 @@ func TestPassObjectiveMonotone(t *testing.T) {
 func TestMaxMovesPerPass(t *testing.T) {
 	rng := rand.New(rand.NewSource(73))
 	p, golden := testgen.Random(rng, testgen.Config{N: 30})
-	res, err := Solve(p, golden, Options{MaxMovesPerPass: 2, MaxPasses: 3})
+	res, err := Solve(context.Background(), p, golden, Options{MaxMovesPerPass: 2, MaxPasses: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestSinglePartitionNoOp(t *testing.T) {
 	rng := rand.New(rand.NewSource(74))
 	p, golden := testgen.Random(rng, testgen.Config{N: 8, GridRows: 1, GridCols: 1, TimingProb: 0.0001})
 	p.Circuit.Timing = nil
-	res, err := Solve(p, golden, Options{})
+	res, err := Solve(context.Background(), p, golden, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package fm
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -11,18 +12,18 @@ import (
 
 func TestRejectsInfeasibleInitial(t *testing.T) {
 	p := paperex.MustNew()
-	if _, err := Solve(p, model.Assignment{0, 0, 1}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, model.Assignment{0, 0, 1}, Options{}); err == nil {
 		t.Fatal("capacity-violating initial accepted")
 	}
 	// a at slot 1, b at slot 4: distance 2 violates the a–b bound.
-	if _, err := Solve(p, model.Assignment{0, 3, 1}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, model.Assignment{0, 3, 1}, Options{}); err == nil {
 		t.Fatal("timing-violating initial accepted")
 	}
 	// With timing relaxed the same start is fine.
-	if _, err := Solve(p, model.Assignment{0, 3, 1}, Options{RelaxTiming: true}); err != nil {
+	if _, err := Solve(context.Background(), p, model.Assignment{0, 3, 1}, Options{RelaxTiming: true}); err != nil {
 		t.Fatalf("relaxed solve rejected feasible-capacity start: %v", err)
 	}
-	if _, err := Solve(p, model.Assignment{0, 1}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, model.Assignment{0, 1}, Options{}); err == nil {
 		t.Fatal("short initial accepted")
 	}
 }
@@ -34,7 +35,7 @@ func TestImprovesPaperExample(t *testing.T) {
 	// Use a=slot1, b=slot3, c=slot4: d(0,2)=1 → 5, d(2,3)=1 → 2: also 7.
 	// Every feasible layout of this tiny instance costs 7; check FM keeps it.
 	initial := model.Assignment{0, 2, 3}
-	res, err := Solve(p, initial, Options{})
+	res, err := Solve(context.Background(), p, initial, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestNeverWorsensAndStaysFeasible(t *testing.T) {
 			N: 20, GridRows: 2, GridCols: 3, TimingProb: 0.3, WithLinear: trial%2 == 0,
 		})
 		norm := p.Normalized()
-		res, err := Solve(p, golden, Options{})
+		res, err := Solve(context.Background(), p, golden, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -76,11 +77,11 @@ func TestRelaxedSearchReachesLowerCost(t *testing.T) {
 		p, golden := testgen.Random(rng, testgen.Config{
 			N: 18, TimingProb: 0.5, TimingSlack: 0,
 		})
-		strict, err := Solve(p, golden, Options{})
+		strict, err := Solve(context.Background(), p, golden, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		relaxed, err := Solve(p, golden, Options{RelaxTiming: true})
+		relaxed, err := Solve(context.Background(), p, golden, Options{RelaxTiming: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func TestMaxPassesBoundsWork(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	p, golden := testgen.Random(rng, testgen.Config{N: 25, TimingProb: 0.2})
 	var passes []int64
-	res, err := Solve(p, golden, Options{MaxPasses: 2, OnPass: func(pass int, obj int64) {
+	res, err := Solve(context.Background(), p, golden, Options{MaxPasses: 2, OnPass: func(pass int, obj int64) {
 		passes = append(passes, obj)
 	}})
 	if err != nil {
@@ -116,12 +117,12 @@ func TestMaxPassesBoundsWork(t *testing.T) {
 func TestConvergenceTerminates(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	p, golden := testgen.Random(rng, testgen.Config{N: 30, GridRows: 2, GridCols: 3})
-	res, err := Solve(p, golden, Options{})
+	res, err := Solve(context.Background(), p, golden, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Convergence: re-running from the result must change nothing.
-	again, err := Solve(p, res.Assignment, Options{})
+	again, err := Solve(context.Background(), p, res.Assignment, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

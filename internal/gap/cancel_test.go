@@ -1,0 +1,109 @@
+package gap
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// cancelInstance is a small feasible instance for the contract tests.
+func cancelInstance() *Instance {
+	return &Instance{
+		Costs: [][]float64{
+			{1, 9, 9, 2},
+			{9, 1, 2, 9},
+			{2, 9, 1, 9},
+		},
+		Sizes:      []int64{1, 1, 1, 1},
+		Capacities: []int64{2, 2, 2},
+	}
+}
+
+// TestSolveCancelledStillConstructs: the heuristic's constructor always
+// runs (its output is what makes the assignment valid at all); a cancelled
+// ctx only skips the refinement sweeps.
+func TestSolveCancelledStillConstructs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	assign, _, ok := Solve(ctx, cancelInstance(), Options{Refine: RefineSwap})
+	if !ok {
+		t.Fatal("cancelled Solve lost the constructed assignment")
+	}
+	if len(assign) != 4 {
+		t.Fatalf("assignment has %d entries, want 4", len(assign))
+	}
+	// The construction must still be capacity-feasible.
+	loads := make([]int64, 3)
+	for j, i := range assign {
+		if i < 0 || i >= 3 {
+			t.Fatalf("component %d assigned out of range: %d", j, i)
+		}
+		loads[i]++
+	}
+	for i, l := range loads {
+		if l > 2 {
+			t.Fatalf("agent %d overloaded: %d > 2", i, l)
+		}
+	}
+}
+
+// TestSolveExactCancelledReturnsPromptly: an already-cancelled ctx stops
+// the branch-and-bound at its first amortization window, before any
+// incumbent exists.
+func TestSolveExactCancelledReturnsPromptly(t *testing.T) {
+	// Large enough that a full exact solve would take far longer than the
+	// test; the cancelled dfs must abandon it almost immediately.
+	const n, m = 40, 4
+	in := &Instance{
+		Costs:      make([][]float64, m),
+		Sizes:      make([]int64, n),
+		Capacities: []int64{n, n, n, n},
+	}
+	for i := range in.Costs {
+		in.Costs[i] = make([]float64, n)
+		for j := range in.Costs[i] {
+			in.Costs[i][j] = float64((i*7+j*13)%10) + 1
+		}
+	}
+	for j := range in.Sizes {
+		in.Sizes[j] = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	assign, _, ok := SolveExact(ctx, in)
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("cancelled SolveExact ran for %v", elapsed)
+	}
+	// The first amortization window may still reach a leaf, so an
+	// incumbent is allowed — but it must then be a complete assignment.
+	if ok && len(assign) != n {
+		t.Fatalf("incumbent has %d entries, want %d", len(assign), n)
+	}
+}
+
+// TestSolveExactDeadlineKeepsIncumbent: a deadline mid-search returns the
+// best incumbent found so far as a feasible upper bound.
+func TestSolveExactDeadlineKeepsIncumbent(t *testing.T) {
+	const n, m = 26, 4
+	in := &Instance{
+		Costs:      make([][]float64, m),
+		Sizes:      make([]int64, n),
+		Capacities: []int64{n, n, n, n},
+	}
+	for i := range in.Costs {
+		in.Costs[i] = make([]float64, n)
+		for j := range in.Costs[i] {
+			in.Costs[i][j] = float64((i*11+j*17)%13) + 1
+		}
+	}
+	for j := range in.Sizes {
+		in.Sizes[j] = 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	assign, _, ok := SolveExact(ctx, in)
+	if ok && len(assign) != n {
+		t.Fatalf("incumbent has %d entries, want %d", len(assign), n)
+	}
+}

@@ -5,6 +5,7 @@ package gap
 // constructor/refinement in integer arithmetic.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -25,7 +26,7 @@ func BenchmarkGAPSolve(b *testing.B) {
 		b.Run(fmt.Sprintf("%s/n=%d", c.name, c.in.N()), func(b *testing.B) {
 			b.ReportAllocs()
 			for k := 0; k < b.N; k++ {
-				if _, _, ok := Solve(c.in, opt); !ok {
+				if _, _, ok := Solve(context.Background(), c.in, opt); !ok {
 					b.Fatal("infeasible")
 				}
 			}

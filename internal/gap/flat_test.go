@@ -6,6 +6,7 @@ package gap
 // decisions — same assignment, same cost, same ok.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -61,9 +62,9 @@ func TestFlatPathsAgreeExactly(t *testing.T) {
 		}
 		for _, refine := range []RefineLevel{RefineNone, RefineShift, RefineSwap} {
 			opt := Options{Refine: refine, MaxRefinePasses: 3}
-			aR, cR, okR := Solve(byRows, opt)
-			a64, c64, ok64 := Solve(byFlat64, opt)
-			aI, cI, okI := Solve(byFlatInt, opt)
+			aR, cR, okR := Solve(context.Background(), byRows, opt)
+			a64, c64, ok64 := Solve(context.Background(), byFlat64, opt)
+			aI, cI, okI := Solve(context.Background(), byFlatInt, opt)
 			if okR != ok64 || okR != okI {
 				t.Fatalf("trial %d refine=%d: ok %v/%v/%v", trial, refine, okR, ok64, okI)
 			}
@@ -93,9 +94,9 @@ func TestFlatExactAgrees(t *testing.T) {
 		if byRows.N() > 10 {
 			continue // keep branch and bound cheap
 		}
-		aR, cR, okR := SolveExact(byRows)
-		a64, c64, ok64 := SolveExact(byFlat64)
-		aI, cI, okI := SolveExact(byFlatInt)
+		aR, cR, okR := SolveExact(context.Background(), byRows)
+		a64, c64, ok64 := SolveExact(context.Background(), byFlat64)
+		aI, cI, okI := SolveExact(context.Background(), byFlatInt)
 		if okR != ok64 || okR != okI {
 			t.Fatalf("trial %d: ok %v/%v/%v", trial, okR, ok64, okI)
 		}

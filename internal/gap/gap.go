@@ -22,9 +22,11 @@ package gap
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"math"
 
+	"repro/internal/interrupt"
 	"repro/internal/qmatrix"
 )
 
@@ -193,18 +195,24 @@ func (v *view[T]) cost(assign []int) T {
 // instances where the constructor dead-ends and repair fails, the returned
 // assignment may be infeasible (ok = false); callers that require
 // feasibility must check.
-func Solve(in *Instance, opt Options) (assign []int, cost float64, ok bool) {
+//
+// Cancellation: the constructor always runs to completion (its result is
+// what makes the assignment valid at all); a cancelled ctx skips or cuts
+// short the refinement sweeps, so the caller still gets a feasible — just
+// less polished — assignment back promptly.
+func Solve(ctx context.Context, in *Instance, opt Options) (assign []int, cost float64, ok bool) {
+	ck := interrupt.New(ctx, 0)
 	switch {
 	case in.FlatCosts != nil:
 		v := &view[int64]{flat: in.FlatCosts, m: in.M(), sizes: in.Sizes, caps: in.Capacities}
-		a, c, ok := solve(v, opt)
+		a, c, ok := solve(v, opt, &ck)
 		return a, float64(c), ok
 	case in.FlatCosts64 != nil:
 		v := &view[float64]{flat: in.FlatCosts64, m: in.M(), sizes: in.Sizes, caps: in.Capacities}
-		return solve(v, opt)
+		return solve(v, opt, &ck)
 	default:
 		v := &view[float64]{flat: transpose(in.Costs, in.N()), m: in.M(), sizes: in.Sizes, caps: in.Capacities}
-		return solve(v, opt)
+		return solve(v, opt, &ck)
 	}
 }
 
@@ -220,10 +228,10 @@ func transpose(costs [][]float64, n int) []float64 {
 	return flat
 }
 
-func solve[T number](v *view[T], opt Options) (assign []int, cost T, ok bool) {
+func solve[T number](v *view[T], opt Options, ck *interrupt.Checker) (assign []int, cost T, ok bool) {
 	assign, ok = construct(v)
 	if ok {
-		refine(v, assign, opt)
+		refine(v, assign, opt, ck)
 	}
 	return assign, v.cost(assign), ok
 }
@@ -406,8 +414,10 @@ func repair[T number](v *view[T], assign []int, remaining []int64, stuck int) ([
 	return assign, false
 }
 
-// refine applies shift (and optionally swap) local search in place.
-func refine[T number](v *view[T], assign []int, opt Options) {
+// refine applies shift (and optionally swap) local search in place. Checks
+// ck at sweep boundaries: every sweep leaves the assignment and the
+// remaining-capacity vector consistent, so stopping between sweeps is safe.
+func refine[T number](v *view[T], assign []int, opt Options, ck *interrupt.Checker) {
 	passes := opt.MaxRefinePasses
 	if passes <= 0 {
 		passes = 50
@@ -478,12 +488,15 @@ func refine[T number](v *view[T], assign []int, opt Options) {
 	// MaxRefinePasses caps only the expensive sweeps (swap O(N²), eject as
 	// a last resort): each outer pass first drains all shift moves.
 	for pass := 0; pass < passes; pass++ {
+		if ck.Now() {
+			return
+		}
 		for k := 0; k < 200; k++ {
-			if !shiftSweep() {
+			if !shiftSweep() || ck.Now() {
 				break
 			}
 		}
-		if opt.Refine < RefineSwap {
+		if opt.Refine < RefineSwap || ck.Now() {
 			return
 		}
 		improved := swapSweep()
@@ -570,24 +583,30 @@ func eject[T number](v *view[T], assign []int, remaining []int64) bool {
 // SolveExact finds the optimal assignment by depth-first branch and bound
 // with a per-item best-cost lower bound. Intended for small instances
 // (N ≲ 14) in tests. Returns ok = false when no feasible assignment exists.
-func SolveExact(in *Instance) (assign []int, cost float64, ok bool) {
+// A ctx cancelled mid-search aborts the remaining tree and returns the
+// incumbent found so far (ok = false when none was reached yet) — the
+// result is then a feasible upper bound, not a proven optimum.
+func SolveExact(ctx context.Context, in *Instance) (assign []int, cost float64, ok bool) {
+	ck := interrupt.New(ctx, 4096)
 	switch {
 	case in.FlatCosts != nil:
 		v := &view[int64]{flat: in.FlatCosts, m: in.M(), sizes: in.Sizes, caps: in.Capacities}
-		return solveExact(v)
+		return solveExact(v, &ck)
 	case in.FlatCosts64 != nil:
 		v := &view[float64]{flat: in.FlatCosts64, m: in.M(), sizes: in.Sizes, caps: in.Capacities}
-		return solveExact(v)
+		return solveExact(v, &ck)
 	default:
 		v := &view[float64]{flat: transpose(in.Costs, in.N()), m: in.M(), sizes: in.Sizes, caps: in.Capacities}
-		return solveExact(v)
+		return solveExact(v, &ck)
 	}
 }
 
 // solveExact accumulates bounds and costs in float64 for both element
 // types: the float64 path reproduces the historical arithmetic exactly, and
-// integral costs below 2⁵³ stay exact under the conversion.
-func solveExact[T number](v *view[T]) (assign []int, cost float64, ok bool) {
+// integral costs below 2⁵³ stay exact under the conversion. The dfs polls
+// ck once per amortization window (node-count granularity), so the search
+// core stays branch-cheap.
+func solveExact[T number](v *view[T], ck *interrupt.Checker) (assign []int, cost float64, ok bool) {
 	m, n := v.m, v.n()
 	// Branch on items in decreasing size for earlier capacity pruning.
 	order := make([]int, n)
@@ -621,6 +640,9 @@ func solveExact[T number](v *view[T]) (assign []int, cost float64, ok bool) {
 	remaining := append([]int64(nil), v.caps...)
 	var dfs func(depth int, acc float64)
 	dfs = func(depth int, acc float64) {
+		if ck.Stop() {
+			return
+		}
 		if acc+lb[depth] >= bestCost {
 			return
 		}

@@ -1,6 +1,7 @@
 package gap
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -61,7 +62,7 @@ func TestSolveSmallKnown(t *testing.T) {
 		Sizes:      []int64{5, 5, 5},
 		Capacities: []int64{10, 10},
 	}
-	assign, cost, ok := Solve(in, Options{Refine: RefineSwap})
+	assign, cost, ok := Solve(context.Background(), in, Options{Refine: RefineSwap})
 	if !ok {
 		t.Fatal("feasible instance reported infeasible")
 	}
@@ -83,7 +84,7 @@ func TestSolveRespectsCapacityWhenCheapBinIsFull(t *testing.T) {
 		Sizes:      []int64{4, 4, 4},
 		Capacities: []int64{4, 12},
 	}
-	assign, cost, ok := Solve(in, Options{Refine: RefineShift})
+	assign, cost, ok := Solve(context.Background(), in, Options{Refine: RefineShift})
 	if !ok || !in.Feasible(assign) {
 		t.Fatalf("expected feasible solution, got ok=%v assign=%v", ok, assign)
 	}
@@ -103,7 +104,7 @@ func TestSolveExactKnown(t *testing.T) {
 		Sizes:      []int64{3, 3, 3},
 		Capacities: []int64{6, 6},
 	}
-	assign, cost, ok := SolveExact(in)
+	assign, cost, ok := SolveExact(context.Background(), in)
 	if !ok {
 		t.Fatal("exact solver failed")
 	}
@@ -118,7 +119,7 @@ func TestSolveExactInfeasible(t *testing.T) {
 		Sizes:      []int64{3, 3},
 		Capacities: []int64{5},
 	}
-	if _, _, ok := SolveExact(in); ok {
+	if _, _, ok := SolveExact(context.Background(), in); ok {
 		t.Fatal("infeasible instance solved")
 	}
 }
@@ -134,8 +135,8 @@ func TestHeuristicNearExact(t *testing.T) {
 		n := 3 + rng.Intn(8)
 		slack := 1.2 + rng.Float64()
 		in := randomInstance(rng, m, n, slack)
-		exact, exCost, exOK := SolveExact(in)
-		assign, cost, ok := Solve(in, Options{Refine: RefineSwap})
+		exact, exCost, exOK := SolveExact(context.Background(), in)
+		assign, cost, ok := Solve(context.Background(), in, Options{Refine: RefineSwap})
 		if !exOK {
 			continue // extremely tight; heuristic may legitimately fail too
 		}
@@ -179,8 +180,8 @@ func TestTightPacking(t *testing.T) {
 		m := 2 + rng.Intn(2)
 		n := 4 + rng.Intn(6)
 		in := randomInstance(rng, m, n, 1.02)
-		_, _, exOK := SolveExact(in)
-		assign, _, ok := Solve(in, Options{Refine: RefineShift})
+		_, _, exOK := SolveExact(context.Background(), in)
+		assign, _, ok := Solve(context.Background(), in, Options{Refine: RefineShift})
 		if ok && !in.Feasible(assign) {
 			t.Fatalf("trial %d: ok=true but infeasible", trial)
 		}
@@ -200,9 +201,9 @@ func TestRefineImprovesOrKeeps(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 50; trial++ {
 		in := randomInstance(rng, 4, 12, 1.5)
-		_, costNone, okN := Solve(in, Options{Refine: RefineNone})
-		_, costShift, okS := Solve(in, Options{Refine: RefineShift})
-		_, costSwap, okW := Solve(in, Options{Refine: RefineSwap})
+		_, costNone, okN := Solve(context.Background(), in, Options{Refine: RefineNone})
+		_, costShift, okS := Solve(context.Background(), in, Options{Refine: RefineShift})
+		_, costSwap, okW := Solve(context.Background(), in, Options{Refine: RefineSwap})
 		if !okN || !okS || !okW {
 			continue
 		}
@@ -240,7 +241,7 @@ func BenchmarkSolveM16N600(b *testing.B) {
 	in := randomInstance(rng, 16, 600, 1.15)
 	b.ResetTimer()
 	for k := 0; k < b.N; k++ {
-		if _, _, ok := Solve(in, Options{Refine: RefineShift}); !ok {
+		if _, _, ok := Solve(context.Background(), in, Options{Refine: RefineShift}); !ok {
 			b.Fatal("infeasible")
 		}
 	}

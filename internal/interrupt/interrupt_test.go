@@ -1,0 +1,86 @@
+package interrupt
+
+import (
+	"context"
+	"testing"
+)
+
+func TestZeroValueNeverStops(t *testing.T) {
+	var c Checker
+	for i := 0; i < 10_000; i++ {
+		if c.Stop() || c.Now() {
+			t.Fatal("zero-value Checker stopped")
+		}
+	}
+	if c.Stopped() {
+		t.Fatal("zero-value Checker reports stopped")
+	}
+}
+
+func TestBackgroundNeverStops(t *testing.T) {
+	c := New(context.Background(), 4)
+	for i := 0; i < 1000; i++ {
+		if c.Stop() {
+			t.Fatal("background context stopped")
+		}
+	}
+	if c.Now() {
+		t.Fatal("Now stopped on background context")
+	}
+}
+
+func TestAmortizedDetection(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, 8)
+	cancel()
+	// The first polls inside the amortization window must not fire...
+	for i := 0; i < 7; i++ {
+		if c.Stop() {
+			t.Fatalf("stopped after %d calls, before the poll interval", i+1)
+		}
+	}
+	// ...the 8th call polls and detects the cancellation.
+	if !c.Stop() {
+		t.Fatal("not stopped at the poll boundary")
+	}
+	if !c.Stopped() {
+		t.Fatal("Stopped not sticky")
+	}
+	// Sticky: stays stopped forever after.
+	if !c.Stop() || !c.Now() {
+		t.Fatal("stop state did not stick")
+	}
+}
+
+func TestNowBypassesAmortization(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, 1<<20)
+	if c.Now() {
+		t.Fatal("stopped before cancellation")
+	}
+	cancel()
+	if !c.Now() {
+		t.Fatal("Now missed the cancellation")
+	}
+}
+
+func TestDefaultEvery(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := New(ctx, 0)
+	if c.every != DefaultEvery {
+		t.Fatalf("every = %d, want %d", c.every, DefaultEvery)
+	}
+}
+
+func BenchmarkStopFastPath(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := New(ctx, 1<<16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.Stop() {
+			b.Fatal("unexpected stop")
+		}
+	}
+}

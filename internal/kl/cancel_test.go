@@ -1,0 +1,65 @@
+package kl
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// improvableProblem returns a 2-partition instance whose given start is
+// deliberately suboptimal: swapping components 1 and 2 unites the heavy
+// wire, so pass 1 is guaranteed to improve and a pass 2 is guaranteed to
+// begin.
+func improvableProblem(t *testing.T) (*model.Problem, model.Assignment) {
+	t.Helper()
+	c := &model.Circuit{
+		Sizes: []int64{1, 1, 1, 1},
+		Wires: []model.Wire{{From: 0, To: 1, Weight: 10}},
+	}
+	top := &model.Topology{
+		Capacities: []int64{2, 2},
+		Cost:       [][]int64{{0, 1}, {1, 0}},
+		Delay:      [][]int64{{0, 1}, {1, 0}},
+	}
+	p, err := model.NewProblem(c, top, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, model.Assignment{0, 1, 0, 1}
+}
+
+func TestSolveCancelledBeforeEntry(t *testing.T) {
+	p, start := improvableProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, p, start, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveCancelBetweenPasses cancels from the pass-1 callback: pass 2
+// then stops at its first swap selection, rolls back to the best prefix,
+// and returns a feasible result with Stopped set.
+func TestSolveCancelBetweenPasses(t *testing.T) {
+	p, start := improvableProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Solve(ctx, p, start, Options{
+		OnPass: func(pass int, objective int64) { cancel() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("cancelled mid-solve but Stopped not set")
+	}
+	norm := p.Normalized()
+	if !norm.CapacityFeasible(res.Assignment) {
+		t.Fatal("result is not capacity-feasible")
+	}
+	if res.WireLength >= p.WireLength(start) {
+		t.Fatalf("pass-1 improvement lost: wire length %d, start %d", res.WireLength, p.WireLength(start))
+	}
+}

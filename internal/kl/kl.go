@@ -11,11 +11,13 @@
 package kl
 
 import (
+	"context"
 	"errors"
 	"math"
 
 	"repro/internal/adjacency"
 	"repro/internal/gains"
+	"repro/internal/interrupt"
 	"repro/internal/model"
 )
 
@@ -42,6 +44,10 @@ type Result struct {
 	WireLength int64
 	Passes     int
 	Swaps      int // accepted (kept) swaps across all passes
+	// Stopped reports the passes were cut short by ctx cancellation; the
+	// interrupted pass was first rolled back to its best prefix, so the
+	// returned assignment stays feasible and no worse than the pass start.
+	Stopped bool
 }
 
 type swap struct{ j1, j2 int }
@@ -51,7 +57,13 @@ type swap struct{ j1, j2 int }
 // result is guaranteed to satisfy them too. Note that pure swaps preserve
 // the multiset of partition populations only when sizes are equal; with
 // variable sizes admissibility is checked against the actual loads.
-func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, error) {
+// A ctx already cancelled at entry returns ctx.Err(); cancellation mid-pass
+// stops the swap selection, rolls the pass back to its best prefix, and
+// returns with Result.Stopped set.
+func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,6 +96,7 @@ func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, e
 		return opts.RelaxTiming || t.SwapTimingOK(j1, j2)
 	}
 
+	ck := interrupt.New(ctx, 0)
 	locked := make([]bool, n)
 	trail := make([]swap, 0, n/2)
 	passes, kept := 0, 0
@@ -98,6 +111,12 @@ func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, e
 		bestPrefix := 0
 
 		for len(trail) < maxSwaps {
+			// One poll per selection (each costs an O(N²) pair scan); on
+			// cancellation the roll-back below still runs, so the pass
+			// never leaves a worse-than-prefix state behind.
+			if ck.Now() {
+				break
+			}
 			// Select the best admissible swap over all unlocked pairs.
 			// Each component carries N−1 implicit gain entries; the scan
 			// derives them in O(1) from the move-delta table plus the
@@ -142,7 +161,7 @@ func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, e
 			opts.OnPass(passes, t.Objective())
 		}
 		improved := bestObj < startObj
-		if !improved || passes >= maxPasses {
+		if !improved || ck.Stopped() || passes >= maxPasses {
 			break
 		}
 	}
@@ -154,5 +173,6 @@ func Solve(p *model.Problem, initial model.Assignment, opts Options) (*Result, e
 		WireLength: norm.WireLength(a),
 		Passes:     passes,
 		Swaps:      kept,
+		Stopped:    ck.Stopped(),
 	}, nil
 }

@@ -1,6 +1,7 @@
 package kl
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -10,11 +11,11 @@ import (
 func TestDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
 	p, golden := testgen.Random(rng, testgen.Config{N: 20, TimingProb: 0.3})
-	a, err := Solve(p, golden, Options{})
+	a, err := Solve(context.Background(), p, golden, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(p, golden, Options{})
+	b, err := Solve(context.Background(), p, golden, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestPassObjectiveMonotone(t *testing.T) {
 	rng := rand.New(rand.NewSource(82))
 	p, golden := testgen.Random(rng, testgen.Config{N: 26, GridRows: 2, GridCols: 3, WireProb: 0.4})
 	var trace []int64
-	_, err := Solve(p, golden, Options{OnPass: func(pass int, obj int64) {
+	_, err := Solve(context.Background(), p, golden, Options{OnPass: func(pass int, obj int64) {
 		trace = append(trace, obj)
 	}})
 	if err != nil {
@@ -55,7 +56,7 @@ func TestExactCapacityPreservedUnderUnitSizes(t *testing.T) {
 	p, golden := testgen.Random(rng, testgen.Config{N: 24, MaxSize: 1, CapSlack: 1.0})
 	norm := p.Normalized()
 	before := norm.Loads(golden)
-	res, err := Solve(p, golden, Options{})
+	res, err := Solve(context.Background(), p, golden, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestNoWiresConverges(t *testing.T) {
 	p, golden := testgen.Random(rng, testgen.Config{N: 10, WireProb: 0.0001, TimingProb: 0.0001})
 	p.Circuit.Wires = nil
 	p.Circuit.Timing = nil
-	res, err := Solve(p, golden, Options{})
+	res, err := Solve(context.Background(), p, golden, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

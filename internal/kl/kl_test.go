@@ -1,6 +1,7 @@
 package kl
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -11,13 +12,13 @@ import (
 
 func TestRejectsInfeasibleInitial(t *testing.T) {
 	p := paperex.MustNew()
-	if _, err := Solve(p, model.Assignment{0, 0, 1}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, model.Assignment{0, 0, 1}, Options{}); err == nil {
 		t.Fatal("capacity-violating initial accepted")
 	}
-	if _, err := Solve(p, model.Assignment{0, 3, 1}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, model.Assignment{0, 3, 1}, Options{}); err == nil {
 		t.Fatal("timing-violating initial accepted")
 	}
-	if _, err := Solve(p, model.Assignment{0, 1}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), p, model.Assignment{0, 1}, Options{}); err == nil {
 		t.Fatal("short initial accepted")
 	}
 }
@@ -29,7 +30,7 @@ func TestNeverWorsensAndStaysFeasible(t *testing.T) {
 			N: 18, GridRows: 2, GridCols: 3, TimingProb: 0.3, WithLinear: trial%2 == 0,
 		})
 		norm := p.Normalized()
-		res, err := Solve(p, golden, Options{})
+		res, err := Solve(context.Background(), p, golden, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -49,7 +50,7 @@ func TestOuterLoopCutoff(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	p, golden := testgen.Random(rng, testgen.Config{N: 30, GridRows: 2, GridCols: 3, WireProb: 0.4})
 	count := 0
-	res, err := Solve(p, golden, Options{OnPass: func(pass int, obj int64) { count++ }})
+	res, err := Solve(context.Background(), p, golden, Options{OnPass: func(pass int, obj int64) { count++ }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestSwapsPreserveLoadsWithEqualSizes(t *testing.T) {
 	p, golden := testgen.Random(rng, testgen.Config{N: 16, MaxSize: 1})
 	norm := p.Normalized()
 	before := norm.Loads(golden)
-	res, err := Solve(p, golden, Options{})
+	res, err := Solve(context.Background(), p, golden, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestSwapsPreserveLoadsWithEqualSizes(t *testing.T) {
 func TestRelaxTiming(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	p, golden := testgen.Random(rng, testgen.Config{N: 14, TimingProb: 0.6, TimingSlack: 0})
-	relaxed, err := Solve(p, golden, Options{RelaxTiming: true})
+	relaxed, err := Solve(context.Background(), p, golden, Options{RelaxTiming: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestRelaxTiming(t *testing.T) {
 func TestMaxSwapsPerPass(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	p, golden := testgen.Random(rng, testgen.Config{N: 20})
-	res, err := Solve(p, golden, Options{MaxSwapsPerPass: 1, MaxPasses: 3})
+	res, err := Solve(context.Background(), p, golden, Options{MaxSwapsPerPass: 1, MaxPasses: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -73,6 +73,7 @@ func TestFixtures(t *testing.T) {
 		}},
 		{"hotalloc_neg", nil},
 		{"hotalloc_cold", nil},
+		{"hotalloc_interrupt", nil},
 		{"suppress_ok", nil},
 		{"suppress_bad", []string{"lint:7", "panic-in-library:8", "lint:16", "panic-in-library:17"}},
 		{"mod_import", nil},

@@ -1,0 +1,36 @@
+// Fixture: the cooperative-cancellation helper is exempt from the
+// alloc-in-hot-loop analyzer — its amortized polls are method calls on a
+// stack value (one counter increment, no make, no fresh append), so
+// threading a Checker through a hot solver loop must be diagnostic-free.
+// The package is named qbp so the analyzer treats its loops as hot.
+package qbp
+
+import (
+	"context"
+
+	"repro/internal/interrupt"
+)
+
+// IterateWithPolls runs a hot loop with an iteration-boundary cancellation
+// poll and an amortized inner poll, the exact pattern the solvers use.
+func IterateWithPolls(ctx context.Context, iterations int) int {
+	ck := interrupt.New(ctx, 0)
+	scratch := make([]int64, 64)
+	done := 0
+	for k := 0; k < iterations; k++ {
+		if ck.Now() {
+			break
+		}
+		for j := range scratch {
+			if ck.Stop() {
+				break
+			}
+			scratch[j]++
+		}
+		done++
+	}
+	if ck.Stopped() {
+		return -done
+	}
+	return done
+}

@@ -123,6 +123,7 @@ func (s *solver) refreshEta(u []int, withOmega bool) []int64 {
 	sc := s.sc
 	if !sc.etaValid {
 		s.etaFull(sc.etaI, u, withOmega)
+		s.stats.EtaFull++
 		copy(sc.etaU, u)
 		sc.etaValid = true
 		return sc.etaI
@@ -140,8 +141,10 @@ func (s *solver) refreshEta(u []int, withOmega bool) []int64 {
 		// Most of the iterate moved (a GAP jump or a kick): a full rebuild
 		// touches less memory than diffing nearly every column.
 		s.etaFull(sc.etaI, u, withOmega)
+		s.stats.EtaFull++
 	default:
 		s.etaIncremental(sc.etaI, sc.etaU, u, withOmega)
+		s.stats.EtaIncremental++
 	}
 	copy(sc.etaU, u)
 	return sc.etaI

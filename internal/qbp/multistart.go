@@ -1,6 +1,7 @@
 package qbp
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -10,13 +11,31 @@ import (
 
 // MultiStartOptions tunes SolveMultiStart.
 type MultiStartOptions struct {
-	// Base is the per-start configuration; Seed is overridden per start
-	// (Base.Seed + k) and Initial is only used for the first start.
+	// Base is the per-start configuration; Seed is replaced per start by
+	// derivedSeed(Base.Seed, k) and Initial is only used for the first
+	// start.
 	Base Options
 	// Starts is the number of independent runs; ≤ 0 means 4.
 	Starts int
 	// Workers caps concurrent runs; ≤ 0 means GOMAXPROCS.
 	Workers int
+}
+
+// derivedSeed mixes the base seed and the start index through the
+// splitmix64 finalizer, so every (seed, k) pair draws from an independent
+// stream. The naive `seed + k·constant` scheme it replaces made user seed s
+// at start k+1 replay the identical stream as seed s+constant at start k —
+// correlated starts that defeat the point of multistart. Start 0 keeps the
+// base seed unchanged, so a single-start multistart is bit-identical to a
+// plain Solve with the same options.
+func derivedSeed(base int64, k int) int64 {
+	if k == 0 {
+		return base
+	}
+	z := uint64(base) + uint64(k)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // SolveMultiStart runs independent seeded solves concurrently and returns
@@ -27,7 +46,18 @@ type MultiStartOptions struct {
 // good results from any arbitrary initial solution"; multi-start turns that
 // robustness into spare-core speedup — a deliberate extension, since the
 // 1993 implementation was sequential.
-func SolveMultiStart(p *model.Problem, opts MultiStartOptions) (*Result, error) {
+//
+// Cancellation: a ctx already cancelled at entry returns ctx.Err() with no
+// work started. A ctx cancelled mid-solve stops feeding new starts, lets
+// the in-flight ones stop at their own iteration boundaries, waits for
+// every worker to drain (no goroutine leaks), and reduces whatever starts
+// completed — the result then carries Stopped=true and the best incumbent
+// seen. Only when cancellation preempted every single start does the call
+// return ctx.Err().
+func SolveMultiStart(ctx context.Context, p *model.Problem, opts MultiStartOptions) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	starts := opts.Starts
 	if starts <= 0 {
 		starts = 4
@@ -57,49 +87,79 @@ func SolveMultiStart(p *model.Problem, opts MultiStartOptions) (*Result, error) 
 			sc := newScratch(p.M(), p.N())
 			for k := range jobs {
 				o := opts.Base
-				o.Seed += int64(k) * 7_368_787
+				o.Seed = derivedSeed(opts.Base.Seed, k)
 				if k > 0 {
 					o.Initial = nil // later starts explore from random points
 				}
 				o.sc = sc
-				results[k], errs[k] = Solve(p, o)
+				o.progressStart = k
+				results[k], errs[k] = Solve(ctx, p, o)
 			}
 		}()
 	}
+	// Feed until done or cancelled; on cancellation the remaining starts
+	// are simply never dispatched, the in-flight ones stop at their next
+	// check, and the close/Wait below still runs — workers always drain.
+feed:
 	for k := 0; k < starts; k++ {
-		jobs <- k
+		select {
+		case jobs <- k:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
 	var best *Result
+	bestK := -1
+	var stats SolveStats
+	stopped := false
 	var firstErr error
 	for k := 0; k < starts; k++ {
 		if errs[k] != nil {
-			if firstErr == nil {
+			// ctx errors from preempted starts are not solve failures —
+			// their absence from the reduction is what cancellation means.
+			if !errors.Is(errs[k], context.Canceled) && !errors.Is(errs[k], context.DeadlineExceeded) && firstErr == nil {
 				firstErr = errs[k]
 			}
 			continue
 		}
 		r := results[k]
+		if r == nil {
+			continue // never dispatched
+		}
+		stats.add(r.Stats)
+		if r.Stopped {
+			stopped = true
+		}
 		if best == nil {
-			best = r
+			best, bestK = r, k
 			continue
 		}
 		switch {
 		case r.Feasible && !best.Feasible:
-			best = r
+			best, bestK = r, k
 		case r.Feasible == best.Feasible && r.Feasible && r.Objective < best.Objective:
-			best = r
+			best, bestK = r, k
 		case r.Feasible == best.Feasible && !r.Feasible && r.Penalized < best.Penalized:
-			best = r
+			best, bestK = r, k
 		}
 	}
 	if best == nil {
 		if firstErr != nil {
 			return nil, firstErr
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err // cancelled before any start completed
+		}
 		return nil, errors.New("qbp: no start produced a result")
 	}
-	return best, nil
+	// The winner's Result is shared with results[bestK]; copy before
+	// folding the aggregate telemetry in so per-start data stays intact.
+	agg := *best
+	stats.Trajectory = results[bestK].Stats.Trajectory
+	agg.Stats = stats
+	agg.Stopped = stopped || ctx.Err() != nil
+	return &agg, nil
 }

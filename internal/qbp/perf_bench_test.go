@@ -5,6 +5,7 @@ package qbp
 // `make bench` folds these into BENCH_PR2.json.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -132,7 +133,7 @@ func BenchmarkSolveWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for k := 0; k < b.N; k++ {
-				res, err := Solve(p, Options{Iterations: 20, Seed: 1, Workers: workers})
+				res, err := Solve(context.Background(), p, Options{Iterations: 20, Seed: 1, Workers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}

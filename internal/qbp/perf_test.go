@@ -7,6 +7,7 @@ package qbp
 // behavioral change.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -148,14 +149,14 @@ func TestWorkersIndependence(t *testing.T) {
 			N: 30 + rng.Intn(30), TimingProb: 0.3, CapSlack: 1.4,
 		})
 		base := Options{Iterations: 25, Seed: int64(trial)}
-		ref, err := Solve(p, base)
+		ref, err := Solve(context.Background(), p, base)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		for _, workers := range []int{2, 3, 7} {
 			o := base
 			o.Workers = workers
-			got, err := Solve(p, o)
+			got, err := Solve(context.Background(), p, o)
 			if err != nil {
 				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
 			}
@@ -180,12 +181,12 @@ func TestMultiStartSharedScratch(t *testing.T) {
 	rng := rand.New(rand.NewSource(101))
 	p, _ := testgen.Random(rng, testgen.Config{N: 40, TimingProb: 0.3, CapSlack: 1.4})
 	base := Options{Iterations: 15, Seed: 5}
-	ref, err := SolveMultiStart(p, MultiStartOptions{Base: base, Starts: 5, Workers: 1})
+	ref, err := SolveMultiStart(context.Background(), p, MultiStartOptions{Base: base, Starts: 5, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 5} {
-		got, err := SolveMultiStart(p, MultiStartOptions{Base: base, Starts: 5, Workers: workers})
+		got, err := SolveMultiStart(context.Background(), p, MultiStartOptions{Base: base, Starts: 5, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -22,16 +22,19 @@
 package qbp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/adjacency"
 	"repro/internal/flatmat"
 	"repro/internal/gains"
 	"repro/internal/gap"
+	"repro/internal/interrupt"
 	"repro/internal/model"
 	"repro/internal/qmatrix"
 )
@@ -43,6 +46,13 @@ const DefaultPenalty = 50
 // DefaultIterations matches the paper's experimental setup (100 iterations
 // per circuit).
 const DefaultIterations = 100
+
+// AutoPenaltyCeiling caps the AutoPenalty derivation. The penalty appears
+// once per violated arc direction in yᵀQ̂y, so the ceiling leaves headroom
+// for millions of simultaneous violations before the penalized value itself
+// could wrap; couplings large enough to exceed it already out-bid any
+// violation by construction, so clamping loses nothing.
+const AutoPenaltyCeiling = math.MaxInt64 / (1 << 24)
 
 // Options tunes Solve. The zero value reproduces the paper's setup.
 type Options struct {
@@ -96,6 +106,11 @@ type Options struct {
 	DisablePolish bool
 	// OnIteration, when set, observes each iteration.
 	OnIteration func(it Iteration)
+	// OnProgress, when set, observes each iteration with the richer
+	// telemetry snapshot (incumbents, restarts, wall time). Under
+	// SolveMultiStart the same callback is invoked concurrently from every
+	// worker, so it must be safe for concurrent use.
+	OnProgress func(pr Progress)
 	// Workers shards the solve pipeline's data-parallel loops (the η and h
 	// accumulations and the polish candidate scans) across this many
 	// goroutines. Every sharded loop either writes disjoint ranges or is
@@ -107,6 +122,8 @@ type Options struct {
 	// (the multi-start workers share one per worker); nil means Solve
 	// allocates its own.
 	sc *scratch
+	// progressStart tags Progress snapshots with the multistart index.
+	progressStart int
 }
 
 // Iteration is a progress snapshot passed to Options.OnIteration.
@@ -116,6 +133,76 @@ type Iteration struct {
 	Current   int64   // penalized value of u^(k+1)
 	Best      int64   // best penalized value so far
 	Penalized bool    // whether Current includes active penalties
+}
+
+// Progress is the telemetry snapshot passed to Options.OnProgress after
+// every iteration. All fields are plain values — the callback may retain
+// the struct.
+type Progress struct {
+	// Start is the multistart index that produced this snapshot
+	// (0 for plain Solve).
+	Start int
+	// Iteration is the 1-based iteration just completed; Iterations is
+	// the configured budget.
+	Iteration, Iterations int
+	// BestPenalized is the best embedded objective yᵀQ̂y seen so far.
+	BestPenalized int64
+	// BestFeasible is the best timing-feasible true objective seen so
+	// far, or math.MaxInt64 when no feasible iterate has been seen yet.
+	BestFeasible int64
+	// Restarts counts the stall-triggered kicks so far.
+	Restarts int
+	// Elapsed is the wall time since the solve started.
+	Elapsed time.Duration
+}
+
+// TrajectoryPoint records one improvement of the penalized incumbent.
+type TrajectoryPoint struct {
+	Iteration int   // 1-based iteration of the improvement (0 = initial)
+	Penalized int64 // incumbent yᵀQ̂y after it
+}
+
+// SolveStats is the per-solve telemetry folded into Result.Stats:
+// iteration counts, restart/η-rebuild counters, the incumbent-cost
+// trajectory, and wall time per phase. Under SolveMultiStart the counters
+// are summed over all completed starts (Starts reports how many) and the
+// trajectory is the winning start's.
+type SolveStats struct {
+	// Starts is the number of completed solves folded into these stats
+	// (1 for plain Solve).
+	Starts int
+	// Iterations counts Burkard iterations performed.
+	Iterations int
+	// Restarts counts stall-triggered kicks of the iterate.
+	Restarts int
+	// EtaFull and EtaIncremental count the STEP 3 η rebuild strategies
+	// chosen (full recompute vs dirty-column refresh).
+	EtaFull, EtaIncremental int
+	// Trajectory is the penalized-incumbent improvement history.
+	Trajectory []TrajectoryPoint
+	// SetupTime, IterTime and PolishTime are the wall times of the three
+	// solve phases (ω/kernel construction, the iteration loop, the final
+	// polish). Telemetry only — they never influence the search.
+	SetupTime, IterTime, PolishTime time.Duration
+}
+
+// add folds another completed solve's counters into s (multistart
+// reduction). Trajectories are not merged — the caller keeps the winner's.
+func (s *SolveStats) add(o SolveStats) {
+	s.Starts += o.Starts
+	s.Iterations += o.Iterations
+	s.Restarts += o.Restarts
+	s.EtaFull += o.EtaFull
+	s.EtaIncremental += o.EtaIncremental
+	s.SetupTime += o.SetupTime
+	s.IterTime += o.IterTime
+	s.PolishTime += o.PolishTime
+}
+
+// now is the telemetry clock behind SolveStats and Progress.Elapsed.
+func now() time.Time {
+	//lint:ignore map-order-leak telemetry wall clock: durations flow only into SolveStats/Progress, never into the search or its result ordering
+	return time.Now()
 }
 
 // Result is the outcome of a solve.
@@ -136,6 +223,13 @@ type Result struct {
 	Feasible bool
 	// Iterations is the number of iterations performed.
 	Iterations int
+	// Stopped reports that the solve ended early because its context was
+	// cancelled or its deadline expired; Assignment is then the best
+	// incumbent found before the stop (always capacity-feasible).
+	Stopped bool
+	// Stats is the solve's telemetry (iterations, restarts, η rebuilds,
+	// incumbent trajectory, per-phase wall time).
+	Stats SolveStats
 }
 
 // solver carries the per-solve state.
@@ -155,6 +249,11 @@ type solver struct {
 
 	sc   *scratch
 	pool *pool // nil means serial
+
+	// ck is the cooperative-cancellation checker threaded through every
+	// phase; the zero value (helper constructors) never stops.
+	ck    interrupt.Checker
+	stats SolveStats
 }
 
 // ensureScratch lazily attaches a scratch of the right shape; a lent
@@ -169,11 +268,19 @@ func (s *solver) ensureScratch(lent *scratch) {
 	s.sc.etaValid = false
 }
 
-// Solve runs the generalized Burkard heuristic on p.
-func Solve(p *model.Problem, opts Options) (*Result, error) {
+// Solve runs the generalized Burkard heuristic on p. A ctx that is already
+// cancelled returns ctx.Err() immediately; a ctx cancelled mid-solve stops
+// the iteration at the next boundary and returns the best incumbent found
+// so far with Result.Stopped set. Without a cancellation the result is
+// bit-identical for any ctx.
+func Solve(ctx context.Context, p *model.Problem, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	t0 := now()
 	norm := p.Normalized()
 	s := &solver{
 		p:     norm,
@@ -222,6 +329,10 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 	s.ensureScratch(opts.sc)
 	s.pool = newPool(opts.Workers)
 	defer s.pool.close()
+	s.ck = interrupt.New(ctx, 0)
+	s.stats.Starts = 1
+	s.stats.SetupTime = now().Sub(t0)
+	tIter := now()
 
 	best := append([]int(nil), u...)
 	bestVal := s.penalizedValue(u)
@@ -256,9 +367,16 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 	copy(prev, u)
 	stall := 0
 	lastRepaired := int64(math.MaxInt64)
+	s.stats.Trajectory = append(s.stats.Trajectory, TrajectoryPoint{Iteration: 0, Penalized: bestVal})
 
 	performed := 0
 	for k := 1; k <= iterations; k++ {
+		// Cooperative cancellation: one poll per iteration boundary keeps
+		// the inner kernels branch-free; the GAP subproblems below poll
+		// their own pass boundaries through the same ctx.
+		if s.ck.Now() {
+			break
+		}
 		// By default the GAP refinement level alternates between
 		// iterations: deeply-refined (swap) subproblem solutions excel on
 		// sparse circuits while lightly-refined (shift) ones track the
@@ -286,13 +404,17 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 		// tracking considers it alongside the STEP 6 iterate (an
 		// enhancement over the literal listing, which only uses z).
 		gapInst.FlatCosts, gapInst.FlatCosts64 = etaI, nil
-		uz, z, ok4 := gap.Solve(gapInst, gapOpts)
+		uz, z, ok4 := gap.Solve(ctx, gapInst, gapOpts)
 		if !ok4 {
+			if s.ck.Now() {
+				break // cancelled mid-subproblem: keep the incumbent
+			}
 			return nil, errors.New("qbp: STEP 4 subproblem has no capacity-feasible solution")
 		}
 		if cur := s.penalizedValue(uz); cur < bestVal {
 			bestVal = cur
 			copy(best, uz)
+			s.stats.Trajectory = append(s.stats.Trajectory, TrajectoryPoint{Iteration: k, Penalized: cur})
 		}
 		if s.relax || s.p.TimingFeasible(uz) {
 			if obj := s.p.Objective(uz); obj < bestFeasibleObj {
@@ -310,8 +432,11 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 
 		// STEP 6: next iterate from the accumulated direction.
 		gapInst.FlatCosts, gapInst.FlatCosts64 = nil, h
-		next, _, ok6 := gap.Solve(gapInst, gapOpts)
+		next, _, ok6 := gap.Solve(ctx, gapInst, gapOpts)
 		if !ok6 {
+			if s.ck.Now() {
+				break
+			}
 			return nil, errors.New("qbp: STEP 6 subproblem has no capacity-feasible solution")
 		}
 		u = next
@@ -334,6 +459,7 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 					h[r] = 0
 				}
 				s.kick(u, rng)
+				s.stats.Restarts++
 			}
 		}
 
@@ -343,6 +469,7 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 		if cur < bestVal {
 			bestVal = cur
 			copy(best, u)
+			s.stats.Trajectory = append(s.stats.Trajectory, TrajectoryPoint{Iteration: k, Penalized: cur})
 		}
 		if s.relax || s.p.TimingFeasible(u) {
 			if obj := s.p.Objective(u); obj < bestFeasibleObj {
@@ -377,15 +504,35 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 				Penalized: !s.relax,
 			})
 		}
+		if opts.OnProgress != nil {
+			feas := bestFeasibleObj
+			if bestFeasible == nil {
+				feas = math.MaxInt64
+			}
+			opts.OnProgress(Progress{
+				Start:         opts.progressStart,
+				Iteration:     k,
+				Iterations:    iterations,
+				BestPenalized: bestVal,
+				BestFeasible:  feas,
+				Restarts:      s.stats.Restarts,
+				Elapsed:       now().Sub(t0),
+			})
+		}
 		if opts.StopOnFeasible && bestFeasible != nil {
 			break
 		}
 	}
+	s.stats.Iterations = performed
+	s.stats.IterTime = now().Sub(tIter)
+	tPolish := now()
 
-	if !opts.DisablePolish {
+	if !opts.DisablePolish && !s.ck.Now() {
 		// Exact local search on yᵀQ̂y over S for the best penalized
 		// solution; a feasibility-preserving variant for the best feasible
-		// one. Either may promote a new best feasible solution.
+		// one. Either may promote a new best feasible solution. Skipped
+		// entirely on cancellation — the incumbent returns promptly rather
+		// than paying for a repair pass the caller no longer wants.
 		s.polish(best, false)
 		if val := s.penalizedValue(best); val < bestVal {
 			bestVal = val
@@ -416,6 +563,8 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 		}
 	}
 
+	s.stats.PolishTime = now().Sub(tPolish)
+
 	chosen := best
 	if bestFeasible != nil {
 		chosen = bestFeasible
@@ -428,6 +577,8 @@ func Solve(p *model.Problem, opts Options) (*Result, error) {
 		Penalized:        s.penalizedValue(chosen),
 		TimingViolations: s.p.CountTimingViolations(a),
 		Iterations:       performed,
+		Stopped:          s.ck.Stopped(),
+		Stats:            s.stats,
 	}
 	res.Feasible = s.p.CapacityFeasible(a) && (s.relax || res.TimingViolations == 0)
 	return res, nil
@@ -442,9 +593,34 @@ func (s *solver) effectivePenalty() int64 {
 	return s.penalty
 }
 
+// satAdd adds two values already clamped to [0, AutoPenaltyCeiling],
+// saturating at the ceiling instead of wrapping.
+func satAdd(a, b int64) int64 {
+	if a > AutoPenaltyCeiling-b {
+		return AutoPenaltyCeiling
+	}
+	return a + b
+}
+
+// satCoupling is 2·w·b saturated at AutoPenaltyCeiling. Weights and cost
+// entries are validated non-negative, so only the upper bound can be hit.
+func satCoupling(w, b int64) int64 {
+	if w <= 0 || b <= 0 {
+		return 0
+	}
+	if b > AutoPenaltyCeiling || w > AutoPenaltyCeiling/(2*b) {
+		return AutoPenaltyCeiling
+	}
+	return 2 * w * b
+}
+
 // autoPenalty returns 1 + the largest total coupling of any single
 // component (both directions), so fixing any one timing violation always
-// out-bids whatever wire cost the move adds.
+// out-bids whatever wire cost the move adds. Every accumulation saturates
+// at AutoPenaltyCeiling: near-MaxInt64 couplings would otherwise wrap the
+// running total into a negative (or small positive) penalty that no longer
+// out-bids violations, and a coupling at the ceiling already dominates any
+// single-move gain by construction.
 func (s *solver) autoPenalty() int64 {
 	var maxB int64
 	for _, row := range s.b {
@@ -458,7 +634,7 @@ func (s *solver) autoPenalty() int64 {
 	for j, arcs := range s.adj.Arcs {
 		var tot int64
 		for _, a := range arcs {
-			tot += 2 * a.Weight * maxB
+			tot = satAdd(tot, satCoupling(a.Weight, maxB))
 		}
 		if s.p.Linear != nil {
 			var lo, hi int64 = math.MaxInt64, 0
@@ -471,13 +647,21 @@ func (s *solver) autoPenalty() int64 {
 					hi = v
 				}
 			}
-			tot += hi - lo
+			if span := hi - lo; span > 0 {
+				if span > AutoPenaltyCeiling {
+					span = AutoPenaltyCeiling
+				}
+				tot = satAdd(tot, span)
+			}
 		}
 		if tot > worst {
 			worst = tot
 		}
 	}
-	pen := worst + 1
+	pen := worst
+	if pen < AutoPenaltyCeiling {
+		pen++
+	}
 	if pen < DefaultPenalty {
 		pen = DefaultPenalty
 	}
@@ -631,6 +815,13 @@ func (s *solver) polish(u []int, preserveFeasible bool) {
 		loads[i] += s.p.Circuit.Sizes[j]
 	}
 	for pass := 0; pass < 60; pass++ {
+		// Pass-boundary cancellation: the assignment is consistent between
+		// passes, so stopping here leaves u a valid (partially polished)
+		// incumbent. The zero-value checker of the helper constructors
+		// never fires.
+		if s.ck.Now() {
+			return
+		}
 		var improved bool
 		if s.pool != nil {
 			improved = s.polishPassSharded(u, loads, preserveFeasible)
@@ -767,6 +958,9 @@ func (s *solver) strongPolish(u []int) {
 		return s.relax || t.SwapTimingOK(j1, j2)
 	}
 	for pass := 0; pass < 40; pass++ {
+		if s.ck.Now() {
+			break // the gains table is consistent between sweeps
+		}
 		improved := false
 		if s.pool != nil {
 			improved = s.strongMoveSweepSharded(t, moveOK)
@@ -1346,7 +1540,10 @@ func (s *solver) randomStart(rng *rand.Rand) ([]int, error) {
 // few iterations". The quadratic cost disappears and only the embedded
 // timing penalties (plus any linear term) drive the search, so the first
 // timing-feasible iterate is returned.
-func FeasibleStart(p *model.Problem, seed int64, maxIterations int) (model.Assignment, error) {
+func FeasibleStart(ctx context.Context, p *model.Problem, seed int64, maxIterations int) (model.Assignment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -1373,6 +1570,9 @@ func FeasibleStart(p *model.Problem, seed int64, maxIterations int) (model.Assig
 	// repair clears real circuits in milliseconds to seconds.
 	if u, err := ConstructiveStart(zp, 0); err == nil {
 		for attempt := 0; attempt < 3; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			w := append(model.Assignment(nil), u...)
 			if left := MinConflicts(zp, w, seed+int64(attempt)*7919, 100*zp.N()); left == 0 {
 				return w, nil
@@ -1383,22 +1583,31 @@ func FeasibleStart(p *model.Problem, seed int64, maxIterations int) (model.Assig
 	// by a min-conflicts pass on its best iterate.
 	var lastErr error
 	for attempt := 0; attempt < 8; attempt++ {
-		res, err := Solve(zp, Options{
+		res, err := Solve(ctx, zp, Options{
 			Iterations:     maxIterations,
 			Seed:           seed + int64(attempt)*1000003,
 			StopOnFeasible: true,
 		})
 		if err != nil {
 			lastErr = err
+			if ctx.Err() != nil {
+				return nil, err
+			}
 			continue
 		}
 		if res.Feasible {
 			return res.Assignment, nil
 		}
+		if res.Stopped {
+			break // deadline hit mid-attempt: no feasible start to return
+		}
 		u := res.Assignment
 		if left := MinConflicts(zp, u, seed+int64(attempt), 30*zp.N()); left == 0 {
 			return u, nil
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if lastErr != nil {
 		return nil, lastErr

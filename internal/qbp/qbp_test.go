@@ -1,6 +1,7 @@
 package qbp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 
 func TestPaperExampleReachesOptimum(t *testing.T) {
 	p := paperex.MustNew()
-	res, err := Solve(p, Options{Iterations: 50, Seed: 3})
+	res, err := Solve(context.Background(), p, Options{Iterations: 50, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,16 +36,16 @@ func TestPaperExampleReachesOptimum(t *testing.T) {
 
 func TestSolveValidatesInputs(t *testing.T) {
 	p := paperex.MustNew()
-	if _, err := Solve(p, Options{Initial: model.Assignment{0, 1}}); err == nil {
+	if _, err := Solve(context.Background(), p, Options{Initial: model.Assignment{0, 1}}); err == nil {
 		t.Fatal("short initial accepted")
 	}
 	// Capacity-violating initial (two unit components on one unit slot).
-	if _, err := Solve(p, Options{Initial: model.Assignment{0, 0, 1}}); err == nil {
+	if _, err := Solve(context.Background(), p, Options{Initial: model.Assignment{0, 0, 1}}); err == nil {
 		t.Fatal("capacity-violating initial accepted")
 	}
 	bad := paperex.MustNew()
 	bad.Circuit.Sizes[0] = -1
-	if _, err := Solve(bad, Options{}); err == nil {
+	if _, err := Solve(context.Background(), bad, Options{}); err == nil {
 		t.Fatal("invalid problem accepted")
 	}
 }
@@ -66,7 +67,7 @@ func TestNearOptimalOnSmallInstances(t *testing.T) {
 		if !exact.Found {
 			continue
 		}
-		res, err := Solve(p, Options{Iterations: 60, Seed: int64(trial), Refine: gap.RefineSwap})
+		res, err := Solve(context.Background(), p, Options{Iterations: 60, Seed: int64(trial), Refine: gap.RefineSwap})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,11 +100,11 @@ func TestPaperProtocolKeepsFeasibility(t *testing.T) {
 		p, _ := testgen.Random(rng, testgen.Config{
 			N: 24, GridRows: 2, GridCols: 3, TimingProb: 0.25, WireProb: 0.3, CapSlack: 1.3,
 		})
-		start, err := FeasibleStart(p, int64(trial), 40)
+		start, err := FeasibleStart(context.Background(), p, int64(trial), 40)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		res, err := Solve(p, Options{Iterations: 80, Seed: int64(trial), Initial: start})
+		res, err := Solve(context.Background(), p, Options{Iterations: 80, Seed: int64(trial), Initial: start})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestRandomStartUsuallyReachesFeasibility(t *testing.T) {
 		p, _ := testgen.Random(rng, testgen.Config{
 			N: 24, GridRows: 2, GridCols: 3, TimingProb: 0.25, WireProb: 0.3, CapSlack: 1.3,
 		})
-		res, err := Solve(p, Options{Iterations: 80, Seed: int64(trial), AutoPenalty: true})
+		res, err := Solve(context.Background(), p, Options{Iterations: 80, Seed: int64(trial), AutoPenalty: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,11 +148,11 @@ func TestRandomStartUsuallyReachesFeasibility(t *testing.T) {
 func TestRelaxTimingIgnoresConstraints(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	p, _ := testgen.Random(rng, testgen.Config{N: 12, TimingProb: 0.6, TimingSlack: 0})
-	relaxed, err := Solve(p, Options{Iterations: 40, Seed: 1, RelaxTiming: true})
+	relaxed, err := Solve(context.Background(), p, Options{Iterations: 40, Seed: 1, RelaxTiming: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	strict, err := Solve(p, Options{Iterations: 40, Seed: 1})
+	strict, err := Solve(context.Background(), p, Options{Iterations: 40, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,11 +169,11 @@ func TestRelaxTimingIgnoresConstraints(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	p, _ := testgen.Random(rng, testgen.Config{N: 15, TimingProb: 0.3})
-	r1, err := Solve(p, Options{Iterations: 25, Seed: 5})
+	r1, err := Solve(context.Background(), p, Options{Iterations: 25, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Solve(p, Options{Iterations: 25, Seed: 5})
+	r2, err := Solve(context.Background(), p, Options{Iterations: 25, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestDeterminism(t *testing.T) {
 func TestInitialAssignmentRespected(t *testing.T) {
 	p := paperex.MustNew()
 	initial := model.Assignment{0, 1, 3} // feasible
-	res, err := Solve(p, Options{Iterations: 10, Initial: initial})
+	res, err := Solve(context.Background(), p, Options{Iterations: 10, Initial: initial})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestInitialAssignmentRespected(t *testing.T) {
 func TestOnIterationTrace(t *testing.T) {
 	p := paperex.MustNew()
 	var ks []int
-	_, err := Solve(p, Options{Iterations: 7, OnIteration: func(it Iteration) {
+	_, err := Solve(context.Background(), p, Options{Iterations: 7, OnIteration: func(it Iteration) {
 		ks = append(ks, it.K)
 		if it.Best > it.Current && it.K > 1 {
 			// Best must be ≤ Current by definition once updated... Best is
@@ -224,7 +225,7 @@ func TestFeasibleStart(t *testing.T) {
 		p, _ := testgen.Random(rng, testgen.Config{
 			N: 30, GridRows: 2, GridCols: 3, TimingProb: 0.3, CapSlack: 1.3,
 		})
-		a, err := FeasibleStart(p, int64(trial), 40)
+		a, err := FeasibleStart(context.Background(), p, int64(trial), 40)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -244,7 +245,7 @@ func TestMoreIterationsDoNotWorsen(t *testing.T) {
 	bestAt := map[int]int64{}
 	opts := Options{Iterations: 80, Seed: 2, DisablePolish: true, DisableRestarts: true,
 		OnIteration: func(it Iteration) { bestAt[it.K] = it.Best }}
-	if _, err := Solve(p, opts); err != nil {
+	if _, err := Solve(context.Background(), p, opts); err != nil {
 		t.Fatal(err)
 	}
 	for k := 2; k <= 80; k++ {
@@ -257,7 +258,7 @@ func TestMoreIterationsDoNotWorsen(t *testing.T) {
 func TestAutoPenalty(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	p, _ := testgen.Random(rng, testgen.Config{N: 10, TimingProb: 0.4, MaxWeight: 40})
-	res, err := Solve(p, Options{Iterations: 60, Seed: 1, AutoPenalty: true})
+	res, err := Solve(context.Background(), p, Options{Iterations: 60, Seed: 1, AutoPenalty: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestAutoPenalty(t *testing.T) {
 
 func TestOmegaAblationStillSolves(t *testing.T) {
 	p := paperex.MustNew()
-	res, err := Solve(p, Options{Iterations: 50, Seed: 3, OmegaInEta: true})
+	res, err := Solve(context.Background(), p, Options{Iterations: 50, Seed: 3, OmegaInEta: true})
 	if err != nil {
 		t.Fatal(err)
 	}

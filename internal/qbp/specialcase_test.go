@@ -1,6 +1,7 @@
 package qbp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestLinearAssignmentSpecialCase(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Solve(p, Options{Iterations: 60, Seed: int64(trial)})
+		res, err := Solve(context.Background(), p, Options{Iterations: 60, Seed: int64(trial)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,14 +19,26 @@
 // # Quick start
 //
 //	problem, _ := partition.NewProblem(circuit, topology, 0, 1, nil)
-//	start, _ := partition.FeasibleStart(problem, 0, 40)
-//	res, _ := partition.SolveQBP(problem, partition.QBPOptions{Initial: start})
+//	start, _ := partition.FeasibleStart(context.Background(), problem, 0, 40)
+//	res, _ := partition.SolveQBP(context.Background(), problem, partition.QBPOptions{Initial: start})
 //	fmt.Println(res.WireLength, res.Feasible)
+//
+// # Cancellation
+//
+// Every solver entry point takes a context.Context. A context that is
+// already cancelled returns ctx.Err() immediately; a context cancelled (or
+// whose deadline expires) mid-solve stops the search at the next iteration
+// boundary and returns the best feasible incumbent found so far with the
+// result's Stopped field set — not an error. Without a cancellation the
+// result is bit-identical for any context, so context.Background() always
+// reproduces the historical behavior. See DESIGN.md §9 for the full
+// contract.
 //
 // See examples/ for runnable programs and DESIGN.md for the system map.
 package partition
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/anneal"
@@ -100,18 +112,32 @@ type (
 	QBPResult = qbp.Result
 	// QBPIteration is a per-iteration progress snapshot.
 	QBPIteration = qbp.Iteration
+	// QBPProgress is the richer telemetry snapshot passed to
+	// QBPOptions.OnProgress after every iteration.
+	QBPProgress = qbp.Progress
+	// QBPSolveStats is the per-solve telemetry carried in
+	// QBPResult.Stats: iteration/restart/η-rebuild counters, the
+	// incumbent-cost trajectory, and wall time per phase.
+	QBPSolveStats = qbp.SolveStats
+	// QBPTrajectoryPoint is one incumbent improvement in
+	// QBPSolveStats.Trajectory.
+	QBPTrajectoryPoint = qbp.TrajectoryPoint
 )
 
 // SolveQBP partitions p with the generalized Burkard heuristic over the
-// timing-embedded quadratic Boolean program.
-func SolveQBP(p *Problem, opts QBPOptions) (*QBPResult, error) {
-	return qbp.Solve(p, opts)
+// timing-embedded quadratic Boolean program. Cancelling ctx mid-solve
+// returns the best incumbent so far with Stopped set (see the package
+// comment for the full contract).
+func SolveQBP(ctx context.Context, p *Problem, opts QBPOptions) (*QBPResult, error) {
+	return qbp.Solve(ctx, p, opts)
 }
 
 // FeasibleStart produces an initial assignment satisfying both capacity and
 // timing constraints, following the paper's protocol (QBP with B = 0).
-func FeasibleStart(p *Problem, seed int64, maxIterations int) (Assignment, error) {
-	return qbp.FeasibleStart(p, seed, maxIterations)
+// Cancelling ctx aborts the search with ctx.Err() — a partially feasible
+// start is not useful, so there is no best-so-far here.
+func FeasibleStart(ctx context.Context, p *Problem, seed int64, maxIterations int) (Assignment, error) {
+	return qbp.FeasibleStart(ctx, p, seed, maxIterations)
 }
 
 // ConstructiveStart builds a capacity-feasible assignment by
@@ -133,9 +159,12 @@ type (
 )
 
 // SolveQBPMultiStart runs independent seeded QBP solves concurrently and
-// returns the best result deterministically.
-func SolveQBPMultiStart(p *Problem, opts MultiStartOptions) (*QBPResult, error) {
-	return qbp.SolveMultiStart(p, opts)
+// returns the best result deterministically. Cancelling ctx stops feeding
+// new starts, drains the in-flight workers (no goroutine leaks), and
+// reduces whatever starts completed into a Stopped best-so-far result;
+// ctx.Err() is returned only when no start completed at all.
+func SolveQBPMultiStart(ctx context.Context, p *Problem, opts MultiStartOptions) (*QBPResult, error) {
+	return qbp.SolveMultiStart(ctx, p, opts)
 }
 
 // Exact reference solver (see internal/bb).
@@ -147,9 +176,11 @@ type (
 )
 
 // SolveExact finds the certified optimum by branch and bound (mid-size
-// instances; heuristics remain the tool for real circuits).
-func SolveExact(p *Problem, opts ExactOptions) (ExactResult, error) {
-	return bb.Solve(p, opts)
+// instances; heuristics remain the tool for real circuits). Cancelling ctx
+// mid-search returns the incumbent with Stopped set — a feasible upper
+// bound rather than a proven optimum.
+func SolveExact(ctx context.Context, p *Problem, opts ExactOptions) (ExactResult, error) {
+	return bb.Solve(ctx, p, opts)
 }
 
 // Cycle-time-driven constraint derivation (see internal/timing).
@@ -214,8 +245,9 @@ type (
 )
 
 // SolveSA anneals single-component moves over the penalized objective.
-func SolveSA(p *Problem, opts SAOptions) (*SAResult, error) {
-	return anneal.Solve(p, opts)
+// Cancelling ctx mid-schedule returns the best state seen with Stopped set.
+func SolveSA(ctx context.Context, p *Problem, opts SAOptions) (*SAResult, error) {
+	return anneal.Solve(ctx, p, opts)
 }
 
 // Hypergraph front-end (see internal/netlist): real netlists connect two
@@ -260,13 +292,17 @@ type (
 )
 
 // SolveGFM improves a feasible assignment by FM-style single-move passes.
-func SolveGFM(p *Problem, initial Assignment, opts GFMOptions) (*GFMResult, error) {
-	return fm.Solve(p, initial, opts)
+// Cancelling ctx mid-pass rolls the pass back to its best prefix and
+// returns with Stopped set; the result stays feasible.
+func SolveGFM(ctx context.Context, p *Problem, initial Assignment, opts GFMOptions) (*GFMResult, error) {
+	return fm.Solve(ctx, p, initial, opts)
 }
 
 // SolveGKL improves a feasible assignment by KL-style pair-swap passes.
-func SolveGKL(p *Problem, initial Assignment, opts GKLOptions) (*GKLResult, error) {
-	return kl.Solve(p, initial, opts)
+// Cancelling ctx mid-pass rolls the pass back to its best prefix and
+// returns with Stopped set; the result stays feasible.
+func SolveGKL(ctx context.Context, p *Problem, initial Assignment, opts GKLOptions) (*GKLResult, error) {
+	return kl.Solve(ctx, p, initial, opts)
 }
 
 // Generalized and Linear Assignment special cases (§2.2.2 of the paper):
@@ -289,14 +325,18 @@ const (
 )
 
 // SolveGAP runs the Martello–Toth-style heuristic with local refinement.
-// ok reports capacity feasibility of the returned assignment.
-func SolveGAP(in *GAPInstance, opts GAPOptions) (assign []int, cost float64, ok bool) {
-	return gap.Solve(in, opts)
+// ok reports capacity feasibility of the returned assignment. Cancelling
+// ctx skips or cuts short the refinement sweeps; the constructed
+// assignment is still returned.
+func SolveGAP(ctx context.Context, in *GAPInstance, opts GAPOptions) (assign []int, cost float64, ok bool) {
+	return gap.Solve(ctx, in, opts)
 }
 
-// SolveGAPExact finds the GAP optimum by branch and bound (small instances).
-func SolveGAPExact(in *GAPInstance) (assign []int, cost float64, ok bool) {
-	return gap.SolveExact(in)
+// SolveGAPExact finds the GAP optimum by branch and bound (small
+// instances). Cancelling ctx mid-search returns the incumbent found so far
+// (ok = false when none was reached yet).
+func SolveGAPExact(ctx context.Context, in *GAPInstance) (assign []int, cost float64, ok bool) {
+	return gap.SolveExact(ctx, in)
 }
 
 // SolveLAP solves the Linear Assignment Problem exactly (Hungarian

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/paperex"
@@ -19,23 +20,23 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	p := inst.Problem
 
-	start, err := FeasibleStart(p, 0, 40)
+	start, err := FeasibleStart(context.Background(), p, 0, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	qres, err := SolveQBP(p, QBPOptions{Iterations: 50, Initial: start})
+	qres, err := SolveQBP(context.Background(), p, QBPOptions{Iterations: 50, Initial: start})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !qres.Feasible {
 		t.Fatal("QBP result infeasible")
 	}
-	fres, err := SolveGFM(p, start, GFMOptions{})
+	fres, err := SolveGFM(context.Background(), p, start, GFMOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	kres, err := SolveGKL(p, start, GKLOptions{})
+	kres, err := SolveGKL(context.Background(), p, start, GKLOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 func TestFacadePaperExample(t *testing.T) {
 	p := paperex.MustNew()
-	res, err := SolveQBP(p, QBPOptions{Iterations: 50})
+	res, err := SolveQBP(context.Background(), p, QBPOptions{Iterations: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
