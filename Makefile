@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race bench tables cover fmt vet lint lint-baseline lint-sarif clean
+.PHONY: all build test test-race bench bench-compare tables cover fmt vet lint lint-baseline lint-sarif clean
 
 all: build test lint
 
@@ -14,9 +14,10 @@ test-race:
 	$(GO) test -race ./...
 
 # Perf artifact: the paper tables/ablations (one full solve per op) plus the
-# PR 2 kernel micro-benchmarks, 6 repetitions each, folded into BENCH_PR2.json
-# (ns/op, allocs/op, and the finalWL quality metric per instance).
-BENCHJSON ?= BENCH_PR2.json
+# kernel micro-benchmarks (including the sparse-vs-dense representation
+# sweeps), 6 repetitions each, folded into BENCH_PR5.json (ns/op, allocs/op,
+# and the finalWL quality metric per instance).
+BENCHJSON ?= BENCH_PR5.json
 BENCH_MICRO = ComputeEta|PenalizedValue|GAPSolve|SolveWorkers|EtaIncrementalSweep
 
 bench:
@@ -26,6 +27,14 @@ bench:
 		./internal/qbp ./internal/gap > $$tmp/micro.txt; \
 	$(GO) run ./cmd/benchjson -o $(BENCHJSON) $$tmp/tables.txt $$tmp/micro.txt; \
 	echo "wrote $(BENCHJSON)"
+
+# Perf-trajectory report: per-benchmark median deltas between the previous
+# committed snapshot and the current one; exits nonzero when any shared
+# benchmark regressed past ×1.25 (CI runs it non-blocking — snapshots come
+# from different machines).
+BENCH_OLD ?= BENCH_PR2.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -threshold 1.25 $(BENCH_OLD) $(BENCHJSON)
 
 # Regenerate the paper's Tables I-III end to end.
 tables:

@@ -4,9 +4,15 @@
 // records every metric sample (ns/op, B/op, allocs/op, and custom
 // b.ReportMetric units such as finalWL) plus min and median summaries.
 //
+// With -compare it instead diffs two previously-emitted JSON artifacts,
+// reporting the per-benchmark median delta of one metric (ns/op by default)
+// and exiting nonzero when any shared benchmark regressed past -threshold —
+// the perf-trajectory gate between PR snapshots.
+//
 // Usage:
 //
 //	go test -bench . -benchmem -count 6 ./... | benchjson -o BENCH_PR2.json
+//	benchjson -compare -threshold 1.30 BENCH_PR2.json BENCH_PR5.json
 package main
 
 import (
@@ -43,7 +49,32 @@ type report struct {
 
 func main() {
 	out := flag.String("o", "-", "output path (- for stdout)")
+	compare := flag.Bool("compare", false, "diff two benchjson files (old.json new.json) instead of parsing bench output")
+	threshold := flag.Float64("threshold", 1.25, "compare mode: fail when a shared benchmark's new median exceeds old × threshold")
+	metricFlag := flag.String("metric", "ns/op", "compare mode: metric to diff")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(1)
+		}
+		if *threshold <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -threshold must be > 0, got %v\n", *threshold)
+			os.Exit(1)
+		}
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *metricFlag, *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past ×%.2f: %s\n",
+				len(regressed), *threshold, strings.Join(regressed, ", "))
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep, err := collect(flag.Args())
 	if err != nil {
@@ -58,6 +89,69 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// load reads a previously-emitted benchjson artifact.
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// runCompare diffs the medians of one metric between two artifacts, writing
+// a per-benchmark report to w (old-file order; additions and removals are
+// noted, never failures). It returns the names of shared benchmarks whose
+// new median exceeds old × threshold.
+func runCompare(oldPath, newPath, metricName string, threshold float64, w io.Writer) ([]string, error) {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return nil, err
+	}
+	newByName := make(map[string]*benchmark, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		newByName[b.Name] = b
+	}
+	var regressed []string
+	seen := make(map[string]bool, len(oldRep.Benchmarks))
+	fmt.Fprintf(w, "compare %s -> %s (%s median, fail > x%.2f)\n", oldPath, newPath, metricName, threshold)
+	for _, ob := range oldRep.Benchmarks {
+		seen[ob.Name] = true
+		om := ob.Metrics[metricName]
+		nb := newByName[ob.Name]
+		if nb == nil {
+			fmt.Fprintf(w, "  %-60s removed\n", ob.Name)
+			continue
+		}
+		nm := nb.Metrics[metricName]
+		if om == nil || nm == nil || om.Median == 0 {
+			fmt.Fprintf(w, "  %-60s no %s to compare\n", ob.Name, metricName)
+			continue
+		}
+		ratio := nm.Median / om.Median
+		mark := ""
+		if ratio > threshold {
+			mark = "  REGRESSED"
+			regressed = append(regressed, ob.Name)
+		}
+		fmt.Fprintf(w, "  %-60s %14.1f -> %14.1f  x%.3f (%+.1f%%)%s\n",
+			ob.Name, om.Median, nm.Median, ratio, (ratio-1)*100, mark)
+	}
+	for _, nb := range newRep.Benchmarks {
+		if !seen[nb.Name] {
+			fmt.Fprintf(w, "  %-60s added\n", nb.Name)
+		}
+	}
+	return regressed, nil
 }
 
 // collect parses every input source in order and aggregates by benchmark

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -113,6 +115,88 @@ func TestSummarizeEvenCount(t *testing.T) {
 	min, median := summarize([]float64{4, 1, 3, 2})
 	if min != 1 || median != 2.5 {
 		t.Fatalf("min/median = %v/%v, want 1/2.5", min, median)
+	}
+}
+
+// writeArtifact emits a minimal benchjson file from bench-output text.
+func writeArtifact(t *testing.T, dir, name, benchText string) string {
+	t.Helper()
+	rep := &report{}
+	if err := parse(strings.NewReader(benchText), rep, map[string]*benchmark{}); err != nil {
+		t.Fatal(err)
+	}
+	finish(rep)
+	path := filepath.Join(dir, name)
+	if err := emit(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsAndGates(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", strings.Join([]string{
+		"BenchmarkStable-4   100   1000 ns/op",
+		"BenchmarkStable-4   100   1020 ns/op",
+		"BenchmarkFaster-4   100   5000 ns/op",
+		"BenchmarkSlower-4   100   2000 ns/op",
+		"BenchmarkGone-4     100   7000 ns/op",
+	}, "\n")+"\n")
+	newPath := writeArtifact(t, dir, "new.json", strings.Join([]string{
+		"BenchmarkStable-4   100   1010 ns/op",
+		"BenchmarkStable-4   100   1030 ns/op",
+		"BenchmarkFaster-4   100   1000 ns/op",
+		"BenchmarkSlower-4   100   3300 ns/op",
+		"BenchmarkNew-4      100   4000 ns/op",
+	}, "\n")+"\n")
+
+	var sb strings.Builder
+	regressed, err := runCompare(oldPath, newPath, "ns/op", 1.25, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 1 || regressed[0] != "Slower" {
+		t.Fatalf("regressed = %v, want [Slower]", regressed)
+	}
+	out := sb.String()
+	for _, want := range []string{"Stable", "Faster", "REGRESSED", "removed", "added"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// A looser threshold passes the 1.65× slowdown.
+	regressed, err = runCompare(oldPath, newPath, "ns/op", 2.0, &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none at ×2.0", regressed)
+	}
+}
+
+func TestCompareMissingMetricAndBadFile(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", "BenchmarkOnlyAllocs-4   10   5 allocs/op   100 ns/op\n")
+	newPath := writeArtifact(t, dir, "new.json", "BenchmarkOnlyAllocs-4   10   9 allocs/op   100 ns/op\n")
+	var sb strings.Builder
+	regressed, err := runCompare(oldPath, newPath, "finalWL", 1.25, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 || !strings.Contains(sb.String(), "no finalWL to compare") {
+		t.Fatalf("missing-metric handling wrong: regressed=%v out=%q", regressed, sb.String())
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCompare(oldPath, bad, "ns/op", 1.25, &strings.Builder{}); err == nil {
+		t.Fatal("malformed new.json must error")
+	}
+	if _, err := runCompare(filepath.Join(dir, "absent.json"), newPath, "ns/op", 1.25, &strings.Builder{}); err == nil {
+		t.Fatal("missing old.json must error")
 	}
 }
 

@@ -25,9 +25,16 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generator seed")
 		rows       = flag.Int("rows", 4, "partition grid rows")
 		cols       = flag.Int("cols", 4, "partition grid columns")
+		fanout     = flag.Int("fanout", 0, "max distinct wire partners per component (0 = unbounded); bounded fan-out yields realistic sparse netlists")
 		out        = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
+	if *fanout < 0 {
+		fatal(fmt.Errorf("-fanout must be ≥ 0, got %d", *fanout))
+	}
+	if *name != "" && *fanout > 0 {
+		fatal(fmt.Errorf("-fanout applies only to parameterized instances, not the published -name circuits"))
+	}
 
 	var inst *partition.Instance
 	var err error
@@ -42,8 +49,9 @@ func main() {
 				TimingConstraints: *timing,
 				Seed:              *seed,
 			},
-			GridRows: *rows,
-			GridCols: *cols,
+			GridRows:  *rows,
+			GridCols:  *cols,
+			MaxFanout: *fanout,
 		})
 	}
 	if err != nil {

@@ -9,6 +9,7 @@
 //	qbpart -in ckta.prob -method qbp -multistart 4
 //	qbpart -in ckta.prob -method qbp -timeout 2s      # best-so-far at deadline
 //	qbpart -in ckta.prob -method qbp -progress 500ms  # periodic progress line
+//	qbpart -in ckta.prob -method qbp -matrix dense    # force a coupling representation
 //	qbpart -in ckta.prob -method gkl -relax-timing
 //	qbpart -in ckta.prob -initial ckta.assign -method gfm
 //	qbpart -in ckta.prob -check ckta.assign            # validate only
@@ -38,6 +39,7 @@ func main() {
 		workers    = flag.Int("workers", 1, "goroutines sharding each solve's inner loops; results are identical for any value (qbp only, must be >= 1)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the solve; at expiry the best solution found so far is reported (0 = none)")
 		progress   = flag.Duration("progress", 0, "print a progress line to stderr at most this often (qbp only, 0 = off)")
+		matrix     = flag.String("matrix", "auto", "coupling-matrix representation: auto, sparse or dense (qbp only; results are identical for any value)")
 		check      = flag.String("check", "", "validate this assignment file against the problem and exit")
 		show       = flag.Bool("show", false, "render the placement grid and wire-length histogram (square grids)")
 	)
@@ -63,6 +65,10 @@ func main() {
 	}
 	if *progress < 0 {
 		usageError(fmt.Sprintf("-progress must be >= 0 (got %v)", *progress))
+	}
+	matrixRep, merr := partition.ParseMatrixRep(*matrix)
+	if merr != nil {
+		usageError(fmt.Sprintf("-matrix must be auto, sparse or dense (got %q)", *matrix))
 	}
 
 	f, err := os.Open(*in)
@@ -139,6 +145,7 @@ func main() {
 			RelaxTiming: *relax,
 			Seed:        *seed,
 			Workers:     *workers,
+			Matrix:      matrixRep,
 			OnProgress:  progressPrinter(*progress),
 		}
 		var res *partition.QBPResult
@@ -191,6 +198,8 @@ func main() {
 	if stats != nil {
 		fmt.Printf("iterations       %d (%d starts, %d restarts)\n",
 			stats.Iterations, stats.Starts, stats.Restarts)
+		fmt.Printf("matrix           %s (density %.4f, %d arcs)\n",
+			stats.Matrix, stats.Density, stats.NNZ)
 	}
 	fmt.Printf("start WL         %d\n", p.WireLength(start))
 	fmt.Print(report)

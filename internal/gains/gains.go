@@ -16,17 +16,18 @@ import (
 
 	"repro/internal/adjacency"
 	"repro/internal/model"
+	"repro/internal/sparsemat"
 )
 
 // Table is the incremental state. Create with New; mutate only through
 // Apply and ApplySwap.
 type Table struct {
 	p     *model.Problem // normalized PP(1,1)
-	adj   *adjacency.Lists
-	u     []int     // current assignment
-	loads []int64   // per-partition load
-	delta [][]int64 // delta[j][t] = objective change of moving j to t
-	obj   int64     // current objective, maintained incrementally
+	csr   *sparsemat.CSR // flattened coupling rows (weights + timing bounds)
+	u     []int          // current assignment
+	loads []int64        // per-partition load
+	delta [][]int64      // delta[j][t] = objective change of moving j to t
+	obj   int64          // current objective, maintained incrementally
 }
 
 // New builds a table over a copy of the initial assignment. The problem is
@@ -38,7 +39,7 @@ func New(p *model.Problem, adj *adjacency.Lists, initial model.Assignment) (*Tab
 	}
 	t := &Table{
 		p:     p,
-		adj:   adj,
+		csr:   sparsemat.FromLists(adj, nil),
 		u:     append([]int(nil), initial...),
 		loads: p.Loads(initial),
 		delta: make([][]int64, p.N()),
@@ -84,14 +85,17 @@ func (t *Table) recompute(j int) {
 	for to := 0; to < m; to++ {
 		row[to] = t.p.LinearAt(to, j) - t.p.LinearAt(s, j)
 	}
-	for _, arc := range t.adj.Arcs[j] {
-		if arc.Weight == 0 {
+	cs := t.csr
+	lo, hi := cs.Row(j)
+	for k := lo; k < hi; k++ {
+		w := cs.Weight[k]
+		if w == 0 {
 			continue // timing-only arc: no cost coupling
 		}
-		i2 := t.u[arc.Other]
-		base := arc.Weight * t.bp(s, i2)
+		i2 := t.u[cs.Col[k]]
+		base := w * t.bp(s, i2)
 		for to := 0; to < m; to++ {
-			row[to] += arc.Weight*t.bp(to, i2) - base
+			row[to] += w*t.bp(to, i2) - base
 		}
 	}
 	row[s] = 0
@@ -102,9 +106,11 @@ func (t *Table) recompute(j int) {
 // unaffected).
 func (t *Table) refreshAround(j int) {
 	t.recompute(j)
-	for _, arc := range t.adj.Arcs[j] {
-		if arc.Weight != 0 {
-			t.recompute(arc.Other)
+	cs := t.csr
+	lo, hi := cs.Row(j)
+	for k := lo; k < hi; k++ {
+		if cs.Weight[k] != 0 {
+			t.recompute(int(cs.Col[k]))
 		}
 	}
 }
@@ -122,12 +128,15 @@ func (t *Table) CapacityOK(j, to int) bool {
 // (both delay directions, matching the symmetric constraint reading).
 func (t *Table) TimingOK(j, to int) bool {
 	d := t.p.Topology.Delay
-	for _, arc := range t.adj.Arcs[j] {
-		if arc.MaxDelay == model.Unconstrained {
+	cs := t.csr
+	lo, hi := cs.Row(j)
+	for k := lo; k < hi; k++ {
+		md := cs.MaxDelay[k]
+		if md == model.Unconstrained {
 			continue
 		}
-		o := t.u[arc.Other]
-		if d[to][o] > arc.MaxDelay || d[o][to] > arc.MaxDelay {
+		o := t.u[cs.Col[k]]
+		if d[to][o] > md || d[o][to] > md {
 			return false
 		}
 	}
@@ -164,7 +173,7 @@ func (t *Table) SwapDelta(j1, j2 int) int64 {
 		return 0
 	}
 	d := t.delta[j1][s2] + t.delta[j2][s1]
-	if w := t.adj.WireWeight(j1, j2); w != 0 {
+	if w := t.csr.WireWeight(j1, j2); w != 0 {
 		d += 2 * w * t.bp(s1, s2)
 	}
 	return d
@@ -189,16 +198,20 @@ func (t *Table) SwapTimingOK(j1, j2 int) bool {
 		return true
 	}
 	d := t.p.Topology.Delay
+	cs := t.csr
 	check := func(j, to, partner, partnerTo int) bool {
-		for _, arc := range t.adj.Arcs[j] {
-			if arc.MaxDelay == model.Unconstrained {
+		lo, hi := cs.Row(j)
+		for k := lo; k < hi; k++ {
+			md := cs.MaxDelay[k]
+			if md == model.Unconstrained {
 				continue
 			}
-			o := t.u[arc.Other]
-			if arc.Other == partner {
+			other := int(cs.Col[k])
+			o := t.u[other]
+			if other == partner {
 				o = partnerTo
 			}
-			if d[to][o] > arc.MaxDelay || d[o][to] > arc.MaxDelay {
+			if d[to][o] > md || d[o][to] > md {
 				return false
 			}
 		}

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sort"
 
 	"repro/internal/interrupt"
 	"repro/internal/qmatrix"
@@ -565,19 +566,37 @@ func eject[T number](v *view[T], assign []int, remaining []int64) bool {
 				remaining[s] += sj
 				remaining[i] -= sj
 				assign[j] = i
-				// Rebuild membership lazily: restart scan.
-				for x := range members {
-					members[x] = members[x][:0]
-				}
-				for jj, ii := range assign {
-					members[ii] = append(members[ii], jj)
-				}
+				// Maintain the membership lists incrementally, keeping each
+				// ascending — the same order a full rebuild from assign
+				// produces, so the remaining scan visits identical
+				// candidates at a fraction of the O(N) rebuild cost.
+				members[i] = removeSorted(members[i], bestK)
+				members[bestB] = insertSorted(members[bestB], bestK)
+				members[s] = removeSorted(members[s], j)
+				members[i] = insertSorted(members[i], j)
 				moved = true
 				break
 			}
 		}
 	}
 	return moved
+}
+
+// removeSorted deletes value x from the ascending list l in place,
+// preserving order. x must be present.
+func removeSorted(l []int, x int) []int {
+	k := sort.SearchInts(l, x)
+	copy(l[k:], l[k+1:])
+	return l[:len(l)-1]
+}
+
+// insertSorted inserts value x into the ascending list l, preserving order.
+func insertSorted(l []int, x int) []int {
+	k := sort.SearchInts(l, x)
+	l = append(l, 0)
+	copy(l[k+1:], l[k:])
+	l[k] = x
+	return l
 }
 
 // SolveExact finds the optimal assignment by depth-first branch and bound

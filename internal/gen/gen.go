@@ -55,6 +55,13 @@ type Params struct {
 	CapacitySlack      float64 // capacity = max golden load × slack; default 1.10
 	LocalProb          float64 // wire endpoint in the same golden partition; default 0.55
 	NeighborProb       float64 // …in an adjacent partition; default 0.30
+	// MaxFanout bounds the number of distinct wire partners per component
+	// (0 = unbounded, the default — matching the published circuits, whose
+	// fan-out is unstated). Endpoint draws that would push either side past
+	// the bound are redrawn; when the redraw budget is exhausted the unit of
+	// weight thickens an existing wire instead, so the total interconnection
+	// count Σ a[j1][j2] still equals the published Wires figure exactly.
+	MaxFanout int
 	// TimingBudgetWeights weight the four absolute delay-budget tiers
 	// (diameter/3, diameter/2, 2·diameter/3, 5·diameter/6 — i.e. 2/3/4/5
 	// hops on the 4×4 grid). The default depends on the constraint
@@ -202,7 +209,9 @@ func Generate(params Params) (*Instance, error) {
 	}
 	type pairKey struct{ a, b int }
 	weights := make(map[pairKey]int64, int(s.Wires))
-	for placed := int64(0); placed < s.Wires; placed++ {
+	var keys []pairKey // pairs in creation order, for the fan-out fallback
+	deg := make([]int, s.Components)
+	draw := func() pairKey {
 		j1 := rng.Intn(s.Components)
 		var j2 int
 		switch r := rng.Float64(); {
@@ -219,11 +228,32 @@ func Generate(params Params) (*Instance, error) {
 			for j2 = rng.Intn(s.Components); j2 == j1; j2 = rng.Intn(s.Components) {
 			}
 		}
-		a, b := j1, j2
-		if a > b {
-			a, b = b, a
+		if j1 > j2 {
+			j1, j2 = j2, j1
 		}
-		weights[pairKey{a, b}]++
+		return pairKey{j1, j2}
+	}
+	overFanout := func(k pairKey) bool {
+		return params.MaxFanout > 0 && weights[k] == 0 &&
+			(deg[k.a] >= params.MaxFanout || deg[k.b] >= params.MaxFanout)
+	}
+	for placed := int64(0); placed < s.Wires; placed++ {
+		k := draw()
+		for attempt := 0; attempt < 32 && overFanout(k); attempt++ {
+			k = draw()
+		}
+		if overFanout(k) {
+			// Saturated endpoints everywhere we looked: thicken an existing
+			// wire (chosen from the creation-ordered pair list, never by map
+			// iteration) so Σ a[j1][j2] still lands on the published count.
+			k = keys[rng.Intn(len(keys))]
+		}
+		if weights[k] == 0 {
+			keys = append(keys, k)
+			deg[k.a]++
+			deg[k.b]++
+		}
+		weights[k]++
 	}
 	wires := make([]model.Wire, 0, len(weights))
 	for k, w := range weights {

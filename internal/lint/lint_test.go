@@ -74,6 +74,9 @@ func TestFixtures(t *testing.T) {
 		{"hotalloc_neg", nil},
 		{"hotalloc_cold", nil},
 		{"hotalloc_interrupt", nil},
+		// The CSR coupling layer's pinned profile: suppressed one-time build
+		// allocation, alloc-free steady-state dirty-column reuse.
+		{"hotalloc_csr", nil},
 		{"suppress_ok", nil},
 		{"suppress_bad", []string{"lint:7", "panic-in-library:8", "lint:16", "panic-in-library:17"}},
 		{"mod_import", nil},

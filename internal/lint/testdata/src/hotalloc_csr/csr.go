@@ -1,0 +1,50 @@
+// Fixture: the CSR coupling layer's allocation profile is pinned — the
+// one-time construction loop allocates and carries the documented
+// alloc-in-hot-loop suppression (it runs once per solve, not per
+// iteration), while the steady-state dirty-column scan appends onto a [:0]
+// reslice of solver-owned scratch, which reuses capacity and must stay
+// diagnostic-free. The package is named qbp so the analyzer treats its
+// loops as hot.
+package qbp
+
+type csr struct {
+	rowPtr []int32
+	col    []int32
+}
+
+type scratchCSR struct {
+	dirty []int
+}
+
+// buildCSR is the once-per-solve construction: the per-row buffer is a
+// deliberate one-time allocation, exempted with a justification.
+func buildCSR(adj [][]int) *csr {
+	c := &csr{rowPtr: make([]int32, 1, len(adj)+1)}
+	for _, row := range adj {
+		//lint:ignore alloc-in-hot-loop one-time CSR build, once per solve
+		buf := make([]int32, 0, len(row))
+		for _, o := range row {
+			buf = append(buf, int32(o))
+		}
+		c.col = append(c.col, buf...)
+		c.rowPtr = append(c.rowPtr, int32(len(c.col)))
+	}
+	return c
+}
+
+// dirtyColumns is the steady-state pattern of the incremental η update: the
+// append base is a [:0] reslice of reusable scratch, so iterations after the
+// first allocate nothing.
+func (c *csr) dirtyColumns(sc *scratchCSR, moved []bool) []int {
+	cols := sc.dirty[:0]
+	for j, mv := range moved {
+		if !mv {
+			continue
+		}
+		for k := c.rowPtr[j]; k < c.rowPtr[j+1]; k++ {
+			cols = append(cols, int(c.col[k]))
+		}
+	}
+	sc.dirty = cols
+	return cols
+}

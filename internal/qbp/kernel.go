@@ -3,43 +3,46 @@ package qbp
 import (
 	"repro/internal/flatmat"
 	"repro/internal/qmatrix"
+	"repro/internal/sparsemat"
 )
 
 // This file holds the flat performance kernels under the solve loop: the
-// per-delay-class effective-row cache (flatmat.Kernel), the flat item-major
-// η/h vectors, and the incremental η maintenance. All flat vectors use the
-// qmatrix.Pack layout — entry (partition i, component j) lives at
-// Pack(i, j, m) = i + j·m, so the per-component column is the contiguous
-// subslice [j·m, (j+1)·m). That is exactly the access pattern of the GAP
-// subproblems, so STEP 4 hands the η vector to gap.Solve with no copy and
-// no float64 round-trip.
+// per-delay-class effective-row cache (flatmat.Kernel), the CSR/dense
+// coupling representations (sparsemat), the flat item-major η/h vectors,
+// and the incremental η maintenance. All flat vectors use the qmatrix.Pack
+// layout — entry (partition i, component j) lives at Pack(i, j, m) = i + j·m,
+// so the per-component column is the contiguous subslice [j·m, (j+1)·m).
+// That is exactly the access pattern of the GAP subproblems, so STEP 4 hands
+// the η vector to gap.Solve with no copy and no float64 round-trip.
+//
+// Representation contract: the CSR and dense paths enumerate the same
+// coupling multiset in the same ascending-partner order and accumulate in
+// exact int64 arithmetic, so they are bit-identical — sparsemat.Rep (and the
+// Workers count) can never change a result, only its cost.
 
-// initKernel builds the flat solve state from the solver's topology: flat
-// mirrors of B and the delay matrix, the per-(delay-class, partition)
-// effective rows, the per-arc class indices aligned with adj.Arcs, and the
-// flat linear-cost mirror. Must run after s.penalty and s.relax are final.
+// initKernel builds the flat solve state from the solver's topology: the CSR
+// coupling matrix (and, when the representation resolves dense, its N×N
+// mirror), the per-(delay-class, partition) effective rows, and the flat
+// linear-cost mirror. Must run after s.penalty, s.relax and s.repReq are
+// final.
 func (s *solver) initKernel() {
 	bm := flatmat.FromRows(s.b)
 	dm := flatmat.FromRows(s.d)
 	if s.relax {
 		// Timing relaxed: every arc behaves as unconstrained, so no
 		// penalty rows are needed at all.
-		s.cls = make([][]int, s.n)
-		for j, arcs := range s.adj.Arcs {
-			if len(arcs) == 0 {
-				continue
-			}
-			//lint:ignore alloc-in-hot-loop one-time kernel construction, not the iteration path
-			s.cls[j] = make([]int, len(arcs))
-			for k := range s.cls[j] {
-				s.cls[j][k] = flatmat.UnconstrainedClass
-			}
-		}
+		s.csr = sparsemat.FromLists(s.adj, nil)
 		s.kern = flatmat.NewKernel(bm, dm, nil, 0)
 	} else {
 		bounds, classes := s.adj.DelayClasses()
-		s.cls = classes
+		s.csr = sparsemat.FromLists(s.adj, classes)
 		s.kern = flatmat.NewKernel(bm, dm, bounds, s.penalty)
+	}
+	s.rep = s.csr.Resolve(s.repReq, s.repThreshold)
+	if s.rep == sparsemat.RepDense {
+		s.dns = s.csr.ToDense()
+	} else {
+		s.dns = nil
 	}
 	if s.p.Linear != nil {
 		s.linFlat = make([]int64, s.m*s.n)
@@ -143,7 +146,7 @@ func (s *solver) refreshEta(u []int, withOmega bool) []int64 {
 		s.etaFull(sc.etaI, u, withOmega)
 		s.stats.EtaFull++
 	default:
-		s.etaIncremental(sc.etaI, sc.etaU, u, withOmega)
+		s.etaIncremental(sc.etaU, u, withOmega)
 		s.stats.EtaIncremental++
 	}
 	copy(sc.etaU, u)
@@ -153,48 +156,34 @@ func (s *solver) refreshEta(u []int, withOmega bool) []int64 {
 // etaFull computes η from scratch: for every component column, the sum of
 // the partners' effective rows, plus the flat linear diagonal and
 // (optionally) the ω term at the current slot. Columns are independent, so
-// the loop shards over components. The serial path calls the range body
-// directly — building the shard closure would cost an allocation per call.
+// the loop shards over components — by balanced arc mass (s.shards), not by
+// equal component counts, so skewed-degree instances keep every worker
+// busy. The serial path calls the range body directly — building the shard
+// closure would cost an allocation per call.
 func (s *solver) etaFull(etaI []int64, u []int, withOmega bool) {
-	if s.pool == nil {
+	if s.pool == nil || s.shards == nil {
 		s.etaFullRange(etaI, u, withOmega, 0, s.n)
 		return
 	}
-	s.pool.forRange(s.n, func(lo, hi int) {
+	s.pool.forShards(s.shards, func(lo, hi int) {
 		s.etaFullRange(etaI, u, withOmega, lo, hi)
 	})
 }
 
+// etaFullRange rebuilds the η columns [lo, hi): zero, accumulate the
+// partners' effective rows (CSR or dense walk), then the linear and ω tails.
 func (s *solver) etaFullRange(etaI []int64, u []int, withOmega bool, lo, hi int) {
 	m := s.m
+	dense := s.dns != nil
 	for j2 := lo; j2 < hi; j2++ {
 		col := etaCol(etaI, j2, m)
 		for r := range col {
 			col[r] = 0
 		}
-		cls := s.cls[j2]
-		for k, arc := range s.adj.Arcs[j2] {
-			c := cls[k]
-			w := arc.Weight
-			// The row loops stay inline: an accumulate call per arc costs
-			// more than the whole length-M fused add at realistic M.
-			if c == flatmat.UnconstrainedClass {
-				if w == 0 {
-					continue
-				}
-				row := s.kern.BRow(u[arc.Other])
-				row = row[:len(col)]
-				for r := range col {
-					col[r] += w * row[r]
-				}
-			} else {
-				mask, pen := s.kern.ClassRows(c, u[arc.Other])
-				mask = mask[:len(col)]
-				pen = pen[:len(col)]
-				for r := range col {
-					col[r] += w*mask[r] + pen[r]
-				}
-			}
+		if dense {
+			s.accumColDense(col, u, j2)
+		} else {
+			s.accumColCSR(col, u, j2)
 		}
 		if s.linFlat != nil {
 			lcol := etaCol(s.linFlat, j2, m)
@@ -210,27 +199,94 @@ func (s *solver) etaFullRange(etaI []int64, u []int, withOmega bool, lo, hi int)
 	}
 }
 
-// etaIncremental updates etaI from oldU to newU: only the columns with at
+// accumColCSR adds the effective rows of component j2's partners into col:
+// one fused length-M pass per stored arc, O(deg(j2)·M) total. The row loops
+// stay inline — an accumulate call per arc costs more than the whole
+// length-M fused add at realistic M.
+func (s *solver) accumColCSR(col []int64, u []int, j2 int) {
+	cs := s.csr
+	lo, hi := cs.Row(j2)
+	for k := lo; k < hi; k++ {
+		c := cs.Class[k]
+		w := cs.Weight[k]
+		if c == sparsemat.UnconstrainedClass {
+			if w == 0 {
+				continue
+			}
+			row := s.kern.BRow(u[cs.Col[k]])
+			row = row[:len(col)]
+			for r := range col {
+				col[r] += w * row[r]
+			}
+		} else {
+			mask, pen := s.kern.ClassRows(int(c), u[cs.Col[k]])
+			mask = mask[:len(col)]
+			pen = pen[:len(col)]
+			for r := range col {
+				col[r] += w*mask[r] + pen[r]
+			}
+		}
+	}
+}
+
+// accumColDense is the dense-mirror walk of accumColCSR: every partner slot
+// of row j2 is visited and non-entries are skipped by the NoArc class tag,
+// O(N + deg(j2)·M) per column. Partners come in the same ascending order as
+// the CSR row, so the two accumulations are term-for-term identical.
+func (s *solver) accumColDense(col []int64, u []int, j2 int) {
+	wrow, crow := s.dns.Row(j2)
+	for j1, c := range crow {
+		if c == sparsemat.NoArc {
+			continue
+		}
+		w := wrow[j1]
+		if c == sparsemat.UnconstrainedClass {
+			if w == 0 {
+				continue
+			}
+			row := s.kern.BRow(u[j1])
+			row = row[:len(col)]
+			for r := range col {
+				col[r] += w * row[r]
+			}
+		} else {
+			mask, pen := s.kern.ClassRows(int(c), u[j1])
+			mask = mask[:len(col)]
+			pen = pen[:len(col)]
+			for r := range col {
+				col[r] += w*mask[r] + pen[r]
+			}
+		}
+	}
+}
+
+// etaIncremental updates sc.etaI from oldU to newU: only the columns with at
 // least one moved partner are touched, each by subtracting the partner's
-// old effective row and adding the new one. Dirty columns are disjoint, so
-// the update shards over them.
-func (s *solver) etaIncremental(etaI []int64, oldU, newU []int, withOmega bool) {
+// old effective row and adding the new one. The dirty-column set is
+// discovered from the CSR rows of the moved components — O(Σdeg(moved)) —
+// regardless of representation. Dirty columns are disjoint, so the update
+// shards over them.
+func (s *solver) etaIncremental(oldU, newU []int, withOmega bool) {
 	m := s.m
 	sc := s.sc
+	etaI := sc.etaI
 	moved := sc.moved
 	for j := range newU {
 		moved[j] = newU[j] != oldU[j]
 	}
 	dirty := sc.colDirty
 	cols := sc.dirtyCols[:0]
+	cs := s.csr
 	for j := range newU {
 		if !moved[j] {
 			continue
 		}
-		for _, arc := range s.adj.Arcs[j] {
-			if !dirty[arc.Other] {
-				dirty[arc.Other] = true
-				cols = append(cols, arc.Other)
+		lo, hi := cs.Row(j)
+		for k := lo; k < hi; k++ {
+			o := int(cs.Col[k])
+			if !dirty[o] {
+				dirty[o] = true
+				cols = append(cols, o)
 			}
 		}
 	}
@@ -263,40 +319,70 @@ func (s *solver) etaIncremental(etaI []int64, oldU, newU []int, withOmega bool) 
 // (new − old) form is bit-identical to a subtract-then-add pair.
 func (s *solver) etaIncrementalRange(etaI []int64, oldU, newU, cols []int, lo, hi int) {
 	m := s.m
-	moved := s.sc.moved
+	dense := s.dns != nil
 	for x := lo; x < hi; x++ {
 		o := cols[x]
 		col := etaCol(etaI, o, m)
-		cls := s.cls[o]
-		for k, arc := range s.adj.Arcs[o] {
-			j := arc.Other
-			if !moved[j] {
-				continue
-			}
-			c := cls[k]
-			w := arc.Weight
-			if c == flatmat.UnconstrainedClass {
-				if w == 0 {
-					continue
-				}
-				oldRow := s.kern.BRow(oldU[j])
-				newRow := s.kern.BRow(newU[j])
-				oldRow = oldRow[:len(col)]
-				newRow = newRow[:len(col)]
-				for r := range col {
-					col[r] += w * (newRow[r] - oldRow[r])
-				}
-			} else {
-				om, op := s.kern.ClassRows(c, oldU[j])
-				nm, np := s.kern.ClassRows(c, newU[j])
-				om = om[:len(col)]
-				op = op[:len(col)]
-				nm = nm[:len(col)]
-				np = np[:len(col)]
-				for r := range col {
-					col[r] += w*(nm[r]-om[r]) + np[r] - op[r]
-				}
-			}
+		if dense {
+			s.updateColDense(col, oldU, newU, o)
+		} else {
+			s.updateColCSR(col, oldU, newU, o)
+		}
+	}
+}
+
+// updateColCSR swaps the moved partners' effective rows in col, walking only
+// the stored arcs of column o: O(deg(o)·M) worst case, typically far less
+// since only moved partners pay the row pass.
+func (s *solver) updateColCSR(col []int64, oldU, newU []int, o int) {
+	moved := s.sc.moved
+	cs := s.csr
+	lo, hi := cs.Row(o)
+	for k := lo; k < hi; k++ {
+		j := int(cs.Col[k])
+		if !moved[j] {
+			continue
+		}
+		s.swapPartnerRow(col, int(cs.Class[k]), cs.Weight[k], oldU[j], newU[j])
+	}
+}
+
+// updateColDense is the dense-mirror walk of updateColCSR: the whole partner
+// row is scanned and unmoved or uncoupled slots are skipped.
+func (s *solver) updateColDense(col []int64, oldU, newU []int, o int) {
+	moved := s.sc.moved
+	wrow, crow := s.dns.Row(o)
+	for j, c := range crow {
+		if c == sparsemat.NoArc || !moved[j] {
+			continue
+		}
+		s.swapPartnerRow(col, int(c), wrow[j], oldU[j], newU[j])
+	}
+}
+
+// swapPartnerRow applies one partner relocation from partition from to
+// partition to onto col: the fused (new − old) effective-row pass.
+func (s *solver) swapPartnerRow(col []int64, c int, w int64, from, to int) {
+	if c == sparsemat.UnconstrainedClass {
+		if w == 0 {
+			return
+		}
+		oldRow := s.kern.BRow(from)
+		newRow := s.kern.BRow(to)
+		oldRow = oldRow[:len(col)]
+		newRow = newRow[:len(col)]
+		for r := range col {
+			col[r] += w * (newRow[r] - oldRow[r])
+		}
+	} else {
+		om, op := s.kern.ClassRows(c, from)
+		nm, np := s.kern.ClassRows(c, to)
+		om = om[:len(col)]
+		op = op[:len(col)]
+		nm = nm[:len(col)]
+		np = np[:len(col)]
+		for r := range col {
+			col[r] += w*(nm[r]-om[r]) + np[r] - op[r]
 		}
 	}
 }

@@ -76,3 +76,36 @@ func (p *pool) forRange(n int, fn func(lo, hi int)) {
 	}
 	wg.Wait()
 }
+
+// forShards runs fn over precomputed row-range boundaries (len(bounds)-1
+// contiguous shards, e.g. sparsemat.CSR.BalancedShards output), one shard
+// per task, blocking until all complete. Unlike forRange's equal-count
+// chunks, the boundaries carry the load-balancing decision — equal arc
+// mass, not equal row counts. fn must only touch state owned by its shard.
+// A nil pool runs the whole span inline; empty shards are skipped.
+func (p *pool) forShards(bounds []int, fn func(lo, hi int)) {
+	n := len(bounds) - 1
+	if n < 1 {
+		return
+	}
+	if p == nil {
+		if bounds[0] < bounds[n] {
+			fn(bounds[0], bounds[n])
+		}
+		return
+	}
+	p.once.Do(p.start)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		p.tasks <- func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+	}
+	wg.Wait()
+}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/sparsemat"
 	"repro/internal/testgen"
 )
 
@@ -66,6 +67,32 @@ func benchSolver(b *testing.B, n int) (*solver, []int) {
 	return s, u
 }
 
+// benchSolverRep is benchSolver with an explicit instance shape and a forced
+// coupling representation, for the sparse-vs-dense sweeps.
+func benchSolverRep(b *testing.B, cfg testgen.Config, rep sparsemat.Rep) (*solver, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	p, _ := testgen.Random(rng, cfg)
+	s := newTestSolverRep(p, DefaultPenalty, false, rep)
+	u := make([]int, s.n)
+	for j := range u {
+		u[j] = rng.Intn(s.m)
+	}
+	return s, u
+}
+
+// repSweep spans the density spectrum the representation choice is about:
+// bounded-fan-out netlists (the paper's instances) and a dense Bernoulli
+// control where the CSR walk should roughly tie the dense row scan.
+var repSweep = []struct {
+	name string
+	cfg  testgen.Config
+}{
+	{"deg4", testgen.Config{N: 400, AvgDegree: 4, TimingProb: 0.3}},
+	{"deg16", testgen.Config{N: 400, AvgDegree: 16, TimingProb: 0.3}},
+	{"p50", testgen.Config{N: 400, WireProb: 0.5, TimingProb: 0.3}},
+}
+
 func BenchmarkComputeEta(b *testing.B) {
 	for _, n := range []int{60, 250} {
 		s, u := benchSolver(b, n)
@@ -99,6 +126,19 @@ func BenchmarkComputeEta(b *testing.B) {
 				s.refreshEta(u, false)
 			}
 		})
+	}
+	// Full-η recompute, CSR vs forced-dense, across the density sweep:
+	// O(nnz·M) against O(N²·M).
+	for _, dc := range repSweep {
+		for _, rep := range []sparsemat.Rep{sparsemat.RepSparse, sparsemat.RepDense} {
+			s, u := benchSolverRep(b, dc.cfg, rep)
+			b.Run(fmt.Sprintf("%s/%s/n=%d", dc.name, rep, s.n), func(b *testing.B) {
+				b.ReportAllocs()
+				for k := 0; k < b.N; k++ {
+					s.etaFull(s.sc.etaI, u, false)
+				}
+			})
+		}
 	}
 }
 
@@ -163,5 +203,33 @@ func BenchmarkEtaIncrementalSweep(b *testing.B) {
 				s.refreshEta(u, false)
 			}
 		})
+	}
+	// The acceptance sweep: a bounded-fan-out instance at N=2000 where the
+	// incremental update is O(Σdeg(moved)·M) under CSR but pays an O(N) row
+	// scan per dirty column under the forced-dense mirror. Steady state must
+	// stay allocation-free on both paths.
+	for _, dc := range []struct {
+		name string
+		cfg  testgen.Config
+	}{
+		{"deg12", testgen.Config{N: 2000, AvgDegree: 12, TimingProb: 0.3}},
+		{"deg4", testgen.Config{N: 2000, AvgDegree: 4, TimingProb: 0.3}},
+	} {
+		for _, rep := range []sparsemat.Rep{sparsemat.RepSparse, sparsemat.RepDense} {
+			s, u := benchSolverRep(b, dc.cfg, rep)
+			b.Run(fmt.Sprintf("%s/%s/n=%d/moves=4", dc.name, rep, s.n), func(b *testing.B) {
+				b.ReportAllocs()
+				s.sc.etaValid = false
+				s.refreshEta(u, false)
+				rng := rand.New(rand.NewSource(7))
+				b.ResetTimer()
+				for k := 0; k < b.N; k++ {
+					for x := 0; x < 4; x++ {
+						u[rng.Intn(s.n)] = rng.Intn(s.m)
+					}
+					s.refreshEta(u, false)
+				}
+			})
+		}
 	}
 }

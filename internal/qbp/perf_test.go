@@ -14,6 +14,7 @@ import (
 	"repro/internal/adjacency"
 	"repro/internal/model"
 	"repro/internal/qmatrix"
+	"repro/internal/sparsemat"
 	"repro/internal/testgen"
 )
 
@@ -140,34 +141,43 @@ func TestPenalizedValueMatchesReference(t *testing.T) {
 }
 
 // TestWorkersIndependence is the determinism contract of qbp.Options.Workers:
-// a fixed seed yields the identical assignment no matter how the pipeline
-// is sharded. Run under -race this also exercises the pool for data races.
+// a fixed seed yields the identical assignment no matter how the pipeline is
+// sharded — for both coupling representations (the sparse kernels use
+// balanced-arc-mass shard boundaries, the dense ones the same; both write
+// disjoint columns). Run under -race this also exercises the pool for data
+// races.
 func TestWorkersIndependence(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 4; trial++ {
-		p, _ := testgen.Random(rng, testgen.Config{
-			N: 30 + rng.Intn(30), TimingProb: 0.3, CapSlack: 1.4,
-		})
-		base := Options{Iterations: 25, Seed: int64(trial)}
-		ref, err := Solve(context.Background(), p, base)
-		if err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
+		cfg := testgen.Config{N: 30 + rng.Intn(30), TimingProb: 0.3, CapSlack: 1.4}
+		if trial%2 == 1 {
+			// Sparse-sampled instances exercise the CSR kernels and the
+			// skewed-degree shard balancing.
+			cfg.AvgDegree = 3 + 5*rng.Float64()
 		}
-		for _, workers := range []int{2, 3, 7} {
-			o := base
-			o.Workers = workers
-			got, err := Solve(context.Background(), p, o)
+		p, _ := testgen.Random(rng, cfg)
+		for _, rep := range []sparsemat.Rep{sparsemat.RepSparse, sparsemat.RepDense} {
+			base := Options{Iterations: 25, Seed: int64(trial), Matrix: rep}
+			ref, err := Solve(context.Background(), p, base)
 			if err != nil {
-				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+				t.Fatalf("trial %d rep=%v: %v", trial, rep, err)
 			}
-			if got.Objective != ref.Objective || got.Penalized != ref.Penalized {
-				t.Fatalf("trial %d workers=%d: objective %d/%d, want %d/%d",
-					trial, workers, got.Objective, got.Penalized, ref.Objective, ref.Penalized)
-			}
-			for j := range ref.Assignment {
-				if got.Assignment[j] != ref.Assignment[j] {
-					t.Fatalf("trial %d workers=%d: assignment diverged at component %d",
-						trial, workers, j)
+			for _, workers := range []int{2, 3, 7} {
+				o := base
+				o.Workers = workers
+				got, err := Solve(context.Background(), p, o)
+				if err != nil {
+					t.Fatalf("trial %d rep=%v workers=%d: %v", trial, rep, workers, err)
+				}
+				if got.Objective != ref.Objective || got.Penalized != ref.Penalized {
+					t.Fatalf("trial %d rep=%v workers=%d: objective %d/%d, want %d/%d",
+						trial, rep, workers, got.Objective, got.Penalized, ref.Objective, ref.Penalized)
+				}
+				for j := range ref.Assignment {
+					if got.Assignment[j] != ref.Assignment[j] {
+						t.Fatalf("trial %d rep=%v workers=%d: assignment diverged at component %d",
+							trial, rep, workers, j)
+					}
 				}
 			}
 		}

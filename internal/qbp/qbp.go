@@ -37,6 +37,7 @@ import (
 	"repro/internal/interrupt"
 	"repro/internal/model"
 	"repro/internal/qmatrix"
+	"repro/internal/sparsemat"
 )
 
 // DefaultPenalty is the raised Q̂ entry for timing-violating assignment
@@ -117,6 +118,16 @@ type Options struct {
 	// revalidated serially, so the result is bit-identical for every
 	// Workers value — including the default serial path (≤ 1).
 	Workers int
+	// Matrix selects the coupling-matrix representation behind the solve
+	// kernels: sparsemat.RepAuto (the zero value) picks CSR or dense by
+	// measured density, RepSparse / RepDense force one. Both
+	// representations enumerate the same couplings in the same order with
+	// exact integer arithmetic, so the choice never changes the resulting
+	// assignment — only the solve cost.
+	Matrix sparsemat.Rep
+	// MatrixDensityThreshold overrides the RepAuto crossover density;
+	// ≤ 0 means sparsemat.DefaultDensityThreshold.
+	MatrixDensityThreshold float64
 
 	// sc lends a reusable scratch buffer set to this solve. Package-internal
 	// (the multi-start workers share one per worker); nil means Solve
@@ -178,6 +189,14 @@ type SolveStats struct {
 	// EtaFull and EtaIncremental count the STEP 3 η rebuild strategies
 	// chosen (full recompute vs dirty-column refresh).
 	EtaFull, EtaIncremental int
+	// Matrix is the resolved coupling representation ("sparse" or
+	// "dense"), Density the measured off-diagonal fill fraction
+	// NNZ/(N·(N−1)), and NNZ the stored arc count. All starts of a
+	// SolveMultiStart share one matrix, so the first completed start's
+	// values are kept by the reduction.
+	Matrix  string
+	Density float64
+	NNZ     int
 	// Trajectory is the penalized-incumbent improvement history.
 	Trajectory []TrajectoryPoint
 	// SetupTime, IterTime and PolishTime are the wall times of the three
@@ -194,6 +213,9 @@ func (s *SolveStats) add(o SolveStats) {
 	s.Restarts += o.Restarts
 	s.EtaFull += o.EtaFull
 	s.EtaIncremental += o.EtaIncremental
+	if s.Matrix == "" {
+		s.Matrix, s.Density, s.NNZ = o.Matrix, o.Density, o.NNZ
+	}
 	s.SetupTime += o.SetupTime
 	s.IterTime += o.IterTime
 	s.PolishTime += o.PolishTime
@@ -244,8 +266,15 @@ type solver struct {
 
 	// Flat kernel state (initKernel).
 	kern    *flatmat.Kernel
-	cls     [][]int // per-arc delay class, aligned with adj.Arcs
-	linFlat []int64 // item-major flat linear costs, nil when Linear is nil
+	csr     *sparsemat.CSR   // canonical coupling matrix, always built
+	dns     *sparsemat.Dense // dense mirror, non-nil only when rep is dense
+	rep     sparsemat.Rep    // resolved representation (sparse or dense)
+	shards  []int            // balanced-arc-mass η shard bounds, nil when serial
+	linFlat []int64          // item-major flat linear costs, nil when Linear is nil
+
+	// Requested representation (from Options), consumed by initKernel.
+	repReq       sparsemat.Rep
+	repThreshold float64
 
 	sc   *scratch
 	pool *pool // nil means serial
@@ -280,16 +309,23 @@ func Solve(ctx context.Context, p *model.Problem, opts Options) (*Result, error)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	switch opts.Matrix {
+	case sparsemat.RepAuto, sparsemat.RepSparse, sparsemat.RepDense:
+	default:
+		return nil, fmt.Errorf("qbp: unknown matrix representation %d (want RepAuto, RepSparse or RepDense)", opts.Matrix)
+	}
 	t0 := now()
 	norm := p.Normalized()
 	s := &solver{
-		p:     norm,
-		adj:   adjacency.Build(norm.Circuit),
-		m:     norm.M(),
-		n:     norm.N(),
-		b:     norm.Topology.Cost,
-		d:     norm.Topology.Delay,
-		relax: opts.RelaxTiming,
+		p:            norm,
+		adj:          adjacency.Build(norm.Circuit),
+		m:            norm.M(),
+		n:            norm.N(),
+		b:            norm.Topology.Cost,
+		d:            norm.Topology.Delay,
+		relax:        opts.RelaxTiming,
+		repReq:       opts.Matrix,
+		repThreshold: opts.MatrixDensityThreshold,
 	}
 	s.penalty = opts.Penalty
 	if s.penalty <= 0 {
@@ -324,13 +360,23 @@ func Solve(ctx context.Context, p *model.Problem, opts Options) (*Result, error)
 	// STEP 2: ω bounds (computed sparsely).
 	s.omega = qmatrix.Omega(s.p, s.adj, s.effectivePenalty())
 
-	// Flat kernels, reusable scratch, and the (optional) worker pool.
+	// Flat kernels, reusable scratch, and the (optional) worker pool. The
+	// η shard boundaries are cut by arc mass, not row count, so
+	// skewed-degree instances keep every worker busy; they depend only on
+	// the matrix and the worker count, never on the iterate, preserving
+	// determinism.
 	s.initKernel()
 	s.ensureScratch(opts.sc)
 	s.pool = newPool(opts.Workers)
 	defer s.pool.close()
+	if s.pool != nil {
+		s.shards = s.csr.BalancedShards(opts.Workers)
+	}
 	s.ck = interrupt.New(ctx, 0)
 	s.stats.Starts = 1
+	s.stats.Matrix = s.rep.String()
+	s.stats.Density = s.csr.Density()
+	s.stats.NNZ = s.csr.NNZ()
 	s.stats.SetupTime = now().Sub(t0)
 	tIter := now()
 
@@ -672,7 +718,9 @@ func (s *solver) autoPenalty() int64 {
 // ordered coupled pair either the raised penalty (violating slot, entry
 // *set* to the penalty as in the paper's §3.3 matrix) or the wire coupling.
 // The per-arc entry comes from the precomputed effective rows, so the loop
-// carries no timing branches.
+// carries no timing branches; the walk is the resolved representation's
+// (O(nnz) CSR stream or dense row scans), with identical accumulation
+// order either way.
 func (s *solver) penalizedValue(u []int) int64 {
 	var v int64
 	if s.linFlat != nil {
@@ -680,11 +728,30 @@ func (s *solver) penalizedValue(u []int) int64 {
 			v += s.linFlat[qmatrix.Pack(i, j, s.m)]
 		}
 	}
+	if s.dns != nil {
+		for j1 := 0; j1 < s.n; j1++ {
+			i1 := u[j1]
+			wrow, crow := s.dns.Row(j1)
+			for j2, c := range crow {
+				if c == sparsemat.NoArc {
+					continue
+				}
+				v += s.kern.Entry(int(c), i1, u[j2], wrow[j2])
+			}
+		}
+		return v
+	}
+	cs := s.csr
 	for j1 := 0; j1 < s.n; j1++ {
 		i1 := u[j1]
-		cls := s.cls[j1]
-		for k, arc := range s.adj.Arcs[j1] {
-			v += s.kern.Entry(cls[k], i1, u[arc.Other], arc.Weight)
+		lo, hi := cs.Row(j1)
+		// Slicing the parallel arc arrays to one shared length lets the
+		// compiler drop the per-arc bounds checks.
+		col := cs.Col[lo:hi]
+		wt := cs.Weight[lo:hi:hi][:len(col)]
+		cl := cs.Class[lo:hi:hi][:len(col)]
+		for k := range col {
+			v += s.kern.Entry(int(cl[k]), i1, u[col[k]], wt[k])
 		}
 	}
 	return v
@@ -715,14 +782,17 @@ func (s *solver) kick(u []int, rng *rand.Rand) {
 	}
 	var targets []int
 	if !s.relax {
+		cs := s.csr
 		seen := make(map[int]bool)
 		for j1 := 0; j1 < s.n; j1++ {
-			for _, arc := range s.adj.Arcs[j1] {
-				if arc.MaxDelay == model.Unconstrained {
+			lo, hi := cs.Row(j1)
+			for k := lo; k < hi; k++ {
+				md := cs.MaxDelay[k]
+				if md == model.Unconstrained {
 					continue
 				}
-				o := u[arc.Other]
-				if s.d[u[j1]][o] > arc.MaxDelay || s.d[o][u[j1]] > arc.MaxDelay {
+				o := u[cs.Col[k]]
+				if s.d[u[j1]][o] > md || s.d[o][u[j1]] > md {
 					if !seen[j1] {
 						seen[j1] = true
 						targets = append(targets, j1)
@@ -770,31 +840,55 @@ func (s *solver) pairCost(iA, iB, c int, w int64) int64 {
 }
 
 // moveDeltaPenalized is the exact change of yᵀQ̂y when moving j to
-// partition to, with everything else fixed at u.
+// partition to, with everything else fixed at u: O(deg(j)) on the CSR
+// path, one row scan on the dense path.
 func (s *solver) moveDeltaPenalized(u []int, j, to int) int64 {
 	cur := u[j]
 	if cur == to {
 		return 0
 	}
 	delta := s.p.LinearAt(to, j) - s.p.LinearAt(cur, j)
-	cls := s.cls[j]
-	for k, arc := range s.adj.Arcs[j] {
-		o := u[arc.Other]
-		c := cls[k]
-		delta += s.pairCost(to, o, c, arc.Weight) - s.pairCost(cur, o, c, arc.Weight)
+	if s.dns != nil {
+		wrow, crow := s.dns.Row(j)
+		for j2, c := range crow {
+			if c == sparsemat.NoArc {
+				continue
+			}
+			o := u[j2]
+			delta += s.pairCost(to, o, int(c), wrow[j2]) - s.pairCost(cur, o, int(c), wrow[j2])
+		}
+		return delta
+	}
+	cs := s.csr
+	lo, hi := cs.Row(j)
+	col := cs.Col[lo:hi]
+	wt := cs.Weight[lo:hi:hi][:len(col)]
+	cl := cs.Class[lo:hi:hi][:len(col)]
+	for k := range col {
+		o := u[col[k]]
+		c := int(cl[k])
+		w := wt[k]
+		delta += s.pairCost(to, o, c, w) - s.pairCost(cur, o, c, w)
 	}
 	return delta
 }
 
 // timingOKAt reports whether component j placed on partition to satisfies
-// all its timing bounds against the current positions in u.
+// all its timing bounds against the current positions in u. Always a CSR
+// walk — the bound scan touches only stored arcs regardless of which
+// representation drives the cost kernels.
 func (s *solver) timingOKAt(u []int, j, to int) bool {
-	for _, arc := range s.adj.Arcs[j] {
-		if arc.MaxDelay == model.Unconstrained {
+	cs := s.csr
+	lo, hi := cs.Row(j)
+	col := cs.Col[lo:hi]
+	bounds := cs.MaxDelay[lo:hi:hi][:len(col)]
+	for k := range col {
+		md := bounds[k]
+		if md == model.Unconstrained {
 			continue
 		}
-		o := u[arc.Other]
-		if s.d[to][o] > arc.MaxDelay || s.d[o][to] > arc.MaxDelay {
+		o := u[col[k]]
+		if s.d[to][o] > md || s.d[o][to] > md {
 			return false
 		}
 	}
@@ -927,9 +1021,7 @@ func (s *solver) polishPassSharded(u []int, loads []int64, preserveFeasible bool
 			loads[bestTo] += s.p.Circuit.Sizes[j]
 			u[j] = bestTo
 			improved = true
-			for _, arc := range s.adj.Arcs[j] {
-				dirty[arc.Other] = true
-			}
+			s.markNeighborsDirty(dirty, j)
 		}
 	}
 	return improved
@@ -1035,9 +1127,7 @@ func (s *solver) strongMoveSweepSharded(t *gains.Table, moveOK func(j, to int) b
 			t.Apply(j, to)
 			cur = to
 			improved = true
-			for _, arc := range s.adj.Arcs[j] {
-				dirty[arc.Other] = true
-			}
+			s.markNeighborsDirty(dirty, j)
 		}
 	}
 	return improved
@@ -1070,12 +1160,8 @@ func (s *solver) strongSwapSweepSharded(t *gains.Table, swapOK func(j1, j2 int) 
 		t.ApplySwap(j1, j2)
 		improved = true
 		dirty[j1], dirty[j2] = true, true
-		for _, arc := range s.adj.Arcs[j1] {
-			dirty[arc.Other] = true
-		}
-		for _, arc := range s.adj.Arcs[j2] {
-			dirty[arc.Other] = true
-		}
+		s.markNeighborsDirty(dirty, j1)
+		s.markNeighborsDirty(dirty, j2)
 	}
 	for j1 := 0; j1 < s.n; j1++ {
 		for j2 := j1 + 1; j2 < s.n; j2++ {
@@ -1094,20 +1180,33 @@ func (s *solver) strongSwapSweepSharded(t *gains.Table, swapOK func(j1, j2 int) 
 	return improved
 }
 
+// markNeighborsDirty marks every CSR partner of j in dirty — the shared
+// invalidation walk of the sharded polish sweeps.
+func (s *solver) markNeighborsDirty(dirty []bool, j int) {
+	cs := s.csr
+	lo, hi := cs.Row(j)
+	for _, o := range cs.Col[lo:hi] {
+		dirty[o] = true
+	}
+}
+
 // repairPairs tries joint relocations of both endpoints of each violated
 // timing constraint — single moves cannot fix a pair whose only legal
 // layouts move both components.
 func (s *solver) repairPairs(u []int, loads []int64) {
+	cs := s.csr
 	for round := 0; round < 4; round++ {
 		fixedAny := false
 		for j1 := 0; j1 < s.n; j1++ {
-			for _, arc := range s.adj.Arcs[j1] {
-				j2 := arc.Other
-				if j2 < j1 || arc.MaxDelay == model.Unconstrained {
+			rlo, rhi := cs.Row(j1)
+			for k := rlo; k < rhi; k++ {
+				j2 := int(cs.Col[k])
+				md := cs.MaxDelay[k]
+				if j2 < j1 || md == model.Unconstrained {
 					continue
 				}
 				s1, s2 := u[j1], u[j2]
-				if s.d[s1][s2] <= arc.MaxDelay && s.d[s2][s1] <= arc.MaxDelay {
+				if s.d[s1][s2] <= md && s.d[s2][s1] <= md {
 					continue // not violated
 				}
 				bestDelta := int64(0)
@@ -1176,29 +1275,32 @@ func (s *solver) jointCapacityOK(u []int, loads []int64, j1, i1, j2, i2 int) boo
 }
 
 // jointDeltaPenalized is the exact yᵀQ̂y change of moving j1→i1 and j2→i2
-// simultaneously.
+// simultaneously: two CSR row walks, O(deg(j1)+deg(j2)).
 func (s *solver) jointDeltaPenalized(u []int, j1, i1, j2, i2 int) int64 {
 	s1, s2 := u[j1], u[j2]
 	delta := s.p.LinearAt(i1, j1) - s.p.LinearAt(s1, j1) +
 		s.p.LinearAt(i2, j2) - s.p.LinearAt(s2, j2)
-	cls1 := s.cls[j1]
-	for k, arc := range s.adj.Arcs[j1] {
-		c := cls1[k]
-		if arc.Other == j2 {
-			delta += s.pairCost(i1, i2, c, arc.Weight) - s.pairCost(s1, s2, c, arc.Weight)
+	cs := s.csr
+	lo, hi := cs.Row(j1)
+	for k := lo; k < hi; k++ {
+		c := int(cs.Class[k])
+		w := cs.Weight[k]
+		if int(cs.Col[k]) == j2 {
+			delta += s.pairCost(i1, i2, c, w) - s.pairCost(s1, s2, c, w)
 			continue
 		}
-		o := u[arc.Other]
-		delta += s.pairCost(i1, o, c, arc.Weight) - s.pairCost(s1, o, c, arc.Weight)
+		o := u[cs.Col[k]]
+		delta += s.pairCost(i1, o, c, w) - s.pairCost(s1, o, c, w)
 	}
-	cls2 := s.cls[j2]
-	for k, arc := range s.adj.Arcs[j2] {
-		if arc.Other == j1 {
+	lo, hi = cs.Row(j2)
+	for k := lo; k < hi; k++ {
+		if int(cs.Col[k]) == j1 {
 			continue // already counted from j1's side
 		}
-		o := u[arc.Other]
-		c := cls2[k]
-		delta += s.pairCost(i2, o, c, arc.Weight) - s.pairCost(s2, o, c, arc.Weight)
+		o := u[cs.Col[k]]
+		c := int(cs.Class[k])
+		w := cs.Weight[k]
+		delta += s.pairCost(i2, o, c, w) - s.pairCost(s2, o, c, w)
 	}
 	return delta
 }
@@ -1402,10 +1504,12 @@ func ConstructiveStart(p *model.Problem, penalty int64) (model.Assignment, error
 	s.initKernel()
 
 	// BFS order seeded by decreasing timing degree.
+	cs := s.csr
 	tdeg := make([]int, s.n)
-	for j, arcs := range s.adj.Arcs {
-		for _, a := range arcs {
-			if a.MaxDelay != model.Unconstrained {
+	for j := 0; j < s.n; j++ {
+		lo, hi := cs.Row(j)
+		for k := lo; k < hi; k++ {
+			if cs.MaxDelay[k] != model.Unconstrained {
 				tdeg[j]++
 			}
 		}
@@ -1433,10 +1537,12 @@ func ConstructiveStart(p *model.Problem, penalty int64) (model.Assignment, error
 			j := queue[0]
 			queue = queue[1:]
 			order = append(order, j)
-			for _, arc := range s.adj.Arcs[j] {
-				if !visited[arc.Other] {
-					visited[arc.Other] = true
-					queue = append(queue, arc.Other)
+			lo, hi := cs.Row(j)
+			for k := lo; k < hi; k++ {
+				o := int(cs.Col[k])
+				if !visited[o] {
+					visited[o] = true
+					queue = append(queue, o)
 				}
 			}
 		}
@@ -1452,12 +1558,13 @@ func ConstructiveStart(p *model.Problem, penalty int64) (model.Assignment, error
 				continue
 			}
 			var cost int64 = norm.LinearAt(i, j)
-			cls := s.cls[j]
-			for k, arc := range s.adj.Arcs[j] {
-				if !placed[arc.Other] {
+			lo, hi := cs.Row(j)
+			for k := lo; k < hi; k++ {
+				o := int(cs.Col[k])
+				if !placed[o] {
 					continue
 				}
-				cost += s.pairCost(i, u[arc.Other], cls[k], arc.Weight)
+				cost += s.pairCost(i, u[o], int(cs.Class[k]), cs.Weight[k])
 			}
 			if cost < bestCost || (cost == bestCost && loads[i] < bestLoad) {
 				bestI, bestCost, bestLoad = i, cost, loads[i]

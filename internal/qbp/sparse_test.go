@@ -1,0 +1,234 @@
+package qbp
+
+// Bit-exactness tests for the coupling-representation choice: the CSR and
+// dense kernels must agree exactly — η columns, penalized values and move
+// deltas, final assignments — across random instances (sparse and dense),
+// every Workers value, and mid-solve cancellation. The representation is a
+// cost model, never a behavior.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adjacency"
+	"repro/internal/model"
+	"repro/internal/qmatrix"
+	"repro/internal/sparsemat"
+	"repro/internal/testgen"
+)
+
+// newTestSolverRep is newTestSolver with a forced coupling representation.
+func newTestSolverRep(p *model.Problem, penalty int64, relax bool, rep sparsemat.Rep) *solver {
+	norm := p.Normalized()
+	s := &solver{
+		p:       norm,
+		adj:     adjacency.Build(norm.Circuit),
+		m:       norm.M(),
+		n:       norm.N(),
+		b:       norm.Topology.Cost,
+		d:       norm.Topology.Delay,
+		penalty: penalty,
+		relax:   relax,
+		repReq:  rep,
+	}
+	s.omega = qmatrix.Omega(norm, s.adj, s.effectivePenalty())
+	s.initKernel()
+	s.sc = newScratch(s.m, s.n)
+	return s
+}
+
+// repTestInstance draws instances across the density spectrum: sparse
+// sampled (bounded average degree), dense Bernoulli, and tiny.
+func repTestInstance(rng *rand.Rand, trial int) *model.Problem {
+	var cfg testgen.Config
+	switch trial % 3 {
+	case 0:
+		cfg = testgen.Config{N: 30 + rng.Intn(40), AvgDegree: 2 + 4*rng.Float64(), TimingProb: 0.4}
+	case 1:
+		cfg = testgen.Config{N: 15 + rng.Intn(20), WireProb: 0.6, TimingProb: 0.4, WithLinear: true}
+	default:
+		cfg = testgen.Config{N: 4 + rng.Intn(6), WireProb: 0.4, TimingProb: 0.5}
+	}
+	p, _ := testgen.Random(rng, cfg)
+	return p
+}
+
+// TestRepKernelsBitExact drives the sparse and dense kernel stacks side by
+// side over the same perturbation sequence and asserts exact equality of η
+// (full and incremental), penalized values, and move/joint deltas.
+func TestRepKernelsBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 18; trial++ {
+		p := repTestInstance(rng, trial)
+		relax := trial%5 == 4
+		sp := newTestSolverRep(p, DefaultPenalty, relax, sparsemat.RepSparse)
+		dn := newTestSolverRep(p, DefaultPenalty, relax, sparsemat.RepDense)
+		if sp.dns != nil || dn.dns == nil {
+			t.Fatalf("trial %d: forced representations not honored", trial)
+		}
+		u := make([]int, sp.n)
+		for j := range u {
+			u[j] = rng.Intn(sp.m)
+		}
+		withOmega := trial%2 == 0
+		for step := 0; step < 8; step++ {
+			gotS := sp.refreshEta(u, withOmega)
+			gotD := dn.refreshEta(u, withOmega)
+			for r := range gotS {
+				if gotS[r] != gotD[r] {
+					i, j := qmatrix.Unpack(r, sp.m)
+					t.Fatalf("trial %d step %d: η[%d][%d] sparse %d vs dense %d",
+						trial, step, i, j, gotS[r], gotD[r])
+				}
+			}
+			if vs, vd := sp.penalizedValue(u), dn.penalizedValue(u); vs != vd {
+				t.Fatalf("trial %d step %d: penalizedValue sparse %d vs dense %d", trial, step, vs, vd)
+			}
+			j, to := rng.Intn(sp.n), rng.Intn(sp.m)
+			if ds, dd := sp.moveDeltaPenalized(u, j, to), dn.moveDeltaPenalized(u, j, to); ds != dd {
+				t.Fatalf("trial %d step %d: moveDelta sparse %d vs dense %d", trial, step, ds, dd)
+			}
+			j2 := rng.Intn(sp.n)
+			i1, i2 := rng.Intn(sp.m), rng.Intn(sp.m)
+			if j2 != j {
+				if ds, dd := sp.jointDeltaPenalized(u, j, i1, j2, i2), dn.jointDeltaPenalized(u, j, i1, j2, i2); ds != dd {
+					t.Fatalf("trial %d step %d: jointDelta sparse %d vs dense %d", trial, step, ds, dd)
+				}
+			}
+			// Perturb: sometimes one component, sometimes many (forcing the
+			// full-rebuild heuristic on the next refresh).
+			for x := 0; x < 1+(step%3)*sp.n/3; x++ {
+				u[rng.Intn(sp.n)] = rng.Intn(sp.m)
+			}
+		}
+	}
+}
+
+// checkRepEquality solves one instance under both forced representations
+// (and auto), across Workers values, asserting identical results.
+func checkRepEquality(t *testing.T, seed int64, iterations, workers int, relax bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := repTestInstance(rng, int(seed))
+	base := Options{Iterations: iterations, Seed: seed, RelaxTiming: relax}
+	base.Matrix = sparsemat.RepSparse
+	ref, err := Solve(context.Background(), p, base)
+	if err != nil {
+		t.Fatalf("seed %d sparse: %v", seed, err)
+	}
+	if ref.Stats.Matrix != "sparse" {
+		t.Fatalf("seed %d: forced sparse reported %q", seed, ref.Stats.Matrix)
+	}
+	for _, rep := range []sparsemat.Rep{sparsemat.RepDense, sparsemat.RepAuto} {
+		o := base
+		o.Matrix = rep
+		o.Workers = workers
+		got, err := Solve(context.Background(), p, o)
+		if err != nil {
+			t.Fatalf("seed %d rep=%v: %v", seed, rep, err)
+		}
+		if got.Objective != ref.Objective || got.Penalized != ref.Penalized || got.Feasible != ref.Feasible {
+			t.Fatalf("seed %d rep=%v workers=%d: %d/%d/%v, want %d/%d/%v", seed, rep, workers,
+				got.Objective, got.Penalized, got.Feasible, ref.Objective, ref.Penalized, ref.Feasible)
+		}
+		for j := range ref.Assignment {
+			if got.Assignment[j] != ref.Assignment[j] {
+				t.Fatalf("seed %d rep=%v workers=%d: assignment diverged at component %d", seed, rep, workers, j)
+			}
+		}
+		if got.Stats.Matrix == "" || got.Stats.NNZ != ref.Stats.NNZ || got.Stats.Density != ref.Stats.Density {
+			t.Fatalf("seed %d rep=%v: stats matrix=%q nnz=%d density=%v, want nnz=%d density=%v",
+				seed, rep, got.Stats.Matrix, got.Stats.NNZ, got.Stats.Density, ref.Stats.NNZ, ref.Stats.Density)
+		}
+	}
+}
+
+// TestRepEquality is the end-to-end contract: same seed ⇒ same assignment
+// regardless of representation or Workers.
+func TestRepEquality(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		checkRepEquality(t, seed, 12, 1+int(seed%4)*3, seed%4 == 3)
+	}
+}
+
+func FuzzRepEquality(f *testing.F) {
+	f.Add(int64(1), 5, 1, false)
+	f.Add(int64(2), 10, 3, false)
+	f.Add(int64(3), 8, 7, true)
+	f.Fuzz(func(t *testing.T, seed int64, iterations, workers int, relax bool) {
+		if iterations < 1 || iterations > 20 || workers < 1 || workers > 8 {
+			t.Skip()
+		}
+		checkRepEquality(t, seed, iterations, workers, relax)
+	})
+}
+
+// TestRepEqualityUnderCancellation cancels both representations' solves at
+// the same iteration boundary and asserts they stop on the same incumbent:
+// the PR 4 determinism-under-cancellation contract is representation-blind.
+func TestRepEqualityUnderCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		p := repTestInstance(rng, trial)
+		stopAt := 3 + trial
+		run := func(rep sparsemat.Rep) *Result {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			res, err := Solve(ctx, p, Options{
+				Iterations: 50,
+				Seed:       int64(trial),
+				Matrix:     rep,
+				OnIteration: func(it Iteration) {
+					if it.K == stopAt {
+						cancel()
+					}
+				},
+			})
+			if err != nil {
+				t.Fatalf("trial %d rep=%v: %v", trial, rep, err)
+			}
+			return res
+		}
+		ref := run(sparsemat.RepSparse)
+		got := run(sparsemat.RepDense)
+		if !ref.Stopped || !got.Stopped {
+			t.Fatalf("trial %d: stopped sparse=%v dense=%v, want both", trial, ref.Stopped, got.Stopped)
+		}
+		if got.Objective != ref.Objective || got.Penalized != ref.Penalized {
+			t.Fatalf("trial %d: cancelled objectives diverged: %d/%d vs %d/%d",
+				trial, got.Objective, got.Penalized, ref.Objective, ref.Penalized)
+		}
+		for j := range ref.Assignment {
+			if got.Assignment[j] != ref.Assignment[j] {
+				t.Fatalf("trial %d: cancelled assignment diverged at component %d", trial, j)
+			}
+		}
+	}
+}
+
+// TestMatrixOptionValidation pins the Options.Matrix contract: out-of-range
+// values error up front, valid ones resolve and are reported in the stats.
+func TestMatrixOptionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p, _ := testgen.Random(rng, testgen.Config{N: 12})
+	if _, err := Solve(context.Background(), p, Options{Iterations: 1, Matrix: sparsemat.Rep(99)}); err == nil {
+		t.Fatal("invalid Matrix value must be rejected")
+	}
+	res, err := Solve(context.Background(), p, Options{Iterations: 1, Matrix: sparsemat.RepDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Matrix != "dense" || res.Stats.NNZ == 0 || res.Stats.Density <= 0 {
+		t.Fatalf("stats not populated: matrix=%q nnz=%d density=%v",
+			res.Stats.Matrix, res.Stats.NNZ, res.Stats.Density)
+	}
+	// A tiny threshold flips auto to dense on any coupled instance.
+	res, err = Solve(context.Background(), p, Options{Iterations: 1, MatrixDensityThreshold: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Matrix != "dense" {
+		t.Fatalf("threshold override ignored: resolved %q", res.Stats.Matrix)
+	}
+}

@@ -1,0 +1,262 @@
+// Package sparsemat holds the coupling-matrix representations behind the
+// solve kernels. The paper's instances are netlists, and netlist coupling
+// matrices a[j1][j2] are overwhelmingly sparse (bounded fan-out), so the
+// canonical representation here is CSR: per-component neighbor lists stored
+// as four flat, contiguous arrays — no per-row slice headers, no pointer
+// chasing, one cache stream per kernel pass. A dense row-major mirror is
+// kept for instances whose coupling graph genuinely fills up (a dense row
+// scan has no index indirection at all), with automatic selection between
+// the two by measured density.
+//
+// Every representation enumerates exactly the same coupling multiset in the
+// same (ascending-partner) order, and the kernels consuming them accumulate
+// in exact int64 arithmetic — so dense and sparse paths are bit-identical by
+// construction, and the choice is purely a cost model.
+package sparsemat
+
+import (
+	"fmt"
+
+	"repro/internal/adjacency"
+	"repro/internal/flatmat"
+	"repro/internal/model"
+)
+
+// UnconstrainedClass marks arcs without a finite timing bound; it matches
+// flatmat.UnconstrainedClass, the value the effective-row kernel dispatches
+// on.
+const UnconstrainedClass = flatmat.UnconstrainedClass
+
+// NoArc is the Dense class entry of component pairs with no coupling at all
+// (no wire and no timing bound). Distinct from UnconstrainedClass, which
+// still carries a wire weight.
+const NoArc = -2
+
+// CSR is the compressed-sparse-row coupling matrix: row j's arcs occupy the
+// index range [RowPtr[j], RowPtr[j+1]) of the parallel Col/Weight/Class/
+// MaxDelay arrays. Within a row, Col is strictly ascending (inherited from
+// adjacency.Lists). Build once per solve with FromLists; immutable
+// afterwards and safe for concurrent readers.
+type CSR struct {
+	N        int
+	RowPtr   []int32 // len N+1
+	Col      []int32 // len nnz: partner component index
+	Weight   []int64 // len nnz: aggregated wire weight (0 for timing-only arcs)
+	Class    []int32 // len nnz: delay class, UnconstrainedClass when unbounded
+	MaxDelay []int64 // len nnz: tightest timing bound, model.Unconstrained when none
+}
+
+// FromLists flattens adjacency lists (plus their per-arc delay classes, as
+// produced by adjacency.Lists.DelayClasses) into CSR. A nil classes marks
+// every arc UnconstrainedClass — the relaxed-timing configuration, where the
+// bounds are ignored entirely.
+func FromLists(l *adjacency.Lists, classes [][]int) *CSR {
+	nnz := l.NNZ()
+	c := &CSR{
+		N:        l.N,
+		RowPtr:   make([]int32, l.N+1),
+		Col:      make([]int32, nnz),
+		Weight:   make([]int64, nnz),
+		Class:    make([]int32, nnz),
+		MaxDelay: make([]int64, nnz),
+	}
+	k := 0
+	for j, arcs := range l.Arcs {
+		c.RowPtr[j] = int32(k)
+		for x, a := range arcs {
+			c.Col[k] = int32(a.Other)
+			c.Weight[k] = a.Weight
+			c.Class[k] = UnconstrainedClass
+			if classes != nil && classes[j] != nil {
+				c.Class[k] = int32(classes[j][x])
+			}
+			c.MaxDelay[k] = a.MaxDelay
+			k++
+		}
+	}
+	c.RowPtr[l.N] = int32(k)
+	return c
+}
+
+// NNZ returns the number of stored arcs (both directions of each coupled
+// pair).
+func (c *CSR) NNZ() int { return len(c.Col) }
+
+// Degree returns the number of distinct partners of component j.
+func (c *CSR) Degree(j int) int { return int(c.RowPtr[j+1] - c.RowPtr[j]) }
+
+// Row returns the index range of component j's arcs in the parallel arrays.
+func (c *CSR) Row(j int) (lo, hi int) { return int(c.RowPtr[j]), int(c.RowPtr[j+1]) }
+
+// Density is the fraction of ordered off-diagonal pairs that carry a
+// coupling: NNZ / (N·(N−1)). Zero for N < 2.
+func (c *CSR) Density() float64 {
+	if c.N < 2 {
+		return 0
+	}
+	return float64(c.NNZ()) / (float64(c.N) * float64(c.N-1))
+}
+
+// WireWeight returns the aggregated wire weight between j1 and j2 (0 when
+// uncoupled), by binary search over j1's ascending partner row.
+func (c *CSR) WireWeight(j1, j2 int) int64 {
+	if k := c.find(j1, j2); k >= 0 {
+		return c.Weight[k]
+	}
+	return 0
+}
+
+// PairMaxDelay returns the tightest timing bound between j1 and j2
+// (model.Unconstrained when the pair carries none).
+func (c *CSR) PairMaxDelay(j1, j2 int) int64 {
+	if k := c.find(j1, j2); k >= 0 {
+		return c.MaxDelay[k]
+	}
+	return model.Unconstrained
+}
+
+// find locates the arc (j1, j2) in j1's row, -1 when absent.
+func (c *CSR) find(j1, j2 int) int {
+	lo, hi := c.Row(j1)
+	t := int32(j2)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.Col[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(c.RowPtr[j1+1]) && c.Col[lo] == t {
+		return lo
+	}
+	return -1
+}
+
+// BalancedShards splits the rows [0, N) into parts contiguous ranges of
+// near-equal arc mass and returns the parts+1 boundary list. Each row is
+// weighted by its degree plus one — the "+1" charges the per-column fixed
+// work (zeroing, linear/ω terms) so empty rows still count — which keeps
+// worker shards balanced on skewed-degree instances where equal row counts
+// are not equal work. The boundaries depend only on the matrix and parts,
+// never on the assignment, so sharded kernels stay deterministic.
+func (c *CSR) BalancedShards(parts int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	bounds := make([]int, parts+1)
+	total := int64(c.NNZ()) + int64(c.N)
+	b := 1
+	var acc int64
+	for j := 0; j < c.N && b < parts; j++ {
+		acc += int64(c.Degree(j)) + 1
+		for b < parts && acc*int64(parts) >= int64(b)*total {
+			bounds[b] = j + 1
+			b++
+		}
+	}
+	for ; b <= parts; b++ {
+		bounds[b] = c.N
+	}
+	return bounds
+}
+
+// Dense is the row-major dense mirror: entry (j1, j2) lives at j1·N + j2.
+// Class is NoArc where the pair carries no coupling, so a row scan skips
+// non-entries with a single comparison and no index array.
+type Dense struct {
+	N      int
+	Weight []int64 // N×N
+	Class  []int32 // N×N, NoArc for absent pairs
+}
+
+// ToDense materializes the dense mirror. O(N²) memory — callers gate this
+// behind the density threshold (or an explicit user override).
+func (c *CSR) ToDense() *Dense {
+	n := c.N
+	d := &Dense{
+		N:      n,
+		Weight: make([]int64, n*n),
+		Class:  make([]int32, n*n),
+	}
+	for r := range d.Class {
+		d.Class[r] = NoArc
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := c.Row(j)
+		base := j * n
+		for k := lo; k < hi; k++ {
+			d.Weight[base+int(c.Col[k])] = c.Weight[k]
+			d.Class[base+int(c.Col[k])] = c.Class[k]
+		}
+	}
+	return d
+}
+
+// Row returns the contiguous weight and class rows of component j.
+func (d *Dense) Row(j int) (w []int64, cls []int32) {
+	return d.Weight[j*d.N : (j+1)*d.N], d.Class[j*d.N : (j+1)*d.N]
+}
+
+// Rep selects the coupling representation behind the solve kernels.
+type Rep int
+
+const (
+	// RepAuto picks by density: CSR below DefaultDensityThreshold (or the
+	// caller's override), dense at or above it.
+	RepAuto Rep = iota
+	// RepSparse forces the CSR kernels.
+	RepSparse
+	// RepDense forces the dense row-scan kernels.
+	RepDense
+)
+
+// DefaultDensityThreshold is the auto-selection crossover. Both kernel
+// families pay the identical fused effective-row arithmetic per stored arc;
+// the dense scan saves only the per-arc column indirection and in exchange
+// visits every non-entry slot (plus an O(N²) mirror build per solve), so it
+// can win only when nearly every slot holds an arc. Netlists never get
+// close; only near-complete coupling graphs (random QAP-style instances)
+// cross it.
+const DefaultDensityThreshold = 0.9
+
+// String returns the flag spelling of r.
+func (r Rep) String() string {
+	switch r {
+	case RepSparse:
+		return "sparse"
+	case RepDense:
+		return "dense"
+	default:
+		return "auto"
+	}
+}
+
+// ParseRep parses the -matrix flag spelling.
+func ParseRep(s string) (Rep, error) {
+	switch s {
+	case "auto", "":
+		return RepAuto, nil
+	case "sparse":
+		return RepSparse, nil
+	case "dense":
+		return RepDense, nil
+	}
+	return RepAuto, fmt.Errorf("sparsemat: unknown representation %q (want auto, sparse or dense)", s)
+}
+
+// Resolve turns a requested representation into a concrete one for this
+// matrix: explicit requests pass through, RepAuto compares the measured
+// density against threshold (≤ 0 means DefaultDensityThreshold).
+func (c *CSR) Resolve(r Rep, threshold float64) Rep {
+	if r != RepAuto {
+		return r
+	}
+	if threshold <= 0 {
+		threshold = DefaultDensityThreshold
+	}
+	if c.Density() >= threshold {
+		return RepDense
+	}
+	return RepSparse
+}

@@ -1,0 +1,227 @@
+package sparsemat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adjacency"
+	"repro/internal/model"
+)
+
+// randomCircuit draws a circuit with roughly avgDeg distinct partners per
+// component and a timing bound on about a third of the coupled pairs.
+func randomCircuit(rng *rand.Rand, n int, avgDeg float64) *model.Circuit {
+	c := &model.Circuit{Name: "sm", Sizes: make([]int64, n)}
+	for j := range c.Sizes {
+		c.Sizes[j] = 1
+	}
+	pairs := int(float64(n) * avgDeg / 2)
+	for p := 0; p < pairs; p++ {
+		j1, j2 := rng.Intn(n), rng.Intn(n)
+		if j1 == j2 {
+			continue
+		}
+		c.Wires = append(c.Wires, model.Wire{From: j1, To: j2, Weight: 1 + rng.Int63n(5)})
+		if rng.Intn(3) == 0 {
+			c.Timing = append(c.Timing, model.TimingConstraint{From: j1, To: j2, MaxDelay: 1 + rng.Int63n(4)})
+		}
+	}
+	// A timing-only pair exercises the weight-0 arcs.
+	if n >= 2 {
+		c.Timing = append(c.Timing, model.TimingConstraint{From: 0, To: n - 1, MaxDelay: 2})
+	}
+	return c
+}
+
+func TestFromListsMirrorsAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		l := adjacency.Build(randomCircuit(rng, n, 1+4*rng.Float64()))
+		_, classes := l.DelayClasses()
+		c := FromLists(l, classes)
+		if c.N != l.N || c.NNZ() != l.NNZ() {
+			t.Fatalf("trial %d: shape N=%d nnz=%d, want %d/%d", trial, c.N, c.NNZ(), l.N, l.NNZ())
+		}
+		for j := 0; j < n; j++ {
+			lo, hi := c.Row(j)
+			if hi-lo != len(l.Arcs[j]) || c.Degree(j) != l.Degree(j) {
+				t.Fatalf("trial %d: row %d length %d, want %d", trial, j, hi-lo, len(l.Arcs[j]))
+			}
+			for x, a := range l.Arcs[j] {
+				k := lo + x
+				if int(c.Col[k]) != a.Other || c.Weight[k] != a.Weight || c.MaxDelay[k] != a.MaxDelay {
+					t.Fatalf("trial %d: arc (%d,%d) diverged", trial, j, a.Other)
+				}
+				if int(c.Class[k]) != classes[j][x] {
+					t.Fatalf("trial %d: class of arc (%d,%d) = %d, want %d",
+						trial, j, a.Other, c.Class[k], classes[j][x])
+				}
+				if x > 0 && c.Col[k] <= c.Col[k-1] {
+					t.Fatalf("trial %d: row %d not strictly ascending", trial, j)
+				}
+			}
+		}
+	}
+}
+
+func TestNilClassesMarkEverythingUnconstrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := adjacency.Build(randomCircuit(rng, 20, 3))
+	c := FromLists(l, nil)
+	for k := range c.Class {
+		if c.Class[k] != UnconstrainedClass {
+			t.Fatalf("arc %d: class %d, want UnconstrainedClass", k, c.Class[k])
+		}
+	}
+}
+
+func TestPairLookups(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := adjacency.Build(randomCircuit(rng, 30, 4))
+	c := FromLists(l, nil)
+	for j1 := 0; j1 < c.N; j1++ {
+		for j2 := 0; j2 < c.N; j2++ {
+			if got, want := c.WireWeight(j1, j2), l.WireWeight(j1, j2); got != want {
+				t.Fatalf("WireWeight(%d,%d) = %d, want %d", j1, j2, got, want)
+			}
+			if got, want := c.PairMaxDelay(j1, j2), l.MaxDelay(j1, j2); got != want {
+				t.Fatalf("PairMaxDelay(%d,%d) = %d, want %d", j1, j2, got, want)
+			}
+		}
+	}
+}
+
+func TestToDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := adjacency.Build(randomCircuit(rng, 25, 5))
+	_, classes := l.DelayClasses()
+	c := FromLists(l, classes)
+	d := c.ToDense()
+	for j1 := 0; j1 < c.N; j1++ {
+		w, cls := d.Row(j1)
+		for j2 := 0; j2 < c.N; j2++ {
+			k := c.find(j1, j2)
+			switch {
+			case k < 0:
+				if cls[j2] != NoArc || w[j2] != 0 {
+					t.Fatalf("(%d,%d): dense entry for absent arc", j1, j2)
+				}
+			default:
+				if cls[j2] != c.Class[k] || w[j2] != c.Weight[k] {
+					t.Fatalf("(%d,%d): dense (%d,%d), want (%d,%d)",
+						j1, j2, cls[j2], w[j2], c.Class[k], c.Weight[k])
+				}
+			}
+		}
+	}
+}
+
+func TestBalancedShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		l := adjacency.Build(randomCircuit(rng, n+1, 8*rng.Float64()))
+		c := FromLists(l, nil)
+		for _, parts := range []int{1, 2, 3, 7, 16} {
+			bounds := c.BalancedShards(parts)
+			if len(bounds) != parts+1 || bounds[0] != 0 || bounds[parts] != c.N {
+				t.Fatalf("trial %d parts=%d: bad boundary frame %v", trial, parts, bounds)
+			}
+			total := int64(c.NNZ() + c.N)
+			target := total / int64(parts)
+			for s := 0; s < parts; s++ {
+				if bounds[s] > bounds[s+1] {
+					t.Fatalf("trial %d parts=%d: non-monotone bounds %v", trial, parts, bounds)
+				}
+				var mass int64
+				var maxRow int64
+				for j := bounds[s]; j < bounds[s+1]; j++ {
+					w := int64(c.Degree(j)) + 1
+					mass += w
+					if w > maxRow {
+						maxRow = w
+					}
+				}
+				// A shard can exceed the ideal target by at most one row
+				// (rows are indivisible).
+				if mass > target+maxRow && parts > 1 {
+					t.Fatalf("trial %d parts=%d shard %d: mass %d exceeds target %d + max row %d",
+						trial, parts, s, mass, target, maxRow)
+				}
+			}
+		}
+	}
+}
+
+func TestBalancedShardsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := adjacency.Build(randomCircuit(rng, 100, 6))
+	c := FromLists(l, nil)
+	a, b := c.BalancedShards(7), c.BalancedShards(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("boundary %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRepResolveAndParse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sparse := FromLists(adjacency.Build(randomCircuit(rng, 100, 3)), nil)
+	if got := sparse.Resolve(RepAuto, 0); got != RepSparse {
+		t.Fatalf("auto on sparse matrix resolved to %v", got)
+	}
+	// A near-complete coupling graph resolves dense.
+	c := &model.Circuit{Name: "full", Sizes: make([]int64, 12)}
+	for j := range c.Sizes {
+		c.Sizes[j] = 1
+	}
+	for j1 := 0; j1 < 12; j1++ {
+		for j2 := j1 + 1; j2 < 12; j2++ {
+			c.Wires = append(c.Wires, model.Wire{From: j1, To: j2, Weight: 1})
+		}
+	}
+	full := FromLists(adjacency.Build(c), nil)
+	if got := full.Resolve(RepAuto, 0); got != RepDense {
+		t.Fatalf("auto on complete matrix resolved to %v", got)
+	}
+	// Explicit requests pass through; threshold overrides flip auto.
+	if full.Resolve(RepSparse, 0) != RepSparse || sparse.Resolve(RepDense, 0) != RepDense {
+		t.Fatal("explicit representation request did not pass through")
+	}
+	if sparse.Resolve(RepAuto, 1e-9) != RepDense {
+		t.Fatal("tiny threshold should force dense")
+	}
+
+	for _, tc := range []struct {
+		in   string
+		want Rep
+		ok   bool
+	}{
+		{"auto", RepAuto, true}, {"", RepAuto, true},
+		{"sparse", RepSparse, true}, {"dense", RepDense, true},
+		{"csr", RepAuto, false},
+	} {
+		got, err := ParseRep(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseRep(%q) = (%v, %v)", tc.in, got, err)
+		}
+	}
+	if RepAuto.String() != "auto" || RepSparse.String() != "sparse" || RepDense.String() != "dense" {
+		t.Fatal("Rep.String spelling drifted from the flag vocabulary")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	empty := FromLists(adjacency.Build(&model.Circuit{Name: "e", Sizes: []int64{1}}), nil)
+	if empty.Density() != 0 {
+		t.Fatal("single-component density must be 0")
+	}
+	c := &model.Circuit{Name: "pair", Sizes: []int64{1, 1},
+		Wires: []model.Wire{{From: 0, To: 1, Weight: 1}}}
+	pair := FromLists(adjacency.Build(c), nil)
+	if pair.Density() != 1 {
+		t.Fatalf("fully-coupled pair density = %v, want 1", pair.Density())
+	}
+}

@@ -13,11 +13,18 @@ import (
 
 // Config controls Random.
 type Config struct {
-	N           int     // components (required)
-	GridRows    int     // default 2
-	GridCols    int     // default 2
-	MaxSize     int64   // component sizes in [1, MaxSize]; default 4
-	WireProb    float64 // per-pair wire probability; default 0.5
+	N        int     // components (required)
+	GridRows int     // default 2
+	GridCols int     // default 2
+	MaxSize  int64   // component sizes in [1, MaxSize]; default 4
+	WireProb float64 // per-pair wire probability; default 0.5
+	// AvgDegree > 0 switches wire generation from the per-pair Bernoulli
+	// draw (WireProb, dense in N²) to sparse sampling: about N·AvgDegree/2
+	// random pairs get a wire, so large instances come out with bounded
+	// average fan-out (realistic netlist sparsity) at O(N·AvgDegree)
+	// generation cost. Timing constraints then attach to the sampled
+	// pairs with probability TimingProb. Zero keeps the dense default.
+	AvgDegree   float64
 	MaxWeight   int64   // wire weights in [1, MaxWeight]; default 3
 	TimingProb  float64 // per-pair timing-constraint probability; default 0.3
 	TimingSlack int64   // D_C = golden distance + [0, TimingSlack]; default 1
@@ -73,18 +80,37 @@ func Random(rng *rand.Rand, cfg Config) (*model.Problem, model.Assignment) {
 		golden[j] = rng.Intn(m)
 		loads[golden[j]] += c.Sizes[j]
 	}
-	for j1 := 0; j1 < cfg.N; j1++ {
-		for j2 := j1 + 1; j2 < cfg.N; j2++ {
-			if rng.Float64() < cfg.WireProb {
-				c.Wires = append(c.Wires, model.Wire{
-					From: j1, To: j2, Weight: 1 + rng.Int63n(cfg.MaxWeight),
-				})
+	if cfg.AvgDegree > 0 {
+		pairs := int(float64(cfg.N) * cfg.AvgDegree / 2)
+		for t := 0; t < pairs; t++ {
+			j1, j2 := rng.Intn(cfg.N), rng.Intn(cfg.N)
+			if j1 == j2 {
+				continue
 			}
+			c.Wires = append(c.Wires, model.Wire{
+				From: j1, To: j2, Weight: 1 + rng.Int63n(cfg.MaxWeight),
+			})
 			if rng.Float64() < cfg.TimingProb {
 				bound := dist[golden[j1]][golden[j2]] + rng.Int63n(cfg.TimingSlack+1)
 				c.Timing = append(c.Timing, model.TimingConstraint{
 					From: j1, To: j2, MaxDelay: bound,
 				})
+			}
+		}
+	} else {
+		for j1 := 0; j1 < cfg.N; j1++ {
+			for j2 := j1 + 1; j2 < cfg.N; j2++ {
+				if rng.Float64() < cfg.WireProb {
+					c.Wires = append(c.Wires, model.Wire{
+						From: j1, To: j2, Weight: 1 + rng.Int63n(cfg.MaxWeight),
+					})
+				}
+				if rng.Float64() < cfg.TimingProb {
+					bound := dist[golden[j1]][golden[j2]] + rng.Int63n(cfg.TimingSlack+1)
+					c.Timing = append(c.Timing, model.TimingConstraint{
+						From: j1, To: j2, MaxDelay: bound,
+					})
+				}
 			}
 		}
 	}
