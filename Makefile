@@ -28,11 +28,13 @@ bench:
 	$(GO) run ./cmd/benchjson -o $(BENCHJSON) $$tmp/tables.txt $$tmp/micro.txt; \
 	echo "wrote $(BENCHJSON)"
 
-# Perf-trajectory report: per-benchmark median deltas between the previous
-# committed snapshot and the current one; exits nonzero when any shared
-# benchmark regressed past ×1.25 (CI runs it non-blocking — snapshots come
-# from different machines).
-BENCH_OLD ?= BENCH_PR2.json
+# Perf gate: per-benchmark median deltas between the committed baseline and
+# the current snapshot; exits nonzero when any shared benchmark regressed
+# past ×1.25. CI runs this blocking. To accept an intentional perf change,
+# refresh both files on one machine and commit them together:
+#
+#	make bench && cp $(BENCHJSON) BENCH_BASELINE.json
+BENCH_OLD ?= BENCH_BASELINE.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare -threshold 1.25 $(BENCH_OLD) $(BENCHJSON)
 

@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -27,79 +28,100 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: flags parse from args,
+// reports go to stdout, errors and progress to stderr, and the process exit
+// code is the return value (0 ok, 1 failure, 2 usage error / infeasible
+// check).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qbpart", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in         = flag.String("in", "", "problem file (required)")
-		method     = flag.String("method", "qbp", "solver: qbp, gfm, gkl or sa")
-		iterations = flag.Int("iterations", 100, "QBP iterations (must be >= 1)")
-		relax      = flag.Bool("relax-timing", false, "ignore timing constraints (Table II mode)")
-		seed       = flag.Int64("seed", 0, "random seed")
-		initial    = flag.String("initial", "", "initial assignment file (default: generated feasible start)")
-		out        = flag.String("o", "", "write the final assignment to this file")
-		multistart = flag.Int("multistart", 1, "independent QBP starts run concurrently (qbp only, must be >= 1)")
-		workers    = flag.Int("workers", 1, "goroutines sharding each solve's inner loops; results are identical for any value (qbp only, must be >= 1)")
-		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the solve; at expiry the best solution found so far is reported (0 = none)")
-		progress   = flag.Duration("progress", 0, "print a progress line to stderr at most this often (qbp only, 0 = off)")
-		matrix     = flag.String("matrix", "auto", "coupling-matrix representation: auto, sparse or dense (qbp only; results are identical for any value)")
-		check      = flag.String("check", "", "validate this assignment file against the problem and exit")
-		show       = flag.Bool("show", false, "render the placement grid and wire-length histogram (square grids)")
+		in         = fs.String("in", "", "problem file (required)")
+		method     = fs.String("method", "qbp", "solver: qbp, gfm, gkl or sa")
+		iterations = fs.Int("iterations", 100, "QBP iterations (must be >= 1)")
+		relax      = fs.Bool("relax-timing", false, "ignore timing constraints (Table II mode)")
+		seed       = fs.Int64("seed", 0, "random seed")
+		initial    = fs.String("initial", "", "initial assignment file (default: generated feasible start)")
+		out        = fs.String("o", "", "write the final assignment to this file")
+		multistart = fs.Int("multistart", 1, "independent QBP starts run concurrently (qbp only, must be >= 1)")
+		workers    = fs.Int("workers", 1, "goroutines sharding each solve's inner loops; results are identical for any value (qbp only, must be >= 1)")
+		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the solve; at expiry the best solution found so far is reported (0 = none)")
+		progress   = fs.Duration("progress", 0, "print a progress line to stderr at most this often (qbp only, 0 = off)")
+		matrix     = fs.String("matrix", "auto", "coupling-matrix representation: auto, sparse or dense (qbp only; results are identical for any value)")
+		check      = fs.String("check", "", "validate this assignment file against the problem and exit")
+		show       = fs.Bool("show", false, "render the placement grid and wire-length histogram (square grids)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	usageError := func(msg string) int {
+		fmt.Fprintln(stderr, "qbpart:", msg)
+		fs.Usage()
+		return 2
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "qbpart:", err)
+		return 1
+	}
 	if *in == "" {
-		usageError("-in is required")
+		return usageError("-in is required")
 	}
 	// Validate numeric knobs up front: the packages behind the facade each
 	// apply their own defaulting to out-of-range values (and qbp and sa
 	// disagree on what a non-positive count means), so a typo like
 	// -multistart 0 must be a usage error here, not a silent reinterpretation.
 	if *iterations < 1 {
-		usageError(fmt.Sprintf("-iterations must be >= 1 (got %d)", *iterations))
+		return usageError(fmt.Sprintf("-iterations must be >= 1 (got %d)", *iterations))
 	}
 	if *multistart < 1 {
-		usageError(fmt.Sprintf("-multistart must be >= 1 (got %d)", *multistart))
+		return usageError(fmt.Sprintf("-multistart must be >= 1 (got %d)", *multistart))
 	}
 	if *workers < 1 {
-		usageError(fmt.Sprintf("-workers must be >= 1 (got %d)", *workers))
+		return usageError(fmt.Sprintf("-workers must be >= 1 (got %d)", *workers))
 	}
 	if *timeout < 0 {
-		usageError(fmt.Sprintf("-timeout must be >= 0 (got %v)", *timeout))
+		return usageError(fmt.Sprintf("-timeout must be >= 0 (got %v)", *timeout))
 	}
 	if *progress < 0 {
-		usageError(fmt.Sprintf("-progress must be >= 0 (got %v)", *progress))
+		return usageError(fmt.Sprintf("-progress must be >= 0 (got %v)", *progress))
 	}
 	matrixRep, merr := partition.ParseMatrixRep(*matrix)
 	if merr != nil {
-		usageError(fmt.Sprintf("-matrix must be auto, sparse or dense (got %q)", *matrix))
+		return usageError(fmt.Sprintf("-matrix must be auto, sparse or dense (got %q)", *matrix))
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	p, err := partition.ReadProblem(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	if *check != "" {
 		cf, cerr := os.Open(*check)
 		if cerr != nil {
-			fatal(cerr)
+			return fatal(cerr)
 		}
 		a, cerr := partition.ReadAssignment(cf)
 		cf.Close()
 		if cerr != nil {
-			fatal(cerr)
+			return fatal(cerr)
 		}
 		report, cerr := partition.Validate(p, a)
 		if cerr != nil {
-			fatal(cerr)
+			return fatal(cerr)
 		}
-		fmt.Print(report)
+		fmt.Fprint(stdout, report)
 		if !report.Feasible {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	// One deadline bounds the whole run (feasible-start generation plus the
@@ -116,20 +138,20 @@ func main() {
 	if *initial != "" {
 		af, aerr := os.Open(*initial)
 		if aerr != nil {
-			fatal(aerr)
+			return fatal(aerr)
 		}
 		start, aerr = partition.ReadAssignment(af)
 		af.Close()
 		if aerr != nil {
-			fatal(aerr)
+			return fatal(aerr)
 		}
 	} else {
 		t0 := time.Now()
 		start, err = partition.FeasibleStart(ctx, p, *seed, 40)
 		if err != nil {
-			fatal(fmt.Errorf("generating feasible start: %w", err))
+			return fatal(fmt.Errorf("generating feasible start: %w", err))
 		}
-		fmt.Fprintf(os.Stderr, "feasible start: wire length %d (%.2fs)\n",
+		fmt.Fprintf(stderr, "feasible start: wire length %d (%.2fs)\n",
 			p.WireLength(start), time.Since(t0).Seconds())
 	}
 
@@ -146,7 +168,7 @@ func main() {
 			Seed:        *seed,
 			Workers:     *workers,
 			Matrix:      matrixRep,
-			OnProgress:  progressPrinter(*progress),
+			OnProgress:  progressPrinter(stderr, *progress),
 		}
 		var res *partition.QBPResult
 		var err error
@@ -158,19 +180,19 @@ func main() {
 			res, err = partition.SolveQBP(ctx, p, o)
 		}
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		final, stopped, stats = res.Assignment, res.Stopped, &res.Stats
 	case "gfm":
 		res, serr := partition.SolveGFM(ctx, p, start, partition.GFMOptions{RelaxTiming: *relax})
 		if serr != nil {
-			fatal(serr)
+			return fatal(serr)
 		}
 		final, stopped = res.Assignment, res.Stopped
 	case "gkl":
 		res, serr := partition.SolveGKL(ctx, p, start, partition.GKLOptions{RelaxTiming: *relax})
 		if serr != nil {
-			fatal(serr)
+			return fatal(serr)
 		}
 		final, stopped = res.Assignment, res.Stopped
 	case "sa":
@@ -178,58 +200,59 @@ func main() {
 			Initial: start, RelaxTiming: *relax, Seed: *seed,
 		})
 		if serr != nil {
-			fatal(serr)
+			return fatal(serr)
 		}
 		final, stopped = res.Assignment, res.Stopped
 	default:
-		usageError(fmt.Sprintf("unknown method %q (want qbp, gfm, gkl or sa)", *method))
+		return usageError(fmt.Sprintf("unknown method %q (want qbp, gfm, gkl or sa)", *method))
 	}
 	elapsed := time.Since(t0)
 
 	report, err := partition.Validate(p, final)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	fmt.Printf("method           %s\n", *method)
-	fmt.Printf("cpu              %.2fs\n", elapsed.Seconds())
+	fmt.Fprintf(stdout, "method           %s\n", *method)
+	fmt.Fprintf(stdout, "cpu              %.2fs\n", elapsed.Seconds())
 	if stopped {
-		fmt.Printf("stopped          true (deadline/cancellation: best-so-far result)\n")
+		fmt.Fprintf(stdout, "stopped          true (deadline/cancellation: best-so-far result)\n")
 	}
 	if stats != nil {
-		fmt.Printf("iterations       %d (%d starts, %d restarts)\n",
+		fmt.Fprintf(stdout, "iterations       %d (%d starts, %d restarts)\n",
 			stats.Iterations, stats.Starts, stats.Restarts)
-		fmt.Printf("matrix           %s (density %.4f, %d arcs)\n",
+		fmt.Fprintf(stdout, "matrix           %s (density %.4f, %d arcs)\n",
 			stats.Matrix, stats.Density, stats.NNZ)
 	}
-	fmt.Printf("start WL         %d\n", p.WireLength(start))
-	fmt.Print(report)
+	fmt.Fprintf(stdout, "start WL         %d\n", p.WireLength(start))
+	fmt.Fprint(stdout, report)
 	if !report.Feasible && !*relax {
-		fmt.Fprintln(os.Stderr, "warning: solution violates constraints")
+		fmt.Fprintln(stderr, "warning: solution violates constraints")
 	}
 
 	if *show {
-		if err := renderPlacement(p, final); err != nil {
-			fmt.Fprintln(os.Stderr, "qbpart: cannot render:", err)
+		if err := renderPlacement(stdout, p, final); err != nil {
+			fmt.Fprintln(stderr, "qbpart: cannot render:", err)
 		}
 	}
 
 	if *out != "" {
 		of, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		defer of.Close()
 		if err := partition.WriteAssignment(of, final); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
+	return 0
 }
 
 // progressPrinter returns an OnProgress callback that writes one status
 // line to stderr at most once per interval (0 disables it). The callback
 // runs concurrently from every multistart worker, so the rate limiter is
 // locked.
-func progressPrinter(interval time.Duration) func(partition.QBPProgress) {
+func progressPrinter(stderr io.Writer, interval time.Duration) func(partition.QBPProgress) {
 	if interval <= 0 {
 		return nil
 	}
@@ -240,7 +263,7 @@ func progressPrinter(interval time.Duration) func(partition.QBPProgress) {
 		defer mu.Unlock()
 		if now := time.Now(); now.Sub(last) >= interval {
 			last = now
-			fmt.Fprintf(os.Stderr,
+			fmt.Fprintf(stderr,
 				"progress: start %d iter %d/%d best penalized %d restarts %d elapsed %.1fs\n",
 				pr.Start, pr.Iteration, pr.Iterations, pr.BestPenalized, pr.Restarts, pr.Elapsed.Seconds())
 		}
@@ -249,7 +272,7 @@ func progressPrinter(interval time.Duration) func(partition.QBPProgress) {
 
 // renderPlacement draws the placement assuming the partitions form the
 // most-square grid with M slots (exact for the built-in generators).
-func renderPlacement(p *partition.Problem, a partition.Assignment) error {
+func renderPlacement(stdout io.Writer, p *partition.Problem, a partition.Assignment) error {
 	m := p.M()
 	rows := 1
 	for r := 2; r*r <= m; r++ {
@@ -258,21 +281,10 @@ func renderPlacement(p *partition.Problem, a partition.Assignment) error {
 		}
 	}
 	grid := partition.Grid{Rows: rows, Cols: m / rows}
-	fmt.Println()
-	if err := partition.RenderGrid(os.Stdout, p, grid, a); err != nil {
+	fmt.Fprintln(stdout)
+	if err := partition.RenderGrid(stdout, p, grid, a); err != nil {
 		return err
 	}
-	fmt.Println()
-	return partition.RenderWireHistogram(os.Stdout, p, a)
-}
-
-func usageError(msg string) {
-	fmt.Fprintln(os.Stderr, "qbpart:", msg)
-	flag.Usage()
-	os.Exit(2)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qbpart:", err)
-	os.Exit(1)
+	fmt.Fprintln(stdout)
+	return partition.RenderWireHistogram(stdout, p, a)
 }

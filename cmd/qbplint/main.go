@@ -5,7 +5,8 @@
 //
 //	qbplint [-enable list] [-disable list] [-list] [-tests=false]
 //	        [-format text|json|sarif] [-o file]
-//	        [-baseline file] [-write-baseline file] [pattern ...]
+//	        [-baseline file] [-write-baseline file] [-update-baseline file]
+//	        [pattern ...]
 //
 // Patterns are package directories; a trailing /... walks recursively
 // (testdata, vendor and hidden directories are skipped). With no pattern,
@@ -16,7 +17,10 @@
 // to a file instead of stdout (the exit code is unchanged). -baseline
 // subtracts the committed findings inventory before reporting, so only new
 // findings fail the build; -write-baseline regenerates that inventory from
-// the current findings and exits successfully. -tests=false skips
+// the current findings and exits successfully. -update-baseline is the
+// one-way ratchet: it rewrites an existing baseline keeping only groups
+// still present (at the smaller count), so fixed findings can never return,
+// and it refuses to add new ones. -tests=false skips
 // type-checking in-package _test.go files (typed analyzers then fall back
 // to non-test code only).
 //
@@ -49,6 +53,7 @@ func run(args []string) int {
 	output := fs.String("o", "", "write the report to this file instead of stdout")
 	baselinePath := fs.String("baseline", "", "subtract findings recorded in this baseline file")
 	writeBaseline := fs.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
+	updateBaseline := fs.String("update-baseline", "", "tighten this baseline file to the current findings (never grows it) and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -103,6 +108,25 @@ func run(args []string) int {
 			return 2
 		}
 		fmt.Fprintf(os.Stderr, "qbplint: wrote %d finding group(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	if *updateBaseline != "" {
+		base, rerr := lint.ReadBaseline(*updateBaseline)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "%v (use -write-baseline to create one)\n", rerr)
+			return 2
+		}
+		tightened, changed := base.Ratchet(diags, loader.ModRoot)
+		if !changed {
+			fmt.Fprintf(os.Stderr, "qbplint: baseline %s already tight (%d group(s))\n", *updateBaseline, len(tightened.Findings))
+			return 0
+		}
+		if err := tightened.WriteFile(*updateBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "qbplint: tightened %s: %d -> %d finding group(s)\n", *updateBaseline, len(base.Findings), len(tightened.Findings))
 		return 0
 	}
 

@@ -322,6 +322,11 @@ func construct[T number](v *view[T]) (assign []int, ok bool) {
 	}
 	heap.Init(&h)
 
+	// Bounded drain: every pop either assigns an item for good or
+	// revalidates one stale cache entry, and entries only go stale when a
+	// capacity shrank — at most n shrinks, so the loop is O(n²) worst case
+	// and terminates with the instance.
+	//lint:ignore cancel-poll heap drain is bounded by n assignments plus one revalidation per capacity shrink
 	for h.Len() > 0 {
 		it := heap.Pop(&h).(regretItem)
 		if assign[it.j] >= 0 {
@@ -502,7 +507,10 @@ func refine[T number](v *view[T], assign []int, opt Options, ck *interrupt.Check
 		}
 		improved := swapSweep()
 		// Ejection is the expensive last resort: only scan for depth-2
-		// chains once shifts and swaps have dried up.
+		// chains once shifts and swaps have dried up — at most once per
+		// refine pass, so its transient members index is noise next to the
+		// O(N·M²) chain scan it fronts.
+		//lint:ignore alloc-in-hot-loop eject runs at most once per refine pass; its scan dominates the transient members index
 		if !improved && eject(v, assign, remaining) {
 			improved = true
 		}

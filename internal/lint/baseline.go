@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -77,6 +78,59 @@ func (b *Baseline) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(b)
+}
+
+// Ratchet shrinks the baseline toward the current findings without ever
+// growing it: a group survives only if it appears in both the baseline and
+// the current run, at the smaller of the two counts. Groups that were fixed
+// (absent from current) are dropped — they cannot silently come back — and
+// NEW findings are never added; those must be fixed or suppressed with a
+// justification. Returns the tightened baseline and whether it changed.
+func (b *Baseline) Ratchet(diags []Diagnostic, root string) (*Baseline, bool) {
+	current := NewBaseline(diags, root)
+	have := make(map[baselineKey]int, len(current.Findings))
+	for _, e := range current.Findings {
+		have[baselineKey{e.File, e.Analyzer, e.Message}] = e.Count
+	}
+	out := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	changed := false
+	for _, e := range b.Findings {
+		n, ok := have[baselineKey{e.File, e.Analyzer, e.Message}]
+		if !ok {
+			changed = true // fixed: drop the group
+			continue
+		}
+		if n < e.Count {
+			changed = true // partially fixed: keep only what remains
+			e.Count = n
+		}
+		out.Findings = append(out.Findings, e)
+	}
+	return out, changed
+}
+
+// WriteFile writes the baseline atomically: a temp file in the target's
+// directory followed by a rename, so a crash mid-write never truncates the
+// committed inventory.
+func (b *Baseline) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("lint: baseline: %w", err)
+	}
+	werr := b.Write(tmp)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lint: baseline: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lint: baseline: %w", err)
+	}
+	return nil
 }
 
 // Filter drops diagnostics covered by the baseline: each entry absorbs up

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baselineDiag(file, analyzer, message string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: "/mod/" + file, Line: 1},
+		Analyzer: analyzer,
+		Message:  message,
+	}
+}
+
+func TestRatchet(t *testing.T) {
+	base := &Baseline{Version: 1, Findings: []BaselineEntry{
+		{File: "a.go", Analyzer: "cancel-poll", Message: "m1", Count: 2},
+		{File: "b.go", Analyzer: "int-overflow", Message: "m2", Count: 1},
+		{File: "c.go", Analyzer: "flat-bounds", Message: "m3", Count: 1},
+	}}
+
+	// Current run: a.go shrank to one instance, b.go unchanged, c.go fixed,
+	// and d.go is brand new.
+	diags := []Diagnostic{
+		baselineDiag("a.go", "cancel-poll", "m1"),
+		baselineDiag("b.go", "int-overflow", "m2"),
+		baselineDiag("d.go", "nondet-reduce", "m4"),
+	}
+	out, changed := base.Ratchet(diags, "/mod")
+	if !changed {
+		t.Fatal("Ratchet reported no change despite a fixed and a shrunk group")
+	}
+	want := []BaselineEntry{
+		{File: "a.go", Analyzer: "cancel-poll", Message: "m1", Count: 1},
+		{File: "b.go", Analyzer: "int-overflow", Message: "m2", Count: 1},
+	}
+	if len(out.Findings) != len(want) {
+		t.Fatalf("Findings = %+v, want %+v", out.Findings, want)
+	}
+	for i := range want {
+		if out.Findings[i] != want[i] {
+			t.Errorf("Findings[%d] = %+v, want %+v", i, out.Findings[i], want[i])
+		}
+	}
+
+	// Idempotent: ratcheting the tightened baseline against the same run
+	// reports no change (the new d.go finding is never absorbed).
+	again, changed := out.Ratchet(diags, "/mod")
+	if changed {
+		t.Errorf("second Ratchet changed: %+v", again.Findings)
+	}
+
+	// A count can never grow, even when the current run has more instances.
+	grown := []Diagnostic{
+		baselineDiag("a.go", "cancel-poll", "m1"),
+		baselineDiag("a.go", "cancel-poll", "m1"),
+		baselineDiag("a.go", "cancel-poll", "m1"),
+		baselineDiag("b.go", "int-overflow", "m2"),
+	}
+	out2, changed := out.Ratchet(grown, "/mod")
+	if changed {
+		t.Errorf("Ratchet changed on a superset run: %+v", out2.Findings)
+	}
+	if out2.Findings[0].Count != 1 {
+		t.Errorf("a.go count grew to %d; the ratchet only tightens", out2.Findings[0].Count)
+	}
+}
+
+func TestBaselineWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{
+		{File: "a.go", Analyzer: "cancel-poll", Message: "m", Count: 1},
+	}}
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Findings) != 1 || got.Findings[0] != b.Findings[0] {
+		t.Errorf("round-trip = %+v, want %+v", got.Findings, b.Findings)
+	}
+	// No temp debris left behind after a successful write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("directory has %d entries after WriteFile, want just the baseline", len(ents))
+	}
+}

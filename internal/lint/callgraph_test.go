@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// loadProgram loads a fixture directory through the shared loader and
+// returns its package together with the interprocedural program view.
+func loadProgram(t *testing.T, dir string) (*Package, *Program) {
+	t.Helper()
+	l := testLoader(t)
+	pkg, err := l.Load("testdata/src/" + dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	if pkg.Info == nil {
+		t.Fatalf("Load(%s): package did not type-check: %v", dir, pkg.TypeErr)
+	}
+	return pkg, l.Program()
+}
+
+func lookupFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	fn, _ := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if fn == nil {
+		t.Fatalf("%s: no such function in %s", name, pkg.ImportPath)
+	}
+	return fn
+}
+
+// TestReachability: exported entry points with a Checker in scope mark their
+// unexported callees reachable; unrelated helpers stay out.
+func TestReachability(t *testing.T) {
+	pkg, prog := loadProgram(t, "cancelpoll_pos")
+	solve := prog.FuncOf(lookupFunc(t, pkg, "Solve"))
+	drain := prog.FuncOf(lookupFunc(t, pkg, "drain"))
+	if solve == nil || drain == nil {
+		t.Fatal("FuncOf returned nil for fixture functions")
+	}
+	if !prog.Reachable(solve) {
+		t.Error("Solve (exported, ctx param, interrupt import) not marked reachable")
+	}
+	if !prog.Reachable(drain) {
+		t.Error("drain (called from Solve) not marked reachable")
+	}
+
+	// hotalloc_summary has no interrupt import, so nothing is an entry.
+	pkg2, prog2 := loadProgram(t, "hotalloc_summary")
+	sweep := prog2.FuncOf(lookupFunc(t, pkg2, "Sweep"))
+	if sweep == nil {
+		t.Fatal("FuncOf(Sweep) = nil")
+	}
+	if prog2.Reachable(sweep) {
+		t.Error("Sweep marked reachable despite the package promising no cancellation")
+	}
+}
+
+// TestPollSummaries: polling propagates bottom-up from ctx.Err/Done through
+// module-internal calls, including interface and function-value indirection.
+func TestPollSummaries(t *testing.T) {
+	pkg, prog := loadProgram(t, "cancelpoll_iface")
+	ckStopper, _ := pkg.Types.Scope().Lookup("ckStopper").(*types.TypeName)
+	if ckStopper == nil {
+		t.Fatal("ckStopper type not found")
+	}
+	named := ckStopper.Type().(*types.Named)
+	var stopping *types.Func
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Stopping" {
+			stopping = named.Method(i)
+		}
+	}
+	if stopping == nil {
+		t.Fatal("ckStopper.Stopping not found")
+	}
+	fi := prog.FuncOf(stopping)
+	if fi == nil || !fi.Polls {
+		t.Errorf("ckStopper.Stopping should inherit Polls from Checker.Stop; got %+v", fi)
+	}
+}
+
+// TestAllocSummaries: Allocates propagates through unexported helpers but
+// reflects only what the body (and its callees) do.
+func TestAllocSummaries(t *testing.T) {
+	pkg, prog := loadProgram(t, "hotalloc_summary")
+	build := prog.FuncOf(lookupFunc(t, pkg, "buildScratch"))
+	reuse := prog.FuncOf(lookupFunc(t, pkg, "reuse"))
+	sweep := prog.FuncOf(lookupFunc(t, pkg, "Sweep"))
+	if build == nil || reuse == nil || sweep == nil {
+		t.Fatal("FuncOf returned nil for fixture functions")
+	}
+	if !build.Allocates {
+		t.Error("buildScratch (make in body) should have Allocates = true")
+	}
+	if reuse.Allocates {
+		t.Error("reuse (writes into its argument) should have Allocates = false")
+	}
+	if !sweep.Allocates {
+		t.Error("Sweep (calls buildScratch) should inherit Allocates transitively")
+	}
+}
+
+// TestResultSummaries: integer result intervals are expressed over parameter
+// atoms and substituted at call sites.
+func TestResultSummaries(t *testing.T) {
+	pkg, prog := loadProgram(t, "flatbounds_interproc")
+
+	rs := prog.ResultSummary(lookupFunc(t, pkg, "upTo"))
+	if rs == nil {
+		t.Fatal("upTo: no result summary")
+	}
+	if !rs.iv.hasHi || !rs.iv.hasLo {
+		t.Errorf("upTo: want exact len($xs) interval, got %+v", rs.iv)
+	}
+	if _, ok := rs.lenParams["len($xs)"]; !ok {
+		t.Errorf("upTo: len($xs) not registered as a length param: %v", rs.lenParams)
+	}
+
+	rs = prog.ResultSummary(lookupFunc(t, pkg, "offset"))
+	if rs == nil {
+		t.Fatal("offset: no result summary")
+	}
+	if idx, ok := rs.intParams["$n"]; !ok || idx != 0 {
+		t.Errorf("offset: $n should map to parameter 0: %v", rs.intParams)
+	}
+
+	// The ceiling-capped satAdd shape: hi must be the constant cap.
+	pkg2, prog2 := loadProgram(t, "intoverflow_neg")
+	rs = prog2.ResultSummary(lookupFunc(t, pkg2, "satAdd"))
+	if rs == nil {
+		t.Fatal("satAdd: no result summary")
+	}
+	c, isConst := rs.iv.hi.constant()
+	if !rs.iv.hasHi || !isConst || c != 1<<35 {
+		t.Errorf("satAdd: want constant hi 1<<35, got hasHi=%v hi=%v", rs.iv.hasHi, rs.iv.hi)
+	}
+}
+
+// TestCeilingTaint: ExprCeil sees ceiling-scale constants, values flowing
+// through calls, and stops at the slice-store laundering boundary.
+func TestCeilingTaint(t *testing.T) {
+	pkg, prog := loadProgram(t, "intoverflow_pos")
+	inflate := prog.FuncOf(lookupFunc(t, pkg, "Inflate"))
+	if inflate == nil || !inflate.Ceiling {
+		t.Error("Inflate returns a ceiling-scale value; Ceiling summary should be true")
+	}
+
+	pkg2, prog2 := loadProgram(t, "intoverflow_launder")
+	spread := prog2.FuncOf(lookupFunc(t, pkg2, "Spread"))
+	if spread == nil {
+		t.Fatal("FuncOf(Spread) = nil")
+	}
+	if spread.Ceiling {
+		t.Error("Spread sums laundered slice elements; Ceiling summary should be false")
+	}
+}

@@ -1,0 +1,380 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CancelPoll pins the cancellation contract: every statically-unbounded
+// loop reachable from a solver entry point must be able to exit on a
+// cancellation poll. An entry point is an exported function of a non-main
+// package that imports internal/interrupt and is either named Solve* or
+// takes a context.Context; reachability runs over the call graph
+// (including goroutine spawns and tracked function values).
+//
+// Loops that must poll:
+//
+//   - `for {}` and condition-only loops whose condition is not a counting
+//     comparison (`for !done`, `for len(queue) > 0`, `for h.Len() > 0`) —
+//     the compiler can bound none of these;
+//   - counting loops whose bound mentions an iteration knob (an identifier
+//     containing iter/step/pass/round/epoch/sweep) — `for k := 1;
+//     k <= iterations; k++` runs as long as the user asked, so it must
+//     honor the user's deadline too;
+//   - `for range ch` over a channel.
+//
+// Counting loops bounded by problem size (`for i := 0; i < n; i++`) or by
+// constants are exempt: they terminate with the instance and polling them
+// would put a branch in every kernel scan.
+//
+// A loop satisfies the contract when it exits under a poll: its condition
+// polls, or some if/select inside it guards a `return`/loop-`break` with a
+// call that transitively reaches ctx.Err/ctx.Done (interrupt.Checker.Stop
+// and .Now qualify through their own bodies). The sticky Stopped() read
+// qualifies only inside a function that also really polls: that is the
+// pass-loop idiom — the inner selection loop polls Now() and the outer
+// pass loop breaks on the sticky flag — not a poll by itself.
+var CancelPoll = &Analyzer{
+	Name:       "cancel-poll",
+	Doc:        "unbounded solver loops must exit on an interrupt.Checker/context poll",
+	NeedsTypes: true,
+	Run:        runCancelPoll,
+}
+
+func runCancelPoll(p *Pass) {
+	if p.Prog == nil || p.Pkg.Info == nil {
+		return
+	}
+	for _, fi := range p.Prog.FuncsOf(p.Pkg) {
+		if !p.Prog.Reachable(fi) {
+			continue
+		}
+		c := &cancelPollCheck{p: p, fi: fi}
+		c.check()
+	}
+}
+
+type cancelPollCheck struct {
+	p  *Pass
+	fi *FuncInfo
+}
+
+func (c *cancelPollCheck) check() {
+	labels := make(map[ast.Stmt]string)
+	inspectShallow(c.fi.Body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			labels[ls.Stmt] = ls.Label.Name
+		}
+		return true
+	})
+	inspectShallow(c.fi.Body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			why := c.forNeedsPoll(loop)
+			if why == "" {
+				return true
+			}
+			if loop.Cond != nil && c.nodePolls(loop.Cond) {
+				return true
+			}
+			if !c.satisfied(loop.Body, labels[loop]) {
+				c.report(loop.Pos(), why)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := c.p.Pkg.Info.Types[loop.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					if !c.satisfied(loop.Body, labels[loop]) {
+						c.report(loop.Pos(), "range-over-channel")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *cancelPollCheck) report(pos token.Pos, why string) {
+	c.p.Reportf(pos, "%s loop in %s is reachable from a solver entry point but never polls for cancellation; guard an exit with interrupt.Checker.Stop/Now or ctx.Err/ctx.Done", why, c.fi.Name())
+}
+
+// forNeedsPoll classifies a for loop; "" means exempt.
+func (c *cancelPollCheck) forNeedsPoll(loop *ast.ForStmt) string {
+	if loop.Cond == nil {
+		return "unconditional"
+	}
+	return c.condNeedsPoll(loop.Cond, loopCounters(loop))
+}
+
+// condNeedsPoll classifies a loop condition; "" means it bounds the loop
+// without a poll. A conjunction runs only while both sides hold, so one
+// bounding side exempts it; a disjunction needs both sides bounding.
+func (c *cancelPollCheck) condNeedsPoll(cond ast.Expr, counters map[string]bool) string {
+	cond = ast.Unparen(cond)
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return "statically-unbounded"
+	}
+	switch bin.Op {
+	case token.LAND:
+		left, right := c.condNeedsPoll(bin.X, counters), c.condNeedsPoll(bin.Y, counters)
+		if left == "" || right == "" {
+			return ""
+		}
+		return left
+	case token.LOR:
+		if why := c.condNeedsPoll(bin.X, counters); why != "" {
+			return why
+		}
+		return c.condNeedsPoll(bin.Y, counters)
+	}
+	if !isComparisonOp(bin.Op) {
+		return "statically-unbounded"
+	}
+	_, xIdent := ast.Unparen(bin.X).(*ast.Ident)
+	_, yIdent := ast.Unparen(bin.Y).(*ast.Ident)
+	if !xIdent && !yIdent {
+		return "worklist-driven"
+	}
+	if condMentionsKnob(cond, counters) {
+		return "iteration-knob-bounded"
+	}
+	return ""
+}
+
+// loopCounters collects the identifiers the loop header itself advances
+// (init or post). Whatever they are named — gap's repair counts `iter`, the
+// polish sweeps count `round` — they are the counting side of the bound,
+// not an iteration knob; the knob test applies to the other side.
+func loopCounters(loop *ast.ForStmt) map[string]bool {
+	out := make(map[string]bool)
+	record := func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+		}
+	}
+	if loop.Init != nil {
+		record(loop.Init)
+	}
+	if loop.Post != nil {
+		record(loop.Post)
+	}
+	return out
+}
+
+func isComparisonOp(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// knobFragments are the naming conventions of user-supplied iteration
+// budgets across the solvers (iterations, maxSteps, passes, sweeps, …).
+var knobFragments = []string{"iter", "step", "pass", "round", "epoch", "sweep"}
+
+func condMentionsKnob(cond ast.Expr, counters map[string]bool) bool {
+	found := false
+	inspectShallow(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && !counters[id.Name] {
+			lower := strings.ToLower(id.Name)
+			for _, frag := range knobFragments {
+				if strings.Contains(lower, frag) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// nodePolls reports n contains a call that polls for cancellation: a
+// direct ctx.Err/ctx.Done, or a call whose resolved targets carry the
+// Polls summary (Checker.Stop/Now, any helper that reaches them). In a
+// function that genuinely polls somewhere, the sticky Checker.Stopped read
+// also counts — that is the pass-loop idiom, where the inner selection
+// loop polls Now() and the outer pass loop breaks on the sticky flag.
+func (c *cancelPollCheck) nodePolls(n ast.Node) bool {
+	info := c.p.Pkg.Info
+	found := false
+	inspectShallow(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPollCall(info, call) {
+			found = true
+			return false
+		}
+		tgts, _ := c.p.Prog.funTargets(info, call.Fun)
+		for _, t := range tgts {
+			if t == nil {
+				continue
+			}
+			if t.Polls || (c.fi.Polls && isStickyRead(t)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isStickyRead matches interrupt.Checker.Stopped.
+func isStickyRead(t *FuncInfo) bool {
+	return t.Fn != nil && t.Fn.Name() == "Stopped" &&
+		t.Fn.Pkg() != nil && t.Fn.Pkg().Name() == "interrupt"
+}
+
+// satisfied searches the loop body for a poll-guarded exit.
+func (c *cancelPollCheck) satisfied(body *ast.BlockStmt, label string) bool {
+	sat := false
+	var walk func(stmts []ast.Stmt, depth int)
+	walk = func(stmts []ast.Stmt, depth int) {
+		for _, s := range stmts {
+			if sat {
+				return
+			}
+			switch x := s.(type) {
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{x.Stmt}, depth)
+			case *ast.BlockStmt:
+				walk(x.List, depth)
+			case *ast.IfStmt:
+				polls := c.nodePolls(x.Cond) || (x.Init != nil && c.nodePolls(x.Init))
+				if polls && (c.exits(x.Body.List, label, depth) || c.elseExits(x.Else, label, depth)) {
+					sat = true
+					return
+				}
+				walk(x.Body.List, depth)
+				switch e := x.Else.(type) {
+				case *ast.BlockStmt:
+					walk(e.List, depth)
+				case *ast.IfStmt:
+					walk([]ast.Stmt{e}, depth)
+				}
+			case *ast.SelectStmt:
+				for _, cl := range x.Body.List {
+					cc, ok := cl.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					// A clause receiving a poll (<-ctx.Done()) whose body
+					// leaves the loop: break there targets the select, so
+					// only return or a labeled break count (depth+1).
+					if cc.Comm != nil && c.nodePolls(cc.Comm) && c.exits(cc.Body, label, depth+1) {
+						sat = true
+						return
+					}
+					walk(cc.Body, depth+1)
+				}
+			case *ast.ForStmt:
+				walk(x.Body.List, depth+1)
+			case *ast.RangeStmt:
+				walk(x.Body.List, depth+1)
+			case *ast.SwitchStmt:
+				walkCaseBodies(x.Body, func(ss []ast.Stmt) { walk(ss, depth+1) })
+			case *ast.TypeSwitchStmt:
+				walkCaseBodies(x.Body, func(ss []ast.Stmt) { walk(ss, depth+1) })
+			}
+		}
+	}
+	walk(body.List, 0)
+	return sat
+}
+
+func (c *cancelPollCheck) elseExits(els ast.Stmt, label string, depth int) bool {
+	switch e := els.(type) {
+	case *ast.BlockStmt:
+		return c.exits(e.List, label, depth)
+	case *ast.IfStmt:
+		return c.exits([]ast.Stmt{e}, label, depth)
+	}
+	return false
+}
+
+// exits reports the statements (some branch through them) leave the loop:
+// a return anywhere, an unlabeled break at the loop's own nesting depth,
+// or a break labeled with the loop's label.
+func (c *cancelPollCheck) exits(stmts []ast.Stmt, label string, depth int) bool {
+	found := false
+	var walk func(ss []ast.Stmt, d int)
+	walk = func(ss []ast.Stmt, d int) {
+		for _, s := range ss {
+			if found {
+				return
+			}
+			switch x := s.(type) {
+			case *ast.ReturnStmt:
+				found = true
+			case *ast.BranchStmt:
+				if x.Tok != token.BREAK {
+					continue
+				}
+				if x.Label != nil {
+					if label != "" && x.Label.Name == label {
+						found = true
+					}
+				} else if d == 0 {
+					found = true
+				}
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{x.Stmt}, d)
+			case *ast.BlockStmt:
+				walk(x.List, d)
+			case *ast.IfStmt:
+				walk(x.Body.List, d)
+				switch e := x.Else.(type) {
+				case *ast.BlockStmt:
+					walk(e.List, d)
+				case *ast.IfStmt:
+					walk([]ast.Stmt{e}, d)
+				}
+			case *ast.ForStmt:
+				walk(x.Body.List, d+1)
+			case *ast.RangeStmt:
+				walk(x.Body.List, d+1)
+			case *ast.SwitchStmt:
+				walkCaseBodies(x.Body, func(ss []ast.Stmt) { walk(ss, d+1) })
+			case *ast.TypeSwitchStmt:
+				walkCaseBodies(x.Body, func(ss []ast.Stmt) { walk(ss, d+1) })
+			case *ast.SelectStmt:
+				for _, cl := range x.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						walk(cc.Body, d+1)
+					}
+				}
+			}
+		}
+	}
+	walk(stmts, depth)
+	return found
+}
+
+func walkCaseBodies(body *ast.BlockStmt, fn func([]ast.Stmt)) {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			fn(cc.Body)
+		}
+	}
+}

@@ -28,7 +28,16 @@ type intervalProblem struct {
 	ii *intervalInterp
 }
 
-func (p intervalProblem) Entry() intervalEnv { return intervalEnv{} }
+func (p intervalProblem) Entry() intervalEnv {
+	env := intervalEnv{}
+	// Callee-side summary runs seed integer parameters as symbolic atoms.
+	for v, atom := range p.ii.paramAtoms {
+		if isIntegerVar(v) {
+			env[v] = pointIval(polyAtom(atom))
+		}
+	}
+	return env
+}
 
 func (p intervalProblem) Transfer(b *Block, in intervalEnv) intervalEnv {
 	env := in
@@ -91,7 +100,7 @@ func analyzeFlatBounds(p *Pass, info *types.Info, body *ast.BlockStmt) {
 	if !fb.mentionsFlatVector(body) {
 		return
 	}
-	ii := &intervalInterp{info: info, pr: newProver()}
+	ii := &intervalInterp{info: info, pr: newProver(), prog: p.Prog}
 	g := p.Pkg.CFG(body)
 	in := SolveForward[intervalEnv](g, intervalProblem{ii})
 

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // hotLoopPackages are the solver kernels whose loops run once per heuristic
@@ -52,6 +53,14 @@ var AllocInHotLoop = &Analyzer{
 // not descend into function literals (a closure's allocations happen when it
 // runs, not per enclosing iteration) and deduplicates nested-loop bodies,
 // which the outer walk visits more than once.
+//
+// When the interprocedural Program is available (and the package
+// type-checked), allocations hidden behind helper calls are reported too: a
+// direct call to an unexported module function whose summary says it (or
+// anything it statically calls) allocates is the same per-iteration garbage
+// with the make one frame down. Exported functions are exempt — they are
+// API with their own contracts, and flagging every cross-package call would
+// punish composition rather than allocation.
 func reportLoopAllocs(p *Pass, body *ast.BlockStmt, seen map[ast.Node]bool) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
@@ -72,9 +81,27 @@ func reportLoopAllocs(p *Pass, body *ast.BlockStmt, seen map[ast.Node]bool) {
 		case fn.Name == "append" && len(call.Args) > 0 && freshSliceBase(call.Args[0]):
 			seen[call] = true
 			p.Reportf(call.Pos(), "append onto a fresh slice in a hot solver loop allocates every iteration; reuse a scratch buffer")
+		case allocatingHelper(p, fn):
+			seen[call] = true
+			p.Reportf(call.Pos(), "call to %s in a hot solver loop allocates every iteration (make/append in its body or callees); hoist the buffer and pass it in", fn.Name)
 		}
 		return true
 	})
+}
+
+// allocatingHelper reports fn names an unexported module function whose
+// interprocedural summary allocates. Without a Program or type information
+// the analyzer keeps its purely syntactic behavior.
+func allocatingHelper(p *Pass, fn *ast.Ident) bool {
+	if p.Prog == nil || p.Pkg.Info == nil || ast.IsExported(fn.Name) {
+		return false
+	}
+	tf, ok := p.Pkg.Info.Uses[fn].(*types.Func)
+	if !ok {
+		return false
+	}
+	fi := p.Prog.FuncOf(tf)
+	return fi != nil && fi.Allocates
 }
 
 // freshSliceBase matches append first arguments that can never carry spare

@@ -403,9 +403,20 @@ func (e intervalEnv) equal(o intervalEnv) bool {
 
 // intervalInterp evaluates expressions and transfers statements over
 // intervalEnv facts for one function.
+//
+// prog, when set, enables cross-call reasoning: calls to module functions
+// evaluate to their substituted result summaries (summary.go). paramAtoms
+// and lenAtoms are set only on callee-side summary computations: paramAtoms
+// seeds integer parameters into the entry environment as "$name" atoms
+// (denoting the entry value, so later mutation stays sound); lenAtoms
+// renames len/cap of unreassigned parameters to "len($name)" so the bound
+// survives to the call site.
 type intervalInterp struct {
-	info *types.Info
-	pr   *prover
+	info       *types.Info
+	pr         *prover
+	prog       *Program
+	paramAtoms map[*types.Var]string
+	lenAtoms   map[*types.Var]string
 }
 
 // symbolFor renders an expression as a canonical atom name.
@@ -459,7 +470,20 @@ func (ii *intervalInterp) eval(env intervalEnv, e ast.Expr) ival {
 	case *ast.CallExpr:
 		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") && len(x.Args) == 1 {
 			if _, isBuiltin := ii.info.Uses[id].(*types.Builtin); isBuiltin {
-				return pointIval(polyAtom(lenSymbol(symbolFor(x.Args[0]))))
+				sym := symbolFor(x.Args[0])
+				if ii.lenAtoms != nil {
+					if v := ii.varOf(x.Args[0]); v != nil {
+						if a, ok := ii.lenAtoms[v]; ok {
+							sym = a
+						}
+					}
+				}
+				return pointIval(polyAtom(lenSymbol(sym)))
+			}
+		}
+		if ii.prog != nil {
+			if iv, ok := ii.prog.callResultIval(ii, env, x); ok {
+				return iv
 			}
 		}
 	case *ast.UnaryExpr:

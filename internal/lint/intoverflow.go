@@ -1,0 +1,569 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+)
+
+// IntOverflow flags raw int64 arithmetic on ceiling-scale values — the
+// autoPenalty bug class. A value is ceiling-scale when the taint analysis
+// (summary.go) can derive it from a constant ≥ 2^32: the MaxInt64
+// best-so-far sentinels, model.Unconstrained, AutoPenaltyCeiling, or a
+// Theorem-1 penalty U, directly or through any chain of +, -, *, <<,
+// struct fields, parameters and results across the call graph. Adding or
+// multiplying two such values with a bare `+`/`*` (or `+=`, `*=`, `++`)
+// can exceed MaxInt64 and silently flip sign, which is exactly why
+// satAdd/satCoupling exist.
+//
+// A site is certified safe — and not reported — when one of three
+// arguments applies:
+//
+//  1. saturation-guard idiom: a dominating condition upper-bounds one
+//     operand by an expression that *compensates* for the other (mentions
+//     it under a - or /), the satAdd/satCoupling shape:
+//
+//     if a > AutoPenaltyCeiling-b { return AutoPenaltyCeiling }
+//     return a + b
+//
+//  2. constant headroom: every operand is upper-bounded by a constant and
+//     the combined constant cannot reach MaxInt64 (the `if pen <
+//     AutoPenaltyCeiling { pen++ }` shape), checked either syntactically
+//     from dominating conditions or by the interval dataflow (which also
+//     consumes callee result summaries, so `satAdd(a,b)+1` is safe via
+//     satAdd's hi = AutoPenaltyCeiling);
+//
+//  3. sentinel exclusion: a dominating condition rules out the sentinel
+//     constant itself (`if best == math.MaxInt64 { continue }` and the
+//     flipped !=-guard), which un-taints that operand.
+//
+// Loop accumulation defeats all three (the interval widens, no guard
+// survives the back edge) — by design: a loop summing couplings is the
+// satAdd use case.
+//
+// Index-expression reads and writes launder taint (see summary.go): the
+// kernels store clamped values into slices, so slice elements are bounded
+// by AutoPenaltyCeiling and their bounded sums cannot overflow.
+var IntOverflow = &Analyzer{
+	Name:       "int-overflow",
+	Doc:        "raw +/* on ceiling-scale int64 values must go through satAdd/satCoupling or a saturation guard",
+	NeedsTypes: true,
+	Run:        runIntOverflow,
+}
+
+func runIntOverflow(p *Pass) {
+	if p.Prog == nil || p.Pkg.Info == nil {
+		return
+	}
+	for _, fi := range p.Prog.FuncsOf(p.Pkg) {
+		c := &overflowCheck{p: p, fi: fi}
+		c.walkStmts(fi.Body.List, nil)
+		c.resolve()
+	}
+}
+
+// guardFact is a condition known true (holds) or false on the paths
+// reaching a statement: enclosing if branches, and the negation of any
+// preceding early-exit if in the same statement list.
+type guardFact struct {
+	cond  ast.Expr
+	holds bool
+}
+
+type ovfCandidate struct {
+	site     ast.Node // *ast.BinaryExpr, *ast.AssignStmt or *ast.IncDecStmt
+	pos      token.Pos
+	op       string     // "+", "*", "+=", "*=", "++"
+	operands []ast.Expr // the raw operands (IncDec has an implicit const 1)
+	facts    []guardFact
+}
+
+type overflowCheck struct {
+	p     *Pass
+	fi    *FuncInfo
+	cands []*ovfCandidate
+}
+
+// walkStmts visits a statement list threading guard facts.
+func (c *overflowCheck) walkStmts(stmts []ast.Stmt, facts []guardFact) {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *ast.IfStmt:
+			if x.Init != nil {
+				c.collect(x.Init, facts)
+			}
+			c.collect(x.Cond, facts)
+			c.walkStmts(x.Body.List, append(facts, guardFact{x.Cond, true}))
+			switch e := x.Else.(type) {
+			case *ast.BlockStmt:
+				c.walkStmts(e.List, append(facts, guardFact{x.Cond, false}))
+			case *ast.IfStmt:
+				c.walkStmts([]ast.Stmt{e}, append(facts, guardFact{x.Cond, false}))
+			}
+			if x.Else == nil && blockTerminates(x.Body) {
+				// The branch never falls through, so its negation holds below.
+				facts = append(facts[:len(facts):len(facts)], guardFact{x.Cond, false})
+			}
+		case *ast.BlockStmt:
+			c.walkStmts(x.List, facts)
+		case *ast.LabeledStmt:
+			c.walkStmts([]ast.Stmt{x.Stmt}, facts)
+		case *ast.ForStmt:
+			if x.Init != nil {
+				c.collect(x.Init, facts)
+			}
+			// Facts about variables the loop mutates do not survive the
+			// back edge; drop them before analyzing cond/post/body.
+			inner := dropMutatedFacts(facts, x)
+			if x.Cond != nil {
+				c.collect(x.Cond, inner)
+				inner = append(inner[:len(inner):len(inner)], guardFact{x.Cond, true})
+			}
+			if x.Post != nil {
+				c.collect(x.Post, inner)
+			}
+			c.walkStmts(x.Body.List, inner)
+		case *ast.RangeStmt:
+			c.collect(x.X, facts)
+			c.walkStmts(x.Body.List, dropMutatedFacts(facts, x))
+		case *ast.SwitchStmt:
+			if x.Init != nil {
+				c.collect(x.Init, facts)
+			}
+			if x.Tag != nil {
+				c.collect(x.Tag, facts)
+			}
+			walkCaseBodies(x.Body, func(ss []ast.Stmt) { c.walkStmts(ss, facts) })
+		case *ast.TypeSwitchStmt:
+			walkCaseBodies(x.Body, func(ss []ast.Stmt) { c.walkStmts(ss, facts) })
+		case *ast.SelectStmt:
+			for _, cl := range x.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					if cc.Comm != nil {
+						c.collect(cc.Comm, facts)
+					}
+					c.walkStmts(cc.Body, facts)
+				}
+			}
+		default:
+			c.collect(s, facts)
+		}
+	}
+}
+
+// collect records every overflow-candidate site inside n (which contains
+// no nested statement control flow) with a snapshot of the current facts.
+func (c *overflowCheck) collect(n ast.Node, facts []guardFact) {
+	info := c.p.Pkg.Info
+	inspectShallow(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.BinaryExpr:
+			if x.Op != token.ADD && x.Op != token.MUL {
+				return true
+			}
+			if !isInt64Expr(info, x) || isConstExpr(info, x) {
+				return true
+			}
+			c.addCandidate(x, x.Pos(), x.Op.String(), []ast.Expr{x.X, x.Y}, facts)
+		case *ast.AssignStmt:
+			if x.Tok != token.ADD_ASSIGN && x.Tok != token.MUL_ASSIGN {
+				return true
+			}
+			if len(x.Lhs) != 1 || len(x.Rhs) != 1 || !isInt64Expr(info, x.Lhs[0]) {
+				return true
+			}
+			c.addCandidate(x, x.TokPos, x.Tok.String(), []ast.Expr{x.Lhs[0], x.Rhs[0]}, facts)
+		case *ast.IncDecStmt:
+			if x.Tok != token.INC || !isInt64Expr(info, x.X) {
+				return true
+			}
+			c.addCandidate(x, x.TokPos, "++", []ast.Expr{x.X}, facts)
+		}
+		return true
+	})
+}
+
+func (c *overflowCheck) addCandidate(site ast.Node, pos token.Pos, op string, operands []ast.Expr, facts []guardFact) {
+	tainted := false
+	for _, o := range operands {
+		if c.p.Prog.ExprCeil(c.fi, o) {
+			tainted = true
+			break
+		}
+	}
+	if !tainted {
+		return
+	}
+	snap := append([]guardFact(nil), facts...)
+	c.cands = append(c.cands, &ovfCandidate{site: site, pos: pos, op: op, operands: operands, facts: snap})
+}
+
+// resolve certifies or reports the collected candidates. The interval
+// dataflow runs at most once per function, only when a candidate survives
+// the syntactic arguments.
+func (c *overflowCheck) resolve() {
+	if len(c.cands) == 0 {
+		return
+	}
+	var unresolved []*ovfCandidate
+	for _, cand := range c.cands {
+		if !c.certified(cand) {
+			unresolved = append(unresolved, cand)
+		}
+	}
+	if len(unresolved) == 0 {
+		return
+	}
+	byNode := make(map[ast.Node]*ovfCandidate, len(unresolved))
+	for _, cand := range unresolved {
+		byNode[cand.site] = cand
+	}
+	info := c.p.Pkg.Info
+	ii := &intervalInterp{info: info, pr: newProver(), prog: c.p.Prog}
+	g := c.p.Pkg.CFG(c.fi.Body)
+	in := SolveForward[intervalEnv](g, intervalProblem{ii})
+	for _, b := range g.ReversePostorder() {
+		env, ok := in[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			inspectShallow(n, func(m ast.Node) bool {
+				cand := byNode[m]
+				if cand == nil {
+					return true
+				}
+				if c.intervalSafe(ii, env, cand) {
+					delete(byNode, m)
+				}
+				return true
+			})
+			env = ii.transferNode(env, n)
+		}
+	}
+	for _, cand := range unresolved {
+		if byNode[cand.site] == nil {
+			continue
+		}
+		c.p.Reportf(cand.pos, "unchecked %s on ceiling-scale int64 values can exceed MaxInt64; use satAdd/satCoupling or guard the headroom first", cand.op)
+	}
+}
+
+// intervalSafe certifies a site whose result has a provable constant upper
+// bound: the polynomial domain caps coefficients at 2^40, so any constant
+// bound it can represent is far below MaxInt64.
+func (c *overflowCheck) intervalSafe(ii *intervalInterp, env intervalEnv, cand *ovfCandidate) bool {
+	var result ival
+	switch site := cand.site.(type) {
+	case *ast.BinaryExpr:
+		result = ii.eval(env, site)
+	case *ast.AssignStmt:
+		lhs, rhs := ii.eval(env, site.Lhs[0]), ii.eval(env, site.Rhs[0])
+		if site.Tok == token.ADD_ASSIGN {
+			result = ivalAdd(lhs, rhs)
+		} else {
+			result = ivalMul(lhs, rhs, ii.pr)
+		}
+	case *ast.IncDecStmt:
+		result = ivalAdd(ii.eval(env, site.X), constIval(1))
+	}
+	if !result.hasHi {
+		return false
+	}
+	_, isConst := result.hi.constant()
+	return isConst
+}
+
+// certified applies the syntactic arguments: sentinel exclusion, the
+// compensating-guard idiom, and constant headroom from dominating bounds.
+func (c *overflowCheck) certified(cand *ovfCandidate) bool {
+	info := c.p.Pkg.Info
+	bounds := upperBoundFacts(cand.facts)
+
+	anyTainted := false
+	for _, o := range cand.operands {
+		if c.p.Prog.ExprCeil(c.fi, o) && !c.sentinelCleared(cand.facts, renderNode(o)) {
+			anyTainted = true
+			break
+		}
+	}
+	if !anyTainted {
+		return true
+	}
+
+	// Compensating guard: some operand is bounded by an expression that
+	// subtracts (or divides by) another operand — the satAdd shape, where
+	// the bound's slack absorbs the partner exactly.
+	for i, o := range cand.operands {
+		r := renderNode(o)
+		for _, b := range bounds {
+			if b.target != r || !hasSubOrQuo(b.by) {
+				continue
+			}
+			for j, other := range cand.operands {
+				if j != i && atomMentions(renderNode(b.by), renderNode(other)) {
+					return true
+				}
+			}
+		}
+	}
+
+	// Constant headroom: every operand carries a constant upper bound
+	// (its own value, or a dominating comparison against a constant), and
+	// the combination provably stays below MaxInt64.
+	upper := make([]int64, 0, len(cand.operands)+1)
+	for _, o := range cand.operands {
+		if v, ok := constInt64(info, o); ok {
+			upper = append(upper, v)
+			continue
+		}
+		r := renderNode(o)
+		bounded := false
+		for _, b := range bounds {
+			if b.target != r {
+				continue
+			}
+			if v, ok := constInt64(info, b.by); ok {
+				upper = append(upper, v)
+				bounded = true
+				break
+			}
+		}
+		if !bounded {
+			return false
+		}
+	}
+	if cand.op == "++" {
+		upper = append(upper, 1)
+	}
+	return combinedHeadroomOK(cand.op, upper)
+}
+
+// combinedHeadroomOK checks the constant upper bounds cannot overflow when
+// combined with the site's operator (magnitudes, so sign games cannot
+// sneak past it).
+func combinedHeadroomOK(op string, upper []int64) bool {
+	mag := func(v int64) int64 {
+		if v == math.MinInt64 {
+			return math.MaxInt64
+		}
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	switch op {
+	case "+", "+=", "++":
+		var sum int64
+		for _, v := range upper {
+			m := mag(v)
+			if sum > math.MaxInt64-m {
+				return false
+			}
+			sum += m
+		}
+		return true
+	case "*", "*=":
+		prod := int64(1)
+		for _, v := range upper {
+			m := mag(v)
+			if m == 0 {
+				return true
+			}
+			if prod > math.MaxInt64/m {
+				return false
+			}
+			prod *= m
+		}
+		return true
+	}
+	return false
+}
+
+// sentinelCleared reports a dominating condition excludes the sentinel
+// constant from the operand: x != BIG holding, or x == BIG known false.
+func (c *overflowCheck) sentinelCleared(facts []guardFact, operand string) bool {
+	info := c.p.Pkg.Info
+	for _, f := range facts {
+		bin, ok := ast.Unparen(f.cond).(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		op := bin.Op
+		if !f.holds {
+			op = negateCmp(op)
+		}
+		if op != token.NEQ {
+			continue
+		}
+		x, y := bin.X, bin.Y
+		if renderNode(x) == operand && isCeilingConst(info, y) {
+			return true
+		}
+		if renderNode(y) == operand && isCeilingConst(info, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// upperBound is "target ≤ (roughly) by", extracted from a dominating
+// comparison. LSS vs LEQ slack is irrelevant to the shape checks.
+type upperBound struct {
+	target string
+	by     ast.Expr
+}
+
+func upperBoundFacts(facts []guardFact) []upperBound {
+	var out []upperBound
+	for _, f := range facts {
+		bin, ok := ast.Unparen(f.cond).(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		op := bin.Op
+		if !f.holds {
+			op = negateCmp(op)
+		}
+		switch op {
+		case token.LSS, token.LEQ:
+			out = append(out, upperBound{renderNode(bin.X), bin.Y})
+		case token.GTR, token.GEQ:
+			out = append(out, upperBound{renderNode(bin.Y), bin.X})
+		case token.EQL:
+			out = append(out, upperBound{renderNode(bin.X), bin.Y})
+			out = append(out, upperBound{renderNode(bin.Y), bin.X})
+		}
+	}
+	return out
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return token.ILLEGAL
+}
+
+func hasSubOrQuo(e ast.Expr) bool {
+	found := false
+	inspectShallow(e, func(n ast.Node) bool {
+		if bin, ok := n.(*ast.BinaryExpr); ok && (bin.Op == token.SUB || bin.Op == token.QUO) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func isInt64Expr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func constInt64(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	val := constant.ToInt(tv.Value)
+	if val.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(val)
+}
+
+func isCeilingConst(info *types.Info, e ast.Expr) bool {
+	v, ok := constInt64(info, e)
+	return ok && (v >= ceilingScale || v <= -ceilingScale)
+}
+
+// dropMutatedFacts removes facts mentioning any variable the loop assigns,
+// since they need not hold past the first iteration.
+func dropMutatedFacts(facts []guardFact, loop ast.Node) []guardFact {
+	assigned := make(map[string]bool)
+	inspectShallow(loop, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if base := rootIdent(lhs); base != nil {
+					assigned[base.Name] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if base := rootIdent(x.X); base != nil {
+				assigned[base.Name] = true
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if e == nil {
+					continue
+				}
+				if base := rootIdent(e); base != nil {
+					assigned[base.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(assigned) == 0 {
+		return facts
+	}
+	var kept []guardFact
+	for _, f := range facts {
+		mentions := false
+		inspectShallow(f.cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && assigned[id.Name] {
+				mentions = true
+				return false
+			}
+			return !mentions
+		})
+		if !mentions {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// blockTerminates reports the block never falls through: its last
+// statement is a return, branch, or panic call.
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}

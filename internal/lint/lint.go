@@ -59,6 +59,11 @@ type Pass struct {
 	Pkg      *Package
 	Fset     *token.FileSet
 
+	// Prog is the interprocedural view over every package the loader has
+	// seen (call graph + summaries). Nil when the driver runs an analyzer
+	// in isolation; analyzers degrade to their intraprocedural behavior.
+	Prog *Program
+
 	diags *[]Diagnostic
 }
 
@@ -115,6 +120,9 @@ func All() []*Analyzer {
 		LockBalance,
 		FlatBounds,
 		ShadowErr,
+		CancelPoll,
+		IntOverflow,
+		NondetReduce,
 	}
 }
 
@@ -174,11 +182,20 @@ func Select(enable, disable string) ([]*Analyzer, error) {
 // syntactic analyzers.
 func Run(l *Loader, dirs []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	// Phase 1: load every requested directory (plus, transitively, every
+	// module-internal import), so the interprocedural view below spans the
+	// whole closure rather than one directory at a time.
+	pkgs := make([]*Package, 0, len(dirs))
 	for _, dir := range dirs {
 		pkg, err := l.Load(dir)
 		if err != nil {
 			return nil, err
 		}
+		pkgs = append(pkgs, pkg)
+	}
+	prog := l.Program()
+	// Phase 2: run the analyzers per package against the shared Program.
+	for _, pkg := range pkgs {
 		if pkg.TypeErr != nil {
 			diags = append(diags, Diagnostic{
 				Analyzer: "typecheck",
@@ -190,7 +207,7 @@ func Run(l *Loader, dirs []string, analyzers []*Analyzer) ([]Diagnostic, error) 
 			if a.NeedsTypes && pkg.Info == nil {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: l.Fset, diags: &diags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Fset: l.Fset, Prog: prog, diags: &diags}
 			a.Run(pass)
 		}
 		diags = applySuppressions(l.Fset, pkg, diags)

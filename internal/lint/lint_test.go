@@ -96,6 +96,29 @@ func TestFixtures(t *testing.T) {
 		{"shadowerr_pos", []string{"shadow-err:21", "shadow-err:38", "shadow-err:8"}},
 		{"shadowerr_neg", nil},
 		{"shadowerr_suppress", nil},
+		// Interprocedural analyzers: call graph + summaries (PR 6).
+		{"cancelpoll_pos", []string{
+			"cancel-poll:17", "cancel-poll:21", "cancel-poll:24", "cancel-poll:39",
+		}},
+		{"cancelpoll_neg", nil},
+		{"cancelpoll_bfs", nil},      // visited-guard exemption pinned by suppression
+		{"cancelpoll_callback", nil}, // poll resolved through a tracked function value
+		{"cancelpoll_iface", nil},    // poll resolved through CHA on an interface call
+		{"intoverflow_pos", []string{
+			"int-overflow:19", "int-overflow:25", "int-overflow:33", "int-overflow:34",
+		}},
+		{"intoverflow_neg", nil},
+		{"intoverflow_launder", nil}, // slice stores drop taint at the element boundary
+		{"nondetreduce_pos", []string{
+			"nondet-reduce:24", "nondet-reduce:39", "nondet-reduce:53",
+		}},
+		{"nondetreduce_neg", nil},
+		// A hot loop allocating through an unexported helper (summary-driven);
+		// the exported callee and the non-allocating helper stay exempt.
+		{"hotalloc_summary", []string{"alloc-in-hot-loop:29"}},
+		// Result summaries prove Shifted's offset(i) in-bounds and refute
+		// ShiftedAll's.
+		{"flatbounds_interproc", []string{"flat-bounds:36"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

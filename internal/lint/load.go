@@ -79,6 +79,9 @@ type Loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*Package // by absolute dir
 	loading map[string]bool     // cycle guard, by absolute dir
+
+	prog    *Program // memoized interprocedural view (see callgraph.go)
+	progGen int      // len(pkgs) when prog was built
 }
 
 // NewLoader creates a loader for the module whose root directory contains

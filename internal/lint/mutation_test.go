@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The negative controls: the interprocedural analyzers must notice when the
+// real solver's safety idioms are removed. Each test copies the qbp package
+// into a fresh directory, applies one textual mutation, and lints the copy —
+// the module-internal imports still resolve against the real repository, so
+// the copy type-checks exactly like the original.
+
+// copyQBP copies qbp's non-test sources into a temp directory, applying
+// mutate to each file's contents.
+func copyQBP(t *testing.T, mutate func(string) string) string {
+	t.Helper()
+	src := filepath.Join("..", "qbp")
+	dir := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(mutate(string(data))), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// scanMutation fails on type-check errors and reports whether analyzer fired.
+func scanMutation(t *testing.T, diags []Diagnostic, analyzer string) bool {
+	t.Helper()
+	fired := false
+	for _, d := range diags {
+		if d.Analyzer == "typecheck" {
+			t.Fatalf("mutated copy failed to type-check: %s", d.Message)
+		}
+		if d.Analyzer == analyzer {
+			fired = true
+		}
+	}
+	return fired
+}
+
+// TestMutationControl pins the baseline: an unmutated copy is lint-clean,
+// so any finding in the tests below is caused by the mutation alone.
+func TestMutationControl(t *testing.T) {
+	dir := copyQBP(t, func(s string) string { return s })
+	if diags := runFixture(t, dir); len(diags) != 0 {
+		t.Errorf("unmutated qbp copy not clean: %v", keys(diags))
+	}
+}
+
+// TestMutationCancelPoll deletes the Checker polls from the solver loops;
+// cancel-poll must report the now-unguarded loops.
+func TestMutationCancelPoll(t *testing.T) {
+	dir := copyQBP(t, func(s string) string {
+		return strings.ReplaceAll(s, "s.ck.Now()", "false")
+	})
+	diags := runFixture(t, dir)
+	if !scanMutation(t, diags, "cancel-poll") {
+		t.Errorf("cancel-poll silent after removing solver polls: %v", keys(diags))
+	}
+}
+
+// TestMutationIntOverflow replaces one satAdd call site with a raw +;
+// int-overflow must report the unguarded ceiling-scale addition.
+func TestMutationIntOverflow(t *testing.T) {
+	mutated := false
+	dir := copyQBP(t, func(s string) string {
+		out := strings.Replace(s, "tot = satAdd(tot, span)", "tot = tot + span", 1)
+		if out != s {
+			mutated = true
+		}
+		return out
+	})
+	if !mutated {
+		t.Fatal("mutation target `tot = satAdd(tot, span)` not found in qbp sources")
+	}
+	diags := runFixture(t, dir)
+	if !scanMutation(t, diags, "int-overflow") {
+		t.Errorf("int-overflow silent after replacing satAdd with +: %v", keys(diags))
+	}
+}

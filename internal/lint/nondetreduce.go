@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NondetReduce guards the determinism contract at goroutine fan-in points.
+// The solvers promise bit-identical results for a fixed seed, and the
+// parallel paths keep that promise by keying every worker's result with its
+// job index (multistart's `results[k] = ...`) so the reduction order is
+// fixed no matter which goroutine finishes first.
+//
+// The analyzer finds channels that spawned goroutine literals send into,
+// then inspects the loops that drain them. A reduction is order-dependent —
+// and reported — when the merge loop:
+//
+//   - appends the received values to an outer slice (append preserves
+//     arrival order);
+//   - accumulates into a float (float addition is not associative, so the
+//     sum depends on arrival order);
+//   - stores under a key the loop itself advances (a counter re-creates
+//     arrival order with extra steps).
+//
+// Stores keyed by data received on the channel, integer accumulation, and
+// min/max-style reductions are order-insensitive and stay silent.
+// Goroutines that fill a shared map are out of scope here: iterating such a
+// map is nondeterministic whether or not goroutines wrote it, and the
+// sort-aware map-order-leak analyzer already owns that invariant.
+var NondetReduce = &Analyzer{
+	Name:       "nondet-reduce",
+	Doc:        "goroutine fan-in must reduce deterministically: key results by job index or combine order-insensitively",
+	NeedsTypes: true,
+	Run:        runNondetReduce,
+}
+
+func runNondetReduce(p *Pass) {
+	info := p.Pkg.Info
+	if info == nil {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkNondetReduce(p, info, fd.Body)
+			}
+		}
+	}
+}
+
+func checkNondetReduce(p *Pass, info *types.Info, body *ast.BlockStmt) {
+	var spawned []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				spawned = append(spawned, lit)
+			}
+		}
+		return true
+	})
+	if len(spawned) == 0 {
+		return
+	}
+
+	// Channels the goroutines send into, restricted to variables captured
+	// from the enclosing function — those are the fan-in points the spawner
+	// will drain.
+	chans := make(map[*types.Var]bool)
+	for _, lit := range spawned {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if x, ok := n.(*ast.SendStmt); ok {
+				if v := exprVar(info, x.Chan); v != nil && !posWithin(lit, v.Pos()) {
+					chans[v] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(chans) == 0 {
+		return
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.RangeStmt:
+			if v := exprVar(info, loop.X); v != nil && chans[v] {
+				// Range over a channel yields the element in Key.
+				checkMergeLoop(p, info, loop.Body, rangeVars(info, loop))
+			}
+		case *ast.ForStmt:
+			recv := loopReceives(info, loop, chans)
+			if len(recv) > 0 {
+				checkMergeLoop(p, info, loop.Body, recv)
+			}
+		}
+		return true
+	})
+}
+
+// rangeVars returns the loop variables bound by a range statement.
+func rangeVars(info *types.Info, loop *ast.RangeStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, e := range []ast.Expr{loop.Key, loop.Value} {
+		if e == nil {
+			continue
+		}
+		if v := exprVar(info, e); v != nil {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// loopReceives collects variables assigned from `<-ch` receives on the
+// recorded fan-in channels inside the loop (v := <-ch and v, ok := <-ch).
+func loopReceives(info *types.Info, loop *ast.ForStmt, chans map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(loop, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		un, ok := ast.Unparen(as.Rhs[0]).(*ast.UnaryExpr)
+		if !ok || un.Op != token.ARROW {
+			return true
+		}
+		ch := exprVar(info, un.X)
+		if ch == nil || !chans[ch] {
+			return true
+		}
+		if v := exprVar(info, as.Lhs[0]); v != nil {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+// checkMergeLoop reports the first order-dependent sink in a loop draining
+// a goroutine-fed channel.
+func checkMergeLoop(p *Pass, info *types.Info, body *ast.BlockStmt, received map[*types.Var]bool) {
+	if pos, reason := orderDependentSink(info, body, received); reason != "" {
+		p.Reportf(pos, "goroutine results are reduced in arrival order (%s); key them by job index or use an order-insensitive reduction", reason)
+	}
+}
+
+// orderDependentSink scans a merge-loop body for a reduction whose result
+// depends on arrival order. received holds the loop's binding of the
+// channel element: stores keyed by it are the deterministic pattern.
+func orderDependentSink(info *types.Info, body *ast.BlockStmt, received map[*types.Var]bool) (token.Pos, string) {
+	counters := mutatedCounters(info, body)
+	var pos token.Pos
+	var reason string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			if isFloat(info, as.Lhs[0]) {
+				pos, reason = as.TokPos, "float accumulation is not associative"
+			}
+		case token.ASSIGN, token.DEFINE:
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			// x = append(x, ...) onto an outer slice keeps arrival order.
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+					if tv := exprVar(info, as.Lhs[0]); tv != nil && tv == exprVar(info, call.Args[0]) {
+						pos, reason = as.TokPos, "append preserves arrival order"
+						return false
+					}
+				}
+			}
+			// x = x + v on floats is the spelled-out accumulation.
+			if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok && (bin.Op == token.ADD || bin.Op == token.SUB) {
+				if isFloat(info, as.Lhs[0]) && mentionsVar(info, bin, exprVar(info, as.Lhs[0])) {
+					pos, reason = as.TokPos, "float accumulation is not associative"
+					return false
+				}
+			}
+			// Counter-keyed store: out[i] with i advanced by the loop is
+			// arrival order in disguise. Keys derived from the received
+			// element are the deterministic pattern.
+			if idx, ok := ast.Unparen(as.Lhs[0]).(*ast.IndexExpr); ok {
+				if mentionsAny(info, idx.Index, received) {
+					return true
+				}
+				if kv := exprVar(info, idx.Index); kv != nil && counters[kv] {
+					pos, reason = as.TokPos, "store keyed by a loop counter follows arrival order"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return pos, reason
+}
+
+// mutatedCounters returns integer variables the loop body itself advances
+// (i++ or i += step).
+func mutatedCounters(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IncDecStmt:
+			if v := exprVar(info, x.X); v != nil && isIntegerVar(v) {
+				out[v] = true
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN || x.Tok == token.SUB_ASSIGN {
+				if v := exprVar(info, x.Lhs[0]); v != nil && isIntegerVar(v) {
+					out[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprVar resolves the base identifier of an expression to its variable.
+func exprVar(info *types.Info, e ast.Expr) *types.Var {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+func mentionsVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	return mentionsAny(info, e, map[*types.Var]bool{v: true})
+}
+
+func mentionsAny(info *types.Info, e ast.Expr, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, _ := info.Uses[id].(*types.Var); v != nil && vars[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func posWithin(lit *ast.FuncLit, pos token.Pos) bool {
+	return lit.Pos() <= pos && pos <= lit.End()
+}

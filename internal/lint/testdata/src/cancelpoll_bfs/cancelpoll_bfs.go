@@ -1,0 +1,37 @@
+// Fixture: a worklist loop whose total work is bounded by a visited guard.
+// The analyzer cannot prove that, so the exemption is pinned with an
+// explicit suppression — the one escape hatch the contract allows.
+package solver
+
+import (
+	"context"
+
+	"repro/internal/interrupt"
+)
+
+// Solve walks a graph breadth-first; each node enters the queue at most
+// once, so the drain is bounded by len(adj) and needs no poll. The checker
+// guards the caller's surrounding refinement loop, not this walk.
+func Solve(ctx context.Context, adj [][]int) []int {
+	ck := interrupt.New(ctx, 0)
+	if ck.Now() {
+		return nil
+	}
+	visited := make([]bool, len(adj))
+	visited[0] = true
+	queue := []int{0}
+	var order []int
+	//lint:ignore cancel-poll BFS visits each node exactly once (visited guard); bounded by len(adj)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			if !visited[w] {
+				visited[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order
+}

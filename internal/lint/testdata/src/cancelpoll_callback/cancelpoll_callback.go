@@ -1,0 +1,34 @@
+// Fixture: the poll arrives through a tracked function value. Run stores a
+// Checker-polling literal in Options.OnIteration; function-value tracking
+// must resolve the field call in Solve's loop guard to that literal.
+package solver
+
+import (
+	"context"
+
+	"repro/internal/interrupt"
+)
+
+// Options carries a caller-supplied stop check.
+type Options struct {
+	OnIteration func() bool
+}
+
+// Solve exits its knob loop when the callback fires.
+func Solve(ctx context.Context, opts Options, iterations int) int {
+	done := 0
+	for k := 0; k < iterations; k++ {
+		if opts.OnIteration != nil && opts.OnIteration() {
+			break
+		}
+		done++
+	}
+	return done
+}
+
+// Run wires a real poll into the callback.
+func Run(ctx context.Context) int {
+	ck := interrupt.New(ctx, 0)
+	poll := func() bool { return ck.Stop() }
+	return Solve(ctx, Options{OnIteration: poll}, 100)
+}

@@ -1,0 +1,32 @@
+// Fixture: the poll arrives through an interface method. Class-hierarchy
+// analysis resolves stopper.Stopping to every module-internal implementation;
+// ckStopper's polls the Checker, so the dynamic call counts as a poll.
+package solver
+
+import (
+	"context"
+
+	"repro/internal/interrupt"
+)
+
+type stopper interface {
+	Stopping() bool
+}
+
+type ckStopper struct{ ck *interrupt.Checker }
+
+func (s *ckStopper) Stopping() bool { return s.ck.Stop() }
+
+// Solve polls through the interface.
+func Solve(ctx context.Context, iterations int) int {
+	ck := interrupt.New(ctx, 0)
+	st := stopper(&ckStopper{ck: &ck})
+	done := 0
+	for k := 0; k < iterations; k++ {
+		if st.Stopping() {
+			break
+		}
+		done++
+	}
+	return done
+}

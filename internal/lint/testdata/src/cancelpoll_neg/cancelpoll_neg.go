@@ -1,0 +1,67 @@
+// Fixture: loops that poll for cancellation or are exempt by construction.
+// None of these should be reported by cancel-poll.
+package solver
+
+import (
+	"context"
+
+	"repro/internal/interrupt"
+)
+
+// SolvePolled guards every unbounded loop with a context poll.
+func SolvePolled(ctx context.Context, iterations int, work []int64) int64 {
+	var total int64
+	for k := 0; k < iterations; k++ { // polled via ctx.Err
+		if ctx.Err() != nil {
+			break
+		}
+		total += work[k%len(work)]
+	}
+	for { // polled via select on ctx.Done
+		select {
+		case <-ctx.Done():
+			return total
+		default:
+		}
+		if total > 100 {
+			break
+		}
+		total++
+	}
+	// Problem-size loops terminate on their own; no poll required.
+	for i := 0; i < len(work); i++ {
+		total += work[i]
+	}
+	// A compound condition is bounded if either side bounds it: j < len(work)
+	// does, even though b < iterations alone would not.
+	for j, b := 0, 0; j < len(work) && b < iterations; j++ {
+		total += work[j]
+		b++
+	}
+	// A counter that merely *is named* like a knob is not knob-bounded:
+	// iter here counts to a constant, not to an iteration budget.
+	for iter := 0; iter < 4; iter++ {
+		total++
+	}
+	return total
+}
+
+// SolvePasses uses the sticky-flag idiom: the inner sweep polls ck.Now(),
+// and the outer pass loop exits on the sticky ck.Stopped() read. Because
+// this function polls, Stopped counts as its loop guard.
+func SolvePasses(ctx context.Context, sweeps int) int {
+	ck := interrupt.New(ctx, 0)
+	total := 0
+	for {
+		for k := 0; k < sweeps; k++ {
+			if ck.Now() {
+				break
+			}
+			total++
+		}
+		if total > 10 || ck.Stopped() {
+			break
+		}
+	}
+	return total
+}

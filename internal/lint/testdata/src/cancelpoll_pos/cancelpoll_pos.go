@@ -1,0 +1,43 @@
+// Fixture: solver loops reachable from an entry point that never poll for
+// cancellation. Solve builds a Checker — so the package clearly promises
+// cancellation — but none of its loops ever consult it.
+package solver
+
+import (
+	"context"
+
+	"repro/internal/interrupt"
+)
+
+// Solve runs four shapes of unpolled loops. The lone Now() poll after the
+// loops guards nothing.
+func Solve(ctx context.Context, iterations int, work []int) int {
+	ck := interrupt.New(ctx, 0)
+	done := 0
+	for k := 0; k < iterations; k++ { // knob-bounded, no poll
+		done += work[k%len(work)]
+	}
+	queue := []int{1}
+	for len(queue) > 0 { // worklist-driven, no poll
+		queue = queue[1:]
+	}
+	for { // unconditional, exits only on progress
+		if done > 3 {
+			break
+		}
+		done++
+	}
+	if ck.Now() {
+		return -1
+	}
+	return done + drain(make(chan int))
+}
+
+// drain is unexported but reachable from Solve, so its loop is checked too.
+func drain(ch chan int) int {
+	total := 0
+	for v := range ch { // range over channel, no poll
+		total += v
+	}
+	return total
+}

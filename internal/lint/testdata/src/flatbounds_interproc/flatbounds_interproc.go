@@ -1,0 +1,39 @@
+// Fixture: result summaries carry interval facts across call boundaries.
+// upTo and offset are summarized bottom-up; flat-bounds then proves (or
+// refutes) the indexing in their callers.
+package flatmat
+
+import fm "repro/internal/flatmat"
+
+// upTo returns len(xs); its summary is the exact point len($xs).
+func upTo(xs []int64) int {
+	return len(xs)
+}
+
+// offset returns n+1; its summary is the point $n+1, valid when n ≥ 0.
+func offset(n int) int {
+	return n + 1
+}
+
+// Prefix slices to the summarized length — provably within bounds.
+func Prefix(m *fm.Matrix) []int64 {
+	return m.V[:upTo(m.V)]
+}
+
+// Shifted indexes at offset(i) with i < len-1, so i+1 ≤ len-1: provable.
+func Shifted(m *fm.Matrix) int64 {
+	var s int64
+	for i := 0; i < len(m.V)-1; i++ {
+		s += m.V[offset(i)]
+	}
+	return s
+}
+
+// ShiftedAll lets i run to len, so offset(i) can reach len: reported.
+func ShiftedAll(m *fm.Matrix) int64 {
+	var s int64
+	for i := 0; i < len(m.V); i++ {
+		s += m.V[offset(i)]
+	}
+	return s
+}

@@ -1,0 +1,41 @@
+// Fixture: interprocedural allocation summaries. A hot loop calling an
+// unexported helper that allocates is as bad as spelling the make inline;
+// exported helpers are exempt because their contract is visible at the API
+// boundary.
+package qbp
+
+// buildScratch hides an allocation behind a call.
+func buildScratch(n int) []int64 {
+	return make([]int64, n)
+}
+
+// reuse only writes into the buffer it was handed.
+func reuse(buf []int64) []int64 {
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Fresh allocates too, but is exported: callers see the contract.
+func Fresh(n int) []int64 {
+	return make([]int64, n)
+}
+
+// Sweep is the hot loop.
+func Sweep(rounds, n int) int64 {
+	var total int64
+	for r := 0; r < rounds; r++ {
+		buf := buildScratch(n) // allocates every iteration via the helper
+		total += buf[0]
+	}
+	scratch := make([]int64, n)
+	for r := 0; r < rounds; r++ {
+		buf := reuse(scratch) // non-allocating helper: clean
+		total += buf[0]
+	}
+	for r := 0; r < rounds; r++ {
+		total += Fresh(n)[0] // exported callee: exempt
+	}
+	return total
+}

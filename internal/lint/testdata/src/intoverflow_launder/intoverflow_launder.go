@@ -1,0 +1,23 @@
+// Fixture: the taint-laundering boundary. Values stored into slice elements
+// are deliberately not tracked — element reads come back clean, so the
+// accumulation over out is not a candidate even though a ceiling-scale value
+// was spread into it. Keeping stores out of the taint set is what lets the
+// analyzer stay flow-insensitive without flagging every buffer in the repo.
+package solver
+
+import "math"
+
+// Spread clamps a penalty into a buffer, then sums the buffer.
+func Spread(out []int64, pen int64) int64 {
+	if pen > math.MaxInt64/2 {
+		pen = math.MaxInt64 / 2
+	}
+	for i := range out {
+		out[i] = pen // store drops taint at the element boundary
+	}
+	total := int64(0)
+	for _, v := range out {
+		total += v // v read back from the slice: untainted
+	}
+	return total
+}

@@ -1,0 +1,83 @@
+// Fixture: ceiling-scale arithmetic certified safe by each of the guard
+// rules: compensating bound (satAdd/satScale shapes), else-branch guard,
+// sentinel clearing, constant headroom, and the interprocedural interval
+// rule. Nothing here should be reported.
+package solver
+
+import "math"
+
+const ceiling = int64(1) << 35
+
+// satAdd is the compensating-guard idiom: the early exit bounds a by
+// ceiling-b, so a+b cannot exceed ceiling.
+func satAdd(a, b int64) int64 {
+	if a > ceiling-b {
+		return ceiling
+	}
+	return a + b
+}
+
+// satScale is the quotient form of the same guard.
+func satScale(w int64) int64 {
+	if w > ceiling/4 {
+		return ceiling
+	}
+	return w * 4
+}
+
+// addClamped guards in the then-branch and accumulates in the else.
+func addClamped(w, best int64) int64 {
+	if best > math.MaxInt64-w {
+		w = math.MaxInt64
+	} else {
+		w += best
+	}
+	return w
+}
+
+// countCapped advances a tainted counter under a constant cap; one more
+// step from below ceiling has headroom to spare.
+func countCapped(pen int64) int64 {
+	if pen < ceiling {
+		pen++
+	}
+	return pen
+}
+
+// SumBounded excludes the unset marker before accumulating, clearing the
+// only taint source of best.
+func SumBounded(vals []int64, total int64) int64 {
+	best := int64(math.MaxInt64)
+	for _, v := range vals {
+		if v < best {
+			best = v
+		}
+	}
+	if best == math.MaxInt64 {
+		return total
+	}
+	return total + best
+}
+
+// ViaSummary leans on satAdd's result summary: the callee caps its result
+// at ceiling, so the interval pass proves s+1 has constant headroom.
+func ViaSummary(n int64) int64 {
+	if n < 0 {
+		return 0
+	}
+	s := satAdd(n, 3)
+	return s + 1
+}
+
+// Total threads ceiling-scale arguments through the helpers so their
+// parameters are genuinely tainted — the guards, not an absence of taint,
+// are what keep this fixture clean.
+func Total(costs []int64) int64 {
+	t := int64(0)
+	for range costs {
+		t = satAdd(t, ceiling)
+	}
+	t = satScale(t)
+	t = addClamped(t, ceiling)
+	return countCapped(t)
+}

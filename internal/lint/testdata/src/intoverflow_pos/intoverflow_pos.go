@@ -1,0 +1,36 @@
+// Fixture: unguarded arithmetic on ceiling-scale int64 values. bigPenalty
+// and math.MaxInt64 seed the taint; every flagged site combines a tainted
+// operand without a headroom guard.
+package solver
+
+import "math"
+
+const bigPenalty = int64(1) << 35
+
+// Accumulate folds an unset-marker minimum straight into a sum.
+func Accumulate(costs []int64) int64 {
+	best := int64(math.MaxInt64)
+	for _, c := range costs {
+		if c < best {
+			best = c
+		}
+	}
+	total := int64(0)
+	total += best // best may still be MaxInt64
+	return total
+}
+
+// Scale multiplies the penalty by a runtime count.
+func Scale(n int) int64 {
+	return bigPenalty * int64(n) // no bound on n
+}
+
+// Inflate grows a penalty-scale accumulator without checking headroom.
+func Inflate(pen int64) int64 {
+	if pen == 0 {
+		pen = bigPenalty
+	}
+	pen *= 2 // tainted *=
+	pen++    // tainted ++
+	return pen
+}

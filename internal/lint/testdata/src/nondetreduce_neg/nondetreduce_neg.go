@@ -1,0 +1,55 @@
+// Fixture: deterministic goroutine fan-ins. Results keyed by job index,
+// integer accumulation, and min-style reductions are order-insensitive and
+// must not be reported.
+package solver
+
+// result pairs a job index with its value so the reducer can place it.
+type result struct {
+	idx int
+	val float64
+}
+
+// MergeKeyed stores each result at its job index — the blessed pattern.
+func MergeKeyed(jobs []float64) []float64 {
+	ch := make(chan result)
+	for i := range jobs {
+		go func(k int) { ch <- result{idx: k, val: jobs[k] * 2} }(i)
+	}
+	out := make([]float64, len(jobs))
+	for i := 0; i < len(jobs); i++ {
+		r := <-ch
+		out[r.idx] = r.val // keyed by received index: deterministic
+	}
+	return out
+}
+
+// MergeInt accumulates integers — associative and commutative, so arrival
+// order cannot change the total.
+func MergeInt(jobs []int) int {
+	ch := make(chan int)
+	for _, j := range jobs {
+		go func(v int) { ch <- v }(j)
+	}
+	total := 0
+	for i := 0; i < len(jobs); i++ {
+		v := <-ch
+		total += v
+	}
+	return total
+}
+
+// MergeMin keeps the minimum — order-insensitive by definition.
+func MergeMin(jobs []int) int {
+	ch := make(chan int)
+	for _, j := range jobs {
+		go func(v int) { ch <- v }(j)
+	}
+	best := 1 << 30
+	for i := 0; i < len(jobs); i++ {
+		v := <-ch
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,56 @@
+// Fixture: goroutine fan-ins whose reductions depend on arrival order —
+// append into an outer slice, float accumulation, and a counter-keyed store.
+package solver
+
+import "sync"
+
+// MergeAppend collects worker results in whatever order they arrive.
+func MergeAppend(jobs []int) []int {
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			ch <- v * v
+		}(j)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	var out []int
+	for v := range ch {
+		out = append(out, v) // arrival order leaks into out
+	}
+	return out
+}
+
+// MergeFloat sums floats in arrival order; float addition is not
+// associative, so the total depends on scheduling.
+func MergeFloat(jobs []float64) float64 {
+	ch := make(chan float64)
+	for _, j := range jobs {
+		go func(v float64) { ch <- v }(j)
+	}
+	total := 0.0
+	for i := 0; i < len(jobs); i++ {
+		v := <-ch
+		total += v // order-dependent float accumulation
+	}
+	return total
+}
+
+// MergeCounter re-creates arrival order with a counter key.
+func MergeCounter(jobs []int, out []int) {
+	ch := make(chan int)
+	for _, j := range jobs {
+		go func(v int) { ch <- v }(j)
+	}
+	k := 0
+	for i := 0; i < len(jobs); i++ {
+		v := <-ch
+		out[k] = v // k advances with arrivals, not with job identity
+		k++
+	}
+}

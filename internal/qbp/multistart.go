@@ -85,6 +85,10 @@ func SolveMultiStart(ctx context.Context, p *model.Problem, opts MultiStartOptio
 		go func() {
 			defer wg.Done()
 			sc := newScratch(p.M(), p.N())
+			// The drain is cancellation-bounded one level up: the feed
+			// loop below stops dispatching on ctx.Done and closes jobs,
+			// and each Solve polls the same ctx internally.
+			//lint:ignore cancel-poll jobs is closed by the ctx-gated feed loop and every Solve polls ctx itself
 			for k := range jobs {
 				o := opts.Base
 				o.Seed = derivedSeed(opts.Base.Seed, k)

@@ -535,7 +535,8 @@ func Solve(ctx context.Context, p *model.Problem, opts Options) (*Result, error)
 			w := model.Assignment(s.sc.wbuf)
 			copy(w, best)
 			s.polish(w, false)
-			if MinConflicts(s.p, w, opts.Seed+int64(k), 10*s.n) == 0 {
+			//lint:ignore alloc-in-hot-loop repair runs only when the incumbent improves (lastRepaired gate), not per iteration
+			if minConflicts(s.p, w, opts.Seed+int64(k), 10*s.n, &s.ck) == 0 {
 				s.polish(w, true)
 				if obj := s.p.Objective(w); obj < bestFeasibleObj {
 					bestFeasibleObj = obj
@@ -597,7 +598,7 @@ func Solve(ctx context.Context, p *model.Problem, opts Options) (*Result, error)
 			// from feasibility; min-conflicts repair plus a
 			// feasibility-preserving polish turns it into a candidate.
 			w := append(model.Assignment(nil), best...)
-			if MinConflicts(s.p, w, opts.Seed, 30*s.n) == 0 {
+			if minConflicts(s.p, w, opts.Seed, 30*s.n, &s.ck) == 0 {
 				s.polish(w, true)
 				consider(w)
 			}
@@ -1364,6 +1365,16 @@ func (e *EtaComputer) Compute(u model.Assignment) [][]float64 {
 // classic constraint-satisfaction tail-cleaner: the QBP iteration reliably
 // drives violations to a few percent, and this removes the rest.
 func MinConflicts(p *model.Problem, u model.Assignment, seed int64, maxSteps int) int {
+	// A zero Checker never fires, so the exported entry point keeps its
+	// context-free signature and exact behavior.
+	var ck interrupt.Checker
+	return minConflicts(p, u, seed, maxSteps, &ck)
+}
+
+// minConflicts is the implementation; solver-internal callers thread their
+// own Checker so a deadline interrupts the repair walk mid-run (returning
+// the current violation count, like every other best-so-far path).
+func minConflicts(p *model.Problem, u model.Assignment, seed int64, maxSteps int, ck *interrupt.Checker) int {
 	norm := p.Normalized()
 	n, m := norm.N(), norm.M()
 	d := norm.Topology.Delay
@@ -1422,6 +1433,9 @@ func MinConflicts(p *model.Problem, u model.Assignment, seed int64, maxSteps int
 	for step := 0; step < maxSteps; step++ {
 		if len(conflicted) == 0 {
 			return 0
+		}
+		if ck.Stop() {
+			break
 		}
 		j := conflicted[rng.Intn(len(conflicted))]
 		best := violCount[j]
@@ -1533,6 +1547,7 @@ func ConstructiveStart(p *model.Problem, penalty int64) (model.Assignment, error
 		}
 		visited[seed] = true
 		queue = append(queue[:0], seed)
+		//lint:ignore cancel-poll BFS visits each component exactly once (visited guard); bounded by n
 		for len(queue) > 0 {
 			j := queue[0]
 			queue = queue[1:]
@@ -1673,6 +1688,7 @@ func FeasibleStart(ctx context.Context, p *model.Problem, seed int64, maxIterati
 		Beta:     p.Beta,
 		Linear:   p.Linear,
 	}
+	ck := interrupt.New(ctx, 0)
 	// Fast path: constraint-aware constructive placement plus min-conflicts
 	// repair clears real circuits in milliseconds to seconds.
 	if u, err := ConstructiveStart(zp, 0); err == nil {
@@ -1681,7 +1697,8 @@ func FeasibleStart(ctx context.Context, p *model.Problem, seed int64, maxIterati
 				return nil, err
 			}
 			w := append(model.Assignment(nil), u...)
-			if left := MinConflicts(zp, w, seed+int64(attempt)*7919, 100*zp.N()); left == 0 {
+			//lint:ignore alloc-in-hot-loop once-per-start repair attempt, at most three per FeasibleStart call
+			if left := minConflicts(zp, w, seed+int64(attempt)*7919, 100*zp.N(), &ck); left == 0 {
 				return w, nil
 			}
 		}
@@ -1709,7 +1726,8 @@ func FeasibleStart(ctx context.Context, p *model.Problem, seed int64, maxIterati
 			break // deadline hit mid-attempt: no feasible start to return
 		}
 		u := res.Assignment
-		if left := MinConflicts(zp, u, seed+int64(attempt), 30*zp.N()); left == 0 {
+		//lint:ignore alloc-in-hot-loop once-per-start repair attempt, at most eight per FeasibleStart call
+		if left := minConflicts(zp, u, seed+int64(attempt), 30*zp.N(), &ck); left == 0 {
 			return u, nil
 		}
 	}

@@ -16,6 +16,8 @@
 package qmatrix
 
 import (
+	"math"
+
 	"repro/internal/adjacency"
 	"repro/internal/model"
 )
@@ -187,7 +189,17 @@ func Omega(p *model.Problem, adj *adjacency.Lists, penalty int64) []int64 {
 						}
 					}
 				}
-				w += best
+				// Saturate: with a Theorem-1 penalty in play each term can
+				// be ceiling-scale, and a high-degree component would wrap
+				// the sum negative — a "bound" the branch-and-bound search
+				// would then happily prune everything against. ω_r stays a
+				// valid upper bound when pinned at MaxInt64. best ≥ 0, so
+				// the headroom test itself cannot overflow.
+				if w > math.MaxInt64-best {
+					w = math.MaxInt64
+				} else {
+					w += best
+				}
 			}
 			omega[Pack(i1, j1, m)] = w
 		}
