@@ -14,17 +14,18 @@ test-race:
 	$(GO) test -race ./...
 
 # Perf artifact: the paper tables/ablations (one full solve per op) plus the
-# kernel micro-benchmarks (including the sparse-vs-dense representation
-# sweeps), 6 repetitions each, folded into BENCH_PR5.json (ns/op, allocs/op,
-# and the finalWL quality metric per instance).
-BENCHJSON ?= BENCH_PR5.json
-BENCH_MICRO = ComputeEta|PenalizedValue|GAPSolve|SolveWorkers|EtaIncrementalSweep
+# kernel micro-benchmarks (the sparse-vs-dense representation sweeps, the
+# bit-packed membership kernels, and the text-vs-binary serializers), 6
+# repetitions each, folded into BENCH_PR7.json (ns/op, allocs/op, and the
+# finalWL quality metric per instance).
+BENCHJSON ?= BENCH_PR7.json
+BENCH_MICRO = ComputeEta|PenalizedValue|GAPSolve|SolveWorkers|EtaIncrementalSweep|BitsetMembership|BinaryReadWrite
 
 bench:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) test -bench . -benchmem -benchtime 1x -count 6 -run '^$$' . > $$tmp/tables.txt; \
 	$(GO) test -bench '$(BENCH_MICRO)' -benchmem -benchtime 200ms -count 6 -run '^$$' \
-		./internal/qbp ./internal/gap > $$tmp/micro.txt; \
+		./internal/qbp ./internal/gap ./internal/bitset ./internal/textio > $$tmp/micro.txt; \
 	$(GO) run ./cmd/benchjson -o $(BENCHJSON) $$tmp/tables.txt $$tmp/micro.txt; \
 	echo "wrote $(BENCHJSON)"
 

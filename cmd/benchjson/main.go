@@ -63,7 +63,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: -threshold must be > 0, got %v\n", *threshold)
 			os.Exit(1)
 		}
-		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *metricFlag, *threshold, os.Stdout)
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *metricFlag, *threshold, os.Stdout, os.Stderr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
@@ -105,10 +105,13 @@ func load(path string) (*report, error) {
 }
 
 // runCompare diffs the medians of one metric between two artifacts, writing
-// a per-benchmark report to w (old-file order; additions and removals are
-// noted, never failures). It returns the names of shared benchmarks whose
+// a per-benchmark report to w (old-file order). Comparison keys strictly on
+// benchmark name, so a benchmark present on only one side has nothing to
+// diff: it is surfaced as a warning on warn (and noted in the report) but
+// is never a failure — adding a benchmark must not require a lockstep
+// baseline edit. runCompare returns the names of shared benchmarks whose
 // new median exceeds old × threshold.
-func runCompare(oldPath, newPath, metricName string, threshold float64, w io.Writer) ([]string, error) {
+func runCompare(oldPath, newPath, metricName string, threshold float64, w, warn io.Writer) ([]string, error) {
 	oldRep, err := load(oldPath)
 	if err != nil {
 		return nil, err
@@ -130,6 +133,7 @@ func runCompare(oldPath, newPath, metricName string, threshold float64, w io.Wri
 		nb := newByName[ob.Name]
 		if nb == nil {
 			fmt.Fprintf(w, "  %-60s removed\n", ob.Name)
+			fmt.Fprintf(warn, "benchjson: warning: %s only in %s (removed?), not compared\n", ob.Name, oldPath)
 			continue
 		}
 		nm := nb.Metrics[metricName]
@@ -149,6 +153,7 @@ func runCompare(oldPath, newPath, metricName string, threshold float64, w io.Wri
 	for _, nb := range newRep.Benchmarks {
 		if !seen[nb.Name] {
 			fmt.Fprintf(w, "  %-60s added\n", nb.Name)
+			fmt.Fprintf(warn, "benchjson: warning: %s only in %s (added?), not compared\n", nb.Name, newPath)
 		}
 	}
 	return regressed, nil

@@ -150,8 +150,8 @@ func TestCompareReportsAndGates(t *testing.T) {
 		"BenchmarkNew-4      100   4000 ns/op",
 	}, "\n")+"\n")
 
-	var sb strings.Builder
-	regressed, err := runCompare(oldPath, newPath, "ns/op", 1.25, &sb)
+	var sb, warnings strings.Builder
+	regressed, err := runCompare(oldPath, newPath, "ns/op", 1.25, &sb, &warnings)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,9 +164,19 @@ func TestCompareReportsAndGates(t *testing.T) {
 			t.Fatalf("report missing %q:\n%s", want, out)
 		}
 	}
+	// One-side-only benchmarks warn — they never gate, so adding a bench
+	// does not require a lockstep baseline edit.
+	for _, want := range []string{"warning: Gone only in", "warning: New only in"} {
+		if !strings.Contains(warnings.String(), want) {
+			t.Fatalf("warnings missing %q:\n%s", want, warnings.String())
+		}
+	}
+	if strings.Contains(warnings.String(), "Stable") {
+		t.Fatalf("shared benchmark warned about:\n%s", warnings.String())
+	}
 
 	// A looser threshold passes the 1.65× slowdown.
-	regressed, err = runCompare(oldPath, newPath, "ns/op", 2.0, &strings.Builder{})
+	regressed, err = runCompare(oldPath, newPath, "ns/op", 2.0, &strings.Builder{}, &strings.Builder{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +190,7 @@ func TestCompareMissingMetricAndBadFile(t *testing.T) {
 	oldPath := writeArtifact(t, dir, "old.json", "BenchmarkOnlyAllocs-4   10   5 allocs/op   100 ns/op\n")
 	newPath := writeArtifact(t, dir, "new.json", "BenchmarkOnlyAllocs-4   10   9 allocs/op   100 ns/op\n")
 	var sb strings.Builder
-	regressed, err := runCompare(oldPath, newPath, "finalWL", 1.25, &sb)
+	regressed, err := runCompare(oldPath, newPath, "finalWL", 1.25, &sb, &strings.Builder{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,10 +202,10 @@ func TestCompareMissingMetricAndBadFile(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runCompare(oldPath, bad, "ns/op", 1.25, &strings.Builder{}); err == nil {
+	if _, err := runCompare(oldPath, bad, "ns/op", 1.25, &strings.Builder{}, &strings.Builder{}); err == nil {
 		t.Fatal("malformed new.json must error")
 	}
-	if _, err := runCompare(filepath.Join(dir, "absent.json"), newPath, "ns/op", 1.25, &strings.Builder{}); err == nil {
+	if _, err := runCompare(filepath.Join(dir, "absent.json"), newPath, "ns/op", 1.25, &strings.Builder{}, &strings.Builder{}); err == nil {
 		t.Fatal("missing old.json must error")
 	}
 }

@@ -1,11 +1,16 @@
 // Command gencircuit emits a synthetic partitioning instance in the
-// plain-text problem format: either one of the paper's seven named circuits
-// (ckta…cktg, matching Table I exactly) or a parameterized instance.
+// plain-text or binary problem format: either one of the paper's seven
+// named circuits (ckta…cktg, matching Table I exactly) or a parameterized
+// instance. With -stream the instance is generated straight into the
+// output in binary without materializing the wire list, which is how
+// million-component instances are produced.
 //
 // Usage:
 //
 //	gencircuit -name ckta > ckta.prob
 //	gencircuit -components 200 -wires 1500 -timing 700 -seed 3 > custom.prob
+//	gencircuit -name ckta -format binary -o ckta.bin
+//	gencircuit -components 1000000 -wires 4000000 -timing 800000 -stream -o huge.bin
 package main
 
 import (
@@ -26,6 +31,8 @@ func main() {
 		rows       = flag.Int("rows", 4, "partition grid rows")
 		cols       = flag.Int("cols", 4, "partition grid columns")
 		fanout     = flag.Int("fanout", 0, "max distinct wire partners per component (0 = unbounded); bounded fan-out yields realistic sparse netlists")
+		format     = flag.String("format", "text", "output serialization: text or binary")
+		stream     = flag.Bool("stream", false, "generate straight to the output in binary, never materializing the wire list (parameterized instances; implies -format binary; no -fanout)")
 		out        = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -35,27 +42,19 @@ func main() {
 	if *name != "" && *fanout > 0 {
 		fatal(fmt.Errorf("-fanout applies only to parameterized instances, not the published -name circuits"))
 	}
-
-	var inst *partition.Instance
-	var err error
-	if *name != "" {
-		inst, err = partition.NamedCircuit(*name)
-	} else {
-		inst, err = partition.GenerateCircuit(partition.GenerateParams{
-			Spec: partition.CircuitSpec{
-				Name:              fmt.Sprintf("custom-%d", *seed),
-				Components:        *components,
-				Wires:             *wires,
-				TimingConstraints: *timing,
-				Seed:              *seed,
-			},
-			GridRows:  *rows,
-			GridCols:  *cols,
-			MaxFanout: *fanout,
-		})
+	if *format != "text" && *format != "binary" {
+		fatal(fmt.Errorf("-format must be text or binary, got %q", *format))
 	}
-	if err != nil {
-		fatal(err)
+	if *stream {
+		if *format == "text" && isFlagSet("format") {
+			fatal(fmt.Errorf("-stream writes binary only"))
+		}
+		if *name != "" {
+			fatal(fmt.Errorf("-stream applies to parameterized instances; the published -name circuits use the materializing generator"))
+		}
+		if *fanout > 0 {
+			fatal(fmt.Errorf("-fanout is not supported in -stream mode"))
+		}
 	}
 
 	w := os.Stdout
@@ -67,12 +66,62 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := partition.WriteProblem(w, inst.Problem); err != nil {
+
+	params := partition.GenerateParams{
+		Spec: partition.CircuitSpec{
+			Name:              fmt.Sprintf("custom-%d", *seed),
+			Components:        *components,
+			Wires:             *wires,
+			TimingConstraints: *timing,
+			Seed:              *seed,
+		},
+		GridRows:  *rows,
+		GridCols:  *cols,
+		MaxFanout: *fanout,
+	}
+
+	if *stream {
+		stats, err := partition.StreamCircuit(params, w)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "streamed %s: %d components, %d wires, %d timing constraints, %d partitions (binary)\n",
+			params.Spec.Name, stats.Components, stats.Wires, stats.Timing, stats.Partitions)
+		return
+	}
+
+	var inst *partition.Instance
+	var err error
+	if *name != "" {
+		inst, err = partition.NamedCircuit(*name)
+	} else {
+		inst, err = partition.GenerateCircuit(params)
+	}
+	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "generated %s: %d components, %d wires, %d timing constraints, %d partitions\n",
+
+	write := partition.WriteProblem
+	if *format == "binary" {
+		write = partition.WriteProblemBinary
+	}
+	if err := write(w, inst.Problem); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: %d components, %d wires, %d timing constraints, %d partitions (%s)\n",
 		inst.Problem.Circuit.Name, inst.Problem.N(), inst.Problem.Circuit.TotalWireWeight(),
-		len(inst.Problem.Circuit.Timing), inst.Problem.M())
+		len(inst.Problem.Circuit.Timing), inst.Problem.M(), *format)
+}
+
+// isFlagSet reports whether the named flag was passed explicitly.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatal(err error) {

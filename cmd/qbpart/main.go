@@ -1,7 +1,7 @@
 // Command qbpart partitions a circuit under timing and capacity
-// constraints. It reads a problem in the plain-text format (see
-// cmd/gencircuit), solves it with the chosen method, validates the solution
-// independently and prints a report.
+// constraints. It reads a problem in the plain-text or binary format
+// (auto-detected; see cmd/gencircuit), solves it with the chosen method,
+// validates the solution independently and prints a report.
 //
 // Usage:
 //
@@ -13,6 +13,7 @@
 //	qbpart -in ckta.prob -method gkl -relax-timing
 //	qbpart -in ckta.prob -initial ckta.assign -method gfm
 //	qbpart -in ckta.prob -check ckta.assign            # validate only
+//	qbpart -in ckta.prob -convert ckta.bin             # text ⇄ binary
 package main
 
 import (
@@ -52,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress   = fs.Duration("progress", 0, "print a progress line to stderr at most this often (qbp only, 0 = off)")
 		matrix     = fs.String("matrix", "auto", "coupling-matrix representation: auto, sparse or dense (qbp only; results are identical for any value)")
 		check      = fs.String("check", "", "validate this assignment file against the problem and exit")
+		convert    = fs.String("convert", "", "rewrite the problem to this file in the other format (text ⇄ binary) and exit")
 		show       = fs.Bool("show", false, "render the placement grid and wire-length histogram (square grids)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -97,10 +99,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fatal(err)
 	}
-	p, err := partition.ReadProblem(f)
+	p, format, err := partition.ReadProblemDetect(f)
 	f.Close()
 	if err != nil {
 		return fatal(err)
+	}
+
+	if *convert != "" {
+		of, cerr := os.Create(*convert)
+		if cerr != nil {
+			return fatal(cerr)
+		}
+		// Convert to whichever format the input was not in.
+		target := partition.FormatBinary
+		write := partition.WriteProblemBinary
+		if format == partition.FormatBinary {
+			target = partition.FormatText
+			write = partition.WriteProblem
+		}
+		if cerr := write(of, p); cerr != nil {
+			of.Close()
+			return fatal(cerr)
+		}
+		if cerr := of.Close(); cerr != nil {
+			return fatal(cerr)
+		}
+		fmt.Fprintf(stderr, "converted %s (%v) -> %s (%v)\n", *in, format, *convert, target)
+		return 0
 	}
 
 	if *check != "" {
@@ -108,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if cerr != nil {
 			return fatal(cerr)
 		}
-		a, cerr := partition.ReadAssignment(cf)
+		a, cerr := partition.ReadAssignmentAuto(cf)
 		cf.Close()
 		if cerr != nil {
 			return fatal(cerr)
@@ -140,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if aerr != nil {
 			return fatal(aerr)
 		}
-		start, aerr = partition.ReadAssignment(af)
+		start, aerr = partition.ReadAssignmentAuto(af)
 		af.Close()
 		if aerr != nil {
 			return fatal(aerr)

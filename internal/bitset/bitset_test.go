@@ -1,0 +1,176 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSetAgainstBoolSlice drives a Set and a reference []bool through the
+// same random operation sequence and checks every query agrees at every
+// step, across lengths that cover empty, sub-word, word-aligned and
+// multi-word backing arrays.
+func TestSetAgainstBoolSlice(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		rng := rand.New(rand.NewSource(int64(n + 1)))
+		s := New(n)
+		ref := make([]bool, n)
+		if s.Len() != n {
+			t.Fatalf("Len() = %d, want %d", s.Len(), n)
+		}
+		for step := 0; step < 400; step++ {
+			if n > 0 {
+				i := rng.Intn(n)
+				switch rng.Intn(3) {
+				case 0:
+					s.Set(i)
+					ref[i] = true
+				case 1:
+					s.Clear(i)
+					ref[i] = false
+				case 2:
+					if rng.Intn(20) == 0 {
+						s.Reset()
+						for k := range ref {
+							ref[k] = false
+						}
+					}
+				}
+			}
+			checkAgainst(t, s, ref)
+		}
+	}
+}
+
+func checkAgainst(t *testing.T, s *Set, ref []bool) {
+	t.Helper()
+	n := len(ref)
+	count, any := 0, false
+	for i, v := range ref {
+		if s.Test(i) != v {
+			t.Fatalf("Test(%d) = %v, want %v", i, s.Test(i), v)
+		}
+		if v {
+			count++
+			any = true
+		}
+	}
+	if got := s.Count(); got != count {
+		t.Fatalf("Count() = %d, want %d", got, count)
+	}
+	if got := s.Any(); got != any {
+		t.Fatalf("Any() = %v, want %v", got, any)
+	}
+	// NextSet/NextClear from every start, including past the end.
+	for i := 0; i <= n+1; i++ {
+		wantSet, wantClear := n, n
+		for k := i; k < n; k++ {
+			if ref[k] {
+				wantSet = k
+				break
+			}
+		}
+		for k := i; k < n; k++ {
+			if !ref[k] {
+				wantClear = k
+				break
+			}
+		}
+		if i > n {
+			wantSet, wantClear = n, n
+		}
+		if got := s.NextSet(i); got != wantSet {
+			t.Fatalf("NextSet(%d) = %d, want %d", i, got, wantSet)
+		}
+		if got := s.NextClear(i); got != wantClear {
+			t.Fatalf("NextClear(%d) = %d, want %d", i, got, wantClear)
+		}
+	}
+	var wantIdx []int
+	for i, v := range ref {
+		if v {
+			wantIdx = append(wantIdx, i)
+		}
+	}
+	gotIdx := s.AppendIndices(nil)
+	if len(gotIdx) != len(wantIdx) {
+		t.Fatalf("AppendIndices: %d indexes, want %d", len(gotIdx), len(wantIdx))
+	}
+	for k := range gotIdx {
+		if gotIdx[k] != wantIdx[k] {
+			t.Fatalf("AppendIndices[%d] = %d, want %d", k, gotIdx[k], wantIdx[k])
+		}
+	}
+}
+
+// TestAppendIndicesReusesDst pins the scratch-reuse contract: appending into
+// a truncated slice with capacity must not allocate a fresh array.
+func TestAppendIndicesReusesDst(t *testing.T) {
+	s := New(100)
+	s.Set(3)
+	s.Set(77)
+	buf := make([]int, 0, 100)
+	out := s.AppendIndices(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendIndices reallocated despite sufficient capacity")
+	}
+	if len(out) != 2 || out[0] != 3 || out[1] != 77 {
+		t.Fatalf("AppendIndices = %v, want [3 77]", out)
+	}
+}
+
+// TestMembership drives Membership through random Build/Move sequences and
+// checks the parts always form the exact partition of the assignment, with
+// popcount sizes matching a per-element count.
+func TestMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, shape := range []struct{ m, n int }{{1, 1}, {2, 10}, {4, 64}, {7, 200}} {
+		m, n := shape.m, shape.n
+		u := make([]int, n)
+		for j := range u {
+			u[j] = rng.Intn(m)
+		}
+		ms := NewMembership(m, n)
+		if ms.M() != m || ms.N() != n {
+			t.Fatalf("M,N = %d,%d want %d,%d", ms.M(), ms.N(), m, n)
+		}
+		ms.Build(u)
+		checkMembership(t, ms, u)
+		for step := 0; step < 300; step++ {
+			j := rng.Intn(n)
+			to := rng.Intn(m)
+			ms.Move(j, u[j], to)
+			u[j] = to
+			checkMembership(t, ms, u)
+		}
+		// Build over a dirty index must fully replace the old state.
+		for j := range u {
+			u[j] = rng.Intn(m)
+		}
+		ms.Build(u)
+		checkMembership(t, ms, u)
+	}
+}
+
+func checkMembership(t *testing.T, ms *Membership, u []int) {
+	t.Helper()
+	counts := make([]int, ms.M())
+	for _, i := range u {
+		counts[i]++
+	}
+	total := 0
+	for i := 0; i < ms.M(); i++ {
+		if got := ms.Count(i); got != counts[i] {
+			t.Fatalf("Count(%d) = %d, want %d", i, got, counts[i])
+		}
+		total += ms.Count(i)
+		part := ms.Part(i)
+		for j := part.NextSet(0); j < ms.N(); j = part.NextSet(j + 1) {
+			if u[j] != i {
+				t.Fatalf("Part(%d) contains %d, but u[%d] = %d", i, j, j, u[j])
+			}
+		}
+	}
+	if total != len(u) {
+		t.Fatalf("parts cover %d components, want %d", total, len(u))
+	}
+}

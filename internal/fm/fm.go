@@ -14,8 +14,10 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/bits"
 
 	"repro/internal/adjacency"
+	"repro/internal/bitset"
 	"repro/internal/gains"
 	"repro/internal/interrupt"
 	"repro/internal/model"
@@ -77,7 +79,7 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 	if err != nil {
 		return nil, err
 	}
-	n, m := norm.N(), norm.M()
+	n := norm.N()
 	maxMoves := opts.MaxMovesPerPass
 	if maxMoves <= 0 {
 		maxMoves = n
@@ -91,14 +93,13 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 	}
 
 	ck := interrupt.New(ctx, 0)
-	locked := make([]bool, n)
+	locked := bitset.New(n)
+	lw := locked.Words()
 	trail := make([]move, 0, n)
 	passes, kept := 0, 0
 	for {
 		passes++
-		for j := range locked {
-			locked[j] = false
-		}
+		locked.Reset()
 		trail = trail[:0]
 		startObj := t.Objective()
 		bestObj := startObj
@@ -112,24 +113,28 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 				break
 			}
 			// Select the best admissible move over all unlocked
-			// components and their M−1 alternative partitions.
+			// components and their M−1 alternative partitions. The scan
+			// walks the complement of the lock set one word at a time
+			// (ascending, like the plain loop it replaced), so
+			// already-locked stretches cost one word test, not one branch
+			// per component.
 			bestDelta := int64(math.MaxInt64)
 			bestJ, bestTo := -1, -1
-			for j := 0; j < n; j++ {
-				if locked[j] {
-					continue
-				}
-				cur := t.Partition(j)
-				for to := 0; to < m; to++ {
-					if to == cur {
-						continue
+			for wi, lwv := range lw {
+				for rem := ^lwv; rem != 0; rem &= rem - 1 {
+					j := wi<<6 + bits.TrailingZeros64(rem)
+					if j >= n {
+						break
 					}
-					d := t.Delta(j, to)
-					if d >= bestDelta {
-						continue
-					}
-					if admissible(j, to) {
-						bestDelta, bestJ, bestTo = d, j, to
+					cur := t.Partition(j)
+					row := t.DeltaRow(j)
+					for to, d := range row {
+						if to == cur || d >= bestDelta {
+							continue
+						}
+						if admissible(j, to) {
+							bestDelta, bestJ, bestTo = d, j, to
+						}
 					}
 				}
 			}
@@ -138,7 +143,7 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 			}
 			from := t.Partition(bestJ)
 			t.Apply(bestJ, bestTo)
-			locked[bestJ] = true
+			locked.Set(bestJ)
 			trail = append(trail, move{j: bestJ, from: from, to: bestTo})
 			if obj := t.Objective(); obj < bestObj {
 				bestObj = obj

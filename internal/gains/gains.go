@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/adjacency"
+	"repro/internal/bitset"
 	"repro/internal/model"
 	"repro/internal/sparsemat"
 )
@@ -22,12 +23,13 @@ import (
 // Table is the incremental state. Create with New; mutate only through
 // Apply and ApplySwap.
 type Table struct {
-	p     *model.Problem // normalized PP(1,1)
-	csr   *sparsemat.CSR // flattened coupling rows (weights + timing bounds)
-	u     []int          // current assignment
-	loads []int64        // per-partition load
-	delta [][]int64      // delta[j][t] = objective change of moving j to t
-	obj   int64          // current objective, maintained incrementally
+	p     *model.Problem     // normalized PP(1,1)
+	csr   *sparsemat.CSR     // flattened coupling rows (weights + timing bounds)
+	u     []int              // current assignment
+	loads []int64            // per-partition load
+	memb  *bitset.Membership // per-partition membership bitsets over u
+	delta [][]int64          // delta[j][t] = objective change of moving j to t
+	obj   int64              // current objective, maintained incrementally
 }
 
 // New builds a table over a copy of the initial assignment. The problem is
@@ -42,9 +44,11 @@ func New(p *model.Problem, adj *adjacency.Lists, initial model.Assignment) (*Tab
 		csr:   sparsemat.FromLists(adj, nil),
 		u:     append([]int(nil), initial...),
 		loads: p.Loads(initial),
+		memb:  bitset.NewMembership(p.M(), p.N()),
 		delta: make([][]int64, p.N()),
 		obj:   p.Objective(initial),
 	}
+	t.memb.Build(t.u)
 	for j := range t.delta {
 		t.delta[j] = make([]int64, p.M())
 		t.recompute(j)
@@ -66,9 +70,26 @@ func (t *Table) Objective() int64 { return t.obj }
 // Load returns the current load of partition i.
 func (t *Table) Load(i int) int64 { return t.loads[i] }
 
+// Size returns the number of components currently in partition i — one
+// popcount over the packed membership words, not an O(N) assignment scan.
+func (t *Table) Size(i int) int { return t.memb.Count(i) }
+
+// Members returns partition i's membership bitset (bit j ⇔ Partition(j)
+// == i), maintained incrementally by Apply/ApplySwap. Callers use it for
+// word-skip partner scans (e.g. GKL's "every unlocked pair in different
+// partitions") and must not mutate it.
+func (t *Table) Members(i int) *bitset.Set { return t.memb.Part(i) }
+
 // Delta returns the objective change of moving component j to partition to
 // (0 when to is j's current partition).
 func (t *Table) Delta(j, to int) int64 { return t.delta[j][to] }
+
+// DeltaRow returns component j's full gain row (length M, indexed by
+// target partition) — the backing array, valid until the next Apply or
+// ApplySwap and not to be mutated. Selection scans that compare all M
+// alternatives use it to pay the row indirection once per component
+// instead of once per (component, partition) probe.
+func (t *Table) DeltaRow(j int) []int64 { return t.delta[j] }
 
 // bp returns b[x][y] + b[y][x], the both-direction cost coupling.
 func (t *Table) bp(x, y int) int64 {
@@ -159,6 +180,7 @@ func (t *Table) Apply(j, to int) {
 	t.loads[s] -= t.p.Circuit.Sizes[j]
 	t.loads[to] += t.p.Circuit.Sizes[j]
 	t.u[j] = to
+	t.memb.Move(j, s, to)
 	t.refreshAround(j)
 }
 
@@ -237,6 +259,8 @@ func (t *Table) ApplySwap(j1, j2 int) {
 	t.loads[s1] += sz2 - sz1
 	t.loads[s2] += sz1 - sz2
 	t.u[j1], t.u[j2] = s2, s1
+	t.memb.Move(j1, s1, s2)
+	t.memb.Move(j2, s2, s1)
 	t.refreshAround(j1)
 	t.refreshAround(j2)
 }

@@ -205,3 +205,46 @@ func TestAdmissibilityMatchesModel(t *testing.T) {
 		}
 	}
 }
+
+// TestMembershipMaintained drives random Apply/ApplySwap sequences and
+// checks the popcount partition sizes and membership bitsets against a
+// plain recount of the assignment after every mutation.
+func TestMembershipMaintained(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		cfg := testgen.Config{N: 8 + rng.Intn(20), WithLinear: trial%2 == 0}
+		p, golden := testgen.Random(rng, cfg)
+		tb := newTable(t, p, golden)
+		check := func(step int) {
+			a := tb.Assignment()
+			counts := make([]int, p.M())
+			for _, i := range a {
+				counts[i]++
+			}
+			for i := 0; i < p.M(); i++ {
+				if got := tb.Size(i); got != counts[i] {
+					t.Fatalf("trial %d step %d: Size(%d) = %d, recount %d", trial, step, i, got, counts[i])
+				}
+				mem := tb.Members(i)
+				for j := 0; j < p.N(); j++ {
+					if mem.Test(j) != (a[j] == i) {
+						t.Fatalf("trial %d step %d: Members(%d).Test(%d) = %v, assignment says %v",
+							trial, step, i, j, mem.Test(j), a[j] == i)
+					}
+				}
+			}
+		}
+		check(-1)
+		for step := 0; step < 40; step++ {
+			if rng.Intn(2) == 0 {
+				tb.Apply(rng.Intn(p.N()), rng.Intn(p.M()))
+			} else {
+				j1, j2 := rng.Intn(p.N()), rng.Intn(p.N())
+				if j1 != j2 {
+					tb.ApplySwap(j1, j2)
+				}
+			}
+			check(step)
+		}
+	}
+}

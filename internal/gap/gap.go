@@ -25,8 +25,8 @@ import (
 	"context"
 	"errors"
 	"math"
-	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/interrupt"
 	"repro/internal/qmatrix"
 )
@@ -526,10 +526,8 @@ func refine[T number](v *view[T], assign []int, opt Options, ck *interrupt.Check
 // (three-way rotations). Returns whether any move was applied.
 func eject[T number](v *view[T], assign []int, remaining []int64) bool {
 	m, n := v.m, v.n()
-	members := make([][]int, m)
-	for j, i := range assign {
-		members[i] = append(members[i], j)
-	}
+	members := bitset.NewMembership(m, n)
+	members.Build(assign)
 	moved := false
 	for j := 0; j < n; j++ {
 		s := assign[j]
@@ -543,10 +541,13 @@ func eject[T number](v *view[T], assign []int, remaining []int64) bool {
 			if remaining[i] >= sj {
 				continue // plain shift handles this case
 			}
-			// Find the cheapest eviction k: i → b that makes room.
+			// Find the cheapest eviction k: i → b that makes room. The
+			// membership bitset iterates bin i ascending — the identical
+			// candidate order the sorted member lists used to produce.
 			bestDelta := math.Inf(1)
 			bestK, bestB := -1, -1
-			for _, k := range members[i] {
+			bin := members.Part(i)
+			for k := bin.NextSet(0); k < n; k = bin.NextSet(k + 1) {
 				sk := v.sizes[k]
 				if remaining[i]+sk < sj {
 					continue
@@ -574,37 +575,16 @@ func eject[T number](v *view[T], assign []int, remaining []int64) bool {
 				remaining[s] += sj
 				remaining[i] -= sj
 				assign[j] = i
-				// Maintain the membership lists incrementally, keeping each
-				// ascending — the same order a full rebuild from assign
-				// produces, so the remaining scan visits identical
-				// candidates at a fraction of the O(N) rebuild cost.
-				members[i] = removeSorted(members[i], bestK)
-				members[bestB] = insertSorted(members[bestB], bestK)
-				members[s] = removeSorted(members[s], j)
-				members[i] = insertSorted(members[i], j)
+				// Two O(1) bit moves keep the membership index exact; the
+				// old sorted-slice lists paid a shifted copy per move.
+				members.Move(bestK, i, bestB)
+				members.Move(j, s, i)
 				moved = true
 				break
 			}
 		}
 	}
 	return moved
-}
-
-// removeSorted deletes value x from the ascending list l in place,
-// preserving order. x must be present.
-func removeSorted(l []int, x int) []int {
-	k := sort.SearchInts(l, x)
-	copy(l[k:], l[k+1:])
-	return l[:len(l)-1]
-}
-
-// insertSorted inserts value x into the ascending list l, preserving order.
-func insertSorted(l []int, x int) []int {
-	k := sort.SearchInts(l, x)
-	l = append(l, 0)
-	copy(l[k+1:], l[k:])
-	l[k] = x
-	return l
 }
 
 // SolveExact finds the optimal assignment by depth-first branch and bound

@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/textio"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	params := Params{Spec: Spec{
+		Name: "streamed", Components: 400, Wires: 3200, TimingConstraints: 900, Seed: 42,
+	}}
+	var buf bytes.Buffer
+	stats, err := Stream(params, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := textio.ReadProblemBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if p.N() != 400 || p.M() != 16 {
+		t.Fatalf("got N=%d M=%d, want 400/16", p.N(), p.M())
+	}
+	// Unit-weight records still sum to the published interconnection count.
+	if got := p.Circuit.TotalWireWeight(); got != 3200 {
+		t.Fatalf("total wire weight %d, want 3200", got)
+	}
+	if got := len(p.Circuit.Timing); got != 900 {
+		t.Fatalf("timing count %d, want 900", got)
+	}
+	if err := p.CheckFeasible(stats.Golden); err != nil {
+		t.Fatalf("golden assignment infeasible: %v", err)
+	}
+
+	// Fixed seed ⇒ byte-identical stream.
+	var again bytes.Buffer
+	if _, err := Stream(params, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("stream output not deterministic")
+	}
+}
+
+func TestStreamRejectsMaxFanout(t *testing.T) {
+	_, err := Stream(Params{
+		Spec:      Spec{Name: "x", Components: 10, Wires: 20, TimingConstraints: 5, Seed: 1},
+		MaxFanout: 4,
+	}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("MaxFanout accepted in stream mode")
+	}
+}
+
+// TestStreamLarge exercises the streaming path at a size where the
+// materializing generator's dedup map would start to hurt; it stays a
+// smoke test (feasibility witness + header counts), not a benchmark.
+func TestStreamLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large stream in -short mode")
+	}
+	var buf bytes.Buffer
+	stats, err := Stream(Params{Spec: Spec{
+		Name: "large", Components: 50_000, Wires: 200_000, TimingConstraints: 40_000, Seed: 7,
+	}}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := textio.ReadProblemBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 50_000 || p.Circuit.TotalWireWeight() != 200_000 {
+		t.Fatalf("unexpected shape: N=%d wires=%d", p.N(), p.Circuit.TotalWireWeight())
+	}
+	if err := p.CheckFeasible(stats.Golden); err != nil {
+		t.Fatalf("golden assignment infeasible: %v", err)
+	}
+}

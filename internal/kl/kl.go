@@ -14,8 +14,10 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/bits"
 
 	"repro/internal/adjacency"
+	"repro/internal/bitset"
 	"repro/internal/gains"
 	"repro/internal/interrupt"
 	"repro/internal/model"
@@ -97,14 +99,13 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 	}
 
 	ck := interrupt.New(ctx, 0)
-	locked := make([]bool, n)
+	locked := bitset.New(n)
+	lw := locked.Words()
 	trail := make([]swap, 0, n/2)
 	passes, kept := 0, 0
 	for {
 		passes++
-		for j := range locked {
-			locked[j] = false
-		}
+		locked.Reset()
 		trail = trail[:0]
 		startObj := t.Objective()
 		bestObj := startObj
@@ -120,23 +121,36 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 			// Select the best admissible swap over all unlocked pairs.
 			// Each component carries N−1 implicit gain entries; the scan
 			// derives them in O(1) from the move-delta table plus the
-			// direct-coupling correction.
+			// direct-coupling correction. An eligible partner j2 is
+			// unlocked and in a different partition than j1, so the inner
+			// scan jumps over ineligible stretches one
+			// ^(locked|members(s1)) word at a time — the visit order stays
+			// ascending, identical to the plain nested loop.
 			bestDelta := int64(math.MaxInt64)
 			bestJ1, bestJ2 := -1, -1
-			for j1 := 0; j1 < n; j1++ {
-				if locked[j1] {
-					continue
-				}
-				for j2 := j1 + 1; j2 < n; j2++ {
-					if locked[j2] || t.Partition(j1) == t.Partition(j2) {
-						continue
+			for w1, lv := range lw {
+				for rem1 := ^lv; rem1 != 0; rem1 &= rem1 - 1 {
+					j1 := w1<<6 + bits.TrailingZeros64(rem1)
+					if j1 >= n {
+						break
 					}
-					d := t.SwapDelta(j1, j2)
-					if d >= bestDelta {
-						continue
-					}
-					if admissible(j1, j2) {
-						bestDelta, bestJ1, bestJ2 = d, j1, j2
+					pw := t.Members(t.Partition(j1)).Words()
+					for j2 := j1 + 1; j2 < n; {
+						w := j2 >> 6
+						rem := ^(lw[w] | pw[w]) >> uint(j2&63)
+						if rem == 0 {
+							j2 = (w + 1) << 6
+							continue
+						}
+						j2 += bits.TrailingZeros64(rem)
+						if j2 >= n {
+							break
+						}
+						d := t.SwapDelta(j1, j2)
+						if d < bestDelta && admissible(j1, j2) {
+							bestDelta, bestJ1, bestJ2 = d, j1, j2
+						}
+						j2++
 					}
 				}
 			}
@@ -144,7 +158,8 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 				break
 			}
 			t.ApplySwap(bestJ1, bestJ2)
-			locked[bestJ1], locked[bestJ2] = true, true
+			locked.Set(bestJ1)
+			locked.Set(bestJ2)
 			trail = append(trail, swap{bestJ1, bestJ2})
 			if obj := t.Objective(); obj < bestObj {
 				bestObj = obj

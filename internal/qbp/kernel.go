@@ -1,6 +1,7 @@
 package qbp
 
 import (
+	"repro/internal/bitset"
 	"repro/internal/flatmat"
 	"repro/internal/qmatrix"
 	"repro/internal/sparsemat"
@@ -71,16 +72,24 @@ type scratch struct {
 	prev  []int
 	wbuf  []int
 
-	moved     []bool
-	colDirty  []bool
+	// Bit-packed marker sets of the incremental-η path: moved is built by
+	// refreshEta's diff (and consumed by etaIncremental's word-skip walks),
+	// colDirty collects the distinct dirty columns branch-free, dirtyCols
+	// is the extracted ascending index list handed to the shards.
+	moved     *bitset.Set
+	colDirty  *bitset.Set
 	dirtyCols []int
 
+	// seen dedups the violated-endpoint collection of kick.
+	seen *bitset.Set
+
 	// polish/strongPolish candidate-scan buffers (parallel path only;
-	// allocated lazily).
+	// allocated lazily). cand and dirty are bit-packed so the serial apply
+	// walks skip clean components 64 at a time.
 	deltas []int64
 	timOK  []bool
-	cand   []bool
-	dirty  []bool
+	cand   *bitset.Set
+	dirty  *bitset.Set
 	u0     []int
 }
 
@@ -95,9 +104,10 @@ func newScratch(m, n int) *scratch {
 		fits:      make([]int, 0, m),
 		prev:      make([]int, n),
 		wbuf:      make([]int, n),
-		moved:     make([]bool, n),
-		colDirty:  make([]bool, n),
+		moved:     bitset.New(n),
+		colDirty:  bitset.New(n),
 		dirtyCols: make([]int, 0, n),
+		seen:      bitset.New(n),
 	}
 }
 
@@ -107,8 +117,8 @@ func (sc *scratch) ensurePolishBufs() {
 	if sc.deltas == nil {
 		sc.deltas = make([]int64, sc.n*sc.m)
 		sc.timOK = make([]bool, sc.n*sc.m)
-		sc.cand = make([]bool, sc.n)
-		sc.dirty = make([]bool, sc.n)
+		sc.cand = bitset.New(sc.n)
+		sc.dirty = bitset.New(sc.n)
 		sc.u0 = make([]int, sc.n)
 	}
 }
@@ -131,9 +141,15 @@ func (s *solver) refreshEta(u []int, withOmega bool) []int64 {
 		sc.etaValid = true
 		return sc.etaI
 	}
+	// The diff both counts the moved components and packs them into the
+	// moved bitset, so the incremental path below walks them word-skip
+	// without a second O(N) scan.
 	nm := 0
+	moved := sc.moved
+	moved.Reset()
 	for j := range u {
 		if u[j] != sc.etaU[j] {
+			moved.Set(j)
 			nm++
 		}
 	}
@@ -262,34 +278,26 @@ func (s *solver) accumColDense(col []int64, u []int, j2 int) {
 
 // etaIncremental updates sc.etaI from oldU to newU: only the columns with at
 // least one moved partner are touched, each by subtracting the partner's
-// old effective row and adding the new one. The dirty-column set is
-// discovered from the CSR rows of the moved components — O(Σdeg(moved)) —
-// regardless of representation. Dirty columns are disjoint, so the update
-// shards over them.
+// old effective row and adding the new one. The moved set must already be
+// packed in sc.moved (refreshEta's diff does it); the dirty-column set is
+// discovered from the CSR rows of the moved components — O(Σdeg(moved))
+// branch-free bit ORs — and extracted in ascending column order. Dirty
+// columns are disjoint, so the update shards over them (and their order
+// cannot affect the result).
 func (s *solver) etaIncremental(oldU, newU []int, withOmega bool) {
 	m := s.m
 	sc := s.sc
 	etaI := sc.etaI
 	moved := sc.moved
-	for j := range newU {
-		moved[j] = newU[j] != oldU[j]
-	}
 	dirty := sc.colDirty
-	cols := sc.dirtyCols[:0]
 	cs := s.csr
-	for j := range newU {
-		if !moved[j] {
-			continue
-		}
+	for j := moved.NextSet(0); j < s.n; j = moved.NextSet(j + 1) {
 		lo, hi := cs.Row(j)
 		for k := lo; k < hi; k++ {
-			o := int(cs.Col[k])
-			if !dirty[o] {
-				dirty[o] = true
-				cols = append(cols, o)
-			}
+			dirty.Set(int(cs.Col[k]))
 		}
 	}
+	cols := dirty.AppendIndices(sc.dirtyCols[:0])
 	sc.dirtyCols = cols
 	if s.pool == nil {
 		s.etaIncrementalRange(etaI, oldU, newU, cols, 0, len(cols))
@@ -299,18 +307,13 @@ func (s *solver) etaIncremental(oldU, newU []int, withOmega bool) {
 		})
 	}
 	if withOmega {
-		for j := range newU {
-			if !moved[j] {
-				continue
-			}
+		for j := moved.NextSet(0); j < s.n; j = moved.NextSet(j + 1) {
 			col := etaCol(etaI, j, m)
 			col[oldU[j]] -= s.omega[qmatrix.Pack(oldU[j], j, m)]
 			col[newU[j]] += s.omega[qmatrix.Pack(newU[j], j, m)]
 		}
 	}
-	for _, o := range cols {
-		dirty[o] = false
-	}
+	dirty.Reset()
 }
 
 // etaIncrementalRange re-derives the η columns cols[lo:hi]: per moved
@@ -340,7 +343,7 @@ func (s *solver) updateColCSR(col []int64, oldU, newU []int, o int) {
 	lo, hi := cs.Row(o)
 	for k := lo; k < hi; k++ {
 		j := int(cs.Col[k])
-		if !moved[j] {
+		if !moved.Test(j) {
 			continue
 		}
 		s.swapPartnerRow(col, int(cs.Class[k]), cs.Weight[k], oldU[j], newU[j])
@@ -353,7 +356,7 @@ func (s *solver) updateColDense(col []int64, oldU, newU []int, o int) {
 	moved := s.sc.moved
 	wrow, crow := s.dns.Row(o)
 	for j, c := range crow {
-		if c == sparsemat.NoArc || !moved[j] {
+		if c == sparsemat.NoArc || !moved.Test(j) {
 			continue
 		}
 		s.swapPartnerRow(col, int(c), wrow[j], oldU[j], newU[j])

@@ -26,11 +26,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	mbits "math/bits"
 	"math/rand"
 	"sort"
 	"time"
 
 	"repro/internal/adjacency"
+	"repro/internal/bitset"
 	"repro/internal/flatmat"
 	"repro/internal/gains"
 	"repro/internal/gap"
@@ -784,7 +786,8 @@ func (s *solver) kick(u []int, rng *rand.Rand) {
 	var targets []int
 	if !s.relax {
 		cs := s.csr
-		seen := make(map[int]bool)
+		seen := s.sc.seen
+		seen.Reset()
 		for j1 := 0; j1 < s.n; j1++ {
 			lo, hi := cs.Row(j1)
 			for k := lo; k < hi; k++ {
@@ -794,8 +797,8 @@ func (s *solver) kick(u []int, rng *rand.Rand) {
 				}
 				o := u[cs.Col[k]]
 				if s.d[u[j1]][o] > md || s.d[o][u[j1]] > md {
-					if !seen[j1] {
-						seen[j1] = true
+					if !seen.Test(j1) {
+						seen.Set(j1)
 						targets = append(targets, j1)
 					}
 				}
@@ -989,14 +992,12 @@ func (s *solver) polishPassSharded(u []int, loads []int64, preserveFeasible bool
 		}
 	})
 	dirty := sc.dirty
-	for j := range dirty {
-		dirty[j] = false
-	}
+	dirty.Reset()
 	improved := false
 	for j := 0; j < s.n; j++ {
 		row := deltas[j*m : (j+1)*m]
 		trow := tim[j*m : (j+1)*m]
-		if dirty[j] {
+		if dirty.Test(j) {
 			for to := 0; to < m; to++ {
 				row[to] = s.moveDeltaPenalized(u, j, to)
 				if preserveFeasible {
@@ -1092,34 +1093,51 @@ func (s *solver) strongPolish(u []int) {
 // strongMoveSweepSharded is the single-move sweep of strongPolish with the
 // candidate scan sharded: workers mark, from a read-only snapshot of the
 // gains table and ignoring the (purely restrictive) capacity and timing
-// gates, which components have any improving move at all. The serial apply
-// walk then only visits marked components plus those whose neighborhood
-// changed after an applied move — every visit re-reads the live table, so
-// the applied move sequence matches the serial sweep exactly.
+// gates, which components have any improving move at all. Marks are packed
+// 64 per word and sharded over whole words, so no two workers ever write
+// the same word. The serial apply walk then only visits marked components
+// plus those whose neighborhood changed after an applied move — skipping
+// clean stretches one fused (cand|dirty) word at a time, with the word
+// re-read after every visit so marks set ahead of the cursor are seen,
+// exactly as the bool-slice walk saw them — and every visit re-reads the
+// live table, so the applied move sequence matches the serial sweep
+// exactly.
 func (s *solver) strongMoveSweepSharded(t *gains.Table, moveOK func(j, to int) bool) bool {
 	sc := s.sc
 	sc.ensurePolishBufs()
 	cand, dirty := sc.cand, sc.dirty
-	s.pool.forRange(s.n, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			cand[j] = false
-			cur := t.Partition(j)
-			for to := 0; to < s.m; to++ {
-				if to != cur && t.Delta(j, to) < 0 {
-					cand[j] = true
-					break
+	cw, dw := cand.Words(), dirty.Words()
+	s.pool.forRange(len(cw), func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			var bw uint64
+			base := w << 6
+			end := s.n - base
+			if end > 64 {
+				end = 64
+			}
+			for b := 0; b < end; b++ {
+				j := base + b
+				cur := t.Partition(j)
+				for to := 0; to < s.m; to++ {
+					if to != cur && t.Delta(j, to) < 0 {
+						bw |= 1 << uint(b)
+						break
+					}
 				}
 			}
+			cw[w] = bw
 		}
 	})
-	for j := range dirty {
-		dirty[j] = false
-	}
+	dirty.Reset()
 	improved := false
-	for j := 0; j < s.n; j++ {
-		if !cand[j] && !dirty[j] {
+	for j := 0; j < s.n; {
+		w := j >> 6
+		rem := (cw[w] | dw[w]) >> uint(j&63)
+		if rem == 0 {
+			j = (w + 1) << 6
 			continue
 		}
+		j += mbits.TrailingZeros64(rem)
 		cur := t.Partition(j)
 		for to := 0; to < s.m; to++ {
 			if to == cur || t.Delta(j, to) >= 0 || !moveOK(j, to) {
@@ -1130,6 +1148,7 @@ func (s *solver) strongMoveSweepSharded(t *gains.Table, moveOK func(j, to int) b
 			improved = true
 			s.markNeighborsDirty(dirty, j)
 		}
+		j++
 	}
 	return improved
 }
@@ -1142,40 +1161,55 @@ func (s *solver) strongSwapSweepSharded(t *gains.Table, swapOK func(j1, j2 int) 
 	sc := s.sc
 	sc.ensurePolishBufs()
 	cand, dirty := sc.cand, sc.dirty
-	s.pool.forRange(s.n, func(lo, hi int) {
-		for j1 := lo; j1 < hi; j1++ {
-			cand[j1] = false
-			for j2 := j1 + 1; j2 < s.n; j2++ {
-				if t.Partition(j1) != t.Partition(j2) && t.SwapDelta(j1, j2) < 0 {
-					cand[j1] = true
-					break
+	cw := cand.Words()
+	s.pool.forRange(len(cw), func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			var bw uint64
+			base := w << 6
+			end := s.n - base
+			if end > 64 {
+				end = 64
+			}
+			for b := 0; b < end; b++ {
+				j1 := base + b
+				for j2 := j1 + 1; j2 < s.n; j2++ {
+					if t.Partition(j1) != t.Partition(j2) && t.SwapDelta(j1, j2) < 0 {
+						bw |= 1 << uint(b)
+						break
+					}
 				}
 			}
+			cw[w] = bw
 		}
 	})
-	for j := range dirty {
-		dirty[j] = false
-	}
+	dirty.Reset()
 	improved := false
 	apply := func(j1, j2 int) {
 		t.ApplySwap(j1, j2)
 		improved = true
-		dirty[j1], dirty[j2] = true, true
+		dirty.Set(j1)
+		dirty.Set(j2)
 		s.markNeighborsDirty(dirty, j1)
 		s.markNeighborsDirty(dirty, j2)
 	}
 	for j1 := 0; j1 < s.n; j1++ {
-		for j2 := j1 + 1; j2 < s.n; j2++ {
-			// dirty[j1] is re-read per pair: an applied swap in this very
-			// row marks j1 dirty, and the rest of the row must then be
-			// scanned in full, exactly as the serial sweep would.
-			if !cand[j1] && !dirty[j1] && !dirty[j2] {
-				continue
+		for j2 := j1 + 1; j2 < s.n; {
+			// cand/dirty[j1] are re-read per pair: an applied swap in this
+			// very row marks j1 dirty, and the rest of the row must then be
+			// scanned in full, exactly as the serial sweep would. While the
+			// row stays cold, the cursor jumps straight to the next dirty
+			// partner (word-skip over clean stretches).
+			if !cand.Test(j1) && !dirty.Test(j1) {
+				if j2 = dirty.NextSet(j2); j2 >= s.n {
+					break
+				}
 			}
 			if t.Partition(j1) == t.Partition(j2) || t.SwapDelta(j1, j2) >= 0 || !swapOK(j1, j2) {
+				j2++
 				continue
 			}
 			apply(j1, j2)
+			j2++
 		}
 	}
 	return improved
@@ -1183,11 +1217,11 @@ func (s *solver) strongSwapSweepSharded(t *gains.Table, swapOK func(j1, j2 int) 
 
 // markNeighborsDirty marks every CSR partner of j in dirty — the shared
 // invalidation walk of the sharded polish sweeps.
-func (s *solver) markNeighborsDirty(dirty []bool, j int) {
+func (s *solver) markNeighborsDirty(dirty *bitset.Set, j int) {
 	cs := s.csr
 	lo, hi := cs.Row(j)
 	for _, o := range cs.Col[lo:hi] {
-		dirty[o] = true
+		dirty.Set(int(o))
 	}
 }
 

@@ -1,0 +1,660 @@
+// Binary problem/assignment serialization. The text format (textio.go) is
+// the human-readable interchange; at N ≥ 10⁵ its per-line parse and
+// allocation cost dominates end-to-end solves, so this file adds a
+// versioned little-endian binary mirror with fixed-width records and a
+// streaming writer (generators emit million-component instances without
+// materializing them).
+//
+// Problem layout (all integers little-endian):
+//
+//	magic    "QBPB" (4 bytes)
+//	version  uint16 (currently 1)
+//	nameLen  uint16, name bytes (sanitized like the text format)
+//	alpha    int64
+//	beta     int64
+//	n        uint32  components
+//	wires    uint32  wire records
+//	timing   uint32  timing records
+//	m        uint32  partitions
+//	flags    uint8   bit 0: linear section present
+//	sizes    n × int64
+//	wires    wires × {from uint32, to uint32, weight int64}
+//	timing   timing × {from uint32, to uint32, maxdelay int64}
+//	caps     m × int64
+//	cost     m·m × int64 (row-major)
+//	delay    m·m × int64 (row-major)
+//	linear   m·n × int64 (row-major, only when flags bit 0 is set)
+//
+// Assignment layout:
+//
+//	magic    "QBPA" (4 bytes)
+//	version  uint16 (currently 1)
+//	n        uint32
+//	entries  n × uint32
+//
+// Every count is range-checked against the supported envelope before any
+// allocation, and element storage grows with the bytes actually read, so a
+// hostile header cannot demand a giant up-front allocation. Version bumps
+// are additive: readers reject versions they do not know with
+// ErrUnsupportedVersion instead of guessing (compatibility policy in
+// DESIGN.md §12).
+package textio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+)
+
+const (
+	problemMagic    = "QBPB"
+	assignmentMagic = "QBPA"
+	binVersion      = 1
+
+	// The binary envelope is sized for the million-component roadmap
+	// (N=10⁶, deg≈8 ⇒ ~4·10⁶ arc records), far past the text format's
+	// line-count cap, while still bounding what a header may announce.
+	maxBinComponents = 1 << 27
+	maxBinArcs       = 1 << 30
+	maxBinPartitions = 1 << 12
+	maxBinName       = 1 << 12
+)
+
+// Typed sentinel errors of the binary readers; match with errors.Is.
+var (
+	// ErrBadMagic reports input that does not start with the expected
+	// binary magic (it may be the text format — see ReadProblemAuto).
+	ErrBadMagic = errors.New("textio: bad binary magic")
+	// ErrUnsupportedVersion reports a recognized magic with a format
+	// version this reader does not implement.
+	ErrUnsupportedVersion = errors.New("textio: unsupported binary format version")
+	// ErrTruncated reports input that ended mid-header or mid-section.
+	ErrTruncated = errors.New("textio: truncated binary input")
+	// ErrHeaderRange reports a header count outside the supported
+	// envelope (oversized or negative).
+	ErrHeaderRange = errors.New("textio: binary header count out of range")
+)
+
+// Format identifies a serialization detected on a stream.
+type Format int
+
+const (
+	// FormatText is the line-oriented format of WriteProblem.
+	FormatText Format = iota
+	// FormatBinary is the little-endian format of WriteProblemBinary.
+	FormatBinary
+)
+
+// String names the format for reports.
+func (f Format) String() string {
+	if f == FormatBinary {
+		return "binary"
+	}
+	return "text"
+}
+
+// ProblemHeader declares the shape of a streamed binary problem up front,
+// so the fixed-width sections that follow can be written (and later read)
+// in one pass.
+type ProblemHeader struct {
+	Name        string
+	Alpha, Beta int64
+	Components  int
+	Wires       int
+	Timing      int
+	Partitions  int
+	HasLinear   bool
+}
+
+// Streaming writer section order; each constant is the section whose
+// records the writer currently expects.
+const (
+	secSizes = iota
+	secWires
+	secTiming
+	secCaps
+	secCost
+	secDelay
+	secLinear
+	secDone
+)
+
+// BinaryProblemWriter streams one binary problem: construct with
+// NewBinaryProblemWriter (which writes the header), feed every section in
+// layout order with the typed record methods, then Close. The writer
+// enforces the declared counts — short or out-of-order sections are
+// errors, so a Close without error guarantees a well-formed stream.
+type BinaryProblemWriter struct {
+	w       *bufio.Writer
+	h       ProblemHeader
+	section int
+	left    int // records remaining in the current section
+	buf     [16]byte
+}
+
+// NewBinaryProblemWriter validates the header against the format envelope
+// and writes it. The caller owns flushing/closing the underlying writer;
+// Close only flushes the internal buffer.
+func NewBinaryProblemWriter(w io.Writer, h ProblemHeader) (*BinaryProblemWriter, error) {
+	h.Name = sanitizeName(h.Name)
+	switch {
+	case h.Components < 2 || h.Components > maxBinComponents:
+		return nil, fmt.Errorf("%w: components %d outside [2, %d]", ErrHeaderRange, h.Components, maxBinComponents)
+	case h.Wires < 0 || h.Wires > maxBinArcs:
+		return nil, fmt.Errorf("%w: wires %d outside [0, %d]", ErrHeaderRange, h.Wires, maxBinArcs)
+	case h.Timing < 0 || h.Timing > maxBinArcs:
+		return nil, fmt.Errorf("%w: timing %d outside [0, %d]", ErrHeaderRange, h.Timing, maxBinArcs)
+	case h.Partitions < 1 || h.Partitions > maxBinPartitions:
+		return nil, fmt.Errorf("%w: partitions %d outside [1, %d]", ErrHeaderRange, h.Partitions, maxBinPartitions)
+	case len(h.Name) > maxBinName:
+		return nil, fmt.Errorf("%w: name length %d exceeds %d", ErrHeaderRange, len(h.Name), maxBinName)
+	}
+	bw := &BinaryProblemWriter{w: bufio.NewWriterSize(w, 1<<16), h: h, section: secSizes, left: h.Components}
+	bw.w.WriteString(problemMagic)
+	binary.LittleEndian.PutUint16(bw.buf[:2], binVersion)
+	binary.LittleEndian.PutUint16(bw.buf[2:4], uint16(len(h.Name)))
+	bw.w.Write(bw.buf[:4])
+	bw.w.WriteString(h.Name)
+	binary.LittleEndian.PutUint64(bw.buf[:8], uint64(h.Alpha))
+	binary.LittleEndian.PutUint64(bw.buf[8:16], uint64(h.Beta))
+	bw.w.Write(bw.buf[:16])
+	binary.LittleEndian.PutUint32(bw.buf[:4], uint32(h.Components))
+	binary.LittleEndian.PutUint32(bw.buf[4:8], uint32(h.Wires))
+	binary.LittleEndian.PutUint32(bw.buf[8:12], uint32(h.Timing))
+	binary.LittleEndian.PutUint32(bw.buf[12:16], uint32(h.Partitions))
+	bw.w.Write(bw.buf[:16])
+	var flags byte
+	if h.HasLinear {
+		flags |= 1
+	}
+	bw.w.WriteByte(flags)
+	return bw, nil
+}
+
+// advance consumes one record slot of section sec, stepping the state
+// machine into the next expected section as quotas fill.
+func (bw *BinaryProblemWriter) advance(sec int, what string) error {
+	// Zero-length sections are skipped on entry, never waited in.
+	for bw.left == 0 && bw.section < secDone {
+		bw.section++
+		switch bw.section {
+		case secWires:
+			bw.left = bw.h.Wires
+		case secTiming:
+			bw.left = bw.h.Timing
+		case secCaps:
+			bw.left = bw.h.Partitions
+		case secCost, secDelay:
+			bw.left = bw.h.Partitions // rows
+		case secLinear:
+			if bw.h.HasLinear {
+				bw.left = bw.h.Partitions // rows
+			}
+		}
+	}
+	if bw.section != sec {
+		return fmt.Errorf("textio: binary writer: %s out of order (section state %d)", what, bw.section)
+	}
+	bw.left--
+	return nil
+}
+
+// WriteSize appends one component size (Components records expected).
+func (bw *BinaryProblemWriter) WriteSize(size int64) error {
+	if err := bw.advance(secSizes, "size"); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(bw.buf[:8], uint64(size))
+	_, err := bw.w.Write(bw.buf[:8])
+	return err
+}
+
+// arc writes one {from, to, value} record after range-checking the
+// endpoints against the declared component count.
+func (bw *BinaryProblemWriter) arc(from, to int, v int64, sec int, what string) error {
+	if err := bw.advance(sec, what); err != nil {
+		return err
+	}
+	if from < 0 || from >= bw.h.Components || to < 0 || to >= bw.h.Components {
+		return fmt.Errorf("textio: binary writer: %s endpoints (%d, %d) outside [0, %d)", what, from, to, bw.h.Components)
+	}
+	binary.LittleEndian.PutUint32(bw.buf[:4], uint32(from))
+	binary.LittleEndian.PutUint32(bw.buf[4:8], uint32(to))
+	binary.LittleEndian.PutUint64(bw.buf[8:16], uint64(v))
+	_, err := bw.w.Write(bw.buf[:16])
+	return err
+}
+
+// WriteWire appends one wire record (Wires records expected).
+func (bw *BinaryProblemWriter) WriteWire(from, to int, weight int64) error {
+	return bw.arc(from, to, weight, secWires, "wire")
+}
+
+// WriteTiming appends one timing record (Timing records expected).
+func (bw *BinaryProblemWriter) WriteTiming(from, to int, maxDelay int64) error {
+	return bw.arc(from, to, maxDelay, secTiming, "timing")
+}
+
+// WriteCapacity appends one partition capacity (Partitions records
+// expected).
+func (bw *BinaryProblemWriter) WriteCapacity(c int64) error {
+	if err := bw.advance(secCaps, "capacity"); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(bw.buf[:8], uint64(c))
+	_, err := bw.w.Write(bw.buf[:8])
+	return err
+}
+
+// row writes one fixed-width int64 row of the given expected length.
+func (bw *BinaryProblemWriter) row(row []int64, want, sec int, what string) error {
+	if err := bw.advance(sec, what); err != nil {
+		return err
+	}
+	if len(row) != want {
+		return fmt.Errorf("textio: binary writer: %s row has %d entries, want %d", what, len(row), want)
+	}
+	for _, v := range row {
+		binary.LittleEndian.PutUint64(bw.buf[:8], uint64(v))
+		if _, err := bw.w.Write(bw.buf[:8]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCostRow appends one M-wide cost-matrix row (Partitions rows).
+func (bw *BinaryProblemWriter) WriteCostRow(row []int64) error {
+	return bw.row(row, bw.h.Partitions, secCost, "cost")
+}
+
+// WriteDelayRow appends one M-wide delay-matrix row (Partitions rows).
+func (bw *BinaryProblemWriter) WriteDelayRow(row []int64) error {
+	return bw.row(row, bw.h.Partitions, secDelay, "delay")
+}
+
+// WriteLinearRow appends one N-wide linear-cost row (Partitions rows,
+// only when the header declared HasLinear).
+func (bw *BinaryProblemWriter) WriteLinearRow(row []int64) error {
+	if !bw.h.HasLinear {
+		return errors.New("textio: binary writer: linear row without HasLinear")
+	}
+	return bw.row(row, bw.h.Components, secLinear, "linear")
+}
+
+// Close verifies every declared section was fully written and flushes.
+func (bw *BinaryProblemWriter) Close() error {
+	// advance drains empty trailing sections; a complete stream lands
+	// exactly on the done state, anything else still owes records.
+	if err := bw.advance(secDone, "close"); err != nil {
+		return fmt.Errorf("textio: binary writer: closed with incomplete sections (section %d, %d records owed)", bw.section, bw.left)
+	}
+	return bw.w.Flush()
+}
+
+// WriteProblemBinary serializes p in the binary format.
+func WriteProblemBinary(w io.Writer, p *model.Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	bw, err := NewBinaryProblemWriter(w, ProblemHeader{
+		Name:       p.Circuit.Name,
+		Alpha:      p.Alpha,
+		Beta:       p.Beta,
+		Components: p.N(),
+		Wires:      len(p.Circuit.Wires),
+		Timing:     len(p.Circuit.Timing),
+		Partitions: p.M(),
+		HasLinear:  p.Linear != nil,
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range p.Circuit.Sizes {
+		if err := bw.WriteSize(s); err != nil {
+			return err
+		}
+	}
+	for _, wr := range p.Circuit.Wires {
+		if err := bw.WriteWire(wr.From, wr.To, wr.Weight); err != nil {
+			return err
+		}
+	}
+	for _, t := range p.Circuit.Timing {
+		if err := bw.WriteTiming(t.From, t.To, t.MaxDelay); err != nil {
+			return err
+		}
+	}
+	for _, c := range p.Topology.Capacities {
+		if err := bw.WriteCapacity(c); err != nil {
+			return err
+		}
+	}
+	for _, row := range p.Topology.Cost {
+		if err := bw.WriteCostRow(row); err != nil {
+			return err
+		}
+	}
+	for _, row := range p.Topology.Delay {
+		if err := bw.WriteDelayRow(row); err != nil {
+			return err
+		}
+	}
+	if p.Linear != nil {
+		for _, row := range p.Linear {
+			if err := bw.WriteLinearRow(row); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Close()
+}
+
+// binReader decodes fixed-width sections through one reusable chunk
+// buffer, so reading a section of any length costs one output allocation
+// (plus growth past the initial cap) instead of per-record ones.
+type binReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+func newBinReader(r io.Reader) *binReader {
+	return &binReader{r: r, buf: make([]byte, 1<<16)}
+}
+
+// initialCap bounds the up-front allocation for a declared count: storage
+// beyond it grows only as records are actually read, so a hostile header
+// cannot allocate more than the stream backs.
+func initialCap(count int) int {
+	if count > 1<<20 {
+		return 1 << 20
+	}
+	return count
+}
+
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
+}
+
+// full reads exactly b's length from the stream, mapping EOF to
+// ErrTruncated.
+func (br *binReader) full(b []byte) error {
+	_, err := io.ReadFull(br.r, b)
+	return truncated(err)
+}
+
+// int64s reads count little-endian int64 values.
+func (br *binReader) int64s(count int) ([]int64, error) {
+	out := make([]int64, 0, initialCap(count))
+	for len(out) < count {
+		chunk := count - len(out)
+		if max := len(br.buf) / 8; chunk > max {
+			chunk = max
+		}
+		b := br.buf[:chunk*8]
+		if err := br.full(b); err != nil {
+			return nil, err
+		}
+		for k := 0; k < chunk; k++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(b[k*8:])))
+		}
+	}
+	return out, nil
+}
+
+// matrix reads rows×cols int64 values into row slices sharing one backing
+// array.
+func (br *binReader) matrix(rows, cols int) ([][]int64, error) {
+	flat, err := br.int64s(rows * cols)
+	if err != nil {
+		return nil, err
+	}
+	mat := make([][]int64, rows)
+	for i := range mat {
+		mat[i] = flat[i*cols : (i+1)*cols]
+	}
+	return mat, nil
+}
+
+// ReadProblemBinary parses a problem written by WriteProblemBinary (or
+// streamed through BinaryProblemWriter). The input must start at the
+// magic; use ReadProblemAuto to dispatch between text and binary.
+func ReadProblemBinary(rd io.Reader) (*model.Problem, error) {
+	br := newBinReader(rd)
+	if err := br.full(br.buf[:len(problemMagic)]); err != nil {
+		return nil, err
+	}
+	if string(br.buf[:len(problemMagic)]) != problemMagic {
+		return nil, fmt.Errorf("%w: got % x, want %q", ErrBadMagic, br.buf[:len(problemMagic)], problemMagic)
+	}
+	// version(2) + nameLen(2) complete the fixed prelude.
+	if err := br.full(br.buf[:4]); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint16(br.buf[:2]); v != binVersion {
+		return nil, fmt.Errorf("%w: version %d, reader supports %d", ErrUnsupportedVersion, v, binVersion)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(br.buf[2:4]))
+	if nameLen > maxBinName {
+		return nil, fmt.Errorf("%w: name length %d exceeds %d", ErrHeaderRange, nameLen, maxBinName)
+	}
+	// Name bytes, then alpha/beta (16), counts (16) and flags (1).
+	rest := make([]byte, nameLen+16+16+1)
+	if err := br.full(rest); err != nil {
+		return nil, err
+	}
+	name := string(rest[:nameLen])
+	fix := rest[nameLen:]
+	alpha := int64(binary.LittleEndian.Uint64(fix[0:8]))
+	beta := int64(binary.LittleEndian.Uint64(fix[8:16]))
+	n := int64(binary.LittleEndian.Uint32(fix[16:20]))
+	nw := int64(binary.LittleEndian.Uint32(fix[20:24]))
+	nt := int64(binary.LittleEndian.Uint32(fix[24:28]))
+	m := int64(binary.LittleEndian.Uint32(fix[28:32]))
+	flags := fix[32]
+	switch {
+	case n < 2 || n > maxBinComponents:
+		return nil, fmt.Errorf("%w: components %d outside [2, %d]", ErrHeaderRange, n, maxBinComponents)
+	case nw > maxBinArcs:
+		return nil, fmt.Errorf("%w: wires %d exceeds %d", ErrHeaderRange, nw, maxBinArcs)
+	case nt > maxBinArcs:
+		return nil, fmt.Errorf("%w: timing %d exceeds %d", ErrHeaderRange, nt, maxBinArcs)
+	case m < 1 || m > maxBinPartitions:
+		return nil, fmt.Errorf("%w: partitions %d outside [1, %d]", ErrHeaderRange, m, maxBinPartitions)
+	case flags&^1 != 0:
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrUnsupportedVersion, flags)
+	}
+
+	circuit := &model.Circuit{Name: name}
+	var err error
+	if circuit.Sizes, err = br.int64s(int(n)); err != nil {
+		return nil, err
+	}
+	if circuit.Wires, err = readWires(br, int(nw)); err != nil {
+		return nil, err
+	}
+	timing, err := readArcs(br, int(nt))
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range timing {
+		circuit.Timing = append(circuit.Timing, model.TimingConstraint{From: a.from, To: a.to, MaxDelay: a.v})
+	}
+	topo := &model.Topology{}
+	if topo.Capacities, err = br.int64s(int(m)); err != nil {
+		return nil, err
+	}
+	if topo.Cost, err = br.matrix(int(m), int(m)); err != nil {
+		return nil, err
+	}
+	if topo.Delay, err = br.matrix(int(m), int(m)); err != nil {
+		return nil, err
+	}
+	var linear [][]int64
+	if flags&1 != 0 {
+		if linear, err = br.matrix(int(m), int(n)); err != nil {
+			return nil, err
+		}
+	}
+	// Reject trailing garbage so accepted inputs round-trip exactly.
+	var one [1]byte
+	if _, err := io.ReadFull(br.r, one[:]); err != io.EOF {
+		return nil, fmt.Errorf("textio: trailing bytes after binary problem")
+	}
+	return model.NewProblem(circuit, topo, alpha, beta, linear)
+}
+
+type arc struct {
+	from, to int
+	v        int64
+}
+
+// readArcs reads count 16-byte {from, to, value} records.
+func readArcs(br *binReader, count int) ([]arc, error) {
+	out := make([]arc, 0, initialCap(count))
+	for len(out) < count {
+		chunk := count - len(out)
+		if max := len(br.buf) / 16; chunk > max {
+			chunk = max
+		}
+		b := br.buf[:chunk*16]
+		if err := br.full(b); err != nil {
+			return nil, err
+		}
+		for k := 0; k < chunk; k++ {
+			rec := b[k*16:]
+			out = append(out, arc{
+				from: int(binary.LittleEndian.Uint32(rec[0:4])),
+				to:   int(binary.LittleEndian.Uint32(rec[4:8])),
+				v:    int64(binary.LittleEndian.Uint64(rec[8:16])),
+			})
+		}
+	}
+	return out, nil
+}
+
+// readWires is readArcs materialized as model.Wire records.
+func readWires(br *binReader, count int) ([]model.Wire, error) {
+	out := make([]model.Wire, 0, initialCap(count))
+	for len(out) < count {
+		chunk := count - len(out)
+		if max := len(br.buf) / 16; chunk > max {
+			chunk = max
+		}
+		b := br.buf[:chunk*16]
+		if err := br.full(b); err != nil {
+			return nil, err
+		}
+		for k := 0; k < chunk; k++ {
+			rec := b[k*16:]
+			out = append(out, model.Wire{
+				From:   int(binary.LittleEndian.Uint32(rec[0:4])),
+				To:     int(binary.LittleEndian.Uint32(rec[4:8])),
+				Weight: int64(binary.LittleEndian.Uint64(rec[8:16])),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteAssignmentBinary serializes a in the binary format.
+func WriteAssignmentBinary(w io.Writer, a model.Assignment) error {
+	if len(a) > maxBinComponents {
+		return fmt.Errorf("%w: assignment length %d exceeds %d", ErrHeaderRange, len(a), maxBinComponents)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(assignmentMagic)
+	var buf [8]byte
+	binary.LittleEndian.PutUint16(buf[:2], binVersion)
+	bw.Write(buf[:2])
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(a)))
+	bw.Write(buf[:4])
+	for _, i := range a {
+		if i < 0 || int64(i) > int64(maxBinPartitions) {
+			return fmt.Errorf("textio: assignment entry %d outside [0, %d]", i, maxBinPartitions)
+		}
+		binary.LittleEndian.PutUint32(buf[:4], uint32(i))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAssignmentBinary parses an assignment written by
+// WriteAssignmentBinary.
+func ReadAssignmentBinary(rd io.Reader) (model.Assignment, error) {
+	br := newBinReader(rd)
+	if err := br.full(br.buf[:len(assignmentMagic)]); err != nil {
+		return nil, err
+	}
+	if string(br.buf[:len(assignmentMagic)]) != assignmentMagic {
+		return nil, fmt.Errorf("%w: got % x, want %q", ErrBadMagic, br.buf[:len(assignmentMagic)], assignmentMagic)
+	}
+	if err := br.full(br.buf[:6]); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint16(br.buf[:2]); v != binVersion {
+		return nil, fmt.Errorf("%w: version %d, reader supports %d", ErrUnsupportedVersion, v, binVersion)
+	}
+	n := int64(binary.LittleEndian.Uint32(br.buf[2:6]))
+	if n > maxBinComponents {
+		return nil, fmt.Errorf("%w: assignment length %d exceeds %d", ErrHeaderRange, n, maxBinComponents)
+	}
+	a := make(model.Assignment, 0, initialCap(int(n)))
+	for int64(len(a)) < n {
+		chunk := int(n) - len(a)
+		if max := len(br.buf) / 4; chunk > max {
+			chunk = max
+		}
+		b := br.buf[:chunk*4]
+		if err := br.full(b); err != nil {
+			return nil, err
+		}
+		for k := 0; k < chunk; k++ {
+			a = append(a, int(binary.LittleEndian.Uint32(b[k*4:])))
+		}
+	}
+	var one [1]byte
+	if _, err := io.ReadFull(br.r, one[:]); err != io.EOF {
+		return nil, fmt.Errorf("textio: trailing bytes after binary assignment")
+	}
+	return a, nil
+}
+
+// ReadProblemDetect reads a problem in either format, reporting which one
+// the stream carried. Detection peeks at the first four bytes: the binary
+// magic dispatches to the binary reader, anything else to the text parser.
+func ReadProblemDetect(rd io.Reader) (*model.Problem, Format, error) {
+	br := bufio.NewReaderSize(rd, 1<<16)
+	peek, err := br.Peek(len(problemMagic))
+	if err == nil && string(peek) == problemMagic {
+		p, rerr := ReadProblemBinary(br)
+		return p, FormatBinary, rerr
+	}
+	p, rerr := ReadProblem(br)
+	return p, FormatText, rerr
+}
+
+// ReadProblemAuto reads a problem in either format (see ReadProblemDetect).
+func ReadProblemAuto(rd io.Reader) (*model.Problem, error) {
+	p, _, err := ReadProblemDetect(rd)
+	return p, err
+}
+
+// ReadAssignmentAuto reads an assignment in either format.
+func ReadAssignmentAuto(rd io.Reader) (model.Assignment, error) {
+	br := bufio.NewReaderSize(rd, 1<<16)
+	peek, err := br.Peek(len(assignmentMagic))
+	if err == nil && string(peek) == assignmentMagic {
+		return ReadAssignmentBinary(br)
+	}
+	return ReadAssignment(br)
+}

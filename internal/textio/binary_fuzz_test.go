@@ -1,0 +1,115 @@
+package textio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+// binarySeeds returns valid and near-valid binary serializations.
+func binarySeeds(t interface{ Fatalf(string, ...any) }) [][]byte {
+	var p, a bytes.Buffer
+	if err := WriteProblemBinary(&p, paperex.MustNew()); err != nil {
+		t.Fatalf("seed WriteProblemBinary: %v", err)
+	}
+	if err := WriteAssignmentBinary(&a, []int{0, 1, 2, 1, 0}); err != nil {
+		t.Fatalf("seed WriteAssignmentBinary: %v", err)
+	}
+	truncated := append([]byte(nil), p.Bytes()[:len(p.Bytes())/2]...)
+	badVersion := append([]byte(nil), p.Bytes()...)
+	badVersion[4] = 0x7f
+	return [][]byte{
+		p.Bytes(),
+		a.Bytes(),
+		truncated,
+		badVersion,
+		[]byte("QBPB"),
+		[]byte("QBPA\x01\x00\xff\xff\xff\xff"),
+	}
+}
+
+// FuzzBinaryRoundTrip checks that the binary readers never panic on
+// arbitrary input and that every accepted value survives a canonical
+// write/read/write round-trip byte-for-byte.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	for _, seed := range binarySeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := ReadProblemBinary(bytes.NewReader(data)); err == nil {
+			var first bytes.Buffer
+			if err := WriteProblemBinary(&first, p); err != nil {
+				t.Fatalf("accepted problem failed to serialize: %v", err)
+			}
+			p2, err := ReadProblemBinary(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("re-read of own output failed: %v", err)
+			}
+			var second bytes.Buffer
+			if err := WriteProblemBinary(&second, p2); err != nil {
+				t.Fatalf("second serialize failed: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatal("binary problem round-trip not canonical")
+			}
+		}
+		if a, err := ReadAssignmentBinary(bytes.NewReader(data)); err == nil {
+			var first bytes.Buffer
+			if err := WriteAssignmentBinary(&first, a); err != nil {
+				return // entries outside the writable range: rejection is fine
+			}
+			a2, err := ReadAssignmentBinary(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("re-read of own assignment output failed: %v", err)
+			}
+			var second bytes.Buffer
+			if err := WriteAssignmentBinary(&second, a2); err != nil {
+				t.Fatalf("second assignment serialize failed: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatal("binary assignment round-trip not canonical")
+			}
+		}
+	})
+}
+
+// FuzzTextBinaryParity checks that any problem the text parser accepts is
+// representable in the binary format with nothing lost: text → binary →
+// read-back must equal the text parse, and re-rendering both to canonical
+// text must agree byte-for-byte. Auto-detection must also route the binary
+// bytes correctly.
+func FuzzTextBinaryParity(f *testing.F) {
+	for _, seed := range problemSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProblem(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var bin bytes.Buffer
+		if err := WriteProblemBinary(&bin, p); err != nil {
+			// The binary envelope is wider than the text one everywhere
+			// (counts, name length), so a text-accepted problem must encode.
+			t.Fatalf("text-accepted problem rejected by binary writer: %v", err)
+		}
+		q, format, err := ReadProblemDetect(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("binary read-back failed: %v", err)
+		}
+		if format != FormatBinary {
+			t.Fatalf("auto-detect saw %v, want binary", format)
+		}
+		var fromText, fromBin bytes.Buffer
+		if err := WriteProblem(&fromText, p); err != nil {
+			t.Fatalf("canonical text of text parse: %v", err)
+		}
+		if err := WriteProblem(&fromBin, q); err != nil {
+			t.Fatalf("canonical text of binary parse: %v", err)
+		}
+		if !bytes.Equal(fromText.Bytes(), fromBin.Bytes()) {
+			t.Fatalf("text and binary disagree:\ntext path:\n%s\nbinary path:\n%s", fromText.Bytes(), fromBin.Bytes())
+		}
+	})
+}

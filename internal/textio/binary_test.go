@@ -1,0 +1,265 @@
+package textio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/paperex"
+	"repro/internal/testgen"
+)
+
+func binaryRoundTrip(t *testing.T, p *model.Problem) *model.Problem {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteProblemBinary(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProblemBinary(&buf)
+	if err != nil {
+		t.Fatalf("binary read back: %v", err)
+	}
+	return q
+}
+
+func TestBinaryProblemRoundTrip(t *testing.T) {
+	if !problemsEqual(paperex.MustNew(), binaryRoundTrip(t, paperex.MustNew())) {
+		t.Fatal("paper example did not round-trip through binary")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		p, _ := testgen.Random(rng, testgen.Config{
+			N: 12, TimingProb: 0.4, WithLinear: trial%2 == 0, Alpha: 2, Beta: 5,
+		})
+		if !problemsEqual(p, binaryRoundTrip(t, p)) {
+			t.Fatalf("trial %d did not round-trip through binary", trial)
+		}
+	}
+}
+
+// TestBinaryMatchesText pins the two formats to the same model: a problem
+// written both ways reads back identical either way (names go through the
+// same sanitizer).
+func TestBinaryMatchesText(t *testing.T) {
+	p := paperex.MustNew()
+	p.Circuit.Name = "name with spaces"
+	viaText := roundTrip(t, p)
+	viaBin := binaryRoundTrip(t, p)
+	if !problemsEqual(viaText, viaBin) {
+		t.Fatal("text and binary round-trips disagree")
+	}
+}
+
+func TestBinaryAssignmentRoundTrip(t *testing.T) {
+	a := model.Assignment{3, 1, 4, 1, 5, 9, 2, 6}
+	var buf bytes.Buffer
+	if err := WriteAssignmentBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadAssignmentBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("length %d != %d", len(b), len(a))
+	}
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("entry %d: %d != %d", j, b[j], a[j])
+		}
+	}
+	if err := WriteAssignmentBinary(&buf, model.Assignment{0, -1}); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+}
+
+func TestReadProblemAutoDetects(t *testing.T) {
+	p := paperex.MustNew()
+	var text, bin bytes.Buffer
+	if err := WriteProblem(&text, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProblemBinary(&bin, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		data []byte
+		want Format
+	}{
+		{text.Bytes(), FormatText},
+		{bin.Bytes(), FormatBinary},
+	} {
+		q, f, err := ReadProblemDetect(bytes.NewReader(tc.data))
+		if err != nil {
+			t.Fatalf("%v input: %v", tc.want, err)
+		}
+		if f != tc.want {
+			t.Fatalf("detected %v, want %v", f, tc.want)
+		}
+		if !problemsEqual(p, q) {
+			t.Fatalf("%v auto-read mismatch", tc.want)
+		}
+	}
+	if _, err := ReadProblemAuto(bytes.NewReader(bin.Bytes())); err != nil {
+		t.Fatalf("ReadProblemAuto binary: %v", err)
+	}
+}
+
+func TestReadAssignmentAutoDetects(t *testing.T) {
+	a := model.Assignment{0, 1, 2, 1}
+	var text, bin bytes.Buffer
+	if err := WriteAssignment(&text, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAssignmentBinary(&bin, a); err != nil {
+		t.Fatal(err)
+	}
+	for _, data := range [][]byte{text.Bytes(), bin.Bytes()} {
+		b, err := ReadAssignmentAuto(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("entry %d: %d != %d", j, b[j], a[j])
+			}
+		}
+	}
+}
+
+func TestBinaryTypedErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProblemBinary(&buf, paperex.MustNew()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte("NOPE"), good[4:]...)
+		if _, err := ReadProblemBinary(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("got %v, want ErrBadMagic", err)
+		}
+		if _, err := ReadAssignmentBinary(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("assignment: got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[4], bad[5] = 0xff, 0xff
+		if _, err := ReadProblemBinary(bytes.NewReader(bad)); !errors.Is(err, ErrUnsupportedVersion) {
+			t.Fatalf("got %v, want ErrUnsupportedVersion", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		// Every proper prefix must fail with ErrTruncated — never panic,
+		// never succeed.
+		for _, cut := range []int{1, 3, 4, 6, 9, len(good) / 2, len(good) - 1} {
+			if _, err := ReadProblemBinary(bytes.NewReader(good[:cut])); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut %d: got %v, want ErrTruncated", cut, err)
+			}
+		}
+	})
+	t.Run("oversized header", func(t *testing.T) {
+		// Patch the component count (offset: 8 fixed + nameLen + 16) to an
+		// absurd value; the reader must reject it before allocating.
+		bad := append([]byte(nil), good...)
+		nameLen := int(bad[6]) | int(bad[7])<<8
+		off := 8 + nameLen + 16
+		bad[off], bad[off+1], bad[off+2], bad[off+3] = 0xff, 0xff, 0xff, 0xff
+		if _, err := ReadProblemBinary(bytes.NewReader(bad)); !errors.Is(err, ErrHeaderRange) {
+			t.Fatalf("got %v, want ErrHeaderRange", err)
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		bad := append(append([]byte(nil), good...), 0)
+		if _, err := ReadProblemBinary(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Fatalf("got %v, want trailing-bytes error", err)
+		}
+	})
+}
+
+func TestBinaryWriterEnforcesSections(t *testing.T) {
+	h := ProblemHeader{Name: "x", Alpha: 1, Beta: 1, Components: 2, Wires: 1, Timing: 0, Partitions: 2}
+	var buf bytes.Buffer
+	bw, err := NewBinaryProblemWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteWire(0, 1, 1); err == nil {
+		t.Fatal("wire before sizes accepted")
+	}
+	if err := bw.WriteSize(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err == nil {
+		t.Fatal("Close with incomplete sections accepted")
+	}
+
+	// Out-of-range header fields are rejected up front.
+	for _, bad := range []ProblemHeader{
+		{Components: 1, Partitions: 2},
+		{Components: 2, Partitions: 0},
+		{Components: 2, Partitions: 2, Wires: -1},
+		{Components: maxBinComponents + 1, Partitions: 2},
+	} {
+		if _, err := NewBinaryProblemWriter(&buf, bad); !errors.Is(err, ErrHeaderRange) {
+			t.Fatalf("header %+v: got %v, want ErrHeaderRange", bad, err)
+		}
+	}
+
+	// A complete stream produced record-by-record equals the one-shot
+	// writer's output.
+	p := paperex.MustNew()
+	var oneShot bytes.Buffer
+	if err := WriteProblemBinary(&oneShot, p); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	bw, err = NewBinaryProblemWriter(&streamed, ProblemHeader{
+		Name: p.Circuit.Name, Alpha: p.Alpha, Beta: p.Beta,
+		Components: p.N(), Wires: len(p.Circuit.Wires), Timing: len(p.Circuit.Timing),
+		Partitions: p.M(), HasLinear: p.Linear != nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Circuit.Sizes {
+		if err := bw.WriteSize(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, w := range p.Circuit.Wires {
+		if err := bw.WriteWire(w.From, w.To, w.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range p.Circuit.Timing {
+		if err := bw.WriteTiming(c.From, c.To, c.MaxDelay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range p.Topology.Capacities {
+		if err := bw.WriteCapacity(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, row := range p.Topology.Cost {
+		if err := bw.WriteCostRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, row := range p.Topology.Delay {
+		if err := bw.WriteDelayRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oneShot.Bytes(), streamed.Bytes()) {
+		t.Fatal("streamed output differs from one-shot WriteProblemBinary")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/paperex"
 	"repro/internal/testgen"
@@ -87,13 +86,6 @@ func TestProblemRoundTrip(t *testing.T) {
 		if !problemsEqual(p, roundTrip(t, p)) {
 			t.Fatalf("trial %d did not round-trip", trial)
 		}
-	}
-}
-
-func TestGeneratedCircuitRoundTrip(t *testing.T) {
-	in := gen.MustNamed("cktb")
-	if !problemsEqual(in.Problem, roundTrip(t, in.Problem)) {
-		t.Fatal("generated circuit did not round-trip")
 	}
 }
 

@@ -418,6 +418,18 @@ func GenerateCircuit(params GenerateParams) (*Instance, error) {
 	return gen.Generate(params)
 }
 
+// StreamStats summarizes a circuit generated by StreamCircuit.
+type StreamStats = gen.StreamStats
+
+// StreamCircuit generates an instance with GenerateCircuit's statistical
+// profile and writes it straight to w in the binary problem format without
+// materializing the wire list, so million-component instances stay in
+// O(N + M²) memory. Stream and Generate draw different (same-distribution)
+// instances for the same seed; MaxFanout is not supported here.
+func StreamCircuit(params GenerateParams, w io.Writer) (*StreamStats, error) {
+	return gen.Stream(params, w)
+}
+
 // RenderGrid draws the partition array with per-slot component counts and
 // capacity utilization as plain text.
 func RenderGrid(w io.Writer, p *Problem, grid Grid, a Assignment) error {
@@ -442,3 +454,40 @@ func WriteAssignment(w io.Writer, a Assignment) error { return textio.WriteAssig
 
 // ReadAssignment parses an assignment written by WriteAssignment.
 func ReadAssignment(r io.Reader) (Assignment, error) { return textio.ReadAssignment(r) }
+
+// Format identifies a problem/assignment serialization.
+type Format = textio.Format
+
+// Serialization formats.
+const (
+	// FormatText is the line-oriented format of WriteProblem.
+	FormatText = textio.FormatText
+	// FormatBinary is the versioned little-endian format of
+	// WriteProblemBinary.
+	FormatBinary = textio.FormatBinary
+)
+
+// WriteProblemBinary serializes p in the versioned binary format — the
+// same model as WriteProblem, ~10× faster to parse at N ≥ 10⁵.
+func WriteProblemBinary(w io.Writer, p *Problem) error { return textio.WriteProblemBinary(w, p) }
+
+// ReadProblemBinary parses a problem written by WriteProblemBinary.
+func ReadProblemBinary(r io.Reader) (*Problem, error) { return textio.ReadProblemBinary(r) }
+
+// ReadProblemAuto reads a problem in either format, detected by magic.
+func ReadProblemAuto(r io.Reader) (*Problem, error) { return textio.ReadProblemAuto(r) }
+
+// ReadProblemDetect is ReadProblemAuto, also reporting the detected format.
+func ReadProblemDetect(r io.Reader) (*Problem, Format, error) { return textio.ReadProblemDetect(r) }
+
+// WriteAssignmentBinary serializes an assignment in the binary format.
+func WriteAssignmentBinary(w io.Writer, a Assignment) error {
+	return textio.WriteAssignmentBinary(w, a)
+}
+
+// ReadAssignmentBinary parses an assignment written by
+// WriteAssignmentBinary.
+func ReadAssignmentBinary(r io.Reader) (Assignment, error) { return textio.ReadAssignmentBinary(r) }
+
+// ReadAssignmentAuto reads an assignment in either format.
+func ReadAssignmentAuto(r io.Reader) (Assignment, error) { return textio.ReadAssignmentAuto(r) }
