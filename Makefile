@@ -57,7 +57,7 @@ vet:
 # any diagnostic not in the committed baseline (currently empty — new
 # findings are fixed or //lint:ignore'd, not baselined, unless a PR
 # documents why).
-lint:
+lint: vet
 	$(GO) run ./cmd/qbplint -baseline .qbplint-baseline.json ./...
 
 # Regenerate the accepted-findings inventory from the current tree.

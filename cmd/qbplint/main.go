@@ -40,11 +40,15 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// run is the testable command body: flag parsing, analyzer selection, the
+// lint run and report encoding, with every byte written to the supplied
+// streams and the process exit code returned.
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("qbplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
@@ -59,17 +63,17 @@ func run(args []string) int {
 	}
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-22s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 	if *format != "text" && *format != "json" && *format != "sarif" {
-		fmt.Fprintf(os.Stderr, "qbplint: unknown -format %q (want text, json or sarif)\n", *format)
+		fmt.Fprintf(stderr, "qbplint: unknown -format %q (want text, json or sarif)\n", *format)
 		return 2
 	}
 	analyzers, err := lint.Select(*enable, *disable)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	patterns := fs.Args()
@@ -78,25 +82,25 @@ func run(args []string) int {
 	}
 	dirs, err := lint.ExpandPatterns(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	loader, err := lint.NewLoader(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	loader.IncludeTestTypes = *tests
 	diags, err := lint.Run(loader, dirs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
 	if *writeBaseline != "" {
 		f, cerr := os.Create(*writeBaseline)
 		if cerr != nil {
-			fmt.Fprintln(os.Stderr, cerr)
+			fmt.Fprintln(stderr, cerr)
 			return 2
 		}
 		werr := lint.NewBaseline(diags, loader.ModRoot).Write(f)
@@ -104,46 +108,46 @@ func run(args []string) int {
 			werr = cerr
 		}
 		if werr != nil {
-			fmt.Fprintln(os.Stderr, werr)
+			fmt.Fprintln(stderr, werr)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "qbplint: wrote %d finding group(s) to %s\n", len(diags), *writeBaseline)
+		fmt.Fprintf(stderr, "qbplint: wrote %d finding group(s) to %s\n", len(diags), *writeBaseline)
 		return 0
 	}
 
 	if *updateBaseline != "" {
 		base, rerr := lint.ReadBaseline(*updateBaseline)
 		if rerr != nil {
-			fmt.Fprintf(os.Stderr, "%v (use -write-baseline to create one)\n", rerr)
+			fmt.Fprintf(stderr, "%v (use -write-baseline to create one)\n", rerr)
 			return 2
 		}
 		tightened, changed := base.Ratchet(diags, loader.ModRoot)
 		if !changed {
-			fmt.Fprintf(os.Stderr, "qbplint: baseline %s already tight (%d group(s))\n", *updateBaseline, len(tightened.Findings))
+			fmt.Fprintf(stderr, "qbplint: baseline %s already tight (%d group(s))\n", *updateBaseline, len(tightened.Findings))
 			return 0
 		}
 		if err := tightened.WriteFile(*updateBaseline); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "qbplint: tightened %s: %d -> %d finding group(s)\n", *updateBaseline, len(base.Findings), len(tightened.Findings))
+		fmt.Fprintf(stderr, "qbplint: tightened %s: %d -> %d finding group(s)\n", *updateBaseline, len(base.Findings), len(tightened.Findings))
 		return 0
 	}
 
 	if *baselinePath != "" {
 		base, rerr := lint.ReadBaseline(*baselinePath)
 		if rerr != nil {
-			fmt.Fprintln(os.Stderr, rerr)
+			fmt.Fprintln(stderr, rerr)
 			return 2
 		}
 		diags = base.Filter(diags, loader.ModRoot)
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *output != "" {
 		f, cerr := os.Create(*output)
 		if cerr != nil {
-			fmt.Fprintln(os.Stderr, cerr)
+			fmt.Fprintln(stderr, cerr)
 			return 2
 		}
 		defer f.Close()
@@ -160,11 +164,11 @@ func run(args []string) int {
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "qbplint: %d diagnostic(s)\n", len(diags))
+		fmt.Fprintf(stderr, "qbplint: %d diagnostic(s)\n", len(diags))
 		return 1
 	}
 	return 0

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -18,6 +20,8 @@ func TestExitCodes(t *testing.T) {
 		{"list", []string{"-list"}, 0},
 		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
 		{"unknown analyzer", []string{"-enable", "no-such", fixtures + "/panic_neg"}, 2},
+		{"unknown analyzer in disable", []string{"-disable", "no-such", fixtures + "/panic_neg"}, 2},
+		{"empty selection", []string{"-enable", "panic-in-library", "-disable", "panic-in-library", fixtures + "/panic_pos"}, 2},
 		{"unknown format", []string{"-format", "xml", fixtures + "/panic_neg"}, 2},
 		{"missing dir", []string{fixtures + "/does-not-exist"}, 2},
 		{"missing baseline", []string{"-baseline", fixtures + "/no-such.json", fixtures + "/panic_neg"}, 2},
@@ -30,10 +34,41 @@ func TestExitCodes(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := run(tc.args); got != tc.want {
+			if got := run(tc.args, io.Discard, io.Discard); got != tc.want {
 				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
 			}
 		})
+	}
+}
+
+// TestRunStreams pins the seam contract: diagnostics and usage errors go to
+// the stderr the caller supplied, reports and listings to the stdout, so a
+// selection mistake is never a silent no-op run.
+func TestRunStreams(t *testing.T) {
+	var out, errs strings.Builder
+	if got := run([]string{"-enable", "no-such"}, &out, &errs); got != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", got)
+	}
+	if !strings.Contains(errs.String(), `unknown analyzer "no-such"`) {
+		t.Errorf("stderr %q does not name the unknown analyzer", errs.String())
+	}
+
+	out.Reset()
+	errs.Reset()
+	if got := run([]string{"-enable", "panic-in-library", "-disable", "panic-in-library"}, &out, &errs); got != 2 {
+		t.Fatalf("empty selection exited %d, want 2", got)
+	}
+	if !strings.Contains(errs.String(), "matches no analyzers") {
+		t.Errorf("stderr %q does not explain the empty selection", errs.String())
+	}
+
+	out.Reset()
+	errs.Reset()
+	if got := run([]string{"-list"}, &out, &errs); got != 0 {
+		t.Fatalf("-list exited %d, want 0", got)
+	}
+	if !strings.Contains(out.String(), "lockset-race") || errs.Len() != 0 {
+		t.Errorf("-list stdout missing analyzers or stderr non-empty: out=%q errs=%q", out.String(), errs.String())
 	}
 }
 
@@ -47,7 +82,7 @@ func TestPositiveFixturesFail(t *testing.T) {
 		"rand_pos", "index_pos", "floateq_pos", "capture_pos", "errdiscard_pos",
 		"maporder_pos", "lockbal_pos", "flatbounds_pos", "shadowerr_pos",
 	} {
-		if got := run([]string{fixtures + "/" + dir}); got != 1 {
+		if got := run([]string{fixtures + "/" + dir}, io.Discard, io.Discard); got != 1 {
 			t.Errorf("run(%s) = %d, want 1", dir, got)
 		}
 	}
@@ -61,14 +96,14 @@ func TestBaselineWorkflow(t *testing.T) {
 		t.Skip("each run re-warms the source importer")
 	}
 	base := filepath.Join(t.TempDir(), "base.json")
-	if got := run([]string{"-write-baseline", base, fixtures + "/panic_pos"}); got != 0 {
+	if got := run([]string{"-write-baseline", base, fixtures + "/panic_pos"}, io.Discard, io.Discard); got != 0 {
 		t.Fatalf("-write-baseline exited %d, want 0", got)
 	}
-	if got := run([]string{"-baseline", base, fixtures + "/panic_pos"}); got != 0 {
+	if got := run([]string{"-baseline", base, fixtures + "/panic_pos"}, io.Discard, io.Discard); got != 0 {
 		t.Errorf("baselined run exited %d, want 0", got)
 	}
 	// The baseline for panic_pos must not absorb findings elsewhere.
-	if got := run([]string{"-baseline", base, fixtures + "/floateq_pos"}); got != 1 {
+	if got := run([]string{"-baseline", base, fixtures + "/floateq_pos"}, io.Discard, io.Discard); got != 1 {
 		t.Errorf("baselined run on other fixture exited %d, want 1", got)
 	}
 }
@@ -80,7 +115,7 @@ func TestOutputFile(t *testing.T) {
 		t.Skip("each run re-warms the source importer")
 	}
 	out := filepath.Join(t.TempDir(), "report.sarif")
-	if got := run([]string{"-format", "sarif", "-o", out, fixtures + "/panic_pos"}); got != 1 {
+	if got := run([]string{"-format", "sarif", "-o", out, fixtures + "/panic_pos"}, io.Discard, io.Discard); got != 1 {
 		t.Errorf("run -o exited %d, want 1", got)
 	}
 	data, err := os.ReadFile(out)

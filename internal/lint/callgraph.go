@@ -50,6 +50,15 @@ type Program struct {
 	results    map[*types.Func]*resultSummary
 	resultBusy map[*types.Func]bool
 	localCeil  map[*FuncInfo]map[*types.Var]bool
+
+	// Concurrency topology (see goroutine.go).
+	spawns    map[*FuncInfo][]*SpawnSite
+	spawnTgt  map[*FuncInfo]bool
+	concLit   map[*FuncInfo]bool
+	freeVars  map[*FuncInfo][]*types.Var
+	handoff   map[*FuncInfo]map[*types.Var]bool
+	acquires  map[*FuncInfo]map[string]bool
+	lockExits map[*FuncInfo]map[string]int
 }
 
 // FuncInfo is one function in the Program: a declared function or method
@@ -70,6 +79,13 @@ type FuncInfo struct {
 	Spawns    bool // contains (or reaches) a go statement
 	Pure      bool // no observable side effects on caller-visible state
 	Ceiling   bool // result may carry a ceiling-scale int64 (see taint)
+
+	// Concurrency summaries (see goroutine.go): lock keys this function may
+	// acquire (template form, sorted), and per-parameter channel/WaitGroup
+	// operations it (or a helper it hands the parameter to) performs.
+	Acquires []string
+	ChanOps  map[int]ChanOps
+	WGOps    map[int]WGOps
 
 	pollsBase  bool
 	allocBase  bool
@@ -131,6 +147,13 @@ func buildProgram(modPath string, pkgs []*Package) *Program {
 		results:    make(map[*types.Func]*resultSummary),
 		resultBusy: make(map[*types.Func]bool),
 		localCeil:  make(map[*FuncInfo]map[*types.Var]bool),
+		spawns:     make(map[*FuncInfo][]*SpawnSite),
+		spawnTgt:   make(map[*FuncInfo]bool),
+		concLit:    make(map[*FuncInfo]bool),
+		freeVars:   make(map[*FuncInfo][]*types.Var),
+		handoff:    make(map[*FuncInfo]map[*types.Var]bool),
+		acquires:   make(map[*FuncInfo]map[string]bool),
+		lockExits:  make(map[*FuncInfo]map[string]int),
 	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -161,6 +184,7 @@ func buildProgram(modPath string, pkgs []*Package) *Program {
 	}
 	prog.tarjan()
 	prog.summarize()
+	prog.summarizeConcurrency()
 	prog.findReachable()
 	prog.ceilingFixpoint()
 	return prog
@@ -252,8 +276,8 @@ func (prog *Program) recordStore(info *types.Info, copies map[*types.Var][]*type
 	if v == nil {
 		return
 	}
-	if tgt := prog.funcValue(info, rhs); tgt != nil {
-		prog.varFuncs[v] = append(prog.varFuncs[v], tgt)
+	if tgts := prog.funcValues(info, rhs); len(tgts) > 0 {
+		prog.varFuncs[v] = append(prog.varFuncs[v], tgts...)
 	} else if src := funcVarRef(info, rhs); src != nil {
 		copies[v] = append(copies[v], src)
 	}
@@ -299,8 +323,8 @@ func (prog *Program) recordCompositeStores(info *types.Info, copies map[*types.V
 				continue
 			}
 			if v, isVar := info.Uses[key].(*types.Var); isVar {
-				if tgt := prog.funcValue(info, kv.Value); tgt != nil {
-					prog.varFuncs[v] = append(prog.varFuncs[v], tgt)
+				if tgts := prog.funcValues(info, kv.Value); len(tgts) > 0 {
+					prog.varFuncs[v] = append(prog.varFuncs[v], tgts...)
 				} else if src := funcVarRef(info, kv.Value); src != nil {
 					copies[v] = append(copies[v], src)
 				}
@@ -308,8 +332,8 @@ func (prog *Program) recordCompositeStores(info *types.Info, copies map[*types.V
 			continue
 		}
 		if i < st.NumFields() {
-			if tgt := prog.funcValue(info, el); tgt != nil {
-				prog.varFuncs[st.Field(i)] = append(prog.varFuncs[st.Field(i)], tgt)
+			if tgts := prog.funcValues(info, el); len(tgts) > 0 {
+				prog.varFuncs[st.Field(i)] = append(prog.varFuncs[st.Field(i)], tgts...)
 			} else if src := funcVarRef(info, el); src != nil {
 				copies[st.Field(i)] = append(copies[st.Field(i)], src)
 			}
@@ -331,12 +355,51 @@ func (prog *Program) recordArgBindings(info *types.Info, copies map[*types.Var][
 		n-- // skip the variadic tail: one param, many args
 	}
 	for i := 0; i < n && i < len(call.Args); i++ {
-		if tgt := prog.funcValue(info, call.Args[i]); tgt != nil {
-			prog.varFuncs[params.At(i)] = append(prog.varFuncs[params.At(i)], tgt)
+		if tgts := prog.funcValues(info, call.Args[i]); len(tgts) > 0 {
+			prog.varFuncs[params.At(i)] = append(prog.varFuncs[params.At(i)], tgts...)
 		} else if src := funcVarRef(info, call.Args[i]); src != nil {
 			copies[params.At(i)] = append(copies[params.At(i)], src)
 		}
 	}
+}
+
+// funcValues resolves an expression to the function values it may denote:
+// what funcValue sees directly, plus — for a call with a single static
+// target returning one function-typed result — the functions returned by
+// the callee's return statements. That is how a constructed callback
+// (OnProgress: progressPrinter(w, d)) connects to the literal inside the
+// constructor.
+func (prog *Program) funcValues(info *types.Info, e ast.Expr) []*FuncInfo {
+	if tgt := prog.funcValue(info, e); tgt != nil {
+		return []*FuncInfo{tgt}
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if tv, ok := info.Types[call]; !ok || tv.Type == nil {
+		return nil
+	} else if _, isSig := tv.Type.Underlying().(*types.Signature); !isSig {
+		return nil
+	}
+	tgts, dyn := prog.funTargets(info, call.Fun)
+	if dyn || len(tgts) != 1 || tgts[0] == nil || tgts[0].Body == nil {
+		return nil
+	}
+	var out []*FuncInfo
+	inspectShallow(tgts[0].Body, func(n ast.Node) bool {
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return true
+		}
+		for _, res := range ret.Results {
+			if tgt := prog.funcValue(tgts[0].Pkg.Info, res); tgt != nil {
+				out = append(out, tgt)
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // funcValue resolves an expression to the FuncInfo it denotes as a value:

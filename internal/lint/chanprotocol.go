@@ -1,0 +1,598 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanProtocol checks per-channel send/recv/close discipline:
+//
+//   - close twice on the same channel on one path, or send after a close,
+//     is a guaranteed runtime panic (a CFG dataflow tracks the close state
+//     per channel key; joins that disagree degrade to "maybe" and stay
+//     silent);
+//   - a range over a locally-created channel whose close is unreachable —
+//     counting closes through helpers via the ChanOps summaries — never
+//     terminates, so every consumer goroutine leaks;
+//   - a spawned goroutine sending on an unbuffered locally-created channel
+//     with no select alternative leaks when the spawner can return without
+//     receiving: the send blocks forever. The multistart drain pattern
+//     (ctx-gated feed select, close + Wait) is the positive model.
+var ChanProtocol = &Analyzer{
+	Name:       "chan-protocol",
+	Doc:        "channel send/recv/close discipline: no double close, no send after close, ranges need a close, no orphaned unbuffered sends",
+	NeedsTypes: true,
+	Run:        runChanProtocol,
+}
+
+func runChanProtocol(p *Pass) {
+	if p.Prog == nil || p.Pkg.Info == nil {
+		return
+	}
+	for _, fi := range p.Prog.FuncsOf(p.Pkg) {
+		checkCloseStates(p, fi)
+		checkLocalChannels(p, fi)
+	}
+}
+
+// --- close-state dataflow (double close, send after close) ---
+
+type chanState uint8
+
+const (
+	chanUnknown chanState = iota
+	chanOpen              // a make() assigned on every path reaching here
+	chanClosed            // close() executed most recently on every path
+	chanMaybe             // paths disagree
+)
+
+type chanFact struct {
+	state map[string]chanState
+}
+
+func newChanFact() chanFact { return chanFact{state: map[string]chanState{}} }
+
+func (f chanFact) clone() chanFact {
+	c := newChanFact()
+	for k, v := range f.state {
+		c.state[k] = v
+	}
+	return c
+}
+
+type chanInterp struct {
+	info *types.Info
+}
+
+// step applies one CFG node; when p is non-nil, protocol violations are
+// reported.
+func (ci *chanInterp) step(f chanFact, n ast.Node, p *Pass) chanFact {
+	switch s := n.(type) {
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return f
+		}
+		arg, ok := closeArg(ci.info, call)
+		if !ok {
+			return f
+		}
+		key := renderNode(arg)
+		out := f.clone()
+		if p != nil && f.state[key] == chanClosed {
+			p.Reportf(call.Pos(), "channel %s closed twice on this path", key)
+		}
+		out.state[key] = chanClosed
+		return out
+	case *ast.SendStmt:
+		key := renderNode(s.Chan)
+		if p != nil && f.state[key] == chanClosed {
+			p.Reportf(s.Pos(), "send on %s after it was closed on this path", key)
+		}
+		return f
+	case *ast.AssignStmt:
+		var out chanFact
+		for i, rhs := range s.Rhs {
+			if i >= len(s.Lhs) {
+				break
+			}
+			if !isMakeChan(ci.info, rhs) {
+				continue
+			}
+			if out.state == nil {
+				out = f.clone()
+			}
+			out.state[renderNode(s.Lhs[i])] = chanOpen
+		}
+		if out.state != nil {
+			return out
+		}
+	}
+	return f
+}
+
+// mentionsClose pre-filters bodies without a close builtin call.
+func (ci *chanInterp) mentionsClose(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := closeArg(ci.info, call); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+type chanProblem struct {
+	ci *chanInterp
+}
+
+func (p chanProblem) Entry() chanFact { return newChanFact() }
+
+func (p chanProblem) Transfer(b *Block, in chanFact) chanFact {
+	out := in
+	for _, n := range b.Nodes {
+		out = p.ci.step(out, n, nil)
+	}
+	return out
+}
+
+func (p chanProblem) Join(a, b chanFact) chanFact {
+	j := newChanFact()
+	keys := map[string]bool{}
+	for k := range a.state {
+		keys[k] = true
+	}
+	for k := range b.state {
+		keys[k] = true
+	}
+	for k := range keys {
+		if sa, sb := a.state[k], b.state[k]; sa == sb {
+			j.state[k] = sa
+		} else {
+			j.state[k] = chanMaybe
+		}
+	}
+	return j
+}
+
+func (p chanProblem) Equal(a, b chanFact) bool {
+	if len(a.state) != len(b.state) {
+		return false
+	}
+	for k, v := range a.state {
+		if b.state[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func checkCloseStates(p *Pass, fi *FuncInfo) {
+	ci := &chanInterp{info: fi.Pkg.Info}
+	if !ci.mentionsClose(fi.Body) {
+		return
+	}
+	g := fi.Pkg.CFG(fi.Body)
+	in := SolveForward[chanFact](g, chanProblem{ci})
+	for _, b := range g.ReversePostorder() {
+		fact, ok := in[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fact = ci.step(fact, n, p)
+		}
+	}
+}
+
+// --- local-channel lifecycle (range-needs-close, orphaned sends) ---
+
+// localChan is one channel created by make() inside a function.
+type localChan struct {
+	v          *types.Var
+	unbuffered bool
+	ops        ChanOps
+	escaped    bool
+	rangePos   token.Pos // first range over the channel (anywhere in the fn)
+	litSends   []litSend // sends inside spawned goroutine literals
+}
+
+// litSend is a send on the channel inside a spawned literal, with whether
+// the enclosing select gives the goroutine another way out.
+type litSend struct {
+	pos       token.Pos
+	hasEscape bool
+}
+
+func checkLocalChannels(p *Pass, fi *FuncInfo) {
+	info := fi.Pkg.Info
+	locals := map[*types.Var]*localChan{}
+	inspectShallow(fi.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) || !isMakeChan(info, rhs) {
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, _ := info.Defs[id].(*types.Var)
+			if v == nil {
+				continue
+			}
+			call := ast.Unparen(rhs).(*ast.CallExpr)
+			locals[v] = &localChan{v: v, unbuffered: len(call.Args) < 2 || isZeroConst(info, call.Args[1])}
+		}
+		return true
+	})
+	if len(locals) == 0 {
+		return
+	}
+
+	parents := parentMap(fi.Body)
+	spawnedLits := map[*ast.FuncLit]bool{}
+	for _, s := range p.Prog.SpawnSites(fi) {
+		if s.Target != nil && s.Target.Lit != nil {
+			spawnedLits[s.Target.Lit] = true
+		}
+	}
+
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, _ := info.Uses[id].(*types.Var)
+		lc := locals[v]
+		if lc == nil {
+			return true
+		}
+		classifyChanUse(p, info, lc, id, parents, spawnedLits)
+		return true
+	})
+
+	vars := make([]*types.Var, 0, len(locals))
+	for v := range locals {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+	for _, v := range vars {
+		lc := locals[v]
+		if lc.escaped {
+			continue
+		}
+		if lc.ops.Range && !lc.ops.Close && lc.rangePos != token.NoPos {
+			p.Reportf(lc.rangePos, "range over %s but no close is reachable: the consuming goroutines never terminate", v.Name())
+		}
+		if lc.unbuffered && len(lc.litSends) > 0 {
+			reportOrphanedSends(p, fi, lc, parents)
+		}
+	}
+}
+
+// classifyChanUse folds one identifier occurrence of a tracked channel into
+// its lifecycle record: operation, escape, or spawned-literal send.
+func classifyChanUse(p *Pass, info *types.Info, lc *localChan, id *ast.Ident, parents map[ast.Node]ast.Node, spawnedLits map[*ast.FuncLit]bool) {
+	parent := parents[id]
+	for {
+		if pe, ok := parent.(*ast.ParenExpr); ok {
+			parent = parents[pe]
+			continue
+		}
+		break
+	}
+	switch x := parent.(type) {
+	case *ast.SendStmt:
+		if x.Value == id {
+			lc.escaped = true // the channel itself moved over a channel
+			return
+		}
+		lc.ops = lc.ops.or(ChanOps{Send: true})
+		if lit := enclosingSpawnedLit(id, parents, spawnedLits); lit != nil {
+			lc.litSends = append(lc.litSends, litSend{
+				pos:       x.Pos(),
+				hasEscape: selectHasAlternative(x, parents),
+			})
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			lc.ops = lc.ops.or(ChanOps{Recv: true})
+		} else {
+			lc.escaped = true // &ch or other unary use
+		}
+	case *ast.RangeStmt:
+		if x.X == id {
+			lc.ops = lc.ops.or(ChanOps{Recv: true, Range: true})
+			if lc.rangePos == token.NoPos {
+				lc.rangePos = x.Pos()
+			}
+		} else {
+			lc.escaped = true
+		}
+	case *ast.CallExpr:
+		if arg, ok := closeArg(info, x); ok && ast.Unparen(arg) == ast.Expr(id) {
+			lc.ops = lc.ops.or(ChanOps{Close: true})
+			return
+		}
+		if isLenOrCap(info, x) {
+			return
+		}
+		// Argument to a module function: fold the callee's summary for the
+		// receiving parameter; anything unresolved escapes.
+		for i, arg := range x.Args {
+			if ast.Unparen(arg) != ast.Expr(id) {
+				continue
+			}
+			tgts, dyn := p.Prog.funTargets(info, x.Fun)
+			if dyn || len(tgts) != 1 || tgts[0] == nil {
+				lc.escaped = true
+				return
+			}
+			if op, ok := tgts[0].ChanOps[i]; ok {
+				lc.ops = lc.ops.or(op)
+			}
+			// A callee the summary knows nothing about may still hold the
+			// channel; only trust it when its signature cannot store it.
+			if tgts[0].Sig == nil {
+				lc.escaped = true
+			}
+			return
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range x.Lhs {
+			if ast.Unparen(lhs) == ast.Expr(id) {
+				return // redefinition/reassignment target, not a read
+			}
+		}
+		lc.escaped = true // aliased into another variable
+	case *ast.BinaryExpr:
+		// comparisons (ch == nil) are harmless
+	case *ast.ValueSpec:
+		// the declaration itself
+	default:
+		lc.escaped = true // return, composite literal, index, conversion, ...
+	}
+}
+
+// enclosingSpawnedLit returns the innermost spawned literal containing id.
+func enclosingSpawnedLit(id ast.Node, parents map[ast.Node]ast.Node, spawnedLits map[*ast.FuncLit]bool) *ast.FuncLit {
+	for n := parents[id]; n != nil; n = parents[n] {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if spawnedLits[lit] {
+				return lit
+			}
+			return nil // send lives in some other nested function
+		}
+	}
+	return nil
+}
+
+// selectHasAlternative reports whether a send statement is the comm of a
+// select case that has at least one other case or a default — the sending
+// goroutine then has a way out even if nobody receives.
+func selectHasAlternative(send *ast.SendStmt, parents map[ast.Node]ast.Node) bool {
+	cc, ok := parents[send].(*ast.CommClause)
+	if !ok || cc.Comm != ast.Stmt(send) {
+		return false
+	}
+	// The clause's parent is the select's body block, not the SelectStmt.
+	blk, ok := parents[cc].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := parents[blk].(*ast.SelectStmt)
+	return ok && len(sel.Body.List) > 1
+}
+
+// reportOrphanedSends checks the spawner side: from each spawn statement,
+// can the spawner reach its exit without receiving from the channel? If so
+// the unbuffered sends in the spawned goroutine block forever on that path.
+//
+// A loop that receives from the channel anywhere in its extent counts as
+// consuming for its whole span, including its exit condition: the counting
+// fan-in (`for i := 0; i < n; i++ { <-ch }`) drains exactly as many sends
+// as were spawned, and treating the loop-exhausted edge as a bypass would
+// flag every such drain.
+func reportOrphanedSends(p *Pass, fi *FuncInfo, lc *localChan, parents map[ast.Node]ast.Node) {
+	g := fi.Pkg.CFG(fi.Body)
+	consuming := consumingLoopSpans(fi, lc.v, parents)
+	for _, s := range p.Prog.SpawnSites(fi) {
+		if s.Target == nil || s.Target.Lit == nil || !litSendsOn(s.Target.Lit, lc) {
+			continue
+		}
+		if spawnerCanExitWithoutRecv(g, s.Go, fi.Pkg.Info, lc.v, consuming) {
+			for _, snd := range lc.litSends {
+				if !snd.hasEscape && s.Target.Lit.Pos() <= snd.pos && snd.pos <= s.Target.Lit.End() {
+					p.Reportf(snd.pos, "goroutine sends on unbuffered %s but the spawner can return without receiving: the send blocks forever and the goroutine leaks", lc.v.Name())
+				}
+			}
+		}
+	}
+}
+
+func litSendsOn(lit *ast.FuncLit, lc *localChan) bool {
+	for _, snd := range lc.litSends {
+		if lit.Pos() <= snd.pos && snd.pos <= lit.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// consumingLoopSpans returns the source spans of every for/range loop that
+// contains a receive from v outside any nested function literal.
+func consumingLoopSpans(fi *FuncInfo, v *types.Var, parents map[ast.Node]ast.Node) []posSpan {
+	info := fi.Pkg.Info
+	var spans []posSpan
+	mark := func(recv ast.Node) {
+		for n := parents[recv]; n != nil; n = parents[n] {
+			switch n.(type) {
+			case *ast.FuncLit:
+				return // the receive runs on some other goroutine
+			case *ast.ForStmt, *ast.RangeStmt:
+				spans = append(spans, posSpan{n.Pos(), n.End()})
+			}
+		}
+	}
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		switch u := n.(type) {
+		case *ast.UnaryExpr:
+			if u.Op == token.ARROW && usesVar(info, u.X, v) {
+				mark(n)
+			}
+		case *ast.RangeStmt:
+			if usesVar(info, u.X, v) {
+				mark(n)
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+type posSpan struct{ lo, hi token.Pos }
+
+// spawnerCanExitWithoutRecv walks the spawner CFG from the go statement and
+// reports whether the exit block is reachable through blocks that never
+// receive from v.
+func spawnerCanExitWithoutRecv(g *CFG, goStmt *ast.GoStmt, info *types.Info, v *types.Var, consuming []posSpan) bool {
+	var start *Block
+	startIdx := -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == ast.Node(goStmt) {
+				start, startIdx = b, i
+			}
+		}
+	}
+	if start == nil {
+		return false
+	}
+	recvs := func(b *Block, from int) bool {
+		for _, n := range b.Nodes[from:] {
+			for _, s := range consuming {
+				if s.lo <= n.Pos() && n.Pos() <= s.hi {
+					return true
+				}
+			}
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				switch u := x.(type) {
+				case *ast.FuncLit:
+					return false // other goroutines' receives don't unblock this path
+				case *ast.UnaryExpr:
+					if u.Op == token.ARROW && usesVar(info, u.X, v) {
+						found = true
+					}
+				case *ast.RangeStmt:
+					if usesVar(info, u.X, v) {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+	seen := map[*Block]bool{}
+	var dfs func(b *Block, from int) bool
+	dfs = func(b *Block, from int) bool {
+		if recvs(b, from) {
+			return false
+		}
+		if b == g.Exit {
+			return true
+		}
+		if from == 0 {
+			if seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		for _, nb := range b.Succs {
+			if dfs(nb, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(start, startIdx+1)
+}
+
+func usesVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return info.Uses[id] == types.Object(v)
+}
+
+// parentMap records each node's immediate parent within one body.
+func parentMap(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func isMakeChan(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+func isLenOrCap(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || (id.Name != "len" && id.Name != "cap") {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

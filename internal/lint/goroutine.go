@@ -1,0 +1,706 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Interprocedural layer, part 3: concurrency topology.
+//
+// On top of the call graph this file records where goroutines are born and
+// what crosses into them: every go statement becomes a SpawnSite; the free
+// variables of a spawned literal and the values sent over channels form the
+// escape set of the spawner. Function summaries grow three concurrency
+// facts propagated bottom-up over the SCC condensation, mirroring how
+// Polls/Allocates travel:
+//
+//   - Acquires: the lock keys a function may take, transitively through
+//     static callees. Keys over the receiver or a parameter are kept in
+//     template form ($recv.mu, $arg0) and instantiated with the caller's
+//     argument rendering at each call site, so s.lock() helpers connect to
+//     the mutex they guard.
+//   - ChanOps: per channel-typed parameter, whether the function (or a
+//     helper it hands the channel to) sends, receives, ranges or closes it.
+//     This is how chan-protocol credits a close that happens two helpers
+//     down.
+//   - WGOps: per *sync.WaitGroup parameter, whether Add/Done/Wait happen,
+//     so wg-balance matches an Add against a Done that lives in a helper.
+//
+// The last piece is the concurrently-invoked literal set: starting from the
+// targets of replicated spawn sites (a go statement under a loop, or
+// several go statements in one function), every function reachable through
+// call edges runs on worker goroutines; a literal reached from there
+// through a *tracked function value* (a Dyn edge from a function other
+// than the one that defines it) is a closure whose single frame is shared
+// by all those workers — the OnProgress callback pattern. lockset-race
+// checks writes to its captured variables.
+
+// SpawnSite is one go statement in a function.
+type SpawnSite struct {
+	Caller *FuncInfo
+	Target *FuncInfo // the spawned function or literal; nil when unresolved
+	Go     *ast.GoStmt
+	// InLoop marks a go statement executing under a for/range loop: one
+	// site, many concurrently-live goroutines, so the spawned body races
+	// with other instances of itself.
+	InLoop bool
+}
+
+// ChanOps records which operations happen to one channel value.
+type ChanOps struct {
+	Send, Recv, Close, Range bool
+}
+
+func (c ChanOps) or(o ChanOps) ChanOps {
+	return ChanOps{c.Send || o.Send, c.Recv || o.Recv, c.Close || o.Close, c.Range || o.Range}
+}
+
+func (c ChanOps) any() bool { return c.Send || c.Recv || c.Close || c.Range }
+
+// WGOps records which sync.WaitGroup methods are called on one value.
+type WGOps struct {
+	Add, Done, Wait bool
+}
+
+func (w WGOps) or(o WGOps) WGOps {
+	return WGOps{w.Add || o.Add, w.Done || o.Done, w.Wait || o.Wait}
+}
+
+func (w WGOps) any() bool { return w.Add || w.Done || w.Wait }
+
+// wgMethods are the fully-qualified WaitGroup methods.
+var wgMethods = map[string]string{
+	"(*sync.WaitGroup).Add":  "Add",
+	"(*sync.WaitGroup).Done": "Done",
+	"(*sync.WaitGroup).Wait": "Wait",
+}
+
+// SpawnSites returns fi's go statements in source order.
+func (prog *Program) SpawnSites(fi *FuncInfo) []*SpawnSite { return prog.spawns[fi] }
+
+// ConcurrentLit reports whether fi is a function literal whose one closure
+// frame is invoked from goroutine context through a tracked function value
+// (see the file comment) — its captured variables are shared state.
+func (prog *Program) ConcurrentLit(fi *FuncInfo) bool { return prog.concLit[fi] }
+
+// SpawnTarget reports whether fi is the direct target of some go statement.
+func (prog *Program) SpawnTarget(fi *FuncInfo) bool { return prog.spawnTgt[fi] }
+
+// FreeVars returns the variables fi references but does not declare:
+// captured locals of enclosing functions and package-level variables, in
+// declaration-position order. Struct fields are excluded (the root variable
+// of the selector is what escapes).
+func (prog *Program) FreeVars(fi *FuncInfo) []*types.Var {
+	if vs, ok := prog.freeVars[fi]; ok {
+		return vs
+	}
+	info := fi.Pkg.Info
+	seen := make(map[*types.Var]bool)
+	var out []*types.Var
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] || fi.spanContains(v.Pos()) {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	prog.freeVars[fi] = out
+	return out
+}
+
+// HandoffVars returns the variables fi moves through channels: values sent
+// (ch <- v) and receive targets (v = <-ch, v := <-ch). A variable handed
+// off this way has a happens-before edge between its writer and reader, so
+// lockset-race exempts it.
+func (prog *Program) HandoffVars(fi *FuncInfo) map[*types.Var]bool {
+	if m, ok := prog.handoff[fi]; ok {
+		return m
+	}
+	info := fi.Pkg.Info
+	m := make(map[*types.Var]bool)
+	mark := func(e ast.Expr) {
+		if root := rootIdent(e); root != nil {
+			if v, ok := info.Uses[root].(*types.Var); ok {
+				m[v] = true
+			} else if v, ok := info.Defs[root].(*types.Var); ok {
+				m[v] = true
+			}
+		}
+	}
+	// The whole body including nested literals: a send inside the spawned
+	// goroutine is exactly the handoff that orders its writes.
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			mark(x.Value)
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					if i < len(x.Lhs) {
+						mark(x.Lhs[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	prog.handoff[fi] = m
+	return m
+}
+
+// EscapedVars returns the variables declared in fi that escape its
+// goroutine boundary: free variables of the literals fi spawns, plus the
+// values fi sends over channels, in declaration order.
+func (prog *Program) EscapedVars(fi *FuncInfo) []*types.Var {
+	seen := make(map[*types.Var]bool)
+	var out []*types.Var
+	add := func(v *types.Var) {
+		if v != nil && !seen[v] && fi.spanContains(v.Pos()) {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, s := range prog.spawns[fi] {
+		if s.Target != nil && s.Target.Lit != nil {
+			for _, v := range prog.FreeVars(s.Target) {
+				add(v)
+			}
+		}
+	}
+	info := fi.Pkg.Info
+	inspectShallow(fi.Body, func(n ast.Node) bool {
+		if send, ok := n.(*ast.SendStmt); ok {
+			if root := rootIdent(send.Value); root != nil {
+				if v, ok := info.Uses[root].(*types.Var); ok {
+					add(v)
+				}
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// summarizeConcurrency collects spawn sites and propagates the Acquires /
+// ChanOps / WGOps summaries bottom-up over the SCC condensation.
+func (prog *Program) summarizeConcurrency() {
+	for _, fi := range prog.all {
+		prog.scanConcurrencyBase(fi)
+	}
+	for _, scc := range prog.sccs {
+		for {
+			changed := false
+			for _, fi := range scc {
+				if prog.propagateConcurrency(fi) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	for _, fi := range prog.all {
+		keys := make([]string, 0, len(prog.acquires[fi]))
+		for k := range prog.acquires[fi] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fi.Acquires = keys
+	}
+	prog.markConcurrentLits()
+}
+
+// scanConcurrencyBase records fi's local facts: go statements (with loop
+// containment decided by source spans), direct lock acquisitions, and
+// channel/WaitGroup operations on its own parameters.
+func (prog *Program) scanConcurrencyBase(fi *FuncInfo) {
+	info := fi.Pkg.Info
+
+	// Spawn sites: go statements directly in fi (a go inside a nested
+	// literal belongs to that literal's FuncInfo).
+	var loops []ast.Node
+	inspectShallow(fi.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	inspectShallow(fi.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var target *FuncInfo
+		if tgts, _ := prog.funTargets(info, g.Call.Fun); len(tgts) == 1 {
+			target = tgts[0]
+		}
+		inLoop := false
+		for _, l := range loops {
+			if l.Pos() <= g.Pos() && g.End() <= l.End() {
+				inLoop = true
+				break
+			}
+		}
+		site := &SpawnSite{Caller: fi, Target: target, Go: g, InLoop: inLoop}
+		prog.spawns[fi] = append(prog.spawns[fi], site)
+		if target != nil {
+			prog.spawnTgt[target] = true
+		}
+		return true
+	})
+
+	// Parameter index tables for the per-parameter op summaries.
+	chanParam := make(map[*types.Var]int)
+	wgParam := make(map[*types.Var]int)
+	if fi.Sig != nil {
+		params := fi.Sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			v := params.At(i)
+			if _, ok := v.Type().Underlying().(*types.Chan); ok {
+				chanParam[v] = i
+			}
+			if isWaitGroupType(v.Type()) {
+				wgParam[v] = i
+			}
+		}
+	}
+	rootVar := func(e ast.Expr) *types.Var {
+		root := rootIdent(e)
+		if root == nil {
+			return nil
+		}
+		if v, ok := info.Uses[root].(*types.Var); ok {
+			return v
+		}
+		v, _ := info.Defs[root].(*types.Var)
+		return v
+	}
+	markChan := func(e ast.Expr, op ChanOps) {
+		if v := rootVar(e); v != nil {
+			if i, ok := chanParam[v]; ok {
+				if fi.ChanOps == nil {
+					fi.ChanOps = make(map[int]ChanOps)
+				}
+				fi.ChanOps[i] = fi.ChanOps[i].or(op)
+			}
+		}
+	}
+
+	// Ops are collected over the full body including nested literals: a
+	// close parked in a deferred or spawned literal still happens under
+	// this function's dynamic extent, and these are may-facts.
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			markChan(x.Chan, ChanOps{Send: true})
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				markChan(x.X, ChanOps{Recv: true})
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					markChan(x.X, ChanOps{Recv: true, Range: true})
+				}
+			}
+		case *ast.CallExpr:
+			if arg, ok := closeArg(info, x); ok {
+				markChan(arg, ChanOps{Close: true})
+				return true
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+					full := fn.FullName()
+					if name, isWG := wgMethods[full]; isWG {
+						if v := rootVar(sel.X); v != nil {
+							if i, ok := wgParam[v]; ok {
+								if fi.WGOps == nil {
+									fi.WGOps = make(map[int]WGOps)
+								}
+								op := WGOps{Add: name == "Add", Done: name == "Done", Wait: name == "Wait"}
+								fi.WGOps[i] = fi.WGOps[i].or(op)
+							}
+						}
+					}
+					if op, isLock := lockMethods[full]; isLock && op.delta > 0 {
+						key := prog.normalizeExprKey(fi, sel.X)
+						if op.read {
+							key += "\x00R"
+						}
+						if prog.acquires[fi] == nil {
+							prog.acquires[fi] = make(map[string]bool)
+						}
+						prog.acquires[fi][key] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagateConcurrency folds one round of callee summaries into fi:
+// channel/WaitGroup parameters passed along to static callees inherit the
+// callee's per-parameter ops, and the callee's acquired lock keys are
+// instantiated with the call-site arguments. Reports whether fi changed.
+func (prog *Program) propagateConcurrency(fi *FuncInfo) bool {
+	info := fi.Pkg.Info
+	changed := false
+
+	chanParam := make(map[*types.Var]int)
+	wgParam := make(map[*types.Var]int)
+	if fi.Sig != nil {
+		params := fi.Sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			v := params.At(i)
+			if _, ok := v.Type().Underlying().(*types.Chan); ok {
+				chanParam[v] = i
+			}
+			if isWaitGroupType(v.Type()) {
+				wgParam[v] = i
+			}
+		}
+	}
+
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tgts, dyn := prog.funTargets(info, call.Fun)
+		if dyn || len(tgts) != 1 || tgts[0] == nil || tgts[0] == fi {
+			if len(tgts) == 1 && tgts[0] == fi {
+				return true // direct recursion adds nothing new
+			}
+			return true
+		}
+		t := tgts[0]
+		// Lock keys cross the call with $recv/$argN templates instantiated
+		// against this call site (and re-normalized against fi's own
+		// receiver/parameters, so chains keep their template form).
+		for _, k := range sortedKeys(prog.acquires[t]) {
+			inst, ok := prog.instantiateKey(fi, k, call)
+			if !ok {
+				continue
+			}
+			if prog.acquires[fi] == nil {
+				prog.acquires[fi] = make(map[string]bool)
+			}
+			if !prog.acquires[fi][inst] {
+				prog.acquires[fi][inst] = true
+				changed = true
+			}
+		}
+		// Channel and WaitGroup parameters handed to the callee inherit the
+		// callee's ops on the receiving parameter.
+		for i, arg := range call.Args {
+			root := rootIdent(arg)
+			if root == nil {
+				continue
+			}
+			v, _ := info.Uses[root].(*types.Var)
+			if v == nil {
+				continue
+			}
+			if j, ok := chanParam[v]; ok {
+				if op, has := t.ChanOps[i]; has && op.any() {
+					if fi.ChanOps == nil {
+						fi.ChanOps = make(map[int]ChanOps)
+					}
+					merged := fi.ChanOps[j].or(op)
+					if merged != fi.ChanOps[j] {
+						fi.ChanOps[j] = merged
+						changed = true
+					}
+				}
+			}
+			if j, ok := wgParam[v]; ok {
+				if op, has := t.WGOps[i]; has && op.any() {
+					if fi.WGOps == nil {
+						fi.WGOps = make(map[int]WGOps)
+					}
+					merged := fi.WGOps[j].or(op)
+					if merged != fi.WGOps[j] {
+						fi.WGOps[j] = merged
+						changed = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// markConcurrentLits computes the concurrently-invoked literal set: BFS
+// from the targets of replicated spawn sites over call edges; every Dyn
+// edge to a literal defined in some *other* function marks that literal (a
+// local f := func(){...}; f() stays single-goroutine).
+func (prog *Program) markConcurrentLits() {
+	enclosing := prog.enclosingFuncs()
+	seen := make(map[*FuncInfo]bool)
+	var work []*FuncInfo
+	push := func(fi *FuncInfo) {
+		if fi != nil && !seen[fi] {
+			seen[fi] = true
+			work = append(work, fi)
+		}
+	}
+	for _, fi := range prog.all {
+		sites := prog.spawns[fi]
+		for _, s := range sites {
+			if s.Target != nil && (s.InLoop || len(sites) > 1) {
+				push(s.Target)
+			}
+		}
+	}
+	for len(work) > 0 {
+		fi := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range fi.Edges {
+			if e.Dyn && e.To.Lit != nil && enclosing[e.To] != fi {
+				prog.concLit[e.To] = true
+			}
+			push(e.To)
+		}
+	}
+}
+
+// enclosingFuncs maps every literal to the function whose source span most
+// tightly contains it.
+func (prog *Program) enclosingFuncs() map[*FuncInfo]*FuncInfo {
+	out := make(map[*FuncInfo]*FuncInfo)
+	for _, lit := range prog.all {
+		if lit.Lit == nil {
+			continue
+		}
+		var best *FuncInfo
+		for _, fi := range prog.all {
+			if fi == lit || fi.Pkg != lit.Pkg || !fi.spanContains(lit.Lit.Pos()) {
+				continue
+			}
+			if best == nil || best.span() > fi.span() {
+				best = fi
+			}
+		}
+		out[lit] = best
+	}
+	return out
+}
+
+// span is the source extent of the function, for tightest-enclosing tests.
+func (fi *FuncInfo) span() int {
+	if fi.Decl != nil {
+		return int(fi.Decl.End() - fi.Decl.Pos())
+	}
+	if fi.Lit != nil {
+		return int(fi.Lit.End() - fi.Lit.Pos())
+	}
+	return 1 << 30
+}
+
+// normalizeExprKey renders a lock-owner expression as a summary key: the
+// receiver becomes $recv, parameter i becomes $argi, anything else keeps
+// its source rendering (stripped of a leading &).
+func (prog *Program) normalizeExprKey(fi *FuncInfo, e ast.Expr) string {
+	render := strings.TrimPrefix(renderNode(e), "&")
+	root := rootIdent(e)
+	if root == nil || fi.Sig == nil {
+		return render
+	}
+	info := fi.Pkg.Info
+	v, _ := info.Uses[root].(*types.Var)
+	if v == nil {
+		v, _ = info.Defs[root].(*types.Var)
+	}
+	if v == nil {
+		return render
+	}
+	if recv := fi.Sig.Recv(); recv != nil && v == recv {
+		return replaceKeyRoot(render, root.Name, "$recv")
+	}
+	params := fi.Sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i) == v {
+			return replaceKeyRoot(render, root.Name, "$arg"+strconv.Itoa(i))
+		}
+	}
+	return render
+}
+
+// instantiateKey rewrites a callee lock-key template against one call site:
+// $recv becomes the method receiver expression, $argN the N-th argument,
+// each re-normalized against the caller so summary chains stay symbolic.
+func (prog *Program) instantiateKey(caller *FuncInfo, key string, call *ast.CallExpr) (string, bool) {
+	base, read := cutLockSuffix(key)
+	var out string
+	switch {
+	case base == "$recv" || strings.HasPrefix(base, "$recv."):
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		out = prog.normalizeExprKey(caller, sel.X) + strings.TrimPrefix(base, "$recv")
+	case strings.HasPrefix(base, "$arg"):
+		rest := strings.TrimPrefix(base, "$arg")
+		dot := strings.IndexByte(rest, '.')
+		numEnd := len(rest)
+		if dot >= 0 {
+			numEnd = dot
+		}
+		i, err := strconv.Atoi(rest[:numEnd])
+		if err != nil || i >= len(call.Args) {
+			return "", false
+		}
+		out = prog.normalizeExprKey(caller, call.Args[i]) + rest[numEnd:]
+	default:
+		out = base // package-level or otherwise absolute key
+	}
+	if read {
+		out += "\x00R"
+	}
+	return out, true
+}
+
+func replaceKeyRoot(render, rootName, repl string) string {
+	if render == rootName {
+		return repl
+	}
+	if strings.HasPrefix(render, rootName+".") {
+		return repl + render[len(rootName):]
+	}
+	return render
+}
+
+// lockExitDelta summarizes the net lock effect of calling fi: +1 for a key
+// provably held at exit with no deferred release (an acquire helper), -1
+// for a key provably released (a release helper). Keys are in template
+// form; callers instantiate them per call site.
+func (prog *Program) lockExitDelta(fi *FuncInfo) map[string]int {
+	if d, ok := prog.lockExits[fi]; ok {
+		return d
+	}
+	prog.lockExits[fi] = nil // recursion guard for the CFG solve below
+	lb := &lockInterp{info: fi.Pkg.Info}
+	if !lb.mentionsLocks(fi.Body) {
+		d := map[string]int{}
+		prog.lockExits[fi] = d
+		return d
+	}
+	g := fi.Pkg.CFG(fi.Body)
+	in := SolveForward[lockFact](g, lockProblem{lb})
+	d := map[string]int{}
+	if exit, ok := in[g.Exit]; ok {
+		for key, st := range exit.state {
+			tmpl := prog.normalizeRawKey(fi, key)
+			switch {
+			case st == lockHeld && !exit.deferred[key]:
+				d[tmpl] = +1
+			case st == lockReleased:
+				d[tmpl] = -1
+			}
+		}
+	}
+	prog.lockExits[fi] = d
+	return d
+}
+
+// normalizeRawKey rewrites a rendered lock key into template form by its
+// root name: the receiver's name maps to $recv, a parameter's to $argN.
+func (prog *Program) normalizeRawKey(fi *FuncInfo, key string) string {
+	base, read := cutLockSuffix(key)
+	rootName := base
+	if dot := strings.IndexByte(base, '.'); dot >= 0 {
+		rootName = base[:dot]
+	}
+	out := base
+	if fi.Sig != nil {
+		if recv := fi.Sig.Recv(); recv != nil && recv.Name() == rootName {
+			out = replaceKeyRoot(base, rootName, "$recv")
+		} else {
+			params := fi.Sig.Params()
+			for i := 0; i < params.Len(); i++ {
+				if params.At(i).Name() == rootName {
+					out = replaceKeyRoot(base, rootName, "$arg"+strconv.Itoa(i))
+					break
+				}
+			}
+		}
+	}
+	if read {
+		out += "\x00R"
+	}
+	return out
+}
+
+// closeArg decodes a call to the close builtin and returns its argument.
+func closeArg(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return nil, false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// isWaitGroupType reports t is sync.WaitGroup or a pointer to it.
+func isWaitGroupType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isSyncPrimType reports t is one of the sync package's primitives (or a
+// pointer to one): their internal state is concurrency-safe by contract.
+func isSyncPrimType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool", "Locker":
+		return true
+	}
+	return false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -481,6 +481,16 @@ func (ii *intervalInterp) eval(env intervalEnv, e ast.Expr) ival {
 				return pointIval(polyAtom(lenSymbol(sym)))
 			}
 		}
+		// Integer conversions pass the operand's bounds through when the
+		// conversion is value-exact, so header counts keep their proven
+		// ranges across the int(n)/int64(cap) hops the readers do. The
+		// module builds 64-bit only, so int/uint/uintptr count as 64 wide.
+		if tv, ok := ii.info.Types[ast.Unparen(x.Fun)]; ok && tv.IsType() && len(x.Args) == 1 {
+			if atv, ok := ii.info.Types[x.Args[0]]; ok && convExact(tv.Type, atv.Type) {
+				return ii.eval(env, x.Args[0])
+			}
+			return unboundedIval()
+		}
 		if ii.prog != nil {
 			if iv, ok := ii.prog.callResultIval(ii, env, x); ok {
 				return iv
@@ -559,6 +569,59 @@ func (v ival) pointMonomial() (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// convExact reports whether converting a src-typed value to dst cannot
+// change it: signed→signed or unsigned→unsigned into at least the same
+// width, or unsigned into a strictly wider signed kind. Everything else
+// (narrowing, signed→unsigned) can wrap and keeps no bound.
+func convExact(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	dw, dsigned, ok := intWidth(dst)
+	if !ok {
+		return false
+	}
+	sw, ssigned, ok := intWidth(src)
+	if !ok {
+		return false
+	}
+	switch {
+	case ssigned == dsigned:
+		return dw >= sw
+	case !ssigned && dsigned:
+		return dw > sw
+	}
+	return false
+}
+
+// intWidth classifies an integer kind by bit width and signedness under the
+// module's 64-bit-only build targets.
+func intWidth(t types.Type) (width int, signed, ok bool) {
+	b, isBasic := t.Underlying().(*types.Basic)
+	if !isBasic {
+		return 0, false, false
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return 8, true, true
+	case types.Int16:
+		return 16, true, true
+	case types.Int32:
+		return 32, true, true
+	case types.Int, types.Int64:
+		return 64, true, true
+	case types.Uint8:
+		return 8, false, true
+	case types.Uint16:
+		return 16, false, true
+	case types.Uint32:
+		return 32, false, true
+	case types.Uint, types.Uint64, types.Uintptr:
+		return 64, false, true
+	}
+	return 0, false, false
 }
 
 // pureChain reports whether e is an ident/selector chain without calls or

@@ -123,6 +123,9 @@ func All() []*Analyzer {
 		CancelPoll,
 		IntOverflow,
 		NondetReduce,
+		LocksetRace,
+		ChanProtocol,
+		WGBalance,
 	}
 }
 
@@ -172,6 +175,11 @@ func Select(enable, disable string) ([]*Analyzer, error) {
 		if on[a.Name] {
 			out = append(out, a)
 		}
+	}
+	// A selection that nets out to nothing would make the tool exit 0
+	// having checked nothing — surface it as the usage error it is.
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: the -enable/-disable selection matches no analyzers")
 	}
 	return out, nil
 }

@@ -119,6 +119,25 @@ func TestFixtures(t *testing.T) {
 		// Result summaries prove Shifted's offset(i) in-bounds and refute
 		// ShiftedAll's.
 		{"flatbounds_interproc", []string{"flat-bounds:36"}},
+		// Concurrency analyzers: goroutine topology + summaries (PR 8).
+		{"lockset_pos", []string{"lockset-race:14", "lockset-race:32", "lockset-race:46"}},
+		{"lockset_neg", nil},
+		// Locks acquired through helper methods resolve via lockExitDelta.
+		{"lockset_helper", []string{"lockset-race:55"}},
+		// Shared-frame callbacks (Options fields, constructor-returned
+		// literals) are checked through the concurrent-literal marking.
+		{"lockset_closure", []string{"lockset-race:32", "lockset-race:54"}},
+		{"lockset_suppress", nil},
+		{"chanproto_pos", []string{
+			"chan-protocol:14", "chan-protocol:21", "chan-protocol:31", "chan-protocol:42",
+		}},
+		{"chanproto_neg", nil}, // the multistart drain pattern is the model
+		{"chanproto_suppress", nil},
+		{"wgbal_pos", []string{"wg-balance:14", "wg-balance:26"}},
+		{"wgbal_neg", nil},
+		{"wgbal_suppress", nil},
+		// One //lint:ignore naming several analyzers covers them all.
+		{"conc_multi_suppress", nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

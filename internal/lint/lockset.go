@@ -1,0 +1,500 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LocksetRace implements a static lockset discipline over the goroutine
+// topology: a variable written from two or more concurrently-live
+// goroutines must be protected by a consistent mutex lockset, moved
+// through a channel handoff, or ordered by the pre-spawn / post-Wait
+// happens-before edges. The lockset at each access comes from the same CFG
+// facts lock-balance computes, extended through lock-helper calls via the
+// function summaries.
+//
+// Two access patterns are checked:
+//
+//   - Spawner conflicts: inside a function with go statements, writes from
+//     distinct spawned closures, from a replicated closure (a go under a
+//     loop races with its own instances), or from the spawner's own code
+//     between the first spawn and the matching WaitGroup.Wait all count as
+//     concurrent. Pre-spawn initialization and post-Wait reduction are
+//     happens-before ordered and exempt; so are element writes to disjoint
+//     indices (the worker-k-owns-slot-k pattern) and values moved over
+//     channels.
+//
+//   - Shared-frame closures: a function literal invoked from goroutine
+//     context through a tracked function value (an Options callback
+//     invoked by every worker) has one frame shared by all callers, so
+//     writes to its captured variables must hold a write lock.
+var LocksetRace = &Analyzer{
+	Name:       "lockset-race",
+	Doc:        "writes shared across concurrently-live goroutines must hold a consistent lock",
+	NeedsTypes: true,
+	Run:        runLocksetRace,
+}
+
+func runLocksetRace(p *Pass) {
+	if p.Prog == nil || p.Pkg.Info == nil {
+		return
+	}
+	for _, fi := range p.Prog.FuncsOf(p.Pkg) {
+		if len(p.Prog.SpawnSites(fi)) > 0 {
+			checkSpawnerRaces(p, fi)
+		}
+		// Direct spawn targets are already covered as part of their
+		// spawner's conflict analysis; the shared-frame check is for
+		// callback literals invoked through function values.
+		if p.Prog.ConcurrentLit(fi) && !p.Prog.SpawnTarget(fi) {
+			checkSharedFrameWrites(p, fi)
+		}
+	}
+}
+
+// raceAccess is one write to a shared variable in some concurrent context.
+type raceAccess struct {
+	pos     token.Pos
+	lockset []string // write-lock keys provably held at the write
+	ctx     int      // context id: spawn-site index, or -1 for the spawner
+	inLoop  bool     // context is a replicated (looped) goroutine
+}
+
+// checkSpawnerRaces analyzes one spawning function: collects writes per
+// concurrent context, groups them by variable, and reports variables whose
+// concurrent writes share no lock.
+func checkSpawnerRaces(p *Pass, fi *FuncInfo) {
+	prog := p.Prog
+	sites := prog.SpawnSites(fi)
+	handoff := prog.HandoffVars(fi)
+
+	writes := make(map[*types.Var][]raceAccess)
+	record := func(fn *FuncInfo, ctx int, inLoop bool, lo, hi token.Pos) {
+		sets := lockSetsFor(p, fn)
+		collectWrites(fn, func(v *types.Var, n ast.Node, pos token.Pos) {
+			if pos < lo || pos >= hi {
+				return
+			}
+			writes[v] = append(writes[v], raceAccess{
+				pos: pos, lockset: sets.at(n, pos), ctx: ctx, inLoop: inLoop,
+			})
+		})
+	}
+
+	for i, s := range sites {
+		if s.Target == nil || s.Target.Lit == nil {
+			continue
+		}
+		record(s.Target, i, s.InLoop, s.Target.Body.Pos(), s.Target.Body.End())
+	}
+
+	// The spawner's own writes count only between the first spawn and the
+	// first WaitGroup.Wait after it: before the spawn nothing else runs,
+	// after the Wait every worker has finished.
+	firstSpawn := sites[0].Go.Pos()
+	waitPos := fi.Body.End()
+	info := fi.Pkg.Info
+	inspectShallow(fi.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= firstSpawn || call.Pos() >= waitPos {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && wgMethods[fn.FullName()] == "Wait" {
+				waitPos = call.Pos()
+			}
+		}
+		return true
+	})
+	record(fi, -1, false, firstSpawn, waitPos)
+
+	vars := make([]*types.Var, 0, len(writes))
+	for v := range writes {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+
+	for _, v := range vars {
+		if handoff[v] || isConcurrencySafeType(v.Type()) {
+			continue
+		}
+		acc := writes[v]
+		ctxs := map[int]bool{}
+		conflict := false
+		for _, a := range acc {
+			ctxs[a.ctx] = true
+			// A replicated goroutine writing a variable declared outside
+			// its own literal races with its sibling instances.
+			if a.inLoop && !declaredIn(v, siteTarget(sites, a.ctx)) {
+				conflict = true
+			}
+		}
+		if len(ctxs) >= 2 {
+			conflict = true
+		}
+		if !conflict {
+			continue
+		}
+		common := commonLockset(acc)
+		if len(common) > 0 {
+			continue
+		}
+		// Anchor the report on the earliest write with no lock held (the
+		// offending side when only one writer forgot), falling back to the
+		// earliest write when the locksets are merely inconsistent.
+		first := acc[0]
+		for _, a := range acc[1:] {
+			if a.pos < first.pos {
+				first = a
+			}
+		}
+		for _, a := range acc {
+			if len(a.lockset) == 0 && (len(first.lockset) > 0 || a.pos < first.pos) {
+				first = a
+			}
+		}
+		p.Reportf(first.pos, "%s is written from %d concurrently-live goroutine contexts with no consistent lock; protect it, hand it off over a channel, or move the write before the spawns / after Wait",
+			v.Name(), max(len(ctxs), 2))
+	}
+}
+
+func siteTarget(sites []*SpawnSite, ctx int) *FuncInfo {
+	if ctx >= 0 && ctx < len(sites) {
+		return sites[ctx].Target
+	}
+	return nil
+}
+
+func declaredIn(v *types.Var, fi *FuncInfo) bool {
+	return fi != nil && fi.spanContains(v.Pos())
+}
+
+// checkSharedFrameWrites reports writes to captured or package-level
+// variables from a shared-frame closure that hold no write lock.
+func checkSharedFrameWrites(p *Pass, fi *FuncInfo) {
+	sets := lockSetsFor(p, fi)
+	collectWrites(fi, func(v *types.Var, n ast.Node, pos token.Pos) {
+		if fi.spanContains(v.Pos()) || isConcurrencySafeType(v.Type()) {
+			return
+		}
+		if len(sets.at(n, pos)) == 0 {
+			p.Reportf(pos, "%s is captured by a callback invoked from concurrent goroutines and written with no lock held", v.Name())
+		}
+	})
+}
+
+// collectWrites walks fn's body (nested literals excluded: they are their
+// own nodes) and calls report for every write whose target resolves to a
+// whole variable. Element writes (s[i] = x, *p = x) are skipped: index-
+// disjoint slots per worker are the standard deterministic fan-in shape,
+// and pointer stores alias beyond what a lockset key can name.
+func collectWrites(fn *FuncInfo, report func(v *types.Var, n ast.Node, pos token.Pos)) {
+	info := fn.Pkg.Info
+	target := func(lhs ast.Expr) *types.Var {
+		switch ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr, *ast.StarExpr:
+			return nil
+		}
+		root := rootIdent(lhs)
+		if root == nil || root.Name == "_" {
+			return nil
+		}
+		if _, isDef := info.Defs[root]; isDef && ast.Unparen(lhs) == ast.Expr(root) {
+			return nil // declaration of a fresh variable, not a shared write
+		}
+		if v, ok := info.Uses[root].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+		return nil
+	}
+	inspectShallow(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if v := target(lhs); v != nil {
+					report(v, n, lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := target(x.X); v != nil {
+				report(v, n, x.X.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// commonLockset intersects the write-lock keys held across all accesses.
+func commonLockset(acc []raceAccess) []string {
+	if len(acc) == 0 {
+		return nil
+	}
+	common := map[string]bool{}
+	for _, k := range acc[0].lockset {
+		common[k] = true
+	}
+	for _, a := range acc[1:] {
+		have := map[string]bool{}
+		for _, k := range a.lockset {
+			have[k] = true
+		}
+		for k := range common {
+			if !have[k] {
+				delete(common, k)
+			}
+		}
+	}
+	return sortedKeys(common)
+}
+
+// lockSets indexes the write-lock keys provably held at entry to each CFG
+// node of one function body.
+type lockSets struct {
+	byNode map[ast.Node][]string
+	spans  []lockSpan
+}
+
+type lockSpan struct {
+	lo, hi token.Pos
+	keys   []string
+}
+
+// at returns the lockset for a node, falling back to the innermost CFG
+// node whose span contains pos (for writes nested in statement inits or
+// select clauses).
+func (ls *lockSets) at(n ast.Node, pos token.Pos) []string {
+	if keys, ok := ls.byNode[n]; ok {
+		return keys
+	}
+	var best *lockSpan
+	for i := range ls.spans {
+		s := &ls.spans[i]
+		if s.lo <= pos && pos < s.hi {
+			if best == nil || (s.lo >= best.lo && s.hi <= best.hi) {
+				best = s
+			}
+		}
+	}
+	if best != nil {
+		return best.keys
+	}
+	return nil
+}
+
+// lockSetsFor runs the lock-balance dataflow over fn's body, extended
+// through lock-helper calls (a callee whose summary proves it acquires or
+// releases a key), and replays each block recording the must-held write
+// locks at every node.
+func lockSetsFor(p *Pass, fn *FuncInfo) *lockSets {
+	ls := &lockSets{byNode: map[ast.Node][]string{}}
+	ri := &raceInterp{
+		lb:   &lockInterp{info: fn.Pkg.Info},
+		prog: p.Prog,
+		fn:   fn,
+	}
+	if !ri.mentionsAnyLocks(fn.Body) {
+		return ls
+	}
+	g := fn.Pkg.CFG(fn.Body)
+	in := SolveForward[lockFact](g, raceLockProblem{ri})
+	for _, b := range g.ReversePostorder() {
+		fact, ok := in[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			keys := heldWriteLocks(fact)
+			ls.byNode[n] = keys
+			ls.spans = append(ls.spans, lockSpan{n.Pos(), n.End(), keys})
+			fact = ri.step(fact, n)
+		}
+	}
+	return ls
+}
+
+func heldWriteLocks(f lockFact) []string {
+	var keys []string
+	for k, st := range f.state {
+		if st == lockHeld && !strings.HasSuffix(k, "\x00R") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// raceLockProblem is the lock-balance dataflow with helper calls applied.
+type raceLockProblem struct {
+	ri *raceInterp
+}
+
+func (p raceLockProblem) Entry() lockFact { return newLockFact() }
+
+func (p raceLockProblem) Transfer(b *Block, in lockFact) lockFact {
+	out := in
+	for _, n := range b.Nodes {
+		out = p.ri.step(out, n)
+	}
+	return out
+}
+
+func (p raceLockProblem) Join(a, b lockFact) lockFact { return lockProblem{}.Join(a, b) }
+func (p raceLockProblem) Equal(a, b lockFact) bool    { return lockProblem{}.Equal(a, b) }
+
+// raceInterp extends the lock-balance transfer with interprocedural lock
+// helpers: an expression-statement call to a single static target whose
+// exit summary proves a net acquire (+1) or release (-1) of a key updates
+// the fact as if the Lock/Unlock were inline, with the summary's $recv /
+// $argN templates instantiated from the call site.
+type raceInterp struct {
+	lb   *lockInterp
+	prog *Program
+	fn   *FuncInfo
+}
+
+func (r *raceInterp) step(f lockFact, n ast.Node) lockFact {
+	out := r.lb.step(f, n, nil)
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return out
+	}
+	if _, _, _, isLock := r.lb.lockOp(es.X); isLock {
+		return out
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return out
+	}
+	tgts, dyn := r.prog.funTargets(r.lb.info, call.Fun)
+	if dyn || len(tgts) != 1 || tgts[0] == nil || tgts[0] == r.fn {
+		return out
+	}
+	deltas := r.prog.lockExitDelta(tgts[0])
+	if len(deltas) == 0 {
+		return out
+	}
+	keys := make([]string, 0, len(deltas))
+	for k := range deltas {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	mut := out.clone()
+	changed := false
+	for _, k := range keys {
+		inst, ok := instantiateKeyRaw(k, call)
+		if !ok {
+			continue
+		}
+		changed = true
+		if deltas[k] > 0 {
+			mut.state[inst] = lockHeld
+			if cur, have := mut.pos[inst]; !have || call.Pos() < cur {
+				mut.pos[inst] = call.Pos()
+			}
+		} else {
+			mut.state[inst] = lockReleased
+			delete(mut.pos, inst)
+		}
+	}
+	if !changed {
+		return out
+	}
+	return mut
+}
+
+// mentionsAnyLocks pre-filters: the body mentions a sync lock method
+// directly, or calls some module function that does.
+func (r *raceInterp) mentionsAnyLocks(body *ast.BlockStmt) bool {
+	if r.lb.mentionsLocks(body) {
+		return true
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tgts, dyn := r.prog.funTargets(r.lb.info, call.Fun)
+		if !dyn && len(tgts) == 1 && tgts[0] != nil && len(r.prog.lockExitDelta(tgts[0])) > 0 {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// instantiateKeyRaw rewrites a summary lock-key template into the caller's
+// concrete rendering: $recv becomes the receiver expression of the call,
+// $argN the N-th argument. Unlike Program.instantiateKey the result is NOT
+// re-normalized, so it matches the raw renderNode keys the intraprocedural
+// facts use.
+func instantiateKeyRaw(key string, call *ast.CallExpr) (string, bool) {
+	base, read := cutLockSuffix(key)
+	var out string
+	switch {
+	case base == "$recv" || strings.HasPrefix(base, "$recv."):
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		out = strings.TrimPrefix(renderNode(sel.X), "&") + strings.TrimPrefix(base, "$recv")
+	case strings.HasPrefix(base, "$arg"):
+		rest := strings.TrimPrefix(base, "$arg")
+		numEnd := len(rest)
+		if dot := strings.IndexByte(rest, '.'); dot >= 0 {
+			numEnd = dot
+		}
+		i, err := atoiSafe(rest[:numEnd])
+		if err != nil || i >= len(call.Args) {
+			return "", false
+		}
+		out = strings.TrimPrefix(renderNode(call.Args[i]), "&") + rest[numEnd:]
+	default:
+		out = base
+	}
+	if read {
+		out += "\x00R"
+	}
+	return out, true
+}
+
+func atoiSafe(s string) (int, error) {
+	n := 0
+	if s == "" {
+		return 0, errNotANumber
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errNotANumber
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+var errNotANumber = errorString("not a number")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// isConcurrencySafeType reports types whose writes need no external lock:
+// the sync primitives themselves, channels (their operations synchronize),
+// and function values (tracked elsewhere; overwriting one concurrently is
+// rare enough that renders would drown real findings).
+func isConcurrencySafeType(t types.Type) bool {
+	if isSyncPrimType(t) {
+		return true
+	}
+	switch t.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+// Fixture: disciplined channel use. The multistart drain pattern is the
+// positive model: unbuffered jobs channel, workers ranging over it, a
+// ctx-gated feed select, then close + Wait. chan-protocol must stay silent.
+package solver
+
+import (
+	"context"
+	"sync"
+)
+
+// Drain is the multistart worker-pool shape.
+func Drain(ctx context.Context, starts, workers int) []int {
+	jobs := make(chan int)
+	results := make([]int, starts)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobs {
+				results[k] = k * 2
+			}
+		}()
+	}
+feed:
+	for k := 0; k < starts; k++ {
+		select {
+		case jobs <- k:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// SelectEscape: the sending goroutine has a ctx way out, so an abandoning
+// spawner does not strand it.
+func SelectEscape(ctx context.Context) int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 42:
+		case <-ctx.Done():
+		}
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// BufferedSend: a buffered result slot never blocks the producer.
+func BufferedSend() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 7 }()
+	return <-ch
+}
+
+// MaybeClosed: the close state differs across paths; the analysis only
+// reports provable violations.
+func MaybeClosed(c bool) {
+	ch := make(chan int, 1)
+	if c {
+		close(ch)
+		return
+	}
+	ch <- 1
+}
+
+// closeAll is the close helper; the ChanOps summary credits it to callers.
+func closeAll(ch chan int) { close(ch) }
+
+// HelperClosed ranges over a channel whose close happens inside a helper.
+func HelperClosed(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	closeAll(ch)
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,48 @@
+// Fixture: channel protocol violations — double close, send after close,
+// range with no reachable close, and an unbuffered send whose spawner can
+// return without receiving. Every case must be reported by chan-protocol.
+package solver
+
+import "errors"
+
+var errFail = errors.New("fail")
+
+// DoubleClose closes ch twice on a straight-line path.
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch)
+}
+
+// SendAfterClose panics at runtime regardless of buffering.
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1
+}
+
+// RangeNoClose never lets the consuming loop terminate.
+func RangeNoClose(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// OrphanSend leaks its goroutine on the error path: the unbuffered send
+// blocks forever once the spawner has returned.
+func OrphanSend(fail bool) (int, error) {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	if fail {
+		return 0, errFail
+	}
+	return <-ch, nil
+}

@@ -1,0 +1,11 @@
+// Fixture: a justified chan-protocol suppression — an idempotent shutdown
+// path whose double close is guarded at runtime by a recover elsewhere.
+package solver
+
+// ShutdownTwice is test-harness code that tolerates the panic.
+func ShutdownTwice() {
+	ch := make(chan int)
+	close(ch)
+	//lint:ignore chan-protocol shutdown harness intentionally double-closes to assert the panic
+	close(ch)
+}

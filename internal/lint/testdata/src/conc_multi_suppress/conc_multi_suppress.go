@@ -1,0 +1,20 @@
+// Fixture: one //lint:ignore line naming several analyzers. The one-line
+// goroutine triggers lockset-race (unlocked shared write) and wg-balance
+// twice (Add inside the spawned goroutine, Add with no Done); a single
+// comment listing both analyzers must silence all three findings.
+package solver
+
+import "sync"
+
+// MultiSuppressed stacks the violations onto one line on purpose.
+func MultiSuppressed() int {
+	var wg sync.WaitGroup
+	n := 0
+	//lint:ignore lockset-race,wg-balance fixture: one line suppresses several analyzers
+	go func() { n++; wg.Add(1) }()
+	go func() {
+		n++
+	}()
+	wg.Wait()
+	return n
+}

@@ -1,0 +1,61 @@
+// Fixture: shared-frame callbacks. A literal stored into an Options field
+// and invoked from every worker goroutine has one frame shared by all of
+// them; writes to its captured variables need a lock. The constructor
+// variant checks that funcValues resolves call-returned literals.
+package solver
+
+import "sync"
+
+// Options carries a progress callback invoked from worker goroutines.
+type Options struct {
+	OnEvent func(int)
+}
+
+func runWorkers(n int, o Options) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if o.OnEvent != nil {
+				o.OnEvent(k)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// RacyCallback counts calls lock-free — every worker shares the frame.
+func RacyCallback(n int) int {
+	calls := 0
+	runWorkers(n, Options{OnEvent: func(int) {
+		calls++
+	}})
+	return calls
+}
+
+// LockedCallback serializes the shared frame with a mutex.
+func LockedCallback(n int) int {
+	var mu sync.Mutex
+	calls := 0
+	runWorkers(n, Options{OnEvent: func(int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+	}})
+	return calls
+}
+
+// eventCounter builds the callback behind a constructor; the returned
+// literal is resolved through the call.
+func eventCounter() func(int) {
+	n := 0
+	return func(int) {
+		n++
+	}
+}
+
+// RacyConstructed hands the constructed callback to the workers.
+func RacyConstructed(k int) {
+	runWorkers(k, Options{OnEvent: eventCounter()})
+}

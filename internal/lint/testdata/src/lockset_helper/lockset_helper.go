@@ -1,0 +1,59 @@
+// Fixture: locks acquired through helper methods. lockExitDelta summarizes
+// lock()/unlock() as net acquire/release of $recv.mu, so the lockset at
+// the write still contains c.mu. One goroutine skipping the helper breaks
+// the consistent lockset and must be reported.
+package solver
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) lock() {
+	//lint:ignore lock-balance acquire helper: the matching unlock() is the release half
+	c.mu.Lock()
+}
+
+func (c *counter) unlock() { c.mu.Unlock() }
+
+// HelperLocked: both writers go through the helpers — clean.
+func HelperLocked() int {
+	var c counter
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.lock()
+		c.n++
+		c.unlock()
+	}()
+	go func() {
+		defer wg.Done()
+		c.lock()
+		c.n++
+		c.unlock()
+	}()
+	wg.Wait()
+	return c.n
+}
+
+// OneSideUnlocked: the second writer skips the helper.
+func OneSideUnlocked() int {
+	var c counter
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.lock()
+		c.n++
+		c.unlock()
+	}()
+	go func() {
+		defer wg.Done()
+		c.n++ // no lock held: the report lands on the unprotected write
+	}()
+	wg.Wait()
+	return c.n
+}

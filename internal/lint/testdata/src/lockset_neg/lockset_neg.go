@@ -1,0 +1,76 @@
+// Fixture: concurrent writes that are correctly synchronized — a shared
+// mutex, a channel handoff, happens-before ordering around spawn/Wait, and
+// index-disjoint element writes. lockset-race must stay silent.
+package solver
+
+import "sync"
+
+// MutexProtected: both writers hold the same mutex at the write.
+func MutexProtected() int {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	n := 0
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		n++
+		mu.Unlock()
+	}()
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		n++
+		mu.Unlock()
+	}()
+	wg.Wait()
+	return n
+}
+
+// SentValue: v moves over the channel; the send/recv pair orders the
+// goroutine's write before the spawner's.
+func SentValue() int {
+	ch := make(chan int, 1)
+	var wg sync.WaitGroup
+	v := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v = 10
+		ch <- v
+	}()
+	got := <-ch
+	v = got + 1
+	wg.Wait()
+	return v
+}
+
+// PrePost: initialization before the spawn and reduction after Wait are
+// happens-before ordered; the goroutine only reads.
+func PrePost() int {
+	var wg sync.WaitGroup
+	n := 1
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = n
+	}()
+	wg.Wait()
+	n = 2
+	return n
+}
+
+// Slots: each worker owns its slot; element writes are exempt.
+func Slots(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			out[k] = k * k
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

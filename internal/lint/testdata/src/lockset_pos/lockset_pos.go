@@ -1,0 +1,51 @@
+// Fixture: shared variables written from concurrently-live goroutines with
+// no consistent lock. Every case must be reported by lockset-race.
+package solver
+
+import "sync"
+
+// TwoWriters: two goroutines increment the same captured counter lock-free.
+func TwoWriters() int {
+	var wg sync.WaitGroup
+	n := 0
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		n++ // first write by position: the report lands here
+	}()
+	go func() {
+		defer wg.Done()
+		n++
+	}()
+	wg.Wait()
+	return n
+}
+
+// LoopedWriter: one replicated goroutine races with its own instances.
+func LoopedWriter(k int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total += 1
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// SpawnerWrites: the spawner mutates state while the worker still runs.
+func SpawnerWrites() int {
+	var wg sync.WaitGroup
+	state := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		state = 1
+	}()
+	state = 2 // between spawn and Wait: concurrent with the goroutine
+	wg.Wait()
+	return state
+}

@@ -1,0 +1,24 @@
+// Fixture: a justified lockset-race suppression — an intentionally
+// approximate counter where torn updates are acceptable.
+package solver
+
+import "sync"
+
+// ApproxCounter tolerates lost increments by design.
+func ApproxCounter() int {
+	var wg sync.WaitGroup
+	n := 0
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		//lint:ignore lockset-race approximate telemetry counter; lost updates are acceptable
+		n++
+	}()
+	go func() {
+		defer wg.Done()
+		//lint:ignore lockset-race approximate telemetry counter; lost updates are acceptable
+		n++
+	}()
+	wg.Wait()
+	return n
+}

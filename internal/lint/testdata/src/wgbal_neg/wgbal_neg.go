@@ -1,0 +1,46 @@
+// Fixture: balanced WaitGroup accounting — the standard Add-before-spawn /
+// deferred-Done shape, a Done-only worker helper charged to its caller via
+// the WGOps summary, and a Wait-only join. wg-balance must stay silent.
+package solver
+
+import "sync"
+
+// Standard: Add before the go statement, deferred Done inside the literal.
+func Standard(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// worker is Done-only: the balance is charged to the function that Adds.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// HelperDone: the Done lives in the helper; the summary connects it.
+func HelperDone(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go worker(&wg)
+	}
+	wg.Wait()
+}
+
+// join is Wait-only: the workers were registered elsewhere.
+func join(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// JoinElsewhere exercises the Wait-only helper.
+func JoinElsewhere() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	join(&wg)
+}

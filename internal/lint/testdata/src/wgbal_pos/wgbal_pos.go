@@ -1,0 +1,32 @@
+// Fixture: WaitGroup misuse — an Add with no matching Done anywhere, and
+// an Add inside the spawned goroutine racing with Wait. Both must be
+// reported by wg-balance.
+package solver
+
+import "sync"
+
+func work(int) {}
+
+// AddNoDone: nothing ever calls Done, so Wait blocks forever.
+func AddNoDone(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go work(i)
+	}
+	wg.Wait()
+}
+
+// AddInside: the goroutine registers itself after the spawner may already
+// be in Wait.
+func AddInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1)
+			defer wg.Done()
+			work(0)
+		}()
+	}
+	wg.Wait()
+}

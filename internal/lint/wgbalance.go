@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WGBalance checks sync.WaitGroup accounting per function, interprocedural
+// through helpers via the WGOps summaries:
+//
+//   - an Add with no matching Done anywhere in the function's dynamic
+//     extent — its own body, nested literals, or a helper the WaitGroup is
+//     passed to — leaves Wait blocked forever;
+//   - an Add *inside* the spawned goroutine races with the Wait: the
+//     spawner may reach Wait before the goroutine has registered itself,
+//     and Wait returns early. Add must happen before the go statement.
+//
+// Done-only functions (worker helpers) and Wait-only functions (a close()
+// that joins workers started elsewhere) are fine: the balance is charged
+// to the function that Adds.
+var WGBalance = &Analyzer{
+	Name:       "wg-balance",
+	Doc:        "WaitGroup Add needs a matching Done (helpers count) and must precede the go statement",
+	NeedsTypes: true,
+	Run:        runWGBalance,
+}
+
+func runWGBalance(p *Pass) {
+	if p.Prog == nil || p.Pkg.Info == nil {
+		return
+	}
+	for _, fi := range p.Prog.FuncsOf(p.Pkg) {
+		// Literals are analyzed as part of their enclosing declaration:
+		// the Add/Done pairing crosses the literal boundary by design.
+		if fi.Decl != nil {
+			checkWGBalance(p, fi)
+		}
+	}
+}
+
+type wgCounts struct {
+	adds  []token.Pos
+	dones int
+	waits int
+}
+
+func checkWGBalance(p *Pass, fi *FuncInfo) {
+	info := fi.Pkg.Info
+	counts := map[string]*wgCounts{}
+	get := func(key string) *wgCounts {
+		c := counts[key]
+		if c == nil {
+			c = &wgCounts{}
+			counts[key] = c
+		}
+		return c
+	}
+
+	// Spans of goroutine literals anywhere in the declaration, for the
+	// Add-inside-goroutine check.
+	type span struct{ lo, hi token.Pos }
+	var goLits []span
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				goLits = append(goLits, span{lit.Pos(), lit.End()})
+			}
+		}
+		return true
+	})
+	inGoLit := func(pos token.Pos) bool {
+		for _, s := range goLits {
+			if s.lo <= pos && pos <= s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	found := false
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+				if name, isWG := wgMethods[fn.FullName()]; isWG {
+					key := strings.TrimPrefix(renderNode(sel.X), "&")
+					c := get(key)
+					found = true
+					switch name {
+					case "Add":
+						c.adds = append(c.adds, call.Pos())
+						if inGoLit(call.Pos()) {
+							p.Reportf(call.Pos(), "%s.Add inside the spawned goroutine races with Wait (the spawner can Wait before this runs); move the Add before the go statement", key)
+						}
+					case "Done":
+						c.dones++
+					case "Wait":
+						c.waits++
+					}
+					return true
+				}
+			}
+		}
+		// A WaitGroup handed to a helper: fold the callee's per-parameter
+		// summary into this function's balance.
+		tgts, dyn := p.Prog.funTargets(info, call.Fun)
+		if dyn || len(tgts) != 1 || tgts[0] == nil || len(tgts[0].WGOps) == 0 {
+			return true
+		}
+		for i, arg := range call.Args {
+			op, ok := tgts[0].WGOps[i]
+			if !ok || !op.any() {
+				continue
+			}
+			if !isWaitGroupExpr(info, arg) {
+				continue
+			}
+			key := strings.TrimPrefix(renderNode(arg), "&")
+			c := get(key)
+			found = true
+			if op.Add {
+				c.adds = append(c.adds, call.Pos())
+			}
+			if op.Done {
+				c.dones++
+			}
+			if op.Wait {
+				c.waits++
+			}
+		}
+		return true
+	})
+	if !found {
+		return
+	}
+
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := counts[k]
+		if len(c.adds) > 0 && c.dones == 0 {
+			p.Reportf(c.adds[0], "%s.Add has no matching Done in this function or any helper it passes the WaitGroup to; Wait blocks forever", k)
+		}
+	}
+}
+
+func isWaitGroupExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isWaitGroupType(tv.Type)
+}

@@ -21,23 +21,6 @@ func largeProblem(t *testing.T) *model.Problem {
 	return p
 }
 
-// waitGoroutines polls until the goroutine count settles back to at most
-// base (plus the runtime's own background workers already counted in base).
-func waitGoroutines(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.Gosched()
-		if runtime.NumGoroutine() <= base {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak: %d before, %d after", base, runtime.NumGoroutine())
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-}
-
 func TestSolveCancelledBeforeEntry(t *testing.T) {
 	p := largeProblem(t)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -1,0 +1,34 @@
+package qbp
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count settles back to at most
+// base (plus the runtime's own background workers already counted in base).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", base, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertNoGoroutineLeak snapshots the goroutine count and fails the test at
+// cleanup when it has not settled back — the runtime counterpart of the
+// chan-protocol analyzer's leak rules, applied to the multistart drain and
+// the worker pool.
+func assertNoGoroutineLeak(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() { waitGoroutines(t, base) })
+}

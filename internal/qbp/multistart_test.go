@@ -10,6 +10,7 @@ import (
 )
 
 func TestMultiStartPicksBestOfSequential(t *testing.T) {
+	assertNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(44))
 	p, _ := testgen.Random(rng, testgen.Config{N: 16, TimingProb: 0.3})
 	base := Options{Iterations: 30, Seed: 5}
@@ -41,6 +42,7 @@ func TestMultiStartPicksBestOfSequential(t *testing.T) {
 }
 
 func TestMultiStartDeterministic(t *testing.T) {
+	assertNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(45))
 	p, _ := testgen.Random(rng, testgen.Config{N: 14, TimingProb: 0.3})
 	o := MultiStartOptions{Base: Options{Iterations: 20, Seed: 1}, Starts: 6, Workers: 3}
@@ -58,6 +60,7 @@ func TestMultiStartDeterministic(t *testing.T) {
 }
 
 func TestMultiStartNeverWorseThanSingle(t *testing.T) {
+	assertNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(46))
 	for trial := 0; trial < 5; trial++ {
 		p, _ := testgen.Random(rng, testgen.Config{N: 15, TimingProb: 0.4})
@@ -87,6 +90,7 @@ func TestMultiStartPropagatesErrors(t *testing.T) {
 }
 
 func TestMultiStartDefaults(t *testing.T) {
+	assertNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(48))
 	p, _ := testgen.Random(rng, testgen.Config{N: 10})
 	res, err := SolveMultiStart(context.Background(), p, MultiStartOptions{Base: Options{Iterations: 10}})

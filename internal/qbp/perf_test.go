@@ -147,6 +147,7 @@ func TestPenalizedValueMatchesReference(t *testing.T) {
 // disjoint columns). Run under -race this also exercises the pool for data
 // races.
 func TestWorkersIndependence(t *testing.T) {
+	assertNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 4; trial++ {
 		cfg := testgen.Config{N: 30 + rng.Intn(30), TimingProb: 0.3, CapSlack: 1.4}
@@ -188,6 +189,7 @@ func TestWorkersIndependence(t *testing.T) {
 // not leak state between starts: serial (1 worker) and concurrent runs pick
 // the same winner.
 func TestMultiStartSharedScratch(t *testing.T) {
+	assertNoGoroutineLeak(t)
 	rng := rand.New(rand.NewSource(101))
 	p, _ := testgen.Random(rng, testgen.Config{N: 40, TimingProb: 0.3, CapSlack: 1.4})
 	base := Options{Iterations: 15, Seed: 5}
