@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race bench bench-compare tables cover fmt vet lint lint-baseline lint-sarif clean
+.PHONY: all build test test-race bench bench-compare tables cover fmt vet lint lint-baseline lint-sarif daemon-smoke clean
 
 all: build test lint
 
@@ -63,6 +63,11 @@ lint: vet
 # Regenerate the accepted-findings inventory from the current tree.
 lint-baseline:
 	$(GO) run ./cmd/qbplint -write-baseline .qbplint-baseline.json ./...
+
+# End-to-end daemon smoke: build qbpartd, submit a job over HTTP, poll it
+# to completion, scrape /metrics, SIGTERM, assert a clean graceful drain.
+daemon-smoke:
+	sh scripts/daemon-smoke.sh
 
 # Machine-readable report for code-scanning upload (does not fail the build).
 lint-sarif:

@@ -16,9 +16,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	partition "repro"
+	"repro/internal/atomicio"
 )
 
 func main() {
@@ -57,16 +59,6 @@ func main() {
 		}
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
-
 	params := partition.GenerateParams{
 		Spec: partition.CircuitSpec{
 			Name:              fmt.Sprintf("custom-%d", *seed),
@@ -80,37 +72,53 @@ func main() {
 		MaxFanout: *fanout,
 	}
 
-	if *stream {
-		stats, err := partition.StreamCircuit(params, w)
+	// emit generates the instance into w and leaves the stderr summary line
+	// in report. Running it through atomicio.WriteFile below makes -o
+	// atomic: a generator or disk failure mid-write (easy to hit with
+	// million-component -stream runs) can never leave a truncated instance
+	// at the destination.
+	var report string
+	emit := func(w io.Writer) error {
+		if *stream {
+			stats, err := partition.StreamCircuit(params, w)
+			if err != nil {
+				return err
+			}
+			report = fmt.Sprintf("streamed %s: %d components, %d wires, %d timing constraints, %d partitions (binary)",
+				params.Spec.Name, stats.Components, stats.Wires, stats.Timing, stats.Partitions)
+			return nil
+		}
+		var inst *partition.Instance
+		var err error
+		if *name != "" {
+			inst, err = partition.NamedCircuit(*name)
+		} else {
+			inst, err = partition.GenerateCircuit(params)
+		}
 		if err != nil {
+			return err
+		}
+		write := partition.WriteProblem
+		if *format == "binary" {
+			write = partition.WriteProblemBinary
+		}
+		if err := write(w, inst.Problem); err != nil {
+			return err
+		}
+		report = fmt.Sprintf("generated %s: %d components, %d wires, %d timing constraints, %d partitions (%s)",
+			inst.Problem.Circuit.Name, inst.Problem.N(), inst.Problem.Circuit.TotalWireWeight(),
+			len(inst.Problem.Circuit.Timing), inst.Problem.M(), *format)
+		return nil
+	}
+
+	if *out == "" {
+		if err := emit(os.Stdout); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "streamed %s: %d components, %d wires, %d timing constraints, %d partitions (binary)\n",
-			params.Spec.Name, stats.Components, stats.Wires, stats.Timing, stats.Partitions)
-		return
-	}
-
-	var inst *partition.Instance
-	var err error
-	if *name != "" {
-		inst, err = partition.NamedCircuit(*name)
-	} else {
-		inst, err = partition.GenerateCircuit(params)
-	}
-	if err != nil {
+	} else if err := atomicio.WriteFile(*out, emit); err != nil {
 		fatal(err)
 	}
-
-	write := partition.WriteProblem
-	if *format == "binary" {
-		write = partition.WriteProblemBinary
-	}
-	if err := write(w, inst.Problem); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "generated %s: %d components, %d wires, %d timing constraints, %d partitions (%s)\n",
-		inst.Problem.Circuit.Name, inst.Problem.N(), inst.Problem.Circuit.TotalWireWeight(),
-		len(inst.Problem.Circuit.Timing), inst.Problem.M(), *format)
+	fmt.Fprintln(os.Stderr, report)
 }
 
 // isFlagSet reports whether the named flag was passed explicitly.

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	partition "repro"
+)
+
+// assertNoTempLitter fails when an atomic write left its temp file behind
+// in dir.
+func assertNoTempLitter(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestInterruptReturnsBestSoFar: cancelling run's context mid-solve (the
+// SIGINT path) still produces the full report with stopped=true, writes the
+// -o assignment, and exits 3 — not the error code 1.
+func TestInterruptReturnsBestSoFar(t *testing.T) {
+	prob := writeTinyProblem(t)
+	outPath := filepath.Join(t.TempDir(), "best.assign")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{
+		"-in", prob, "-method", "qbp", "-iterations", "50000000", "-seed", "1", "-o", outPath,
+	}, &stdout, &stderr)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "stopped          true") {
+		t.Errorf("interrupted run did not report stopped:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr missing interrupt notice: %q", stderr.String())
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatalf("best-so-far assignment not written: %v", err)
+	}
+	a, err := partition.ReadAssignmentAuto(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 40 {
+		t.Errorf("assignment has %d components, want 40", len(a))
+	}
+}
+
+// TestInterruptBeforeSolution: a context cancelled before run starts means
+// no incumbent ever exists; that is still the interrupt exit code, with a
+// distinct message, and no output file.
+func TestInterruptBeforeSolution(t *testing.T) {
+	prob := writeTinyProblem(t)
+	outPath := filepath.Join(t.TempDir(), "never.assign")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{"-in", prob, "-method", "qbp", "-o", outPath}, &stdout, &stderr)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted before a solution existed") {
+		t.Errorf("stderr = %q, want no-solution interrupt message", stderr.String())
+	}
+	if _, err := os.Stat(outPath); !os.IsNotExist(err) {
+		t.Errorf("no solution existed but %s was written", outPath)
+	}
+}
+
+// TestTimeoutStillExitsZero: an expired -timeout is a success (exit 0) with
+// stopped=true — only a signal earns exit 3. CI's cancellation smoke
+// depends on this distinction.
+func TestTimeoutStillExitsZero(t *testing.T) {
+	prob := writeTinyProblem(t)
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-in", prob, "-method", "qbp", "-iterations", "50000000", "-seed", "1", "-timeout", "150ms",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "stopped          true") {
+		t.Errorf("timed-out run did not report stopped:\n%s", stdout.String())
+	}
+}
+
+// TestConvertAtomic: -convert round-trips text -> binary through the atomic
+// writer with no temp litter, and a failing write (unreachable destination
+// directory) is an error that creates nothing.
+func TestConvertAtomic(t *testing.T) {
+	prob := writeTinyProblem(t)
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "tiny.bin")
+
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-in", prob, "-convert", bin}, &stdout, &stderr); code != 0 {
+		t.Fatalf("convert exit = %d, stderr: %s", code, stderr.String())
+	}
+	assertNoTempLitter(t, dir)
+	f, err := os.Open(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, format, err := partition.ReadProblemDetect(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != partition.FormatBinary {
+		t.Errorf("converted format = %v, want binary", format)
+	}
+
+	stderr.Reset()
+	missing := filepath.Join(dir, "no-such-dir", "tiny.bin")
+	if code := run(context.Background(), []string{"-in", prob, "-convert", missing}, &stdout, &stderr); code != 1 {
+		t.Fatalf("convert into missing dir: exit = %d, want 1", code)
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Errorf("failed convert left a file at %s", missing)
+	}
+}
+
+// TestOutAtomic: -o lands a parseable assignment with no temp litter next
+// to it.
+func TestOutAtomic(t *testing.T) {
+	prob := writeTinyProblem(t)
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "tiny.assign")
+
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-in", prob, "-method", "qbp", "-iterations", "3", "-seed", "1", "-o", outPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	assertNoTempLitter(t, dir)
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := partition.ReadAssignmentAuto(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 40 {
+		t.Errorf("assignment has %d components, want 40", len(a))
+	}
+}

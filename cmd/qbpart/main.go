@@ -22,21 +22,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	partition "repro"
+	"repro/internal/atomicio"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the whole command behind a testable seam: flags parse from args,
 // reports go to stdout, errors and progress to stderr, and the process exit
 // code is the return value (0 ok, 1 failure, 2 usage error / infeasible
-// check).
-func run(args []string, stdout, stderr io.Writer) int {
+// check, 3 interrupted by a signal — the best-so-far result, when one
+// exists, is still reported and written). ctx carries the interrupt: main
+// wires it to SIGINT/SIGTERM so ^C lands on the solvers' cancellation
+// contract instead of killing the process mid-write.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("qbpart", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -106,22 +114,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *convert != "" {
-		of, cerr := os.Create(*convert)
-		if cerr != nil {
-			return fatal(cerr)
-		}
-		// Convert to whichever format the input was not in.
+		// Convert to whichever format the input was not in. The write is
+		// atomic (temp file + rename): a failure mid-write can never leave a
+		// truncated problem file at the destination.
 		target := partition.FormatBinary
 		write := partition.WriteProblemBinary
 		if format == partition.FormatBinary {
 			target = partition.FormatText
 			write = partition.WriteProblem
 		}
-		if cerr := write(of, p); cerr != nil {
-			of.Close()
-			return fatal(cerr)
-		}
-		if cerr := of.Close(); cerr != nil {
+		if cerr := atomicio.WriteFile(*convert, func(w io.Writer) error {
+			return write(w, p)
+		}); cerr != nil {
 			return fatal(cerr)
 		}
 		fmt.Fprintf(stderr, "converted %s (%v) -> %s (%v)\n", *in, format, *convert, target)
@@ -151,8 +155,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// One deadline bounds the whole run (feasible-start generation plus the
 	// solve): at expiry the solver returns its best incumbent with Stopped
-	// set and the report below is produced from it as usual.
-	ctx := context.Background()
+	// set and the report below is produced from it as usual. The signal
+	// context stays visible separately so an interrupt (exit 3) is
+	// distinguishable from an expired -timeout (exit 0, still a success).
+	sigCtx := ctx
+	interrupted := func() bool { return sigCtx.Err() != nil }
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -174,10 +181,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		t0 := time.Now()
 		start, err = partition.FeasibleStart(ctx, p, *seed, 40)
 		if err != nil {
+			if interrupted() {
+				fmt.Fprintln(stderr, "qbpart: interrupted before a solution existed")
+				return 3
+			}
 			return fatal(fmt.Errorf("generating feasible start: %w", err))
 		}
 		fmt.Fprintf(stderr, "feasible start: wire length %d (%.2fs)\n",
 			p.WireLength(start), time.Since(t0).Seconds())
+	}
+
+	// A solver only errors out under cancellation when it was cancelled
+	// before producing any incumbent; when that cancellation came from a
+	// signal the run is "interrupted", not "failed".
+	solveFatal := func(err error) int {
+		if interrupted() {
+			fmt.Fprintln(stderr, "qbpart: interrupted before a solution existed")
+			return 3
+		}
+		return fatal(err)
 	}
 
 	t0 := time.Now()
@@ -205,19 +227,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res, err = partition.SolveQBP(ctx, p, o)
 		}
 		if err != nil {
-			return fatal(err)
+			return solveFatal(err)
 		}
 		final, stopped, stats = res.Assignment, res.Stopped, &res.Stats
 	case "gfm":
 		res, serr := partition.SolveGFM(ctx, p, start, partition.GFMOptions{RelaxTiming: *relax})
 		if serr != nil {
-			return fatal(serr)
+			return solveFatal(serr)
 		}
 		final, stopped = res.Assignment, res.Stopped
 	case "gkl":
 		res, serr := partition.SolveGKL(ctx, p, start, partition.GKLOptions{RelaxTiming: *relax})
 		if serr != nil {
-			return fatal(serr)
+			return solveFatal(serr)
 		}
 		final, stopped = res.Assignment, res.Stopped
 	case "sa":
@@ -225,7 +247,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Initial: start, RelaxTiming: *relax, Seed: *seed,
 		})
 		if serr != nil {
-			return fatal(serr)
+			return solveFatal(serr)
 		}
 		final, stopped = res.Assignment, res.Stopped
 	default:
@@ -261,14 +283,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *out != "" {
-		of, err := os.Create(*out)
-		if err != nil {
+		// Atomic for the same reason as -convert: an interrupt or disk error
+		// mid-write must not replace a previous assignment with a truncated
+		// one.
+		if err := atomicio.WriteFile(*out, func(w io.Writer) error {
+			return partition.WriteAssignment(w, final)
+		}); err != nil {
 			return fatal(err)
 		}
-		defer of.Close()
-		if err := partition.WriteAssignment(of, final); err != nil {
-			return fatal(err)
-		}
+	}
+	if stopped && interrupted() {
+		fmt.Fprintln(stderr, "qbpart: interrupted; best-so-far result reported")
+		return 3
 	}
 	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -64,7 +65,7 @@ func TestFlagValidation(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			if code := run(tc.args, &stdout, &stderr); code != 2 {
+			if code := run(context.Background(), tc.args, &stdout, &stderr); code != 2 {
 				t.Errorf("exit = %d, want 2 (stderr: %s)", code, stderr.String())
 			}
 			if !strings.Contains(stderr.String(), tc.want) {
@@ -79,7 +80,7 @@ func TestFlagValidation(t *testing.T) {
 	// Unknown method: flags parse, the file loads, then the switch rejects.
 	prob := writeTinyProblem(t)
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-in", prob, "-method", "annealer"}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{"-in", prob, "-method", "annealer"}, &stdout, &stderr); code != 2 {
 		t.Errorf("exit = %d, want 2", code)
 	}
 	if !strings.Contains(stderr.String(), `unknown method "annealer"`) {
@@ -93,7 +94,7 @@ func TestReportLines(t *testing.T) {
 	prob := writeTinyProblem(t)
 
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-in", prob, "-method", "qbp", "-iterations", "3", "-seed", "1"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-in", prob, "-method", "qbp", "-iterations", "3", "-seed", "1"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
 	}
 	out := stdout.String()
@@ -112,7 +113,7 @@ func TestReportLines(t *testing.T) {
 	// Non-QBP methods have no solver stats: those lines must be absent.
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-in", prob, "-method", "gkl", "-seed", "1"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-in", prob, "-method", "gkl", "-seed", "1"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("gkl exit = %d, stderr: %s", code, stderr.String())
 	}
 	out = stdout.String()

@@ -1,0 +1,126 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileSuccess: the destination receives exactly the emitted bytes
+// and no temporary file survives.
+func TestWriteFileSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello\n" {
+		t.Errorf("content = %q, want %q", got, "hello\n")
+	}
+	assertNoTempLitter(t, dir, "out.txt")
+}
+
+// TestWriteFileOverwrites: a successful write replaces previous content
+// whole.
+func TestWriteFileOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old content, longer than the new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Errorf("content = %q, want %q", got, "new")
+	}
+}
+
+// TestWriteFileFailureLeavesDestination: the core bugfix contract — when
+// the emitter fails partway (after having already produced some output),
+// the existing destination keeps its previous bytes and the temporary file
+// is cleaned up. Before this helper, cmd/qbpart -o and -convert and
+// cmd/gencircuit -o all wrote through os.Create, so the same failure left
+// a truncated file behind.
+func TestWriteFileFailureLeavesDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	const original = "precious complete previous output\n"
+	if err := os.WriteFile(path, []byte(original), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk exploded")
+	err := WriteFile(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, "partial garbage"); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != original {
+		t.Errorf("destination changed on failed write: %q, want %q", got, original)
+	}
+	assertNoTempLitter(t, dir, "out.txt")
+}
+
+// TestWriteFileFailureNoDestination: a failed write to a fresh path
+// creates nothing at all.
+func TestWriteFileFailureNoDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.txt")
+	err := WriteFile(path, func(io.Writer) error { return errors.New("nope") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Errorf("destination exists after failed write: %v", serr)
+	}
+	assertNoTempLitter(t, dir, "fresh.txt")
+}
+
+// TestWriteFileBadDirectory: an unwritable directory surfaces as an error
+// without a panic.
+func TestWriteFileBadDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "out.txt")
+	if err := WriteFile(path, func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}
+
+// assertNoTempLitter fails when any .tmp* sibling of name remains in dir.
+func assertNoTempLitter(t *testing.T, dir, name string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temporary file left behind: %s", e.Name())
+		}
+		if e.Name() != name && strings.HasPrefix(e.Name(), name) {
+			t.Errorf("unexpected sibling: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,472 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// testProblem builds a small deterministic instance.
+func testProblem(t *testing.T, seed int64, n int) *model.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p, _ := testgen.Random(rng, testgen.Config{N: n, TimingProb: 0.3, CapSlack: 1.5})
+	return p
+}
+
+// waitJob blocks until the job is terminal or the test deadline hits.
+func waitJob(t *testing.T, j *Job) Status {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish (state %v)", j.ID(), j.Status().State)
+	}
+	return j.Status()
+}
+
+// shutdownPool drains p and fails the test on a hung drain.
+func shutdownPool(t *testing.T, p *Pool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// waitGoroutines polls until the goroutine count settles back to at most
+// base.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", base, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertNoGoroutineLeak snapshots the goroutine count and fails the test
+// at cleanup when it has not settled back — the qbp test helper applied to
+// the pool's workers and drain.
+func assertNoGoroutineLeak(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() { waitGoroutines(t, base) })
+}
+
+// TestSubmitSolveRoundTrip: a submitted job completes with a validated
+// feasible outcome for every method.
+func TestSubmitSolveRoundTrip(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	prob := testProblem(t, 11, 30)
+	pool := New(Config{Workers: 2, QueueCap: 8})
+	defer shutdownPool(t, pool)
+
+	for _, method := range []string{"qbp", "gfm", "gkl", "sa"} {
+		j, err := pool.Submit(Request{Problem: prob, Method: method, Iterations: 8, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		st := waitJob(t, j)
+		if st.State != StateDone {
+			t.Fatalf("%s: state %v (outcome %+v)", method, st.State, st.Outcome)
+		}
+		out := st.Outcome
+		if out == nil || len(out.Assignment) != prob.N() {
+			t.Fatalf("%s: missing assignment", method)
+		}
+		if !prob.CapacityFeasible(out.Assignment) {
+			t.Errorf("%s: capacity-infeasible result", method)
+		}
+		if method == "qbp" && out.Stats == nil {
+			t.Errorf("qbp outcome missing solver stats")
+		}
+		if st.StartedAt.Before(st.SubmittedAt) || st.FinishedAt.Before(st.StartedAt) {
+			t.Errorf("%s: timestamps out of order: %v %v %v", method, st.SubmittedAt, st.StartedAt, st.FinishedAt)
+		}
+	}
+
+	m := pool.Metrics()
+	if m.Completed != 4 || m.Submitted != 4 {
+		t.Errorf("metrics: submitted %d completed %d, want 4/4", m.Submitted, m.Completed)
+	}
+	if m.SolveSeconds.Count != 4 || m.WaitSeconds.Count != 4 {
+		t.Errorf("latency histograms observed %d/%d, want 4/4", m.SolveSeconds.Count, m.WaitSeconds.Count)
+	}
+}
+
+// TestFixedSeedDeterministicAcrossPoolShapes: the acceptance criterion —
+// one job description yields a bit-identical assignment for worker pools
+// of size 1, 2 and 8, regardless of how much unrelated traffic surrounds
+// it.
+func TestFixedSeedDeterministicAcrossPoolShapes(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	prob := testProblem(t, 12, 40)
+	noise := testProblem(t, 13, 24)
+
+	var reference model.Assignment
+	for _, workers := range []int{1, 2, 8} {
+		pool := New(Config{Workers: workers, QueueCap: 32})
+		// Unrelated traffic with assorted seeds and priorities, submitted
+		// before and after the job under test.
+		for i := 0; i < 3; i++ {
+			if _, err := pool.Submit(Request{Problem: noise, Seed: int64(100 + i), Iterations: 5, Priority: i % 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j, err := pool.Submit(Request{Problem: prob, Seed: 42, Iterations: 10, MultiStart: 3, Priority: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := pool.Submit(Request{Problem: noise, Seed: int64(200 + i), Iterations: 5, Priority: 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := waitJob(t, j)
+		if st.State != StateDone {
+			t.Fatalf("workers=%d: state %v", workers, st.State)
+		}
+		got := st.Outcome.Assignment
+		if reference == nil {
+			reference = got
+		} else {
+			for c := range reference {
+				if got[c] != reference[c] {
+					t.Fatalf("workers=%d: assignment differs at component %d (%d vs %d)",
+						workers, c, got[c], reference[c])
+				}
+			}
+		}
+		shutdownPool(t, pool)
+	}
+}
+
+// TestPriorityOrder: with one worker, higher-priority jobs run first and
+// ties run in submission order.
+func TestPriorityOrder(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	prob := testProblem(t, 14, 20)
+	pool := New(Config{Workers: 1, QueueCap: 16})
+	defer shutdownPool(t, pool)
+
+	// A blocker job occupies the single worker while the queue fills.
+	blockerProb := testProblem(t, 15, 30)
+	blocker, err := pool.Submit(Request{Problem: blockerProb, Iterations: 2_000_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the blocker is actually running so the queue order is
+	// fully decided before the worker returns.
+	for blocker.Status().State == StateQueued {
+		time.Sleep(time.Millisecond)
+	}
+
+	low, err := pool.Submit(Request{Problem: prob, Iterations: 2, Seed: 2, Priority: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := pool.Submit(Request{Problem: prob, Iterations: 2, Seed: 3, Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pool.Cancel(blocker.ID()) {
+		t.Fatal("cancel blocker")
+	}
+	waitJob(t, high)
+	waitJob(t, low)
+	hs, ls := high.Status(), low.Status()
+	if !hs.StartedAt.Before(ls.StartedAt) {
+		t.Errorf("high priority started %v, low %v — want high first", hs.StartedAt, ls.StartedAt)
+	}
+}
+
+// TestBackpressureQueueFull: the bounded queue rejects the overflow
+// submission with ErrQueueFull and counts it.
+func TestBackpressureQueueFull(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	prob := testProblem(t, 16, 20)
+	pool := New(Config{Workers: 1, QueueCap: 2})
+	defer shutdownPool(t, pool)
+
+	// Fill the worker with a long job, then the queue to capacity.
+	blocker, err := pool.Submit(Request{Problem: prob, Iterations: 2_000_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blocker.Status().State == StateQueued {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := pool.Submit(Request{Problem: prob, Iterations: 2, Seed: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = pool.Submit(Request{Problem: prob, Iterations: 2, Seed: 9})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+	if m := pool.Metrics(); m.RejectedFull != 1 {
+		t.Errorf("RejectedFull = %d, want 1", m.RejectedFull)
+	}
+	pool.Cancel(blocker.ID())
+}
+
+// TestAdmissionControlTooLarge: instances above the component ceiling are
+// rejected up front.
+func TestAdmissionControlTooLarge(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	pool := New(Config{Workers: 1, QueueCap: 4, MaxComponents: 25})
+	defer shutdownPool(t, pool)
+
+	if _, err := pool.Submit(Request{Problem: testProblem(t, 17, 40)}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize submit: %v, want ErrTooLarge", err)
+	}
+	if _, err := pool.Submit(Request{Problem: testProblem(t, 17, 20), Iterations: 2}); err != nil {
+		t.Fatalf("in-bounds submit: %v", err)
+	}
+	if m := pool.Metrics(); m.RejectedSize != 1 {
+		t.Errorf("RejectedSize = %d, want 1", m.RejectedSize)
+	}
+}
+
+// TestBadRequests: nil problems and unknown methods fail fast.
+func TestBadRequests(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	pool := New(Config{Workers: 1, QueueCap: 4})
+	defer shutdownPool(t, pool)
+	if _, err := pool.Submit(Request{}); !errors.Is(err, ErrNoProblem) {
+		t.Errorf("nil problem: %v, want ErrNoProblem", err)
+	}
+	if _, err := pool.Submit(Request{Problem: testProblem(t, 18, 20), Method: "annealer"}); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("bad method: %v, want ErrUnknownMethod", err)
+	}
+}
+
+// TestCancelRunningReturnsIncumbent: cancelling a mid-solve job completes
+// it as Done with the best-so-far incumbent and Stopped set — the solver
+// contract surfaced through the queue.
+func TestCancelRunningReturnsIncumbent(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	prob := testProblem(t, 19, 40)
+	pool := New(Config{Workers: 1, QueueCap: 4, ProgressInterval: time.Nanosecond})
+	defer shutdownPool(t, pool)
+
+	j, err := pool.Submit(Request{Problem: prob, Iterations: 50_000_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for real solve progress so an incumbent exists, then cancel.
+	events, stop := j.Subscribe(64)
+	defer stop()
+	sawProgress := false
+	for ev := range events {
+		if ev.Type == EventProgress && ev.Progress.Iteration >= 1 {
+			sawProgress = true
+			if !pool.Cancel(j.ID()) {
+				t.Fatal("cancel")
+			}
+		}
+	}
+	if !sawProgress {
+		t.Fatal("stream closed without a progress event")
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("state %v, want Done (outcome %+v)", st.State, st.Outcome)
+	}
+	if !st.Outcome.Stopped {
+		t.Error("cancelled solve did not report Stopped")
+	}
+	if len(st.Outcome.Assignment) != prob.N() || !prob.CapacityFeasible(st.Outcome.Assignment) {
+		t.Error("cancelled solve did not return a capacity-feasible incumbent")
+	}
+	if m := pool.Metrics(); m.Stopped != 1 {
+		t.Errorf("Stopped counter = %d, want 1", m.Stopped)
+	}
+}
+
+// TestCancelQueued: a queued job cancels without ever running.
+func TestCancelQueued(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	prob := testProblem(t, 20, 30)
+	pool := New(Config{Workers: 1, QueueCap: 4})
+	defer shutdownPool(t, pool)
+
+	blocker, err := pool.Submit(Request{Problem: prob, Iterations: 2_000_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blocker.Status().State == StateQueued {
+		time.Sleep(time.Millisecond)
+	}
+	victim, err := pool.Submit(Request{Problem: prob, Iterations: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pool.Cancel(victim.ID()) {
+		t.Fatal("cancel queued")
+	}
+	st := waitJob(t, victim)
+	if st.State != StateCanceled {
+		t.Fatalf("state %v, want Canceled", st.State)
+	}
+	if st.StartedAt != (time.Time{}) {
+		t.Error("cancelled-while-queued job has a start time")
+	}
+	pool.Cancel(blocker.ID())
+	if pool.Cancel("job-999") {
+		t.Error("cancel of unknown id reported true")
+	}
+}
+
+// TestDeadlineReturnsStopped: a job with a tight deadline completes as
+// Done with Stopped set and a feasible incumbent.
+func TestDeadlineReturnsStopped(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	prob := testProblem(t, 21, 40)
+	pool := New(Config{Workers: 1, QueueCap: 4})
+	defer shutdownPool(t, pool)
+
+	j, err := pool.Submit(Request{Problem: prob, Iterations: 50_000_000, Seed: 5, Deadline: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone {
+		t.Fatalf("state %v, want Done", st.State)
+	}
+	if !st.Outcome.Stopped {
+		t.Error("deadline solve did not report Stopped")
+	}
+	if !prob.CapacityFeasible(st.Outcome.Assignment) {
+		t.Error("deadline solve returned an infeasible incumbent")
+	}
+}
+
+// TestMaxDeadlineClamp: the pool caps per-job deadlines, and applies the
+// default when none is requested.
+func TestMaxDeadlineClamp(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	prob := testProblem(t, 22, 40)
+	pool := New(Config{Workers: 1, QueueCap: 4, MaxDeadline: 100 * time.Millisecond})
+	defer shutdownPool(t, pool)
+
+	// Requests an hour; the clamp makes it stop within the test's patience.
+	j, err := pool.Submit(Request{Problem: prob, Iterations: 50_000_000, Seed: 5, Deadline: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j)
+	if st.State != StateDone || !st.Outcome.Stopped {
+		t.Fatalf("clamped job: state %v stopped %v, want Done/stopped", st.State, st.Outcome != nil && st.Outcome.Stopped)
+	}
+
+	// No deadline requested: the unbounded request is also clamped.
+	j2, err := pool.Submit(Request{Problem: prob, Iterations: 50_000_000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j2); st.State != StateDone || !st.Outcome.Stopped {
+		t.Fatalf("defaulted job: state %v, want Done/stopped", st.State)
+	}
+}
+
+// TestGracefulDrain: Shutdown cancels queued jobs, completes running jobs
+// with best-so-far results, rejects new submissions, and leaks nothing.
+func TestGracefulDrain(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	prob := testProblem(t, 23, 40)
+	pool := New(Config{Workers: 2, QueueCap: 16, ProgressInterval: time.Nanosecond})
+
+	var running []*Job
+	for i := 0; i < 2; i++ {
+		j, err := pool.Submit(Request{Problem: prob, Iterations: 50_000_000, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		running = append(running, j)
+	}
+	for _, j := range running {
+		for j.Status().State == StateQueued {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	var queued []*Job
+	for i := 0; i < 3; i++ {
+		j, err := pool.Submit(Request{Problem: prob, Iterations: 2, Seed: int64(10 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, j)
+	}
+
+	shutdownPool(t, pool)
+
+	for _, j := range running {
+		st := j.Status()
+		if st.State != StateDone {
+			t.Errorf("in-flight job %s drained to %v, want Done", j.ID(), st.State)
+			continue
+		}
+		if !st.Outcome.Stopped {
+			t.Errorf("in-flight job %s not marked Stopped", j.ID())
+		}
+		if !prob.CapacityFeasible(st.Outcome.Assignment) {
+			t.Errorf("in-flight job %s drained without a feasible incumbent", j.ID())
+		}
+	}
+	for _, j := range queued {
+		if st := j.Status(); st.State != StateCanceled {
+			t.Errorf("queued job %s drained to %v, want Canceled", j.ID(), st.State)
+		}
+	}
+	if _, err := pool.Submit(Request{Problem: prob}); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-shutdown submit: %v, want ErrDraining", err)
+	}
+	if m := pool.Metrics(); !m.Draining {
+		t.Error("metrics do not report draining")
+	}
+	// Idempotent.
+	if err := pool.Shutdown(context.Background()); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}
+
+// TestSubscribeAfterTerminal: late subscribers get an immediately-closed
+// channel, and the status still carries the outcome.
+func TestSubscribeAfterTerminal(t *testing.T) {
+	assertNoGoroutineLeak(t)
+	prob := testProblem(t, 24, 20)
+	pool := New(Config{Workers: 1, QueueCap: 4})
+	defer shutdownPool(t, pool)
+
+	j, err := pool.Submit(Request{Problem: prob, Iterations: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	events, stop := j.Subscribe(4)
+	defer stop()
+	select {
+	case _, ok := <-events:
+		if ok {
+			t.Error("late subscription delivered an event, want closed channel")
+		}
+	case <-time.After(time.Second):
+		t.Error("late subscription channel not closed")
+	}
+}

@@ -1,0 +1,121 @@
+package jobqueue
+
+// metricsState is the pool's internal counter set, guarded by Pool.mu.
+type metricsState struct {
+	submitted    uint64
+	completed    uint64
+	failed       uint64
+	canceled     uint64
+	stopped      uint64 // completed jobs that hit a deadline/cancellation
+	rejectedFull uint64
+	rejectedSize uint64
+
+	solveSeconds histogram
+	waitSeconds  histogram
+}
+
+// defaultBounds are the latency bucket upper bounds in seconds, spanning
+// sub-millisecond kernel solves to minute-scale deadline runs.
+var defaultBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 30, 60}
+
+func (m *metricsState) init() {
+	m.solveSeconds = newHistogram(defaultBounds)
+	m.waitSeconds = newHistogram(defaultBounds)
+}
+
+// histogram is a fixed-bucket latency histogram; counts[i] is the number
+// of observations ≤ bounds[i], the final slot is the overflow bucket.
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+func newHistogram(bounds []float64) histogram {
+	return histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// HistogramSnapshot is a copied-out latency histogram. Counts are
+// per-bucket (not cumulative); Bounds[i] is bucket i's inclusive upper
+// bound in seconds and the final count slot is the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+}
+
+// Metrics is a consistent point-in-time snapshot of the pool: gauges
+// (queue depth, in-flight), lifetime counters, and the wait/solve latency
+// histograms.
+type Metrics struct {
+	// QueueDepth is the number of jobs waiting to run.
+	QueueDepth int
+	// InFlight is the number of jobs currently solving.
+	InFlight int
+	// Workers and QueueCap echo the pool configuration.
+	Workers, QueueCap int
+	// Draining reports an in-progress shutdown.
+	Draining bool
+
+	// Submitted through RejectedSize are lifetime counters: terminal
+	// states, deadline/cancellation stops among completed jobs, and the
+	// two admission rejection classes (backpressure, size ceiling).
+	Submitted    uint64
+	Completed    uint64
+	Failed       uint64
+	Canceled     uint64
+	Stopped      uint64
+	RejectedFull uint64
+	RejectedSize uint64
+
+	// WaitSeconds observes submission→start latency, SolveSeconds the
+	// start→finish solve time.
+	WaitSeconds  HistogramSnapshot
+	SolveSeconds HistogramSnapshot
+}
+
+// Metrics returns a consistent snapshot of the pool's gauges, counters and
+// histograms.
+func (p *Pool) Metrics() Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Metrics{
+		QueueDepth:   p.queued,
+		InFlight:     p.inflight,
+		Workers:      p.cfg.Workers,
+		QueueCap:     p.cfg.QueueCap,
+		Draining:     p.draining,
+		Submitted:    p.met.submitted,
+		Completed:    p.met.completed,
+		Failed:       p.met.failed,
+		Canceled:     p.met.canceled,
+		Stopped:      p.met.stopped,
+		RejectedFull: p.met.rejectedFull,
+		RejectedSize: p.met.rejectedSize,
+		WaitSeconds:  p.met.waitSeconds.snapshot(),
+		SolveSeconds: p.met.solveSeconds.snapshot(),
+	}
+}

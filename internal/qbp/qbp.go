@@ -131,9 +131,21 @@ type Options struct {
 	// ≤ 0 means sparsemat.DefaultDensityThreshold.
 	MatrixDensityThreshold float64
 
+	// Scratch, when non-nil, lends a reusable buffer holder to this solve:
+	// the per-solve allocations of the pipeline are paid once and reused by
+	// every later solve through the same holder, staying warm across
+	// same-shape problems and reallocating transparently when the shape
+	// changes. A holder must not be used by two solves concurrently (it is
+	// a single buffer set, exactly like the per-worker scratch inside
+	// SolveMultiStart — which manages its own holders and ignores this
+	// field). Reuse can never change a result: every buffer is rebuilt or
+	// invalidated at solve entry, a contract TestScratchReuseDeterminism
+	// pins.
+	Scratch *Scratch
+
 	// sc lends a reusable scratch buffer set to this solve. Package-internal
 	// (the multi-start workers share one per worker); nil means Solve
-	// allocates its own.
+	// allocates its own and takes precedence over Scratch.
 	sc *scratch
 	// progressStart tags Progress snapshots with the multistart index.
 	progressStart int
@@ -287,6 +299,25 @@ type solver struct {
 	stats SolveStats
 }
 
+// Scratch is an opaque reusable buffer holder for sequential solves (see
+// Options.Scratch). The zero value is ready to use; the first solve through
+// it allocates the buffers, later same-shape solves reuse them. Long-lived
+// callers running many solves — the daemon's worker pool is the motivating
+// one — hold one Scratch per worker goroutine.
+type Scratch struct {
+	sc *scratch
+}
+
+// lease returns the held buffer set, reallocating when the problem shape
+// differs from the previous solve's, so a holder stays warm across
+// same-shape solves and adapts silently otherwise.
+func (w *Scratch) lease(m, n int) *scratch {
+	if w.sc == nil || w.sc.m != m || w.sc.n != n {
+		w.sc = newScratch(m, n)
+	}
+	return w.sc
+}
+
 // ensureScratch lazily attaches a scratch of the right shape; a lent
 // scratch with mismatched dimensions is replaced rather than trusted.
 func (s *solver) ensureScratch(lent *scratch) {
@@ -368,7 +399,11 @@ func Solve(ctx context.Context, p *model.Problem, opts Options) (*Result, error)
 	// the matrix and the worker count, never on the iterate, preserving
 	// determinism.
 	s.initKernel()
-	s.ensureScratch(opts.sc)
+	lent := opts.sc
+	if lent == nil && opts.Scratch != nil {
+		lent = opts.Scratch.lease(s.m, s.n)
+	}
+	s.ensureScratch(lent)
 	s.pool = newPool(opts.Workers)
 	defer s.pool.close()
 	if s.pool != nil {

@@ -1,0 +1,72 @@
+package qbp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// TestScratchReuseDeterminism: lending one Scratch holder across a sequence
+// of solves — same shape, then a different shape, then back — yields
+// results bit-identical to fresh solves. This is the contract the daemon's
+// worker pool relies on: a worker keeps one warm holder and feeds it
+// whatever jobs arrive, in whatever order.
+func TestScratchReuseDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	pa, _ := testgen.Random(rng, testgen.Config{N: 30, TimingProb: 0.3})
+	pb, _ := testgen.Random(rng, testgen.Config{N: 18, TimingProb: 0.2})
+	ctx := context.Background()
+
+	solve := func(p *model.Problem, seed int64, sc *Scratch) []int {
+		t.Helper()
+		res, err := Solve(ctx, p, Options{Iterations: 12, Seed: seed, Scratch: sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Assignment
+	}
+
+	// Reference results from cold solves (no holder).
+	refA1 := solve(pa, 1, nil)
+	refA2 := solve(pa, 2, nil)
+	refB := solve(pb, 7, nil)
+
+	// One holder threaded through the whole interleaved sequence.
+	warm := &Scratch{}
+	gotA1 := solve(pa, 1, warm)
+	gotB := solve(pb, 7, warm)  // shape change: holder reallocates
+	gotA2 := solve(pa, 2, warm) // back to the first shape
+	gotA1again := solve(pa, 1, warm)
+
+	assertSame := func(name string, got, want []int) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("%s: differs at component %d (%d vs %d)", name, j, got[j], want[j])
+			}
+		}
+	}
+	assertSame("A seed 1 warm", gotA1, refA1)
+	assertSame("B warm after shape change", gotB, refB)
+	assertSame("A seed 2 warm", gotA2, refA2)
+	assertSame("A seed 1 warm repeat", gotA1again, refA1)
+}
+
+// TestScratchLeaseShape: same shape keeps the same buffer set (the reuse is
+// real), a different shape replaces it.
+func TestScratchLeaseShape(t *testing.T) {
+	w := &Scratch{}
+	first := w.lease(4, 30)
+	if again := w.lease(4, 30); again != first {
+		t.Error("same-shape lease reallocated")
+	}
+	if other := w.lease(4, 18); other == first {
+		t.Error("shape change kept the old buffers")
+	}
+}

@@ -1,0 +1,98 @@
+#!/bin/sh
+# Daemon smoke test: build qbpartd, start it, submit a generated instance
+# over HTTP, poll the job to completion, scrape /metrics, then SIGTERM the
+# daemon and assert a clean graceful drain (exit 0). Pure POSIX sh + curl;
+# no jq — job IDs are cut out of the JSON with grep.
+set -eu
+
+ADDR="${QBPARTD_ADDR:-127.0.0.1:8077}"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+    status=$?
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -KILL "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+echo "daemon-smoke: building"
+go build -o "$WORK/qbpartd" ./cmd/qbpartd
+go run ./cmd/gencircuit -components 120 -wires 600 -timing 200 -seed 7 -o "$WORK/smoke.prob"
+
+echo "daemon-smoke: starting qbpartd on $ADDR"
+"$WORK/qbpartd" -addr "$ADDR" -workers 2 -queue 8 &
+DAEMON_PID=$!
+
+# Wait for the listener.
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "daemon-smoke: daemon never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "daemon-smoke: submitting job"
+ACK="$(curl -sf --data-binary @"$WORK/smoke.prob" \
+    "http://$ADDR/jobs?method=qbp&iterations=50&seed=1&deadline=30s")"
+JOB="$(printf '%s' "$ACK" | grep -o '"id":"[^"]*"' | head -n 1 | cut -d'"' -f4)"
+if [ -z "$JOB" ]; then
+    echo "daemon-smoke: no job id in acknowledgement: $ACK" >&2
+    exit 1
+fi
+echo "daemon-smoke: submitted $JOB"
+
+# Poll to a terminal state.
+i=0
+while :; do
+    STATUS="$(curl -sf "http://$ADDR/jobs/$JOB")"
+    STATE="$(printf '%s' "$STATUS" | grep -o '"state":"[^"]*"' | head -n 1 | cut -d'"' -f4)"
+    case "$STATE" in
+    done) break ;;
+    failed | canceled)
+        echo "daemon-smoke: job ended $STATE: $STATUS" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "daemon-smoke: job stuck in state '$STATE'" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+printf '%s' "$STATUS" | grep -q '"assignment":\[' || {
+    echo "daemon-smoke: done without an assignment: $STATUS" >&2
+    exit 1
+}
+echo "daemon-smoke: $JOB done"
+
+echo "daemon-smoke: scraping /metrics"
+METRICS="$(curl -sf "http://$ADDR/metrics")"
+printf '%s\n' "$METRICS" | grep -q '^qbpartd_jobs_completed_total 1$' || {
+    echo "daemon-smoke: metrics missing completed counter:" >&2
+    printf '%s\n' "$METRICS" >&2
+    exit 1
+}
+printf '%s\n' "$METRICS" | grep -q '^qbpartd_solve_seconds_count 1$' || {
+    echo "daemon-smoke: metrics missing solve histogram:" >&2
+    printf '%s\n' "$METRICS" >&2
+    exit 1
+}
+
+echo "daemon-smoke: SIGTERM, expecting graceful drain"
+kill -TERM "$DAEMON_PID"
+EXIT=0
+wait "$DAEMON_PID" || EXIT=$?
+DAEMON_PID=""
+if [ "$EXIT" -ne 0 ]; then
+    echo "daemon-smoke: daemon exited $EXIT after SIGTERM, want 0" >&2
+    exit 1
+fi
+echo "daemon-smoke: PASS"
