@@ -13,12 +13,13 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Perf artifact: the paper tables/ablations (one full solve per op) plus the
-# kernel micro-benchmarks (the sparse-vs-dense representation sweeps, the
-# bit-packed membership kernels, and the text-vs-binary serializers), 6
-# repetitions each, folded into BENCH_PR7.json (ns/op, allocs/op, and the
-# finalWL quality metric per instance).
-BENCHJSON ?= BENCH_PR7.json
+# Perf artifact: the paper tables/ablations (one full solve per op), the
+# multilevel V-cycle sweep, plus the kernel micro-benchmarks (the
+# sparse-vs-dense representation sweeps, the bit-packed membership kernels,
+# and the text-vs-binary serializers), 6 repetitions each, folded into
+# BENCH_PR10.json (ns/op, allocs/op, and the finalWL quality metric per
+# instance).
+BENCHJSON ?= BENCH_PR10.json
 BENCH_MICRO = ComputeEta|PenalizedValue|GAPSolve|SolveWorkers|EtaIncrementalSweep|BitsetMembership|BinaryReadWrite
 
 bench:

@@ -407,3 +407,52 @@ func BenchmarkGKLPassCost(b *testing.B) {
 		benchGKLPassSink = res.Objective
 	}
 }
+
+// multilevelBenchInstance caches the big synthetic circuits for the V-cycle
+// sweep; generating N=10⁵ takes longer than coarsening it.
+func multilevelBenchInstance(b *testing.B, n int) *Instance {
+	b.Helper()
+	name := fmt.Sprintf("mlbench-%d", n)
+	if in, ok := instanceCache[name]; ok {
+		return in
+	}
+	in, err := GenerateCircuit(GenerateParams{Spec: CircuitSpec{
+		Name:              name,
+		Components:        n,
+		Wires:             int64(4 * n),
+		TimingConstraints: n / 10,
+		Seed:              31,
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	instanceCache[name] = in
+	return in
+}
+
+// BenchmarkMultilevelVCycle measures the coarsen–solve–refine pipeline at
+// sizes the flat solver cannot touch interactively: each op is one full
+// V-cycle (hierarchy build, coarse multistart, per-level refinement) on a
+// deg≈8 instance. finalWL tracks solution quality alongside the timing.
+func BenchmarkMultilevelVCycle(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			in := multilevelBenchInstance(b, n)
+			b.ResetTimer()
+			var wl int64
+			for k := 0; k < b.N; k++ {
+				res, err := SolveMultilevel(context.Background(), in.Problem, MultilevelOptions{
+					Coarse: MultiStartOptions{Base: QBPOptions{Iterations: 60, Seed: 7}, Starts: 2},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Feasible {
+					b.Fatalf("N=%d V-cycle infeasible", n)
+				}
+				wl = res.WireLength
+			}
+			b.ReportMetric(float64(wl), "finalWL")
+		})
+	}
+}

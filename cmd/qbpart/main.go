@@ -10,6 +10,7 @@
 //	qbpart -in ckta.prob -method qbp -timeout 2s      # best-so-far at deadline
 //	qbpart -in ckta.prob -method qbp -progress 500ms  # periodic progress line
 //	qbpart -in ckta.prob -method qbp -matrix dense    # force a coupling representation
+//	qbpart -in big.prob -multilevel -coarsen-target 2048  # V-cycle for huge instances
 //	qbpart -in ckta.prob -method gkl -relax-timing
 //	qbpart -in ckta.prob -initial ckta.assign -method gfm
 //	qbpart -in ckta.prob -check ckta.assign            # validate only
@@ -23,6 +24,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -60,6 +62,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the solve; at expiry the best solution found so far is reported (0 = none)")
 		progress   = fs.Duration("progress", 0, "print a progress line to stderr at most this often (qbp only, 0 = off)")
 		matrix     = fs.String("matrix", "auto", "coupling-matrix representation: auto, sparse or dense (qbp only; results are identical for any value)")
+		mlevel     = fs.Bool("multilevel", false, "solve with the multi-level V-cycle: coarsen, solve the coarsest level with qbp, refine per level (qbp only)")
+		coarsenTgt = fs.Int("coarsen-target", 0, "coarsest-level size handed to the flat solver (multilevel only, 0 = default)")
 		check      = fs.String("check", "", "validate this assignment file against the problem and exit")
 		convert    = fs.String("convert", "", "rewrite the problem to this file in the other format (text ⇄ binary) and exit")
 		show       = fs.Bool("show", false, "render the placement grid and wire-length histogram (square grids)")
@@ -101,6 +105,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	matrixRep, merr := partition.ParseMatrixRep(*matrix)
 	if merr != nil {
 		return usageError(fmt.Sprintf("-matrix must be auto, sparse or dense (got %q)", *matrix))
+	}
+	if *mlevel && *method != "qbp" {
+		return usageError(fmt.Sprintf("-multilevel requires -method qbp (got %q)", *method))
+	}
+	if *mlevel && *initial != "" {
+		return usageError("-multilevel derives its own per-level starts; -initial is not supported")
+	}
+	if *coarsenTgt < 0 {
+		return usageError(fmt.Sprintf("-coarsen-target must be >= 0 (got %d)", *coarsenTgt))
+	}
+	if *coarsenTgt > 0 && !*mlevel {
+		return usageError("-coarsen-target only applies with -multilevel")
 	}
 
 	f, err := os.Open(*in)
@@ -167,7 +183,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	var start partition.Assignment
-	if *initial != "" {
+	if *mlevel {
+		// The V-cycle derives its own per-level starts (cluster seed at the
+		// coarsest level, projection below); a flat feasible-start pass over
+		// a million-component instance would dominate the runtime.
+	} else if *initial != "" {
 		af, aerr := os.Open(*initial)
 		if aerr != nil {
 			return fatal(aerr)
@@ -206,6 +226,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var final partition.Assignment
 	var stopped bool
 	var stats *partition.QBPSolveStats
+	var levels []partition.MultilevelLevelStat
 	switch *method {
 	case "qbp":
 		o := partition.QBPOptions{
@@ -216,6 +237,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Workers:     *workers,
 			Matrix:      matrixRep,
 			OnProgress:  progressPrinter(stderr, *progress),
+		}
+		if *mlevel {
+			mres, merr := partition.SolveMultilevel(ctx, p, partition.MultilevelOptions{
+				Coarse:        partition.MultiStartOptions{Base: o, Starts: *multistart},
+				CoarsenTarget: *coarsenTgt,
+			})
+			if merr != nil {
+				return solveFatal(merr)
+			}
+			final, stopped, stats, levels = mres.Assignment, mres.Stopped, &mres.Coarse.Stats, mres.Levels
+			break
 		}
 		var res *partition.QBPResult
 		var err error
@@ -270,7 +302,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "matrix           %s (density %.4f, %d arcs)\n",
 			stats.Matrix, stats.Density, stats.NNZ)
 	}
-	fmt.Fprintf(stdout, "start WL         %d\n", p.WireLength(start))
+	if levels != nil {
+		sizes := make([]string, len(levels))
+		moves := 0
+		for k, l := range levels {
+			sizes[k] = fmt.Sprintf("%d", l.N)
+			moves += l.Moves
+		}
+		fmt.Fprintf(stdout, "levels           %d (%s components; %d refinement moves)\n",
+			len(levels), strings.Join(sizes, " -> "), moves)
+	}
+	if start != nil {
+		fmt.Fprintf(stdout, "start WL         %d\n", p.WireLength(start))
+	}
 	fmt.Fprint(stdout, report)
 	if !report.Feasible && !*relax {
 		fmt.Fprintln(stderr, "warning: solution violates constraints")

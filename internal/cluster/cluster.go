@@ -87,6 +87,7 @@ func splitSubset(c *model.Circuit, adj *adjacency.Lists, subset []int, opts Opti
 	seen := make([]bool, n)
 	queue := []int{start}
 	seen[start] = true
+	//lint:ignore cancel-poll BFS visits each component exactly once (seen guard); bounded by the subset size
 	for len(queue) > 0 {
 		j := queue[0]
 		queue = queue[1:]
@@ -130,6 +131,7 @@ func splitSubset(c *model.Circuit, adj *adjacency.Lists, subset []int, opts Opti
 		return c1*int64(a2)*int64(b2) < c2*int64(a1)*int64(b1)
 	}
 
+	//lint:ignore cancel-poll bounded by maxPasses over a fixed subset; a seeding heuristic, not a solve loop
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for _, j := range subset {

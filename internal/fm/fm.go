@@ -33,6 +33,15 @@ type Options struct {
 	// MaxMovesPerPass bounds the moves attempted in one pass;
 	// ≤ 0 means up to N (every component once).
 	MaxMovesPerPass int
+	// BoundaryOnly restricts move selection to boundary components —
+	// those with a wire crossing partitions — refreshed at every pass
+	// start and grown with the wire neighborhood of each applied move.
+	// A search-space heuristic for the multi-level uncoarsening pass,
+	// where improvements concentrate on the projection seams; interior
+	// components with purely linear gains are only reached once a
+	// neighbor's move exposes them. Off by default (the paper's GFM scans
+	// every component).
+	BoundaryOnly bool
 	// OnPass, when set, observes the objective after every pass.
 	OnPass func(pass int, objective int64)
 }
@@ -95,11 +104,20 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 	ck := interrupt.New(ctx, 0)
 	locked := bitset.New(n)
 	lw := locked.Words()
+	var cand *bitset.Set
+	var cw []uint64
+	if opts.BoundaryOnly {
+		cand = bitset.New(n)
+		cw = cand.Words()
+	}
 	trail := make([]move, 0, n)
 	passes, kept := 0, 0
 	for {
 		passes++
 		locked.Reset()
+		if cand != nil {
+			t.Boundary(cand)
+		}
 		trail = trail[:0]
 		startObj := t.Objective()
 		bestObj := startObj
@@ -121,7 +139,11 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 			bestDelta := int64(math.MaxInt64)
 			bestJ, bestTo := -1, -1
 			for wi, lwv := range lw {
-				for rem := ^lwv; rem != 0; rem &= rem - 1 {
+				rem := ^lwv
+				if cw != nil {
+					rem &= cw[wi]
+				}
+				for ; rem != 0; rem &= rem - 1 {
 					j := wi<<6 + bits.TrailingZeros64(rem)
 					if j >= n {
 						break
@@ -144,6 +166,16 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 			from := t.Partition(bestJ)
 			t.Apply(bestJ, bestTo)
 			locked.Set(bestJ)
+			if cand != nil {
+				// The move can turn interior wire neighbors into boundary
+				// components; grow the candidate set so they stay visible
+				// for the rest of the pass.
+				for _, arc := range adj.Arcs[bestJ] {
+					if arc.Weight != 0 {
+						cand.Set(arc.Other)
+					}
+				}
+			}
 			trail = append(trail, move{j: bestJ, from: from, to: bestTo})
 			if obj := t.Objective(); obj < bestObj {
 				bestObj = obj

@@ -91,6 +91,26 @@ func (t *Table) Delta(j, to int) int64 { return t.delta[j][to] }
 // instead of once per (component, partition) probe.
 func (t *Table) DeltaRow(j int) []int64 { return t.delta[j] }
 
+// Boundary overwrites dst (capacity ≥ N) with the current boundary set:
+// bit j ⇔ some wire of j crosses partitions under the current assignment.
+// Interior components can still carry nonzero deltas (linear preferences,
+// same-partition diagonal couplings), so boundary restriction is a search
+// heuristic, not an exact filter — the multi-level uncoarsening pass uses
+// it to confine refinement to the projection seams.
+func (t *Table) Boundary(dst *bitset.Set) {
+	dst.Reset()
+	cs := t.csr
+	for j := 0; j < t.p.N(); j++ {
+		lo, hi := cs.Row(j)
+		for k := lo; k < hi; k++ {
+			if cs.Weight[k] != 0 && t.u[cs.Col[k]] != t.u[j] {
+				dst.Set(j)
+				break
+			}
+		}
+	}
+}
+
 // bp returns b[x][y] + b[y][x], the both-direction cost coupling.
 func (t *Table) bp(x, y int) int64 {
 	b := t.p.Topology.Cost

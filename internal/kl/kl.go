@@ -35,6 +35,13 @@ type Options struct {
 	// MaxSwapsPerPass bounds the inner swap sequence; ≤ 0 means up to
 	// N/2 (every component swapped at most once per pass).
 	MaxSwapsPerPass int
+	// BoundaryOnly restricts swap selection to pairs with at least one
+	// boundary member — a component with a wire crossing partitions —
+	// refreshed at every pass start and grown with the wire neighborhood
+	// of each applied swap. A search-space heuristic for the multi-level
+	// uncoarsening pass; off by default (the paper's GKL scans every
+	// pair).
+	BoundaryOnly bool
 	// OnPass, when set, observes the objective after every pass.
 	OnPass func(pass int, objective int64)
 }
@@ -101,11 +108,20 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 	ck := interrupt.New(ctx, 0)
 	locked := bitset.New(n)
 	lw := locked.Words()
+	var cand *bitset.Set
+	var cw []uint64
+	if opts.BoundaryOnly {
+		cand = bitset.New(n)
+		cw = cand.Words()
+	}
 	trail := make([]swap, 0, n/2)
 	passes, kept := 0, 0
 	for {
 		passes++
 		locked.Reset()
+		if cand != nil {
+			t.Boundary(cand)
+		}
 		trail = trail[:0]
 		startObj := t.Objective()
 		bestObj := startObj
@@ -134,10 +150,18 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 					if j1 >= n {
 						break
 					}
+					// Boundary restriction: a pair is eligible when at
+					// least one member is a candidate — j1 itself, or else
+					// the j2 scan is masked down to candidates.
+					j1Cand := cw == nil || cand.Test(j1)
 					pw := t.Members(t.Partition(j1)).Words()
 					for j2 := j1 + 1; j2 < n; {
 						w := j2 >> 6
-						rem := ^(lw[w] | pw[w]) >> uint(j2&63)
+						elig := ^(lw[w] | pw[w])
+						if !j1Cand {
+							elig &= cw[w]
+						}
+						rem := elig >> uint(j2&63)
 						if rem == 0 {
 							j2 = (w + 1) << 6
 							continue
@@ -160,6 +184,17 @@ func Solve(ctx context.Context, p *model.Problem, initial model.Assignment, opts
 			t.ApplySwap(bestJ1, bestJ2)
 			locked.Set(bestJ1)
 			locked.Set(bestJ2)
+			if cand != nil {
+				// The swap can expose interior wire neighbors; keep them
+				// visible for the rest of the pass.
+				for _, j := range [2]int{bestJ1, bestJ2} {
+					for _, arc := range adj.Arcs[j] {
+						if arc.Weight != 0 {
+							cand.Set(arc.Other)
+						}
+					}
+				}
+			}
 			trail = append(trail, swap{bestJ1, bestJ2})
 			if obj := t.Objective(); obj < bestObj {
 				bestObj = obj

@@ -77,6 +77,9 @@ func TestFixtures(t *testing.T) {
 		// The CSR coupling layer's pinned profile: suppressed one-time build
 		// allocation, alloc-free steady-state dirty-column reuse.
 		{"hotalloc_csr", nil},
+		// The multilevel hierarchy's pinned profile: suppressed once-per-level
+		// contraction allocation, alloc-free steady-state sweep scratch reuse.
+		{"hotalloc_hierarchy", nil},
 		{"suppress_ok", nil},
 		{"suppress_bad", []string{"lint:7", "panic-in-library:8", "lint:16", "panic-in-library:17"}},
 		{"mod_import", nil},

@@ -1,0 +1,58 @@
+// Fixture: the multilevel hierarchy build's allocation profile is pinned —
+// contracting a level allocates the coarse graph's arrays exactly once per
+// level (a handful of times per solve), which carries the documented
+// alloc-in-hot-loop suppression, while the per-pass refinement sweep reuses
+// solver-owned scratch through a [:0] reslice and must stay
+// diagnostic-free. The package is named qbp so the analyzer treats its
+// loops as hot.
+package qbp
+
+type levelGraph struct {
+	rowPtr []int
+	col    []int32
+	weight []int64
+	sizes  []int64
+}
+
+type sweepScratch struct {
+	moves []int
+}
+
+// coarsenAll is the once-per-solve hierarchy construction: each iteration
+// contracts one level, and the coarse arrays it allocates live for the whole
+// V-cycle — a deliberate one-time allocation per level, exempted with a
+// justification.
+func coarsenAll(g *levelGraph, target int) []*levelGraph {
+	levels := []*levelGraph{g}
+	for top := g; len(top.sizes) > target; {
+		nc := len(top.sizes) / 2
+		cg := &levelGraph{}
+		//lint:ignore alloc-in-hot-loop one-time hierarchy build, once per level
+		cg.rowPtr, cg.sizes = make([]int, nc+1), make([]int64, nc)
+		for j, s := range top.sizes {
+			cg.sizes[j/2] += s
+		}
+		levels = append(levels, cg)
+		top = cg
+	}
+	return levels
+}
+
+// sweepMoves is the steady-state refinement pattern: the append base is a
+// [:0] reslice of reusable scratch, so passes after the first allocate
+// nothing.
+func sweepMoves(g *levelGraph, sc *sweepScratch, dirty []bool) []int {
+	moves := sc.moves[:0]
+	for j, dj := range dirty {
+		if !dj {
+			continue
+		}
+		for k := g.rowPtr[j]; k < g.rowPtr[j+1]; k++ {
+			if g.weight[k] != 0 {
+				moves = append(moves, int(g.col[k]))
+			}
+		}
+	}
+	sc.moves = moves
+	return moves
+}

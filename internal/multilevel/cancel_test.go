@@ -1,0 +1,90 @@
+package multilevel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/qbp"
+)
+
+// TestPreCancelledReturnsError: the standing contract's first clause — a
+// ctx already cancelled at entry does no work and returns ctx.Err().
+func TestPreCancelledReturnsError(t *testing.T) {
+	p := testInstance(t, 300, 1200, 400, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, p, Options{CoarsenTarget: 50}); err != context.Canceled {
+		t.Fatalf("pre-cancelled Solve returned %v, want context.Canceled", err)
+	}
+}
+
+// TestCancellationTransparency: a cancellable ctx that never fires must
+// leave the result bit-identical to context.Background() — the poll only
+// reads, never perturbs.
+func TestCancellationTransparency(t *testing.T) {
+	p := testInstance(t, 500, 2100, 700, 21)
+	opts := Options{
+		Coarse:        qbp.MultiStartOptions{Base: qbp.Options{Iterations: 15, Seed: 3}, Starts: 2},
+		CoarsenTarget: 80,
+	}
+	ref, err := Solve(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := Solve(ctx, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stopped || ref.Stopped {
+		t.Fatalf("unfired ctx marked Stopped (got=%v ref=%v)", got.Stopped, ref.Stopped)
+	}
+	if got.Objective != ref.Objective || got.Feasible != ref.Feasible {
+		t.Fatalf("unfired ctx diverged: η %d/%v vs %d/%v", got.Objective, got.Feasible, ref.Objective, ref.Feasible)
+	}
+	for j := range ref.Assignment {
+		if got.Assignment[j] != ref.Assignment[j] {
+			t.Fatalf("unfired ctx diverged at component %d", j)
+		}
+	}
+}
+
+// TestMidSolveCancelBestSoFar: cancelling during the coarse solve returns
+// the coarse incumbent projected to the finest level with Stopped set —
+// complete, in range, and capacity-feasible (the projection preserves
+// loads exactly).
+func TestMidSolveCancelBestSoFar(t *testing.T) {
+	p := testInstance(t, 600, 2500, 800, 22)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Bool
+	res, err := Solve(ctx, p, Options{
+		Coarse: qbp.MultiStartOptions{
+			Base: qbp.Options{
+				Iterations: 400,
+				Seed:       5,
+				OnProgress: func(pr qbp.Progress) {
+					if pr.Iteration >= 3 && fired.CompareAndSwap(false, true) {
+						cancel()
+					}
+				},
+			},
+			Starts: 1,
+		},
+		CoarsenTarget: 100,
+	})
+	if err != nil {
+		t.Fatalf("mid-solve cancel returned error %v, want best-so-far result", err)
+	}
+	if !res.Stopped {
+		t.Fatal("mid-solve cancel did not set Stopped")
+	}
+	if len(res.Assignment) != p.N() {
+		t.Fatalf("best-so-far assignment has %d entries, want %d", len(res.Assignment), p.N())
+	}
+	if !p.Normalized().CapacityFeasible(res.Assignment) {
+		t.Fatal("best-so-far assignment violates capacity")
+	}
+}

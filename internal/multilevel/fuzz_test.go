@@ -1,0 +1,45 @@
+package multilevel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzProjection drives the hierarchy invariants over randomized
+// (seed, n, target) triples: coarsen, draw random coarse assignments at the
+// top level, and require exact η accounting, identical loads, and downward
+// timing feasibility — the tentpole's bit-exact projection contract under
+// fuzzed instance shapes.
+func FuzzProjection(f *testing.F) {
+	f.Add(int64(1), 200, 30)
+	f.Add(int64(7), 500, 64)
+	f.Add(int64(13), 150, 10)
+	f.Add(int64(99), 800, 200)
+	f.Fuzz(func(t *testing.T, seed int64, n, target int) {
+		if n < 20 || n > 1200 {
+			n = 20 + int(uint(n)%1181)
+		}
+		if target < 2 || target > n {
+			target = 2 + int(uint(target)%uint(n-1))
+		}
+		wires := 4 * n
+		timing := n / 2
+		p := testInstance(t, n, wires, timing, seed)
+		h, err := Coarsen(p, Options{CoarsenTarget: target})
+		if err != nil {
+			t.Fatalf("Coarsen(n=%d target=%d seed=%d): %v", n, target, seed, err)
+		}
+		top := h.Levels() - 1
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		m := p.M()
+		for trial := 0; trial < 4; trial++ {
+			ak := make(model.Assignment, h.LevelSize(top))
+			for j := range ak {
+				ak[j] = rng.Intn(m)
+			}
+			checkProjection(t, h, top, ak)
+		}
+	})
+}

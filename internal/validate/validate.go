@@ -66,15 +66,47 @@ func Check(p *model.Problem, a model.Assignment) (*Report, error) {
 		}
 	}
 	r.Objective = p.Alpha*r.LinearCost + p.Beta*r.QuadraticCost
-	d := p.Topology.Delay
-	for _, t := range p.Circuit.Timing {
-		i1, i2 := a[t.From], a[t.To]
-		if d[i1][i2] > t.MaxDelay || d[i2][i1] > t.MaxDelay {
-			r.TimingViolations = append(r.TimingViolations, t)
-		}
-	}
+	r.TimingViolations = TimingViolationsOn(p.Topology.Delay, p.Circuit.Timing, a)
 	r.Feasible = r.OverloadedCount == 0 && len(r.TimingViolations) == 0
 	return r, nil
+}
+
+// TimingViolationsOn returns the timing constraints violated by a under an
+// explicit delay matrix, in stored order (both delay directions checked, the
+// symmetric constraint reading). It is the timing-budget check factored out
+// of Check so hierarchy levels can be validated without materializing a full
+// Problem: a contraction level shares the topology's delay matrix but
+// carries its own tightened constraint set and its own assignment.
+func TimingViolationsOn(delay [][]int64, timing []model.TimingConstraint, a model.Assignment) []model.TimingConstraint {
+	var bad []model.TimingConstraint
+	for _, t := range timing {
+		i1, i2 := a[t.From], a[t.To]
+		if delay[i1][i2] > t.MaxDelay || delay[i2][i1] > t.MaxDelay {
+			bad = append(bad, t)
+		}
+	}
+	return bad
+}
+
+// CheckBudgets validates a (possibly tightened) timing-budget set over n
+// components: endpoints in range, no self-loops, and every budget
+// non-negative. Contractions tighten parallel budgets to their minimum, so a
+// correct hierarchy can never produce a negative budget — any budget
+// arithmetic that does (e.g. subtracting internal routing slack) has made
+// the level unsolvable and must be rejected before a solver sees it.
+func CheckBudgets(n int, timing []model.TimingConstraint) error {
+	for k, t := range timing {
+		if t.From < 0 || t.From >= n || t.To < 0 || t.To >= n {
+			return fmt.Errorf("validate: timing budget %d endpoints (%d,%d) out of range [0,%d)", k, t.From, t.To, n)
+		}
+		if t.From == t.To {
+			return fmt.Errorf("validate: timing budget %d is a self-loop on component %d", k, t.From)
+		}
+		if t.MaxDelay < 0 {
+			return fmt.Errorf("validate: timing budget %d (%d,%d) is negative: %d", k, t.From, t.To, t.MaxDelay)
+		}
+	}
+	return nil
 }
 
 // String renders the report for CLI output.

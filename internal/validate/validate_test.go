@@ -183,6 +183,82 @@ func TestFeasibleFlagInteraction(t *testing.T) {
 	}
 }
 
+// TimingViolationsOn must agree with Check on the same (delay, timing,
+// assignment) triple — it is the same check factored out for hierarchy
+// levels, so the two paths may never diverge.
+func TestTimingViolationsOnMatchesCheck(t *testing.T) {
+	timing := []model.TimingConstraint{
+		{From: 0, To: 1, MaxDelay: 1},
+		{From: 1, To: 2, MaxDelay: 10},
+		{From: 2, To: 1, MaxDelay: 2},
+	}
+	p := triProblem(t, []int64{3, 3}, timing)
+	for _, a := range []model.Assignment{{0, 1, 0}, {0, 0, 0}, {1, 0, 1}, {1, 1, 0}} {
+		r, err := Check(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := TimingViolationsOn(p.Topology.Delay, p.Circuit.Timing, a)
+		if len(got) != len(r.TimingViolations) {
+			t.Fatalf("a=%v: TimingViolationsOn found %d, Check found %d", a, len(got), len(r.TimingViolations))
+		}
+		for k := range got {
+			if got[k] != r.TimingViolations[k] {
+				t.Fatalf("a=%v: violation %d = %v, Check has %v", a, k, got[k], r.TimingViolations[k])
+			}
+		}
+	}
+}
+
+// An asymmetric delay matrix must trip a constraint when either direction
+// exceeds the budget — the symmetric constraint reading.
+func TestTimingViolationsOnChecksBothDirections(t *testing.T) {
+	delay := [][]int64{{0, 9}, {1, 0}} // 0→1 slow, 1→0 fast
+	timing := []model.TimingConstraint{{From: 0, To: 1, MaxDelay: 5}}
+	// Constraint stored as (0,1) but components placed so the stored order
+	// reads the fast direction first: still violated via the reverse hop.
+	if got := TimingViolationsOn(delay, timing, model.Assignment{1, 0}); len(got) != 1 {
+		t.Fatalf("reverse-direction violation missed: %v", got)
+	}
+	if got := TimingViolationsOn(delay, timing, model.Assignment{0, 0}); len(got) != 0 {
+		t.Fatalf("co-located pair flagged: %v", got)
+	}
+}
+
+// CheckBudgets gates every hierarchy level before a solver sees it: accept
+// well-formed sets, reject out-of-range endpoints, self-loops, and the
+// negative budgets that only broken tightening arithmetic can produce.
+func TestCheckBudgets(t *testing.T) {
+	good := []model.TimingConstraint{
+		{From: 0, To: 3, MaxDelay: 0}, // zero budget is legal: means co-locate
+		{From: 2, To: 1, MaxDelay: 7},
+	}
+	if err := CheckBudgets(4, good); err != nil {
+		t.Fatalf("well-formed budgets rejected: %v", err)
+	}
+	if err := CheckBudgets(4, nil); err != nil {
+		t.Fatalf("empty budget set rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		n    int
+		bad  model.TimingConstraint
+	}{
+		{"from out of range", 4, model.TimingConstraint{From: 4, To: 1, MaxDelay: 3}},
+		{"negative from", 4, model.TimingConstraint{From: -1, To: 1, MaxDelay: 3}},
+		{"to out of range", 4, model.TimingConstraint{From: 0, To: 9, MaxDelay: 3}},
+		{"self-loop", 4, model.TimingConstraint{From: 2, To: 2, MaxDelay: 3}},
+		{"negative budget", 4, model.TimingConstraint{From: 0, To: 1, MaxDelay: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := CheckBudgets(tc.n, append(append([]model.TimingConstraint(nil), good...), tc.bad)); err == nil {
+				t.Fatalf("budget %+v accepted", tc.bad)
+			}
+		})
+	}
+}
+
 // The report must agree with the model package on every metric for random
 // instances and assignments (two independently written evaluation paths).
 func TestAgreesWithModel(t *testing.T) {

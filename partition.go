@@ -51,6 +51,7 @@ import (
 	"repro/internal/kl"
 	"repro/internal/lap"
 	"repro/internal/model"
+	"repro/internal/multilevel"
 	"repro/internal/netlist"
 	"repro/internal/qap"
 	"repro/internal/qbp"
@@ -186,6 +187,44 @@ type (
 // ctx.Err() is returned only when no start completed at all.
 func SolveQBPMultiStart(ctx context.Context, p *Problem, opts MultiStartOptions) (*QBPResult, error) {
 	return qbp.SolveMultiStart(ctx, p, opts)
+}
+
+// Multi-level V-cycle solver (see internal/multilevel): coarsen by
+// heavy-edge matching, solve the coarsest level with the flat QBP
+// multistart, then uncoarsen with boundary-restricted GFM/GKL refinement
+// per level. The hierarchy is exact — per-level objectives and feasibility
+// project bit-identically onto the input problem — so the V-cycle scales
+// the paper's formulation to millions of components without changing its
+// accounting.
+type (
+	// MultilevelOptions tunes SolveMultilevel.
+	MultilevelOptions = multilevel.Options
+	// MultilevelResult is the outcome of SolveMultilevel.
+	MultilevelResult = multilevel.Result
+	// MultilevelLevelStat describes one hierarchy level of a
+	// MultilevelResult.
+	MultilevelLevelStat = multilevel.LevelStat
+	// MultilevelHierarchy is a standalone contraction hierarchy
+	// (CoarsenProblem) for callers that drive their own cycle.
+	MultilevelHierarchy = multilevel.Hierarchy
+)
+
+// DefaultCoarsenTarget is the coarsest-level size SolveMultilevel hands to
+// the flat solver when MultilevelOptions.CoarsenTarget is unset.
+const DefaultCoarsenTarget = multilevel.DefaultCoarsenTarget
+
+// SolveMultilevel partitions p with the multi-level V-cycle. The standing
+// contracts hold: cancelling ctx mid-solve returns the best-so-far
+// assignment projected to the finest level with Stopped set, and fixed-seed
+// results are bit-identical for every Coarse.Workers value.
+func SolveMultilevel(ctx context.Context, p *Problem, opts MultilevelOptions) (*MultilevelResult, error) {
+	return multilevel.Solve(ctx, p, opts)
+}
+
+// CoarsenProblem builds the contraction hierarchy without solving — for
+// inspection, testing, or custom cycles.
+func CoarsenProblem(p *Problem, opts MultilevelOptions) (*MultilevelHierarchy, error) {
+	return multilevel.Coarsen(p, opts)
 }
 
 // Exact reference solver (see internal/bb).
